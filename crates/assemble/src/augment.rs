@@ -1,0 +1,350 @@
+//! Environment-information integration (§4.3, Tables 5a/5b).
+//!
+//! For each typed entry the assembler attaches *augmented attributes* that
+//! carry the entry's environment context: a `FilePath` gains owner, group,
+//! kind, permission, contents digest, sub-directory and symlink flags; an
+//! `IPAddress` gains locality/IPv6/wildcard flags; a `UserName` gains
+//! root-group/admin/group-mirror flags.  System-wide attributes (host name,
+//! OS, hardware, SELinux status) are appended once per system.
+
+use encore_model::{AttrName, ConfigValue, Row, SemType};
+use encore_sysimage::SystemImage;
+
+/// Suffixes attached to a `FilePath` entry: Table 5a's seven attributes
+/// plus `secDenied` — whether an enforcing security module (SELinux /
+/// AppArmor) denies writes to the path.  Table 5b notes EnCore "can be
+/// easily customized to consider more data"; this extension is what lets
+/// the detector see the paper's real-world case #4 (AppArmor blocking a
+/// relocated MySQL datadir).
+pub const FILEPATH_SUFFIXES: [&str; 8] = [
+    "owner",
+    "group",
+    "type",
+    "permission",
+    "contents",
+    "hasDir",
+    "hasSymLink",
+    "secDenied",
+];
+
+/// Suffixes attached to an `IPAddress` entry.
+pub const IP_SUFFIXES: [&str; 3] = ["Local", "IPv6", "AnyAddr"];
+
+/// Suffixes attached to a `UserName` entry.
+pub const USER_SUFFIXES: [&str; 3] = ["isRootGroup", "isAdmin", "isGroup"];
+
+/// Whether an IPv4 address is in the RFC 1918 private ranges (or an RFC 4193
+/// unique-local IPv6 address) — the `*.Local` augmented attribute.
+fn is_local_address(text: &str, v6: bool) -> bool {
+    if v6 {
+        return text.starts_with("fc") || text.starts_with("fd");
+    }
+    let octets: Vec<u32> = text.split('.').filter_map(|o| o.parse().ok()).collect();
+    match octets.as_slice() {
+        [10, ..] => true,
+        [172, b, ..] => (16..=31).contains(b),
+        [192, 168, ..] => true,
+        [127, ..] => true,
+        _ => false,
+    }
+}
+
+/// Augment one configuration entry according to its inferred type.
+///
+/// Missing environment objects produce `Absent` cells rather than nothing:
+/// the detector distinguishes "entry not set" from "entry set but pointing
+/// at nothing".
+pub fn augment_entry(
+    row: &mut Row,
+    attr: &AttrName,
+    raw_value: &str,
+    ty: SemType,
+    image: &SystemImage,
+) {
+    match ty {
+        SemType::FilePath => augment_file_path(row, attr, raw_value, image),
+        SemType::IpAddress => augment_ip(row, attr, raw_value),
+        SemType::UserName => augment_user(row, attr, raw_value, image),
+        _ => {}
+    }
+}
+
+fn augment_file_path(row: &mut Row, attr: &AttrName, path: &str, image: &SystemImage) {
+    let vfs = image.vfs();
+    match vfs.metadata(path) {
+        Some(meta) => {
+            row.set(attr.augmented("owner"), ConfigValue::str(&meta.owner));
+            row.set(attr.augmented("group"), ConfigValue::str(&meta.group));
+            row.set(attr.augmented("type"), ConfigValue::str(meta.kind.name()));
+            row.set(
+                attr.augmented("permission"),
+                ConfigValue::str(format!("{:o}", meta.mode)),
+            );
+            let children = vfs.children(path);
+            row.set(
+                attr.augmented("contents"),
+                ConfigValue::str(format!("{} entries", children.len())),
+            );
+            row.set(
+                attr.augmented("hasDir"),
+                ConfigValue::boolean(vfs.has_subdir(path)),
+            );
+            row.set(
+                attr.augmented("hasSymLink"),
+                ConfigValue::boolean(vfs.has_symlink(path)),
+            );
+            row.set(
+                attr.augmented("secDenied"),
+                ConfigValue::boolean(image.security().denies_write(path)),
+            );
+        }
+        None => {
+            for suffix in FILEPATH_SUFFIXES {
+                row.set(attr.augmented(suffix), ConfigValue::Absent);
+            }
+        }
+    }
+}
+
+fn augment_ip(row: &mut Row, attr: &AttrName, raw: &str) {
+    let (text, v6) = match ConfigValue::parse_ip(raw) {
+        Ok(ConfigValue::Ip { text, v6 }) => (text, v6),
+        _ => return,
+    };
+    row.set(
+        attr.augmented("Local"),
+        ConfigValue::boolean(is_local_address(&text, v6)),
+    );
+    row.set(attr.augmented("IPv6"), ConfigValue::boolean(v6));
+    row.set(
+        attr.augmented("AnyAddr"),
+        ConfigValue::boolean(text == "0.0.0.0" || text == "::"),
+    );
+}
+
+fn augment_user(row: &mut Row, attr: &AttrName, user: &str, image: &SystemImage) {
+    let accounts = image.accounts();
+    row.set(
+        attr.augmented("isRootGroup"),
+        ConfigValue::boolean(accounts.in_root_group(user)),
+    );
+    row.set(
+        attr.augmented("isAdmin"),
+        ConfigValue::boolean(accounts.user(user).map(|u| u.is_admin()).unwrap_or(false)),
+    );
+    // `user.isGroup` mirrors the user's same-named group if one exists
+    // (Table 5a shows `user.isGroup = mysql` of type GroupName).
+    let group = accounts
+        .group(user)
+        .map(|g| ConfigValue::str(&g.name))
+        .unwrap_or(ConfigValue::Absent);
+    row.set(attr.augmented("isGroup"), group);
+}
+
+/// Append the entry-independent environment attributes (Table 5b).
+pub fn augment_system_wide(row: &mut Row, image: &SystemImage) {
+    row.set(
+        AttrName::system("Sys.IPAddress"),
+        ConfigValue::parse_ip(image.ip_address())
+            .unwrap_or_else(|_| ConfigValue::str(image.ip_address())),
+    );
+    row.set(
+        AttrName::system("Sys.HostName"),
+        ConfigValue::str(image.hostname()),
+    );
+    row.set(
+        AttrName::system("Sys.FSType"),
+        ConfigValue::str(image.fs_type()),
+    );
+    row.set(
+        AttrName::system("Sys.Users"),
+        ConfigValue::str(
+            image
+                .accounts()
+                .user_list()
+                .collect::<Vec<_>>()
+                .join(","),
+        ),
+    );
+    row.set(
+        AttrName::system("OS.DistName"),
+        ConfigValue::str(image.os_dist()),
+    );
+    row.set(
+        AttrName::system("OS.Version"),
+        ConfigValue::str(image.os_version()),
+    );
+    row.set(
+        AttrName::system("OS.SEStatus"),
+        ConfigValue::str(image.security().status_str()),
+    );
+    // Hardware attributes exist only for running instances (Table 7
+    // footnote) — dormant EC2 images carry none, which is what makes
+    // real-world case #8 undetectable from EC2 training data.
+    if let Some(hw) = image.hardware() {
+        row.set(
+            AttrName::system("CPU.Threads"),
+            ConfigValue::number(hw.cpu_threads as f64),
+        );
+        row.set(
+            AttrName::system("CPU.Freq"),
+            ConfigValue::number(hw.cpu_freq_mhz as f64),
+        );
+        row.set(
+            AttrName::system("MemSize"),
+            ConfigValue::number(hw.mem_bytes as f64),
+        );
+        row.set(
+            AttrName::system("HDD.AvailSpace"),
+            ConfigValue::number(hw.disk_avail_bytes as f64),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore_sysimage::HardwareSpec;
+
+    fn image() -> SystemImage {
+        SystemImage::builder("t")
+            .user("mysql", 27, &["mysql"])
+            .dir("/var/lib/mysql", "mysql", "mysql", 0o700)
+            .dir("/var/lib/mysql/db", "mysql", "mysql", 0o700)
+            .symlink("/var/www/link", "/etc")
+            .build()
+    }
+
+    #[test]
+    fn filepath_augmentation_full_set() {
+        let img = image();
+        let mut row = Row::new("t");
+        let attr = AttrName::entry("datadir");
+        augment_entry(&mut row, &attr, "/var/lib/mysql", SemType::FilePath, &img);
+        assert_eq!(
+            row.get(&attr.augmented("owner")),
+            Some(&ConfigValue::str("mysql"))
+        );
+        assert_eq!(
+            row.get(&attr.augmented("type")),
+            Some(&ConfigValue::str("dir"))
+        );
+        assert_eq!(
+            row.get(&attr.augmented("permission")),
+            Some(&ConfigValue::str("700"))
+        );
+        assert_eq!(
+            row.get(&attr.augmented("hasDir")),
+            Some(&ConfigValue::boolean(true))
+        );
+        assert_eq!(
+            row.get(&attr.augmented("hasSymLink")),
+            Some(&ConfigValue::boolean(false))
+        );
+    }
+
+    #[test]
+    fn missing_path_yields_absent_cells() {
+        let img = image();
+        let mut row = Row::new("t");
+        let attr = AttrName::entry("datadir");
+        augment_entry(&mut row, &attr, "/nope", SemType::FilePath, &img);
+        assert_eq!(row.get(&attr.augmented("owner")), Some(&ConfigValue::Absent));
+        assert!(!row.has(&attr.augmented("owner")));
+    }
+
+    #[test]
+    fn symlink_flag_set_for_parent() {
+        let img = image();
+        let mut row = Row::new("t");
+        let attr = AttrName::entry("DocumentRoot");
+        augment_entry(&mut row, &attr, "/var/www", SemType::FilePath, &img);
+        assert_eq!(
+            row.get(&attr.augmented("hasSymLink")),
+            Some(&ConfigValue::boolean(true))
+        );
+    }
+
+    #[test]
+    fn ip_augmentation_flags() {
+        let mut row = Row::new("t");
+        let attr = AttrName::entry("AllowFrom");
+        augment_ip(&mut row, &attr, "10.0.1.1");
+        assert_eq!(
+            row.get(&attr.augmented("Local")),
+            Some(&ConfigValue::boolean(true))
+        );
+        assert_eq!(
+            row.get(&attr.augmented("IPv6")),
+            Some(&ConfigValue::boolean(false))
+        );
+        let mut row = Row::new("t");
+        augment_ip(&mut row, &attr, "0.0.0.0");
+        assert_eq!(
+            row.get(&attr.augmented("AnyAddr")),
+            Some(&ConfigValue::boolean(true))
+        );
+        assert_eq!(
+            row.get(&attr.augmented("Local")),
+            Some(&ConfigValue::boolean(false))
+        );
+    }
+
+    #[test]
+    fn user_augmentation_flags() {
+        let img = image();
+        let mut row = Row::new("t");
+        let attr = AttrName::entry("user");
+        augment_user(&mut row, &attr, "mysql", &img);
+        assert_eq!(
+            row.get(&attr.augmented("isAdmin")),
+            Some(&ConfigValue::boolean(false))
+        );
+        assert_eq!(
+            row.get(&attr.augmented("isGroup")),
+            Some(&ConfigValue::str("mysql"))
+        );
+        let mut row = Row::new("t");
+        augment_user(&mut row, &attr, "root", &img);
+        assert_eq!(
+            row.get(&attr.augmented("isAdmin")),
+            Some(&ConfigValue::boolean(true))
+        );
+        assert_eq!(
+            row.get(&attr.augmented("isRootGroup")),
+            Some(&ConfigValue::boolean(true))
+        );
+    }
+
+    #[test]
+    fn system_wide_attrs_without_hardware() {
+        let img = image();
+        let mut row = Row::new("t");
+        augment_system_wide(&mut row, &img);
+        assert!(row.has(&AttrName::system("Sys.HostName")));
+        assert!(row.has(&AttrName::system("OS.SEStatus")));
+        assert!(!row.has(&AttrName::system("MemSize")));
+    }
+
+    #[test]
+    fn system_wide_attrs_with_hardware() {
+        let img = SystemImage::builder("t").hardware(HardwareSpec::large()).build();
+        let mut row = Row::new("t");
+        augment_system_wide(&mut row, &img);
+        assert_eq!(
+            row.get(&AttrName::system("CPU.Threads")),
+            Some(&ConfigValue::number(8.0))
+        );
+        assert!(row.has(&AttrName::system("MemSize")));
+    }
+
+    #[test]
+    fn local_address_ranges() {
+        assert!(is_local_address("192.168.0.5", false));
+        assert!(is_local_address("172.16.1.1", false));
+        assert!(!is_local_address("172.32.1.1", false));
+        assert!(!is_local_address("8.8.8.8", false));
+        assert!(is_local_address("fd00::1", true));
+        assert!(!is_local_address("2001::1", true));
+    }
+}

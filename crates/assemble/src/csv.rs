@@ -1,0 +1,77 @@
+//! CSV serialization of assembled datasets (§4.1: "the assembler stores and
+//! organizes all the data in a .csv file — each column a structured
+//! configuration entry, each row the values of all the entries in a
+//! system").
+
+use encore_model::Dataset;
+
+/// Quote a CSV field when it contains separators or quotes.
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serialize the dataset as CSV: header row of attribute names (first column
+/// `system`), one row per system, empty cells for absent attributes.
+pub fn to_csv(dataset: &Dataset) -> String {
+    let attrs: Vec<_> = dataset.attributes().into_iter().collect();
+    let mut out = String::from("system");
+    for a in &attrs {
+        out.push(',');
+        out.push_str(&quote(&a.to_string()));
+    }
+    out.push('\n');
+    for row in dataset.rows() {
+        out.push_str(&quote(row.id()));
+        for a in &attrs {
+            out.push(',');
+            if let Some(v) = row.get(a) {
+                if !v.is_absent() {
+                    out.push_str(&quote(&v.render()));
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore_model::{AttrName, ConfigValue, Row};
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut ds = Dataset::new();
+        let mut r = Row::new("sys-0");
+        r.set(AttrName::entry("user"), ConfigValue::str("mysql"));
+        r.set(AttrName::entry("note"), ConfigValue::str("a,b"));
+        ds.push_row(r);
+        let csv = to_csv(&ds);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("system,note,user"));
+        assert_eq!(lines.next(), Some("sys-0,\"a,b\",mysql"));
+    }
+
+    #[test]
+    fn absent_cells_are_empty() {
+        let mut ds = Dataset::new();
+        let mut r1 = Row::new("a");
+        r1.set(AttrName::entry("x"), ConfigValue::str("1"));
+        let r2 = Row::new("b");
+        ds.push_row(r1);
+        ds.push_row(r2);
+        let csv = to_csv(&ds);
+        assert!(csv.contains("b,\n") || csv.ends_with("b,"));
+    }
+
+    #[test]
+    fn quotes_escaped() {
+        assert_eq!(quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(quote("plain"), "plain");
+    }
+}

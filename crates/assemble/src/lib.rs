@@ -1,0 +1,317 @@
+//! Data assembler (§4): parsing, type inference, environment augmentation.
+//!
+//! The assembler takes raw system files (the target configuration files plus
+//! the system environment captured in a [`SystemImage`]) and produces the
+//! uniform, environment-enriched [`Dataset`] the rule learner consumes:
+//!
+//! 1. **Parsing** (§4.1) — delegated to `encore-parser` lenses,
+//! 2. **Type inference** (§4.2) — a two-step process: cheap *syntactic
+//!    matching* against the regex table of paper Table 4, followed by a
+//!    heavy-weight *semantic verification* against the environment
+//!    ([`infer::TypeInference`]),
+//! 3. **Environment integration** (§4.3) — augmenting each typed entry with
+//!    the environment attributes of paper Table 5a, plus the system-wide
+//!    attributes of Table 5b ([`augment`]).
+//!
+//! The assembler is customizable (§5.3): user-defined types take priority
+//! over the predefined ones, exactly as the customization-file semantics
+//! prescribe.
+//!
+//! # Examples
+//!
+//! ```
+//! use encore_assemble::Assembler;
+//! use encore_model::AppKind;
+//! use encore_sysimage::SystemImage;
+//!
+//! let img = SystemImage::builder("img-0")
+//!     .user("mysql", 27, &["mysql"])
+//!     .dir("/var/lib/mysql", "mysql", "mysql", 0o700)
+//!     .file(
+//!         "/etc/mysql/my.cnf",
+//!         "root", "root", 0o644,
+//!         "[mysqld]\nuser = mysql\ndatadir = /var/lib/mysql\n",
+//!     )
+//!     .build();
+//! let assembler = Assembler::new();
+//! let row = assembler.assemble_image(AppKind::Mysql, &img)?;
+//! assert!(row.iter().any(|(a, _)| a.to_string() == "datadir.owner"));
+//! # Ok::<(), encore_assemble::AssembleError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod augment;
+pub mod csv;
+pub mod infer;
+pub mod syntactic;
+
+pub use infer::{CustomType, TypeInference};
+
+use encore_model::{AppKind, AttrName, Dataset, Row, SemType};
+use encore_parser::{KeyValue, LensRegistry, ParseError};
+use encore_sysimage::SystemImage;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors produced during data assembly.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AssembleError {
+    /// The image does not contain the application's configuration file.
+    MissingConfig {
+        /// Application whose config was expected.
+        app: AppKind,
+        /// Path looked up.
+        path: String,
+    },
+    /// The configuration file failed to parse.
+    Parse(ParseError),
+}
+
+impl fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssembleError::MissingConfig { app, path } => {
+                write!(f, "image has no {app} configuration at {path}")
+            }
+            AssembleError::Parse(e) => write!(f, "parse failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AssembleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AssembleError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for AssembleError {
+    fn from(e: ParseError) -> Self {
+        AssembleError::Parse(e)
+    }
+}
+
+/// The assembled view of one system: the dataset row plus per-entry types.
+#[derive(Debug, Clone)]
+pub struct AssembledSystem {
+    /// The environment-enriched attribute row.
+    pub row: Row,
+    /// Inferred semantic type of each *original* entry.
+    pub types: BTreeMap<AttrName, SemType>,
+}
+
+/// The data assembler: lens registry + type inference pipeline.
+pub struct Assembler {
+    lenses: LensRegistry,
+    inference: TypeInference,
+    augment_env: bool,
+}
+
+impl fmt::Debug for Assembler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Assembler")
+            .field("lenses", &self.lenses)
+            .field("augment_env", &self.augment_env)
+            .finish()
+    }
+}
+
+impl Default for Assembler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Assembler {
+    /// An assembler with the default lenses, predefined types, and
+    /// environment augmentation enabled.
+    pub fn new() -> Assembler {
+        Assembler {
+            lenses: LensRegistry::with_defaults(),
+            inference: TypeInference::new(),
+            augment_env: true,
+        }
+    }
+
+    /// Disable environment augmentation — produces the "Original"-only
+    /// attribute set (used by the value-comparison baseline and Table 2's
+    /// first row).
+    pub fn without_augmentation(mut self) -> Assembler {
+        self.augment_env = false;
+        self
+    }
+
+    /// Register a custom semantic type (§5.3); custom types take priority
+    /// over predefined ones.
+    pub fn with_custom_type(mut self, custom: CustomType) -> Assembler {
+        self.inference.register(custom);
+        self
+    }
+
+    /// Access the lens registry (e.g. to register a user lens).
+    pub fn lenses_mut(&mut self) -> &mut LensRegistry {
+        &mut self.lenses
+    }
+
+    /// The type-inference engine.
+    pub fn inference(&self) -> &TypeInference {
+        &self.inference
+    }
+
+    /// Parse and type one application's configuration inside an image, then
+    /// augment with environment data.
+    ///
+    /// # Errors
+    ///
+    /// [`AssembleError::MissingConfig`] if the image lacks the config file;
+    /// [`AssembleError::Parse`] on lens failure.
+    pub fn assemble_image(
+        &self,
+        app: AppKind,
+        image: &SystemImage,
+    ) -> Result<Row, AssembleError> {
+        Ok(self.assemble_system(app, image)?.row)
+    }
+
+    /// Like [`Assembler::assemble_image`] but also returns per-entry types.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Assembler::assemble_image`].
+    pub fn assemble_system(
+        &self,
+        app: AppKind,
+        image: &SystemImage,
+    ) -> Result<AssembledSystem, AssembleError> {
+        let path = app.config_path();
+        let text = image
+            .read_file(path)
+            .ok_or_else(|| AssembleError::MissingConfig {
+                app,
+                path: path.to_string(),
+            })?;
+        let pairs = self.lenses.parse(app.name(), text)?;
+        Ok(self.assemble_pairs(&pairs, image))
+    }
+
+    /// Assemble from already-parsed pairs (used by tests and by callers with
+    /// non-standard config locations).
+    pub fn assemble_pairs(&self, pairs: &[KeyValue], image: &SystemImage) -> AssembledSystem {
+        let mut row = Row::new(image.id());
+        let mut types = BTreeMap::new();
+        for kv in pairs {
+            let attr = match AttrName::try_entry(&kv.key) {
+                Ok(a) => a,
+                Err(_) => continue,
+            };
+            let ty = self.inference.infer(&kv.value, image);
+            let value = infer::coerce(&kv.value, ty);
+            if self.augment_env {
+                augment::augment_entry(&mut row, &attr, &kv.value, ty, image);
+            }
+            types.insert(attr.clone(), ty);
+            row.set(attr, value);
+        }
+        if self.augment_env {
+            augment::augment_system_wide(&mut row, image);
+        }
+        AssembledSystem { row, types }
+    }
+
+    /// Assemble a whole training set: one row per image.
+    ///
+    /// Images whose configuration is missing or unparseable are skipped —
+    /// the collector tolerates partial training data, as a crawler must.
+    pub fn assemble_training_set(&self, app: AppKind, images: &[SystemImage]) -> Dataset {
+        images
+            .iter()
+            .filter_map(|img| self.assemble_image(app, img).ok())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore_model::ConfigValue;
+
+    fn mysql_image() -> SystemImage {
+        SystemImage::builder("img-0")
+            .user("mysql", 27, &["mysql"])
+            .dir("/var/lib/mysql", "mysql", "mysql", 0o700)
+            .file(
+                "/etc/mysql/my.cnf",
+                "root",
+                "root",
+                0o644,
+                "[mysqld]\nuser = mysql\ndatadir = /var/lib/mysql\nmax_allowed_packet = 16M\n",
+            )
+            .build()
+    }
+
+    #[test]
+    fn assemble_produces_typed_row() {
+        let sys = Assembler::new()
+            .assemble_system(AppKind::Mysql, &mysql_image())
+            .unwrap();
+        assert_eq!(
+            sys.types.get(&AttrName::entry("datadir")),
+            Some(&SemType::FilePath)
+        );
+        assert_eq!(
+            sys.types.get(&AttrName::entry("user")),
+            Some(&SemType::UserName)
+        );
+        assert_eq!(
+            sys.types.get(&AttrName::entry("max_allowed_packet")),
+            Some(&SemType::Size)
+        );
+    }
+
+    #[test]
+    fn augmented_attributes_present() {
+        let row = Assembler::new()
+            .assemble_image(AppKind::Mysql, &mysql_image())
+            .unwrap();
+        let owner = row
+            .get(&AttrName::entry("datadir").augmented("owner"))
+            .expect("datadir.owner");
+        assert_eq!(owner, &ConfigValue::str("mysql"));
+        let kind = row
+            .get(&AttrName::entry("datadir").augmented("type"))
+            .expect("datadir.type");
+        assert_eq!(kind, &ConfigValue::str("dir"));
+    }
+
+    #[test]
+    fn without_augmentation_has_only_original_attrs() {
+        let row = Assembler::new()
+            .without_augmentation()
+            .assemble_image(AppKind::Mysql, &mysql_image())
+            .unwrap();
+        assert!(row.iter().all(|(a, _)| a.is_original()));
+        assert_eq!(row.len(), 3);
+    }
+
+    #[test]
+    fn missing_config_is_error() {
+        let img = SystemImage::builder("empty").build();
+        match Assembler::new().assemble_image(AppKind::Php, &img) {
+            Err(AssembleError::MissingConfig { app, .. }) => assert_eq!(app, AppKind::Php),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn training_set_skips_broken_images() {
+        let good = mysql_image();
+        let broken = SystemImage::builder("broken").build();
+        let ds = Assembler::new().assemble_training_set(AppKind::Mysql, &[good, broken]);
+        assert_eq!(ds.num_rows(), 1);
+    }
+}

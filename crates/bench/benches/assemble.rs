@@ -1,0 +1,30 @@
+//! Criterion bench: data assembly (parse + type inference + augmentation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use encore_assemble::Assembler;
+use encore_corpus::genimage::{Population, PopulationOptions};
+use encore_model::AppKind;
+
+fn bench_assemble(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assemble");
+    group.sample_size(20);
+    for app in AppKind::EVALUATED {
+        let pop = Population::training(app, &PopulationOptions::new(20, 1));
+        let assembler = Assembler::new();
+        group.bench_with_input(
+            BenchmarkId::new("augmented", app.name()),
+            &pop,
+            |b, pop| b.iter(|| assembler.assemble_training_set(app, pop.images())),
+        );
+        let plain = Assembler::new().without_augmentation();
+        group.bench_with_input(
+            BenchmarkId::new("original-only", app.name()),
+            &pop,
+            |b, pop| b.iter(|| plain.assemble_training_set(app, pop.images())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assemble);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: anomaly detection throughput (checks per target image),
+//! comparing EnCore with the two baselines of Table 8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use encore::baseline::{Baseline, BaselineEnv};
+use encore::prelude::*;
+use encore_corpus::genimage::{Population, PopulationOptions};
+use encore_model::AppKind;
+
+fn bench_detect(c: &mut Criterion) {
+    let app = AppKind::Mysql;
+    let pop = Population::training(app, &PopulationOptions::new(40, 1));
+    let training = TrainingSet::assemble(app, pop.images()).expect("assembles");
+    let engine = EnCore::learn(&training, &LearnOptions::default());
+    let baseline = Baseline::train(app, pop.images()).expect("baseline");
+    let baseline_env = BaselineEnv::train(app, pop.images()).expect("baseline+env");
+    let target = Population::training(app, &PopulationOptions::new(1, 77)).images()[0].clone();
+
+    let mut group = c.benchmark_group("detect");
+    group.bench_function("encore", |b| {
+        b.iter(|| engine.check_image(app, &target).expect("check"))
+    });
+    group.bench_function("baseline", |b| {
+        b.iter(|| baseline.check_image(app, &target).expect("check"))
+    });
+    group.bench_function("baseline-env", |b| {
+        b.iter(|| baseline_env.check_image(app, &target).expect("check"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detect);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench: template-guided rule inference versus training-set size
+//! — EnCore's answer to the Table 3 blow-up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use encore::infer::RuleInference;
+use encore::prelude::*;
+use encore_corpus::genimage::{Population, PopulationOptions};
+use encore_model::AppKind;
+
+fn bench_infer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("infer");
+    group.sample_size(10);
+    for n in [15usize, 30, 60] {
+        let pop = Population::training(AppKind::Mysql, &PopulationOptions::new(n, 1));
+        let training = TrainingSet::assemble(AppKind::Mysql, pop.images()).expect("assembles");
+        group.bench_with_input(
+            BenchmarkId::new("predefined-templates", n),
+            &training,
+            |b, ts| {
+                b.iter(|| {
+                    let engine = RuleInference::predefined();
+                    engine.infer(ts, &FilterThresholds::default())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_infer);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench: the Table 3 scalability study in bench form — FP-Growth
+//! and Apriori cost versus attribute count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use encore_assemble::Assembler;
+use encore_corpus::genimage::{Population, PopulationOptions};
+use encore_mining::{discretize, Apriori, FpGrowth, MiningLimits, Transactions};
+use encore_model::AppKind;
+
+/// Restrict transactions to items of the first `k` attributes.
+fn truncate(tx: &Transactions, k: usize) -> Transactions {
+    let mut attrs: Vec<String> = Vec::new();
+    for row in tx.rows() {
+        for &item in row {
+            let name = tx.name(item);
+            let attr = name.split('=').next().unwrap_or(name).to_string();
+            if !attrs.contains(&attr) {
+                attrs.push(attr);
+            }
+        }
+    }
+    attrs.sort();
+    attrs.truncate(k);
+    let keep: std::collections::HashSet<&String> = attrs.iter().collect();
+    let mut out = Transactions::new();
+    for row in tx.rows() {
+        let items: Vec<&str> = row
+            .iter()
+            .map(|&i| tx.name(i))
+            .filter(|n| keep.contains(&n.split('=').next().unwrap_or(n).to_string()))
+            .collect();
+        out.push(items);
+    }
+    out
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let pop = Population::training(AppKind::Mysql, &PopulationOptions::new(40, 1));
+    let ds = Assembler::new().assemble_training_set(AppKind::Mysql, pop.images());
+    let tx = discretize(&ds);
+    let min_support = (ds.num_rows() / 5).max(2);
+    let limits = MiningLimits::capped(50_000);
+
+    let mut group = c.benchmark_group("mining");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for k in [20usize, 40, 60] {
+        let truncated = truncate(&tx, k);
+        group.bench_with_input(
+            BenchmarkId::new("fpgrowth", k),
+            &truncated,
+            |b, tx| {
+                b.iter(|| {
+                    let _ = FpGrowth::new(min_support).mine(tx, &limits);
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("apriori", k), &truncated, |b, tx| {
+            b.iter(|| {
+                let _ = Apriori::new(min_support).mine(tx, &limits);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mining);
+criterion_main!(benches);

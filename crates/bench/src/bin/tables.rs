@@ -1,0 +1,59 @@
+//! Regenerate the paper's evaluation tables.
+//!
+//! ```text
+//! tables                # every table, full paper-scale corpora
+//! tables 8 9            # only Tables 8 and 9
+//! tables --scale 0.25   # shrink populations (faster)
+//! ```
+
+use encore_bench::experiments::{self, ExperimentConfig};
+
+fn main() {
+    let mut tables: Vec<u32> = Vec::new();
+    let mut scale: f64 = 1.0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--scale requires a number");
+                        std::process::exit(2);
+                    });
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: tables [TABLE_NUMBER ...] [--scale F]");
+                return;
+            }
+            n => match n.parse::<u32>() {
+                Ok(t) => tables.push(t),
+                Err(_) => {
+                    eprintln!("unknown argument `{n}`");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    if tables.is_empty() {
+        tables = experiments::ALL_TABLES.to_vec();
+    }
+    let config = if (scale - 1.0).abs() < f64::EPSILON {
+        ExperimentConfig::default()
+    } else {
+        ExperimentConfig::scaled(scale)
+    };
+    for t in tables {
+        match experiments::run_table(t, &config) {
+            Some(output) => {
+                println!("=== {}", output.title);
+                println!("{}", output.text);
+            }
+            None => eprintln!(
+                "no experiment for table {t} (valid: {:?})",
+                experiments::ALL_TABLES
+            ),
+        }
+    }
+}

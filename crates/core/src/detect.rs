@@ -1,0 +1,553 @@
+//! The anomaly detector (§6).
+//!
+//! Given the learned rules, the merged type map, and value statistics from
+//! the training set, the detector checks a target system along four axes
+//! and emits a ranked warning list:
+//!
+//! 1. **Entry-name violations** — entries never seen in training (likely
+//!    misspellings),
+//! 2. **Correlation violations** — learned rules that evaluate false on the
+//!    target (rules whose entries are absent are skipped),
+//! 3. **Data-type violations** — the target value fails the syntactic match
+//!    or semantic verification of the entry's trained type,
+//! 4. **Suspicious values** — values never seen in training, ranked by the
+//!    Inverse Change Frequency heuristic (citation 42): entries with *less* diverse
+//!    training values rank higher.
+
+use crate::relation::{Applicability, SystemView};
+use crate::rules::{Rule, RuleSet};
+use crate::train::TrainingSet;
+use crate::types::TypeMap;
+use encore_assemble::{AssembleError, Assembler};
+use encore_model::{AppKind, AttrName, Row, SemType};
+use encore_sysimage::SystemImage;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Kind of a detected anomaly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WarningKind {
+    /// Entry name never seen in the training set.
+    UnknownEntry,
+    /// A learned correlation rule is violated.
+    CorrelationViolation,
+    /// The value fails its trained type's match/verification.
+    TypeViolation,
+    /// The value was never seen in training.
+    SuspiciousValue,
+}
+
+impl fmt::Display for WarningKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WarningKind::UnknownEntry => "unknown entry",
+            WarningKind::CorrelationViolation => "correlation violation",
+            WarningKind::TypeViolation => "type violation",
+            WarningKind::SuspiciousValue => "suspicious value",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One ranked warning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Warning {
+    kind: WarningKind,
+    attr: AttrName,
+    detail: String,
+    score: f64,
+    rule: Option<Rule>,
+}
+
+impl Warning {
+    /// Crate-internal constructor (used by the baselines as well).
+    pub(crate) fn internal(
+        kind: WarningKind,
+        attr: AttrName,
+        detail: String,
+        score: f64,
+    ) -> Warning {
+        Warning {
+            kind,
+            attr,
+            detail,
+            score,
+            rule: None,
+        }
+    }
+
+    /// The anomaly kind.
+    pub fn kind(&self) -> WarningKind {
+        self.kind
+    }
+
+    /// The offending attribute.
+    pub fn attr(&self) -> &AttrName {
+        &self.attr
+    }
+
+    /// Human-readable explanation.
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+
+    /// Ranking score (higher ranks earlier).
+    pub fn score(&self) -> f64 {
+        self.score
+    }
+
+    /// The violated rule, for correlation warnings.
+    pub fn rule(&self) -> Option<&Rule> {
+        self.rule.as_ref()
+    }
+
+    /// Whether this warning points at `entry` (directly or through one of
+    /// its augmented attributes or a violated rule's slots).
+    pub fn implicates(&self, entry: &str) -> bool {
+        let base = crate::relation::strip_occurrence(self.attr.base());
+        if base == entry || self.attr.base() == entry {
+            return true;
+        }
+        match &self.rule {
+            Some(r) => {
+                crate::relation::strip_occurrence(r.a.base()) == entry
+                    || crate::relation::strip_occurrence(r.b.base()) == entry
+            }
+            None => false,
+        }
+    }
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.kind, self.attr, self.detail)
+    }
+}
+
+/// The ranked warning report for one target system.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    warnings: Vec<Warning>,
+}
+
+impl Report {
+    /// Build a report from warnings, sorting by rank (crate-internal).
+    pub(crate) fn from_warnings(warnings: Vec<Warning>) -> Report {
+        Report { warnings }.finish()
+    }
+
+    /// Warnings, highest rank first.
+    pub fn warnings(&self) -> &[Warning] {
+        &self.warnings
+    }
+
+    /// Number of warnings.
+    pub fn len(&self) -> usize {
+        self.warnings.len()
+    }
+
+    /// Whether no anomaly was found.
+    pub fn is_empty(&self) -> bool {
+        self.warnings.is_empty()
+    }
+
+    /// 1-based rank of the first warning implicating `entry`, if any.
+    pub fn rank_of(&self, entry: &str) -> Option<usize> {
+        self.warnings
+            .iter()
+            .position(|w| w.implicates(entry))
+            .map(|i| i + 1)
+    }
+
+    /// Whether any warning implicates `entry`.
+    pub fn detects(&self, entry: &str) -> bool {
+        self.rank_of(entry).is_some()
+    }
+
+    fn finish(mut self) -> Report {
+        self.warnings.sort_by(|x, y| {
+            y.score
+                .partial_cmp(&x.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| x.attr.cmp(&y.attr))
+        });
+        self
+    }
+}
+
+/// Per-attribute training statistics used by the value checks.
+#[derive(Debug, Clone, Default)]
+struct TrainingStats {
+    /// Entry names (bases, occurrence-stripped) seen in training.
+    known_entries: BTreeSet<String>,
+    /// Known (attr → value set) histograms.
+    values: BTreeMap<AttrName, BTreeMap<String, usize>>,
+    /// Number of training systems (exposed through
+    /// [`AnomalyDetector::training_systems`]).
+    systems: usize,
+}
+
+/// The anomaly detector: rules + types + training statistics.
+#[derive(Debug)]
+pub struct AnomalyDetector {
+    rules: RuleSet,
+    types: TypeMap,
+    stats: TrainingStats,
+    assembler: Assembler,
+}
+
+impl AnomalyDetector {
+    /// Build a detector from a training set and learned rules.
+    pub fn new(training: &TrainingSet, rules: RuleSet) -> AnomalyDetector {
+        let mut stats = TrainingStats {
+            systems: training.len(),
+            ..TrainingStats::default()
+        };
+        for (row, _) in training.systems() {
+            for (attr, value) in row.iter() {
+                if attr.is_original() {
+                    stats
+                        .known_entries
+                        .insert(crate::relation::canonical_entry_name(attr.base()));
+                }
+                if !value.is_absent() {
+                    *stats
+                        .values
+                        .entry(attr.clone())
+                        .or_default()
+                        .entry(value.render())
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        AnomalyDetector {
+            rules,
+            types: training.types().clone(),
+            stats,
+            assembler: Assembler::new(),
+        }
+    }
+
+    /// The learned rules.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// The merged type map.
+    pub fn types(&self) -> &TypeMap {
+        &self.types
+    }
+
+    /// Number of systems the detector was trained on.
+    pub fn training_systems(&self) -> usize {
+        self.stats.systems
+    }
+
+    /// Assemble a target image and check it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly failures.
+    pub fn check_image(&self, app: AppKind, image: &SystemImage) -> Result<Report, AssembleError> {
+        let row = self.assembler.assemble_image(app, image)?;
+        Ok(self.check(&row, Some(image)))
+    }
+
+    /// Check an already-assembled row (image optional; environment-backed
+    /// rules are skipped without it).
+    pub fn check(&self, row: &Row, image: Option<&SystemImage>) -> Report {
+        let mut report = Report::default();
+        self.check_entry_names(row, &mut report);
+        self.check_correlations(row, image, &mut report);
+        self.check_types(row, image, &mut report);
+        self.check_values(row, &mut report);
+        report.finish()
+    }
+
+    /// Check 1: unknown entry names (likely misspellings, [31]).
+    fn check_entry_names(&self, row: &Row, report: &mut Report) {
+        for (attr, _) in row.iter() {
+            if !attr.is_original() {
+                continue;
+            }
+            let base = crate::relation::canonical_entry_name(attr.base());
+            if !self.stats.known_entries.contains(&base) {
+                report.warnings.push(Warning {
+                    kind: WarningKind::UnknownEntry,
+                    attr: attr.clone(),
+                    detail: format!("entry `{base}` never appears in the training set"),
+                    score: 70.0,
+                    rule: None,
+                });
+            }
+        }
+    }
+
+    /// Check 2: correlation-rule violations.
+    fn check_correlations(&self, row: &Row, image: Option<&SystemImage>, report: &mut Report) {
+        let view = match image {
+            Some(img) => SystemView::new(row, img),
+            None => SystemView::row_only(row),
+        };
+        for rule in &self.rules {
+            if let Applicability::Violated = rule.evaluate(view) {
+                report.warnings.push(Warning {
+                    kind: WarningKind::CorrelationViolation,
+                    attr: rule.a.clone(),
+                    detail: format!("rule violated: {rule}"),
+                    score: 100.0 + rule.confidence * 10.0,
+                    rule: Some(rule.clone()),
+                });
+            }
+        }
+    }
+
+    /// Check 3: data-type violations.
+    ///
+    /// Each original entry's target value must still pass the syntactic
+    /// match and semantic verification of the type learned in training.
+    fn check_types(&self, row: &Row, image: Option<&SystemImage>, report: &mut Report) {
+        let image = match image {
+            Some(i) => i,
+            None => return,
+        };
+        let inference = self.assembler.inference();
+        for (attr, value) in row.iter() {
+            if !attr.is_original() || value.is_absent() {
+                continue;
+            }
+            let expected = self.types.type_of(attr);
+            if expected.is_trivial() {
+                continue;
+            }
+            let rendered = value.render();
+            let inferred = inference.infer(&rendered, image);
+            if inferred != expected {
+                // Cardinality of training values drives the rank: a type
+                // violation on an entry that always had one value is near
+                // certain (§6's extension_dir example).
+                let cardinality = self
+                    .stats
+                    .values
+                    .get(attr)
+                    .map(|h| h.len())
+                    .unwrap_or(1)
+                    .max(1);
+                report.warnings.push(Warning {
+                    kind: WarningKind::TypeViolation,
+                    attr: attr.clone(),
+                    detail: format!(
+                        "value `{rendered}` is {inferred}, trained type is {expected}"
+                    ),
+                    score: 90.0 + 10.0 / cardinality as f64,
+                    rule: None,
+                });
+            }
+        }
+    }
+
+    /// Check 4: suspicious (never-seen) values with Inverse Change
+    /// Frequency ranking [42].
+    fn check_values(&self, row: &Row, report: &mut Report) {
+        for (attr, value) in row.iter() {
+            if value.is_absent() {
+                continue;
+            }
+            let hist = match self.stats.values.get(attr) {
+                Some(h) => h,
+                None => continue, // new attribute: reported by check 1
+            };
+            let rendered = value.render();
+            if hist.contains_key(&rendered) {
+                continue;
+            }
+            // File paths legitimately vary across systems (§7.1.1's Baseline
+            // misses wrong paths for this reason); the pure value comparison
+            // stays quiet on env-related types and leaves them to checks 2/3.
+            let ty = self.types.type_of(attr);
+            if attr.is_original() && ty == SemType::FilePath {
+                continue;
+            }
+            // ICF: fewer distinct training values → higher rank.
+            let icf = 1.0 / hist.len() as f64;
+            report.warnings.push(Warning {
+                kind: WarningKind::SuspiciousValue,
+                attr: attr.clone(),
+                detail: format!(
+                    "value `{rendered}` never seen in training ({} known values)",
+                    hist.len()
+                ),
+                score: 40.0 * icf,
+                rule: None,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::RuleInference;
+    use crate::FilterThresholds;
+    use encore_model::ConfigValue;
+
+    fn fleet(n: usize) -> Vec<SystemImage> {
+        (0..n)
+            .map(|i| {
+                let datadir = format!("/var/lib/mysql{i}");
+                SystemImage::builder(format!("img-{i}"))
+                    .user("mysql", 27, &["mysql"])
+                    .dir(&datadir, "mysql", "mysql", 0o700)
+                    .file(
+                        "/etc/mysql/my.cnf",
+                        "root",
+                        "root",
+                        0o644,
+                        &format!(
+                            "[mysqld]\nuser = mysql\ndatadir = {datadir}\nmax_allowed_packet = 16M\n"
+                        ),
+                    )
+                    .build()
+            })
+            .collect()
+    }
+
+    fn engine() -> AnomalyDetector {
+        let images = fleet(12);
+        let ts = TrainingSet::assemble(AppKind::Mysql, &images).unwrap();
+        let (rules, _) = RuleInference::predefined()
+            .infer(&ts, &FilterThresholds::default().without_entropy());
+        AnomalyDetector::new(&ts, rules)
+    }
+
+    fn broken_owner_image() -> SystemImage {
+        SystemImage::builder("target")
+            .user("mysql", 27, &["mysql"])
+            .user("backup", 34, &["backup"])
+            .dir("/var/lib/mysql", "backup", "backup", 0o700)
+            .file(
+                "/etc/mysql/my.cnf",
+                "root",
+                "root",
+                0o644,
+                "[mysqld]\nuser = mysql\ndatadir = /var/lib/mysql\nmax_allowed_packet = 16M\n",
+            )
+            .build()
+    }
+
+    #[test]
+    fn detects_wrong_owner_via_correlation() {
+        let det = engine();
+        let report = det.check_image(AppKind::Mysql, &broken_owner_image()).unwrap();
+        assert!(report.detects("datadir"), "{report:?}");
+        let w = report
+            .warnings()
+            .iter()
+            .find(|w| w.kind() == WarningKind::CorrelationViolation)
+            .expect("correlation warning");
+        assert!(w.detail().contains("datadir"));
+        // correlation violations rank at the top
+        assert_eq!(report.rank_of("datadir"), Some(1));
+    }
+
+    #[test]
+    fn detects_type_violation_for_file_instead_of_dir() {
+        let det = engine();
+        // datadir points at a regular file — the Figure 1(a) failure shape.
+        let img = SystemImage::builder("target")
+            .user("mysql", 27, &["mysql"])
+            .file("/var/lib/mysql", "mysql", "mysql", 0o644, "oops")
+            .file(
+                "/etc/mysql/my.cnf",
+                "root",
+                "root",
+                0o644,
+                "[mysqld]\nuser = mysql\ndatadir = /var/lib/mysql3/ghost\nmax_allowed_packet = 16M\n",
+            )
+            .build();
+        let report = det.check_image(AppKind::Mysql, &img).unwrap();
+        let type_warning = report
+            .warnings()
+            .iter()
+            .find(|w| w.kind() == WarningKind::TypeViolation)
+            .expect("type violation");
+        assert_eq!(type_warning.attr().to_string(), "datadir");
+    }
+
+    #[test]
+    fn detects_unknown_entry_name() {
+        let det = engine();
+        let img = SystemImage::builder("target")
+            .user("mysql", 27, &["mysql"])
+            .dir("/var/lib/mysql0", "mysql", "mysql", 0o700)
+            .file(
+                "/etc/mysql/my.cnf",
+                "root",
+                "root",
+                0o644,
+                "[mysqld]\nuser = mysql\ndatadir = /var/lib/mysql0\ndataadir = /tmp\nmax_allowed_packet = 16M\n",
+            )
+            .build();
+        let report = det.check_image(AppKind::Mysql, &img).unwrap();
+        assert!(report
+            .warnings()
+            .iter()
+            .any(|w| w.kind() == WarningKind::UnknownEntry && w.attr().base() == "dataadir"));
+    }
+
+    #[test]
+    fn detects_suspicious_value() {
+        let det = engine();
+        let img = SystemImage::builder("target")
+            .user("mysql", 27, &["mysql"])
+            .dir("/var/lib/mysql0", "mysql", "mysql", 0o700)
+            .file(
+                "/etc/mysql/my.cnf",
+                "root",
+                "root",
+                0o644,
+                "[mysqld]\nuser = mysql\ndatadir = /var/lib/mysql0\nmax_allowed_packet = 999M\n",
+            )
+            .build();
+        let report = det.check_image(AppKind::Mysql, &img).unwrap();
+        assert!(report
+            .warnings()
+            .iter()
+            .any(|w| w.kind() == WarningKind::SuspiciousValue
+                && w.attr().base() == "max_allowed_packet"));
+    }
+
+    #[test]
+    fn clean_system_mostly_quiet() {
+        let det = engine();
+        // An in-distribution image: datadir variant seen in training.
+        let img = fleet(1).remove(0);
+        let report = det.check_image(AppKind::Mysql, &img).unwrap();
+        assert!(
+            report
+                .warnings()
+                .iter()
+                .all(|w| w.kind() != WarningKind::CorrelationViolation),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn rank_of_missing_entry_is_none() {
+        let det = engine();
+        let report = det.check_image(AppKind::Mysql, &fleet(1).remove(0)).unwrap();
+        assert_eq!(report.rank_of("not_an_entry"), None);
+    }
+
+    #[test]
+    fn check_without_image_skips_type_checks() {
+        let det = engine();
+        let mut row = Row::new("bare");
+        row.set(AttrName::entry("user"), ConfigValue::str("mysql"));
+        let report = det.check(&row, None);
+        assert!(report
+            .warnings()
+            .iter()
+            .all(|w| w.kind() != WarningKind::TypeViolation));
+    }
+}

@@ -1,0 +1,369 @@
+//! Template-guided rule inference (§5.1, Figure 5).
+//!
+//! For each template, the engine gathers the attributes whose type matches
+//! each slot ("Find Eligible Attributes"), iterates over every slot
+//! combination ("for each template: Compute Relation"), evaluates the
+//! relation on every training system, and passes the resulting candidates
+//! through the filters of §5.2 ("Rules").
+//!
+//! Type-based slot restriction is the scalability fix: instead of the
+//! quadratic-in-all-attributes search that sinks FP-Growth (Table 3), each
+//! template only touches the handful of attributes of the right types.
+//! The instance computations share no state — "this process is highly
+//! parallelizable" — so templates are evaluated on scoped worker threads
+//! (crossbeam).
+
+use crate::filter::{judge, FilterThresholds, RejectReason, Verdict};
+use crate::relation::{evaluate, Applicability, SystemView};
+use crate::rules::{Rule, RuleSet};
+use crate::template::{Relation, Template};
+use crate::train::TrainingSet;
+use encore_model::{AttrName, SemType};
+use std::collections::BTreeSet;
+
+/// Statistics from an inference run — the raw numbers behind Tables 12/13.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InferenceStats {
+    /// Template instances whose relation was applicable somewhere.
+    pub candidates: usize,
+    /// Candidates surviving support+confidence but not entropy (counted
+    /// only when the entropy filter is on).
+    pub dropped_by_entropy: usize,
+    /// Candidates dropped by the support filter.
+    pub dropped_by_support: usize,
+    /// Candidates dropped by the confidence filter.
+    pub dropped_by_confidence: usize,
+    /// Rules kept.
+    pub kept: usize,
+}
+
+/// The rule-inference engine.
+#[derive(Debug, Clone)]
+pub struct RuleInference {
+    templates: Vec<Template>,
+}
+
+impl RuleInference {
+    /// Engine over a set of templates.
+    pub fn new(templates: Vec<Template>) -> RuleInference {
+        RuleInference { templates }
+    }
+
+    /// Engine over the 11 predefined templates.
+    pub fn predefined() -> RuleInference {
+        RuleInference::new(Template::predefined())
+    }
+
+    /// The templates in use.
+    pub fn templates(&self) -> &[Template] {
+        &self.templates
+    }
+
+    /// Infer and filter rules from a training set.
+    pub fn infer(
+        &self,
+        training: &TrainingSet,
+        thresholds: &FilterThresholds,
+    ) -> (RuleSet, InferenceStats) {
+        let dataset = training.dataset();
+        let attrs: Vec<AttrName> = dataset.attributes().into_iter().collect();
+
+        // Evaluate templates in parallel; each worker returns its candidates.
+        let chunks: Vec<Vec<Candidate>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .templates
+                .iter()
+                .map(|t| {
+                    let attrs = &attrs;
+                    let training = &training;
+                    scope.spawn(move |_| instantiate_template(t, attrs, training))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("template worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+
+        let mut stats = InferenceStats::default();
+        let mut rules = RuleSet::new();
+        let mut seen: BTreeSet<(String, String, String)> = BTreeSet::new();
+        for cand in chunks.into_iter().flatten() {
+            stats.candidates += 1;
+            let key = (
+                cand.rule.a.to_string(),
+                format!("{:?}", cand.rule.relation),
+                cand.rule.b.to_string(),
+            );
+            if !seen.insert(key) {
+                stats.candidates -= 1; // duplicate instance across templates
+                continue;
+            }
+            match judge(
+                thresholds,
+                &dataset,
+                &cand.rule.a,
+                &cand.rule.b,
+                cand.rule.support,
+                cand.rule.confidence,
+                cand.template_min_confidence,
+            ) {
+                Verdict::Accept => {
+                    stats.kept += 1;
+                    rules.push(cand.rule);
+                }
+                Verdict::Reject(RejectReason::LowSupport) => stats.dropped_by_support += 1,
+                Verdict::Reject(RejectReason::LowConfidence) => stats.dropped_by_confidence += 1,
+                Verdict::Reject(RejectReason::LowEntropy) => stats.dropped_by_entropy += 1,
+            }
+        }
+        (rules, stats)
+    }
+
+    /// Count, for every candidate surviving support+confidence, whether the
+    /// entropy filter would drop it — the staged analysis behind Table 13.
+    pub fn entropy_filter_effect(
+        &self,
+        training: &TrainingSet,
+        thresholds: &FilterThresholds,
+    ) -> EntropyEffect {
+        let (with, _) = self.infer(training, thresholds);
+        let (without, _) = self.infer(training, &(*thresholds).without_entropy());
+        EntropyEffect {
+            original: without.len(),
+            after_entropy: with.len(),
+        }
+    }
+}
+
+/// Result of the staged entropy-filter analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntropyEffect {
+    /// Rules admitted by support+confidence alone.
+    pub original: usize,
+    /// Rules remaining once the entropy filter also applies.
+    pub after_entropy: usize,
+}
+
+impl EntropyEffect {
+    /// How many rules the entropy filter removed.
+    pub fn removed(&self) -> usize {
+        self.original - self.after_entropy
+    }
+}
+
+struct Candidate {
+    rule: Rule,
+    template_min_confidence: Option<f64>,
+}
+
+/// Attributes eligible for a slot type.
+///
+/// `Str` slots accept only genuinely string-typed attributes — allowing
+/// every attribute in `Str` slots would reintroduce the quadratic blow-up
+/// the type restriction exists to avoid.
+fn eligible<'a>(
+    attrs: &'a [AttrName],
+    training: &TrainingSet,
+    slot_ty: SemType,
+) -> Vec<&'a AttrName> {
+    attrs
+        .iter()
+        .filter(|a| {
+            let ty = training.types().type_of(a);
+            match slot_ty {
+                // Plain numbers and ports compare; sizes have their own
+                // template (comparing seconds against bytes is never a
+                // correlation).
+                SemType::Number => matches!(ty, SemType::Number | SemType::PortNumber),
+                other => ty == other,
+            }
+        })
+        .collect()
+}
+
+/// Whether a template is *same-type generic*: the paper's `==` and `=~`
+/// templates read "an entry should equal another entry *of the same type*",
+/// so a `[A:Str] == [B:Str]` spelling instantiates over every type, with the
+/// pair constrained to matching types.
+fn is_same_type_generic(template: &Template) -> bool {
+    matches!(template.relation, Relation::Equal | Relation::MemberEq)
+        && template.a.ty == SemType::Str
+        && template.b.ty == SemType::Str
+}
+
+fn instantiate_template(
+    template: &Template,
+    attrs: &[AttrName],
+    training: &TrainingSet,
+) -> Vec<Candidate> {
+    let generic = is_same_type_generic(template);
+    let all: Vec<&AttrName> = attrs.iter().collect();
+    let (eligible_a, eligible_b) = if generic {
+        (all.clone(), all)
+    } else {
+        (
+            eligible(attrs, training, template.a.ty),
+            eligible(attrs, training, template.b.ty),
+        )
+    };
+    let mut out = Vec::new();
+    for &a in &eligible_a {
+        for &b in &eligible_b {
+            if a == b {
+                continue;
+            }
+            // Rules must anchor on at least one original configuration
+            // entry.  Augmented attributes of ownership-coupled paths form
+            // large equivalence cliques (X.owner == Y.owner == ... for every
+            // pair); the original-entry rules (X.owner == user, X => user)
+            // already capture that structure without the quadratic echo.
+            if !a.is_original() && !b.is_original() {
+                continue;
+            }
+            // Ownership/accessibility rules bind the *user entry* itself
+            // (the paper's `DataDir => user`); letting the user slot range
+            // over augmented `.owner` mirrors re-derives each ownership
+            // clique transitively.
+            if matches!(
+                template.relation,
+                Relation::Owns | Relation::NotAccessible
+            ) && !b.is_original()
+            {
+                continue;
+            }
+            if generic {
+                let (ta, tb) = (training.types().type_of(a), training.types().type_of(b));
+                // Same-type restriction, and equality over booleans/enums is
+                // vacuous co-occurrence rather than correlation — skip it,
+                // matching the spirit of the paper's type-based selection.
+                if ta != tb || matches!(ta, SemType::Boolean | SemType::Enum) {
+                    continue;
+                }
+                // Equality is symmetric: keep the canonical ordering only.
+                if template.relation == Relation::Equal && a > b {
+                    continue;
+                }
+                // `=~` quantifies over an entry *family* (occurrence-indexed
+                // attributes like `LoadModule#n/arg1` or `Directory#n/section`);
+                // a singleton B degenerates to `==`, so require a family.
+                if template.relation == Relation::MemberEq && !b.base().contains('#') {
+                    continue;
+                }
+            }
+            // Owner relations between an entry and its own augmented
+            // attribute are tautologies (datadir.owner always owns datadir);
+            // skip same-base pairs for env-backed relations.
+            if a.base() == b.base()
+                && matches!(
+                    template.relation,
+                    Relation::Owns | Relation::Equal | Relation::MemberEq
+                )
+            {
+                continue;
+            }
+            let mut holds = 0usize;
+            let mut applicable = 0usize;
+            for (row, image) in training.systems() {
+                match evaluate(template.relation, a, b, SystemView::new(row, image)) {
+                    Applicability::Holds => {
+                        holds += 1;
+                        applicable += 1;
+                    }
+                    Applicability::Violated => applicable += 1,
+                    Applicability::NotApplicable => {}
+                }
+            }
+            if applicable == 0 {
+                continue;
+            }
+            let confidence = holds as f64 / applicable as f64;
+            out.push(Candidate {
+                rule: Rule::new(a.clone(), template.relation, b.clone(), applicable, confidence),
+                template_min_confidence: template.min_confidence,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore_model::AppKind;
+    use encore_sysimage::SystemImage;
+
+    fn fleet(n: usize) -> Vec<SystemImage> {
+        (0..n)
+            .map(|i| {
+                // Vary datadir across images so entropy admits it.
+                let datadir = format!("/var/lib/mysql{i}");
+                SystemImage::builder(format!("img-{i}"))
+                    .user("mysql", 27, &["mysql"])
+                    .dir(&datadir, "mysql", "mysql", 0o700)
+                    .file(
+                        "/etc/mysql/my.cnf",
+                        "root",
+                        "root",
+                        0o644,
+                        &format!("[mysqld]\nuser = mysql\ndatadir = {datadir}\n"),
+                    )
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_ownership_rule() {
+        let images = fleet(12);
+        let ts = TrainingSet::assemble(AppKind::Mysql, &images).unwrap();
+        let engine = RuleInference::predefined();
+        // `user` is constant across the fleet, so the entropy filter would
+        // drop the rule — run without it, like the paper's Table 13 notes
+        // for default-heavy template images.
+        let (rules, stats) = engine.infer(&ts, &FilterThresholds::default().without_entropy());
+        assert!(stats.kept > 0);
+        assert!(
+            rules
+                .by_relation(Relation::Owns)
+                .any(|r| r.a.to_string() == "datadir" && r.b.to_string() == "user"),
+            "rules: {}",
+            rules.render()
+        );
+    }
+
+    #[test]
+    fn entropy_filter_reduces_rule_count() {
+        let images = fleet(12);
+        let ts = TrainingSet::assemble(AppKind::Mysql, &images).unwrap();
+        let engine = RuleInference::predefined();
+        let effect = engine.entropy_filter_effect(&ts, &FilterThresholds::default());
+        assert!(effect.original >= effect.after_entropy);
+        assert!(effect.removed() > 0, "{effect:?}");
+    }
+
+    #[test]
+    fn stats_attribute_drops() {
+        let images = fleet(12);
+        let ts = TrainingSet::assemble(AppKind::Mysql, &images).unwrap();
+        let engine = RuleInference::predefined();
+        let (_, stats) = engine.infer(&ts, &FilterThresholds::default());
+        assert_eq!(
+            stats.candidates,
+            stats.kept
+                + stats.dropped_by_support
+                + stats.dropped_by_confidence
+                + stats.dropped_by_entropy
+        );
+    }
+
+    #[test]
+    fn no_rule_relates_attribute_to_itself() {
+        let images = fleet(8);
+        let ts = TrainingSet::assemble(AppKind::Mysql, &images).unwrap();
+        let (rules, _) = RuleInference::predefined()
+            .infer(&ts, &FilterThresholds::default().without_entropy());
+        assert!(rules.rules().iter().all(|r| r.a != r.b));
+    }
+}

@@ -1,0 +1,572 @@
+//! Relation validators (§5.1: "each correlation is associated with a
+//! validation method that determines whether the correlation holds").
+//!
+//! A validator evaluates one concrete relation instance against one system —
+//! its assembled [`Row`] and, for environment-dependent relations, its
+//! [`SystemImage`].  The tri-state result distinguishes *inapplicable*
+//! systems (an involved entry absent — the rule is skipped, §6) from actual
+//! validity.
+
+use crate::template::Relation;
+use encore_model::{AttrName, ConfigValue, Row};
+use encore_sysimage::SystemImage;
+
+/// Evaluation of a relation instance on one system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Applicability {
+    /// Both entries present and the relation holds.
+    Holds,
+    /// Both entries present and the relation is violated.
+    Violated,
+    /// Some involved entry is absent — skip this system.
+    NotApplicable,
+}
+
+impl Applicability {
+    fn from_bool(b: bool) -> Applicability {
+        if b {
+            Applicability::Holds
+        } else {
+            Applicability::Violated
+        }
+    }
+}
+
+/// Context handed to validators: the assembled row plus (optionally) the
+/// raw system image for environment-dependent relations.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemView<'a> {
+    /// The assembled attribute row.
+    pub row: &'a Row,
+    /// The system image; `None` when only the row is available.
+    pub image: Option<&'a SystemImage>,
+}
+
+impl<'a> SystemView<'a> {
+    /// View over a row with its image.
+    pub fn new(row: &'a Row, image: &'a SystemImage) -> SystemView<'a> {
+        SystemView {
+            row,
+            image: Some(image),
+        }
+    }
+
+    /// View over a bare row.
+    pub fn row_only(row: &'a Row) -> SystemView<'a> {
+        SystemView { row, image: None }
+    }
+
+    fn value(&self, attr: &AttrName) -> Option<&'a ConfigValue> {
+        self.row.get(attr).filter(|v| !v.is_absent())
+    }
+}
+
+/// Evaluate `relation(a, b)` on one system.
+pub fn evaluate(
+    relation: Relation,
+    a: &AttrName,
+    b: &AttrName,
+    view: SystemView<'_>,
+) -> Applicability {
+    let (va, vb) = match (view.value(a), view.value(b)) {
+        (Some(x), Some(y)) => (x, y),
+        _ => return Applicability::NotApplicable,
+    };
+    match relation {
+        Relation::Equal => Applicability::from_bool(va.render() == vb.render()),
+        Relation::MemberEq => member_eq(va, b, view),
+        // Association-rule semantics: the implication is only *exercised*
+        // when the antecedent fires.  Counting false antecedents as "holds"
+        // would admit vacuous rules between any two mostly-off booleans.
+        Relation::ExtBoolImplies => match (va.as_bool(), vb.as_bool()) {
+            (Some(false), _) => Applicability::NotApplicable,
+            (Some(true), Some(y)) => Applicability::from_bool(y),
+            _ => Applicability::NotApplicable,
+        },
+        Relation::SubnetOf => subnet_of(va, vb),
+        Relation::ConcatPath => concat_path(va, vb, view),
+        Relation::SubstringOf => match (va.as_str(), vb.as_str()) {
+            (Some(x), Some(y)) => Applicability::from_bool(!x.is_empty() && y.contains(x)),
+            _ => Applicability::NotApplicable,
+        },
+        Relation::InGroup => in_group(va, vb, view),
+        Relation::NotAccessible => not_accessible(va, vb, view),
+        Relation::Owns => owns(a, va, vb, view),
+        // `Relation` is non_exhaustive: future variants are inapplicable
+        // until a validator is written, which the catch-all below encodes —
+        // but today every variant above is covered, so allow the lint.
+        #[allow(unreachable_patterns)]
+        Relation::LessNum | Relation::LessSize => match (va.as_number(), vb.as_number()) {
+            (Some(x), Some(y)) => Applicability::from_bool(x < y),
+            _ => Applicability::NotApplicable,
+        },
+        #[allow(unreachable_patterns)]
+        _ => Applicability::NotApplicable,
+    }
+}
+
+/// `[A] =~ [B]`: A's value equals *some* instance of the B entry family.
+///
+/// Multi-occurrence entries are flattened with `#N` markers
+/// (`LoadModule#3/arg1`); the family of `B` is every attribute sharing B's
+/// base name with the occurrence index stripped.
+fn member_eq(va: &ConfigValue, b: &AttrName, view: SystemView<'_>) -> Applicability {
+    let family_base = strip_occurrence(b.base());
+    let target = va.render();
+    let mut seen_any = false;
+    for (attr, value) in view.row.iter() {
+        if strip_occurrence(attr.base()) == family_base
+            && attr.suffix() == b.suffix()
+            && !value.is_absent()
+        {
+            seen_any = true;
+            if value.render() == target {
+                return Applicability::Holds;
+            }
+        }
+    }
+    if seen_any {
+        Applicability::Violated
+    } else {
+        Applicability::NotApplicable
+    }
+}
+
+/// Strip the `#N` occurrence marker from a flattened entry name.
+pub(crate) fn strip_occurrence(base: &str) -> String {
+    match base.find('#') {
+        Some(i) => {
+            let (head, tail) = base.split_at(i);
+            match tail[1..].find('/') {
+                Some(j) => format!("{head}{}", &tail[1 + j..]),
+                None => head.to_string(),
+            }
+        }
+        None => base.to_string(),
+    }
+}
+
+/// Canonicalize an entry name for *name-novelty* checks: occurrence markers
+/// are stripped and section arguments are wildcarded
+/// (`Directory:/srv/www|AllowOverride` → `Directory:*|AllowOverride`).
+/// Without this, every unseen section path would flood the unknown-entry
+/// check — the Apache false-warning source the paper describes in §7.1.2,
+/// scoped here to genuinely novel section/entry *combinations*.
+pub(crate) fn canonical_entry_name(base: &str) -> String {
+    let stripped = strip_occurrence(base);
+    stripped
+        .split('|')
+        .map(|segment| match segment.split_once(':') {
+            Some((name, _arg)) => format!("{name}:*"),
+            None => segment.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+fn subnet_of(va: &ConfigValue, vb: &ConfigValue) -> Applicability {
+    let (a_text, b_text) = match (va.as_str(), vb.as_str()) {
+        (Some(x), Some(y)) => (x, y),
+        _ => return Applicability::NotApplicable,
+    };
+    // `B` may carry a `/len` CIDR suffix; default to /24 for IPv4.
+    let (b_addr, prefix_len) = match b_text.split_once('/') {
+        Some((addr, len)) => match len.parse::<u32>() {
+            Ok(l) => (addr, l),
+            Err(_) => return Applicability::NotApplicable,
+        },
+        None => (b_text, 24),
+    };
+    let parse4 = |s: &str| -> Option<u32> {
+        let octets: Vec<u32> = s.split('.').map(|o| o.parse().ok()).collect::<Option<_>>()?;
+        if octets.len() == 4 && octets.iter().all(|&o| o < 256) {
+            Some((octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3])
+        } else {
+            None
+        }
+    };
+    match (parse4(a_text), parse4(b_addr)) {
+        (Some(a4), Some(b4)) if prefix_len <= 32 => {
+            let mask = if prefix_len == 0 {
+                0
+            } else {
+                u32::MAX << (32 - prefix_len)
+            };
+            Applicability::from_bool((a4 & mask) == (b4 & mask))
+        }
+        _ => Applicability::NotApplicable,
+    }
+}
+
+fn concat_path(va: &ConfigValue, vb: &ConfigValue, view: SystemView<'_>) -> Applicability {
+    let image = match view.image {
+        Some(i) => i,
+        None => return Applicability::NotApplicable,
+    };
+    let (dir, frag) = match (va.as_str(), vb.as_str()) {
+        (Some(d), Some(f)) => (d, f),
+        _ => return Applicability::NotApplicable,
+    };
+    let full = format!("{}/{}", dir.trim_end_matches('/'), frag.trim_start_matches('/'));
+    Applicability::from_bool(image.vfs().exists(&full))
+}
+
+fn in_group(va: &ConfigValue, vb: &ConfigValue, view: SystemView<'_>) -> Applicability {
+    let image = match view.image {
+        Some(i) => i,
+        None => return Applicability::NotApplicable,
+    };
+    match (va.as_str(), vb.as_str()) {
+        (Some(user), Some(group)) => {
+            Applicability::from_bool(image.accounts().is_member(user, group))
+        }
+        _ => Applicability::NotApplicable,
+    }
+}
+
+fn not_accessible(va: &ConfigValue, vb: &ConfigValue, view: SystemView<'_>) -> Applicability {
+    let image = match view.image {
+        Some(i) => i,
+        None => return Applicability::NotApplicable,
+    };
+    let (path, user) = match (va.as_str(), vb.as_str()) {
+        (Some(p), Some(u)) => (p, u),
+        _ => return Applicability::NotApplicable,
+    };
+    if !image.vfs().exists(path) {
+        return Applicability::NotApplicable;
+    }
+    let groups = image.accounts().groups_of(user);
+    Applicability::from_bool(!image.vfs().readable_by(path, user, &groups))
+}
+
+/// `[A] => [B]`: the user named by B owns the path named by A.
+///
+/// Prefers the assembled `A.owner` augmented attribute (always present in
+/// training rows); falls back to live VFS metadata when the row lacks it.
+fn owns(a: &AttrName, va: &ConfigValue, vb: &ConfigValue, view: SystemView<'_>) -> Applicability {
+    let user = match vb.as_str() {
+        Some(u) => u,
+        None => return Applicability::NotApplicable,
+    };
+    if let Some(owner) = view.row.get(&a.augmented("owner")) {
+        if !owner.is_absent() {
+            return Applicability::from_bool(owner.render() == user);
+        }
+    }
+    let image = match view.image {
+        Some(i) => i,
+        None => return Applicability::NotApplicable,
+    };
+    let path = match va.as_str() {
+        Some(p) => p,
+        None => return Applicability::NotApplicable,
+    };
+    match image.vfs().metadata(path) {
+        Some(meta) => Applicability::from_bool(meta.owner == user),
+        None => Applicability::NotApplicable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore_model::SizeUnit;
+
+    fn image() -> SystemImage {
+        SystemImage::builder("t")
+            .user("mysql", 27, &["mysql"])
+            .user("nobody", 99, &["nobody"])
+            .dir("/var/lib/mysql", "mysql", "mysql", 0o700)
+            .dir("/etc/httpd", "root", "root", 0o755)
+            .file("/etc/httpd/modules/mod_mime.so", "root", "root", 0o755, "")
+            .build()
+    }
+
+    fn row(image: &SystemImage) -> Row {
+        let mut r = Row::new(image.id());
+        r.set(AttrName::entry("datadir"), ConfigValue::path("/var/lib/mysql"));
+        r.set(
+            AttrName::entry("datadir").augmented("owner"),
+            ConfigValue::str("mysql"),
+        );
+        r.set(AttrName::entry("user"), ConfigValue::str("mysql"));
+        r.set(AttrName::entry("ServerRoot"), ConfigValue::path("/etc/httpd"));
+        r.set(
+            AttrName::entry("LoadModule#0/arg2"),
+            ConfigValue::path("modules/mod_mime.so"),
+        );
+        r.set(
+            AttrName::entry("upload_max_filesize"),
+            ConfigValue::size(2, SizeUnit::M),
+        );
+        r.set(
+            AttrName::entry("post_max_size"),
+            ConfigValue::size(8, SizeUnit::M),
+        );
+        r
+    }
+
+    #[test]
+    fn owns_via_augmented_attribute() {
+        let img = image();
+        let r = row(&img);
+        let view = SystemView::new(&r, &img);
+        assert_eq!(
+            evaluate(
+                Relation::Owns,
+                &AttrName::entry("datadir"),
+                &AttrName::entry("user"),
+                view
+            ),
+            Applicability::Holds
+        );
+    }
+
+    #[test]
+    fn owns_violated_when_owner_differs() {
+        let img = image();
+        let mut r = row(&img);
+        r.set(
+            AttrName::entry("datadir").augmented("owner"),
+            ConfigValue::str("root"),
+        );
+        let view = SystemView::new(&r, &img);
+        assert_eq!(
+            evaluate(
+                Relation::Owns,
+                &AttrName::entry("datadir"),
+                &AttrName::entry("user"),
+                view
+            ),
+            Applicability::Violated
+        );
+    }
+
+    #[test]
+    fn absent_entry_is_not_applicable() {
+        let img = image();
+        let r = row(&img);
+        let view = SystemView::new(&r, &img);
+        assert_eq!(
+            evaluate(
+                Relation::Owns,
+                &AttrName::entry("missing"),
+                &AttrName::entry("user"),
+                view
+            ),
+            Applicability::NotApplicable
+        );
+    }
+
+    #[test]
+    fn concat_path_checks_vfs() {
+        let img = image();
+        let r = row(&img);
+        let view = SystemView::new(&r, &img);
+        assert_eq!(
+            evaluate(
+                Relation::ConcatPath,
+                &AttrName::entry("ServerRoot"),
+                &AttrName::entry("LoadModule#0/arg2"),
+                view
+            ),
+            Applicability::Holds
+        );
+        // break the fragment
+        let mut r2 = row(&img);
+        r2.set(
+            AttrName::entry("LoadModule#0/arg2"),
+            ConfigValue::path("modules/nope.so"),
+        );
+        let view2 = SystemView::new(&r2, &img);
+        assert_eq!(
+            evaluate(
+                Relation::ConcatPath,
+                &AttrName::entry("ServerRoot"),
+                &AttrName::entry("LoadModule#0/arg2"),
+                view2
+            ),
+            Applicability::Violated
+        );
+    }
+
+    #[test]
+    fn size_ordering() {
+        let img = image();
+        let r = row(&img);
+        let view = SystemView::new(&r, &img);
+        assert_eq!(
+            evaluate(
+                Relation::LessSize,
+                &AttrName::entry("upload_max_filesize"),
+                &AttrName::entry("post_max_size"),
+                view
+            ),
+            Applicability::Holds
+        );
+        assert_eq!(
+            evaluate(
+                Relation::LessSize,
+                &AttrName::entry("post_max_size"),
+                &AttrName::entry("upload_max_filesize"),
+                view
+            ),
+            Applicability::Violated
+        );
+    }
+
+    #[test]
+    fn in_group_membership() {
+        let img = image();
+        let mut r = row(&img);
+        r.set(AttrName::entry("group"), ConfigValue::str("mysql"));
+        let view = SystemView::new(&r, &img);
+        assert_eq!(
+            evaluate(
+                Relation::InGroup,
+                &AttrName::entry("user"),
+                &AttrName::entry("group"),
+                view
+            ),
+            Applicability::Holds
+        );
+    }
+
+    #[test]
+    fn not_accessible_for_other_users() {
+        let img = image();
+        let mut r = row(&img);
+        r.set(AttrName::entry("log_user"), ConfigValue::str("nobody"));
+        let view = SystemView::new(&r, &img);
+        // /var/lib/mysql is 0700 mysql:mysql — nobody cannot read it.
+        assert_eq!(
+            evaluate(
+                Relation::NotAccessible,
+                &AttrName::entry("datadir"),
+                &AttrName::entry("log_user"),
+                view
+            ),
+            Applicability::Holds
+        );
+        // but mysql can, so the relation is violated for mysql.
+        assert_eq!(
+            evaluate(
+                Relation::NotAccessible,
+                &AttrName::entry("datadir"),
+                &AttrName::entry("user"),
+                view
+            ),
+            Applicability::Violated
+        );
+    }
+
+    #[test]
+    fn subnet_matching() {
+        let img = image();
+        let mut r = row(&img);
+        r.set(
+            AttrName::entry("client"),
+            ConfigValue::parse_ip("10.0.1.55").unwrap(),
+        );
+        r.set(
+            AttrName::entry("allowed"),
+            ConfigValue::str("10.0.1.0/24"),
+        );
+        r.set(
+            AttrName::entry("other"),
+            ConfigValue::str("192.168.0.0/16"),
+        );
+        let view = SystemView::new(&r, &img);
+        assert_eq!(
+            evaluate(
+                Relation::SubnetOf,
+                &AttrName::entry("client"),
+                &AttrName::entry("allowed"),
+                view
+            ),
+            Applicability::Holds
+        );
+        assert_eq!(
+            evaluate(
+                Relation::SubnetOf,
+                &AttrName::entry("client"),
+                &AttrName::entry("other"),
+                view
+            ),
+            Applicability::Violated
+        );
+    }
+
+    #[test]
+    fn bool_implication() {
+        let img = image();
+        let mut r = row(&img);
+        r.set(AttrName::entry("FollowSymLinks"), ConfigValue::boolean(false));
+        r.set(
+            AttrName::entry("DocumentRoot").augmented("hasSymLink"),
+            ConfigValue::boolean(false),
+        );
+        let view = SystemView::new(&r, &img);
+        // A false antecedent never exercises the implication — the system
+        // is not applicable (association-rule semantics).
+        assert_eq!(
+            evaluate(
+                Relation::ExtBoolImplies,
+                &AttrName::entry("FollowSymLinks"),
+                &AttrName::entry("DocumentRoot").augmented("hasSymLink"),
+                view
+            ),
+            Applicability::NotApplicable
+        );
+        // A true antecedent requires the consequent.
+        r.set(AttrName::entry("FollowSymLinks"), ConfigValue::boolean(true));
+        let view = SystemView::new(&r, &img);
+        assert_eq!(
+            evaluate(
+                Relation::ExtBoolImplies,
+                &AttrName::entry("FollowSymLinks"),
+                &AttrName::entry("DocumentRoot").augmented("hasSymLink"),
+                view
+            ),
+            Applicability::Violated
+        );
+    }
+
+    #[test]
+    fn member_eq_over_occurrence_family() {
+        let img = image();
+        let mut r = row(&img);
+        r.set(AttrName::entry("Listen#0"), ConfigValue::number(80.0));
+        r.set(AttrName::entry("Listen#1"), ConfigValue::number(443.0));
+        r.set(AttrName::entry("ServerPort"), ConfigValue::number(443.0));
+        let view = SystemView::new(&r, &img);
+        assert_eq!(
+            evaluate(
+                Relation::MemberEq,
+                &AttrName::entry("ServerPort"),
+                &AttrName::entry("Listen#0"),
+                view
+            ),
+            Applicability::Holds
+        );
+        r.set(AttrName::entry("ServerPort"), ConfigValue::number(8080.0));
+        let view = SystemView::new(&r, &img);
+        assert_eq!(
+            evaluate(
+                Relation::MemberEq,
+                &AttrName::entry("ServerPort"),
+                &AttrName::entry("Listen#0"),
+                view
+            ),
+            Applicability::Violated
+        );
+    }
+
+    #[test]
+    fn strip_occurrence_variants() {
+        assert_eq!(strip_occurrence("LoadModule#3"), "LoadModule");
+        assert_eq!(strip_occurrence("LoadModule#3/arg2"), "LoadModule/arg2");
+        assert_eq!(strip_occurrence("Plain"), "Plain");
+    }
+}

@@ -1,0 +1,184 @@
+//! Concrete rules and rule sets.
+//!
+//! A [`Rule`] is a template instance with the slots bound to concrete
+//! attributes, plus the statistics gathered during inference.  Rules render
+//! to (and parse from) a line format so that, as in the paper, "the inferred
+//! rules are written to a file with detailed description of the attributes
+//! involved and the relation type" (§5).
+
+use crate::relation::{evaluate, Applicability, SystemView};
+use crate::template::Relation;
+use encore_model::AttrName;
+use std::fmt;
+
+/// One concrete correlation rule.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Rule {
+    /// First bound attribute (the template's `A` slot).
+    pub a: AttrName,
+    /// Second bound attribute (the template's `B` slot).
+    pub b: AttrName,
+    /// The relation.
+    pub relation: Relation,
+    /// Number of training systems where the rule was applicable.
+    pub support: usize,
+    /// Fraction of applicable systems where the relation held.
+    pub confidence: f64,
+}
+
+impl Rule {
+    /// Construct a rule with its statistics.
+    pub fn new(
+        a: AttrName,
+        relation: Relation,
+        b: AttrName,
+        support: usize,
+        confidence: f64,
+    ) -> Rule {
+        Rule {
+            a,
+            b,
+            relation,
+            support,
+            confidence,
+        }
+    }
+
+    /// Evaluate the rule on one target system.
+    pub fn evaluate(&self, view: SystemView<'_>) -> Applicability {
+        evaluate(self.relation, &self.a, &self.b, view)
+    }
+
+    /// One-line render: `datadir => user [Owns] sup=187 conf=0.99`.
+    pub fn render(&self) -> String {
+        format!(
+            "{} {} {} [{}] sup={} conf={:.3}",
+            self.a,
+            self.relation.symbol(),
+            self.b,
+            self.relation,
+            self.support,
+            self.confidence
+        )
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// An ordered collection of learned rules.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// An empty rule set.
+    pub fn new() -> RuleSet {
+        RuleSet::default()
+    }
+
+    /// Append a rule.
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// The rules, in learned order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether there are no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Rules using a given relation.
+    pub fn by_relation(&self, relation: Relation) -> impl Iterator<Item = &Rule> {
+        self.rules.iter().filter(move |r| r.relation == relation)
+    }
+
+    /// Render the whole set, one rule per line (the paper's rule file).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.rules {
+            out.push_str(&r.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl FromIterator<Rule> for RuleSet {
+    fn from_iter<T: IntoIterator<Item = Rule>>(iter: T) -> Self {
+        RuleSet {
+            rules: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Rule> for RuleSet {
+    fn extend<T: IntoIterator<Item = Rule>>(&mut self, iter: T) {
+        self.rules.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a RuleSet {
+    type Item = &'a Rule;
+    type IntoIter = std::slice::Iter<'a, Rule>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rules.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule() -> Rule {
+        Rule::new(
+            AttrName::entry("datadir"),
+            Relation::Owns,
+            AttrName::entry("user"),
+            187,
+            0.99,
+        )
+    }
+
+    #[test]
+    fn render_mentions_everything() {
+        let s = rule().render();
+        assert!(s.contains("datadir"));
+        assert!(s.contains("user"));
+        assert!(s.contains("Owns"));
+        assert!(s.contains("sup=187"));
+    }
+
+    #[test]
+    fn ruleset_collects_and_filters() {
+        let set: RuleSet = vec![
+            rule(),
+            Rule::new(
+                AttrName::entry("a"),
+                Relation::LessSize,
+                AttrName::entry("b"),
+                10,
+                1.0,
+            ),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.by_relation(Relation::Owns).count(), 1);
+        assert_eq!(set.render().lines().count(), 2);
+    }
+}

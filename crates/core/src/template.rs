@@ -1,0 +1,333 @@
+//! Rule templates (§5.1, Table 6, Figures 4 and 6).
+//!
+//! A template is a relation pattern over *types*, not values: two typed
+//! slots plus a relation.  The learner instantiates templates by filling the
+//! slots with every eligible attribute pair, so a small set of templates
+//! covers a wide range of concrete rules.
+//!
+//! Templates are written in a concise grammar mirroring the paper's:
+//!
+//! ```text
+//! [A:FilePath] => [B:UserName]        # B owns A
+//! [A:FilePath] + [B:PartialFilePath]  # A+B forms an existing path
+//! [A:Size] < [B:Size]                 # A smaller than B
+//! [A:UserName] in [B:GroupName]       # A belongs to B
+//! [A:FilePath] != [B:UserName]        # A not accessible by B
+//! ```
+//!
+//! As in the paper, "the operators carry different meanings for different
+//! types" — the `(operator, slot types)` pair resolves to a [`Relation`].
+
+use encore_model::SemType;
+use std::fmt;
+
+/// The relation kinds behind the 11 predefined templates of Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[non_exhaustive]
+pub enum Relation {
+    /// `[A] == [B]` — equal values of the same type.
+    Equal,
+    /// `[A] =~ [B]` — some instance of the B entry family equals A.
+    MemberEq,
+    /// `[A] -> [B]` — boolean implication: A true ⇒ B true.
+    ExtBoolImplies,
+    /// `[A] < [B]` on IPAddress — A lies inside B's subnet.
+    SubnetOf,
+    /// `[A] + [B] =>` — concatenating A (FilePath) and B (PartialFilePath)
+    /// yields a path that exists in the file system.
+    ConcatPath,
+    /// `[A] < [B]` on strings — A is a substring of B.
+    SubstringOf,
+    /// `[A] in [B]` — user A belongs to group B.
+    InGroup,
+    /// `[A] != [B]` — file path A is *not* accessible by user B.
+    NotAccessible,
+    /// `[A] => [B]` — user B owns file path A.
+    Owns,
+    /// `[A] < [B]` on numbers — A numerically less than B.
+    LessNum,
+    /// `[A] < [B]` on sizes — A smaller than B.
+    LessSize,
+}
+
+impl Relation {
+    /// Operator symbol used in the template grammar.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Relation::Equal => "==",
+            Relation::MemberEq => "=~",
+            Relation::ExtBoolImplies => "->",
+            Relation::SubnetOf => "<",
+            Relation::ConcatPath => "+",
+            Relation::SubstringOf => "<",
+            Relation::InGroup => "in",
+            Relation::NotAccessible => "!=",
+            Relation::Owns => "=>",
+            Relation::LessNum => "<",
+            Relation::LessSize => "<",
+        }
+    }
+
+    /// Human-readable description (matches Table 6).
+    pub fn describe(self) -> &'static str {
+        match self {
+            Relation::Equal => "entry equals another entry of the same type",
+            Relation::MemberEq => "one instance of an entry equals an instance of another entry",
+            Relation::ExtBoolImplies => "boolean entry implies an extended boolean attribute",
+            Relation::SubnetOf => "IP address is within the subnet of another entry",
+            Relation::ConcatPath => "concatenation of path and partial path forms a file path",
+            Relation::SubstringOf => "entry is a substring of another entry",
+            Relation::InGroup => "user name belongs to the group name",
+            Relation::NotAccessible => "file path is not accessible by the user in the entry",
+            Relation::Owns => "user name entry is the owner of the file path entry",
+            Relation::LessNum => "number in one entry is less than that of the other",
+            Relation::LessSize => "size in one entry is smaller than that of the other",
+        }
+    }
+
+    /// Resolve `(operator, slot types)` to a relation — the paper's
+    /// operator overloading (§5.3.2).
+    pub fn resolve(op: &str, a: SemType, b: SemType) -> Option<Relation> {
+        match op {
+            "==" => Some(Relation::Equal),
+            "=~" => Some(Relation::MemberEq),
+            "->" => Some(Relation::ExtBoolImplies),
+            "in" => Some(Relation::InGroup),
+            "!=" => Some(Relation::NotAccessible),
+            "=>" => Some(Relation::Owns),
+            "+" => Some(Relation::ConcatPath),
+            "<" => match (a, b) {
+                (SemType::IpAddress, SemType::IpAddress) => Some(Relation::SubnetOf),
+                (SemType::Size, SemType::Size) => Some(Relation::LessSize),
+                _ if a.is_ordered() && b.is_ordered() => Some(Relation::LessNum),
+                (SemType::Str, SemType::Str) => Some(Relation::SubstringOf),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self)
+    }
+}
+
+/// One typed template slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Slot {
+    /// Slot label (`A`, `B`, ... — only used for display).
+    pub label: char,
+    /// The semantic type eligible attributes must carry.
+    pub ty: SemType,
+}
+
+/// A rule template: two typed slots and a relation.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Template {
+    /// First slot (the paper's `A`).
+    pub a: Slot,
+    /// Second slot (the paper's `B`).
+    pub b: Slot,
+    /// The relation connecting them.
+    pub relation: Relation,
+    /// Optional per-template confidence override (Figure 6 allows
+    /// `[A] < [B] -- 90%`); `None` uses the global threshold.
+    pub min_confidence: Option<f64>,
+}
+
+impl Template {
+    /// Create a template.
+    pub fn new(a: SemType, relation: Relation, b: SemType) -> Template {
+        Template {
+            a: Slot { label: 'A', ty: a },
+            b: Slot { label: 'B', ty: b },
+            relation,
+            min_confidence: None,
+        }
+    }
+
+    /// Attach a per-template confidence threshold.
+    pub fn with_min_confidence(mut self, c: f64) -> Template {
+        self.min_confidence = Some(c);
+        self
+    }
+
+    /// The 11 predefined templates of Table 6.
+    pub fn predefined() -> Vec<Template> {
+        vec![
+            // [A] == [B]: same-type equality (instantiated over Str).
+            Template::new(SemType::Str, Relation::Equal, SemType::Str),
+            // [A] =~ [B]: one instance equality (multi-occurrence entries).
+            Template::new(SemType::Str, Relation::MemberEq, SemType::Str),
+            // [A] -> [B]: extended boolean implication.
+            Template::new(SemType::Boolean, Relation::ExtBoolImplies, SemType::Boolean),
+            // [A] < [B]: IP subnet.
+            Template::new(SemType::IpAddress, Relation::SubnetOf, SemType::IpAddress),
+            // [A]+[B] =>: path concatenation exists.
+            Template::new(
+                SemType::FilePath,
+                Relation::ConcatPath,
+                SemType::PartialFilePath,
+            ),
+            // [A] < [B]: substring.
+            Template::new(SemType::Str, Relation::SubstringOf, SemType::Str),
+            // [A] in [B]: user in group.
+            Template::new(SemType::UserName, Relation::InGroup, SemType::GroupName),
+            // [A] != [B]: path not accessible by user.
+            Template::new(SemType::FilePath, Relation::NotAccessible, SemType::UserName),
+            // [A] => [B]: user owns path.
+            Template::new(SemType::FilePath, Relation::Owns, SemType::UserName),
+            // [A] < [B]: numeric ordering.
+            Template::new(SemType::Number, Relation::LessNum, SemType::Number),
+            // [A] < [B]: size ordering.
+            Template::new(SemType::Size, Relation::LessSize, SemType::Size),
+        ]
+    }
+
+    /// Parse the template grammar: `[A:Type] op [B:Type]` with an optional
+    /// trailing `-- NN%` confidence.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax problem.
+    pub fn parse(text: &str) -> Result<Template, String> {
+        let (body, conf) = match text.split_once("--") {
+            Some((b, c)) => {
+                let pct = c.trim().trim_end_matches('%');
+                let v: f64 = pct
+                    .parse()
+                    .map_err(|_| format!("bad confidence `{}`", c.trim()))?;
+                (b.trim(), Some(v / 100.0))
+            }
+            None => (text.trim(), None),
+        };
+        let parse_slot = |s: &str| -> Result<(char, SemType), String> {
+            let inner = s
+                .trim()
+                .strip_prefix('[')
+                .and_then(|x| x.strip_suffix(']'))
+                .ok_or_else(|| format!("slot `{s}` must be bracketed"))?;
+            let (label, ty) = inner
+                .split_once(':')
+                .ok_or_else(|| format!("slot `{inner}` must be `Label:Type`"))?;
+            let label = label.trim().chars().next().ok_or("empty slot label")?;
+            let ty = SemType::parse_name(ty)
+                .ok_or_else(|| format!("unknown type `{}`", ty.trim()))?;
+            Ok((label, ty))
+        };
+        // Grammar: [A:T] OP [B:T] with an optional trailing `=>` marker for
+        // the concatenation form `[A] + [B] =>`.
+        let close = body.find(']').ok_or("missing `]`")?;
+        let (slot_a, rest) = body.split_at(close + 1);
+        let open = rest.find('[').ok_or("missing second slot")?;
+        let (op, slot_b_and_tail) = rest.split_at(open);
+        let close_b = slot_b_and_tail.rfind(']').ok_or("missing closing `]`")?;
+        let (slot_b, tail) = slot_b_and_tail.split_at(close_b + 1);
+        let tail = tail.trim();
+        if !tail.is_empty() && tail != "=>" {
+            return Err(format!("unexpected trailing `{tail}`"));
+        }
+        let (label_a, ty_a) = parse_slot(slot_a)?;
+        let (label_b, ty_b) = parse_slot(slot_b)?;
+        let op = op.trim();
+        let relation = Relation::resolve(op, ty_a, ty_b)
+            .ok_or_else(|| format!("operator `{op}` undefined for {ty_a}/{ty_b}"))?;
+        let mut t = Template {
+            a: Slot { label: label_a, ty: ty_a },
+            b: Slot { label: label_b, ty: ty_b },
+            relation,
+            min_confidence: None,
+        };
+        if let Some(c) = conf {
+            t = t.with_min_confidence(c);
+        }
+        Ok(t)
+    }
+}
+
+impl fmt::Display for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}:{}] {} [{}:{}]",
+            self.a.label,
+            self.a.ty,
+            self.relation.symbol(),
+            self.b.label,
+            self.b.ty
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predefined_count_matches_table_6() {
+        assert_eq!(Template::predefined().len(), 11);
+    }
+
+    #[test]
+    fn operator_overloading_by_type() {
+        assert_eq!(
+            Relation::resolve("<", SemType::Size, SemType::Size),
+            Some(Relation::LessSize)
+        );
+        assert_eq!(
+            Relation::resolve("<", SemType::Number, SemType::Number),
+            Some(Relation::LessNum)
+        );
+        assert_eq!(
+            Relation::resolve("<", SemType::IpAddress, SemType::IpAddress),
+            Some(Relation::SubnetOf)
+        );
+        assert_eq!(
+            Relation::resolve("<", SemType::Str, SemType::Str),
+            Some(Relation::SubstringOf)
+        );
+        assert_eq!(Relation::resolve("<", SemType::Boolean, SemType::Boolean), None);
+    }
+
+    #[test]
+    fn parse_ownership_template() {
+        let t = Template::parse("[A:FilePath] => [B:UserName]").unwrap();
+        assert_eq!(t.relation, Relation::Owns);
+        assert_eq!(t.a.ty, SemType::FilePath);
+        assert_eq!(t.b.ty, SemType::UserName);
+    }
+
+    #[test]
+    fn parse_with_confidence() {
+        let t = Template::parse("[A:Size] < [B:Size] -- 90%").unwrap();
+        assert_eq!(t.relation, Relation::LessSize);
+        assert_eq!(t.min_confidence, Some(0.9));
+    }
+
+    #[test]
+    fn parse_concat_template() {
+        let t = Template::parse("[A:FilePath] + [B:PartialFilePath] =>").unwrap();
+        assert_eq!(t.relation, Relation::ConcatPath);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(Template::parse("[A:FilePath] ?? [B:UserName]").is_err());
+        assert!(Template::parse("[A:NotAType] == [B:Str]").is_err());
+        assert!(Template::parse("A == B").is_err());
+        assert!(Template::parse("[A:Size] < [B:Size] -- lots").is_err());
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for t in Template::predefined() {
+            let shown = t.to_string();
+            let back = Template::parse(&shown).expect(&shown);
+            assert_eq!(back.relation, t.relation, "{shown}");
+            assert_eq!(back.a.ty, t.a.ty);
+            assert_eq!(back.b.ty, t.b.ty);
+        }
+    }
+}

@@ -1,0 +1,776 @@
+//! Deterministic image-population generation.
+//!
+//! Populations stand in for the paper's EC2 crawls (DESIGN.md §2): each
+//! image gets a configuration sampled from the application schema, plus the
+//! environment state its values reference — directories created, owners
+//! set per the schema's couplings, orderings enforced (with the schema's
+//! configured noise), services registered.  Hardware specs are *omitted*
+//! (dormant images, Table 7 footnote).
+//!
+//! Evaluation populations additionally seed misconfigurations of the three
+//! categories of paper Table 10: broken file paths, wrong
+//! permissions/owners, and value-comparison violations.
+
+use crate::schema::{AppSchema, Coupling, EntrySpec, ValueDist};
+use encore_model::AppKind;
+use encore_sysimage::{SecurityState, SystemImage, SystemImageBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// The misconfiguration categories of paper Table 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MisconfigCategory {
+    /// File path configuration missing or wrong.
+    FilePath,
+    /// Permission/ownership configuration wrong.
+    Permission,
+    /// A value-comparison (ordering) rule violated.
+    ValueCompare,
+}
+
+impl fmt::Display for MisconfigCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MisconfigCategory::FilePath => "FilePath",
+            MisconfigCategory::Permission => "Permission",
+            MisconfigCategory::ValueCompare => "ValueCompare",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Ground truth for one seeded misconfiguration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeededMisconfig {
+    /// Image id carrying the error.
+    pub image_id: String,
+    /// Category (Table 10 row attribution).
+    pub category: MisconfigCategory,
+    /// The culprit entry.
+    pub entry: String,
+}
+
+/// Options for population generation.
+#[derive(Debug, Clone, Copy)]
+pub struct PopulationOptions {
+    /// Number of images.
+    pub n: usize,
+    /// RNG seed (populations are fully deterministic given a seed).
+    pub seed: u64,
+    /// Percent of images carrying a seeded misconfiguration (0 for
+    /// training populations).
+    pub misconfig_percent: u32,
+}
+
+impl PopulationOptions {
+    /// Options for `n` images from `seed`, no seeded errors.
+    pub fn new(n: usize, seed: u64) -> PopulationOptions {
+        PopulationOptions {
+            n,
+            seed,
+            misconfig_percent: 0,
+        }
+    }
+
+    /// Enable seeded misconfigurations on this percentage of images.
+    pub fn with_misconfig_percent(mut self, percent: u32) -> PopulationOptions {
+        self.misconfig_percent = percent;
+        self
+    }
+}
+
+/// A generated population with its ground truth.
+#[derive(Debug, Clone)]
+pub struct Population {
+    images: Vec<SystemImage>,
+    seeded: Vec<SeededMisconfig>,
+    app: AppKind,
+}
+
+impl Population {
+    /// A pristine training population (the EC2 training crawl).
+    pub fn training(app: AppKind, options: &PopulationOptions) -> Population {
+        Population::generate(app, options, "train")
+    }
+
+    /// A fresh evaluation population with ~20% of images carrying seeded
+    /// misconfigurations (the 120 fresh EC2 images of §7.1.3 had 25
+    /// problematic ones).
+    pub fn ec2_fresh(app: AppKind, n: usize, seed: u64) -> Population {
+        Population::generate(
+            app,
+            &PopulationOptions::new(n, seed).with_misconfig_percent(21),
+            "ec2",
+        )
+    }
+
+    /// A private-cloud population: long-deployed, so a much smaller fraction
+    /// of problematic images (22 of 300 in the paper).
+    pub fn private_cloud(app: AppKind, n: usize, seed: u64) -> Population {
+        Population::generate(
+            app,
+            &PopulationOptions::new(n, seed).with_misconfig_percent(7),
+            "pc",
+        )
+    }
+
+    fn generate(app: AppKind, options: &PopulationOptions, prefix: &str) -> Population {
+        let schema = AppSchema::for_app(app);
+        let mut rng = StdRng::seed_from_u64(options.seed ^ 0x5eed_c0de);
+        let mut images = Vec::with_capacity(options.n);
+        let mut seeded = Vec::new();
+        for i in 0..options.n {
+            let id = format!("{prefix}-{}-{i:04}", app.name());
+            let mut gen = ImageGen::new(&id, app, &schema, &mut rng);
+            if options.misconfig_percent > 0 && gen.rng.gen_range(0..100) < options.misconfig_percent
+            {
+                let category = match gen.rng.gen_range(0..3u8) {
+                    0 => MisconfigCategory::FilePath,
+                    1 => MisconfigCategory::Permission,
+                    _ => MisconfigCategory::ValueCompare,
+                };
+                if let Some(entry) = gen.plan_misconfig(category) {
+                    seeded.push(SeededMisconfig {
+                        image_id: id.clone(),
+                        category,
+                        entry,
+                    });
+                }
+            }
+            images.push(gen.build());
+        }
+        Population {
+            images,
+            seeded,
+            app,
+        }
+    }
+
+    /// The generated images.
+    pub fn images(&self) -> &[SystemImage] {
+        &self.images
+    }
+
+    /// Ground-truth seeded misconfigurations.
+    pub fn seeded(&self) -> &[SeededMisconfig] {
+        &self.seeded
+    }
+
+    /// The application.
+    pub fn app(&self) -> AppKind {
+        self.app
+    }
+}
+
+/// Working state for generating one image.
+struct ImageGen<'a> {
+    id: String,
+    app: AppKind,
+    schema: &'a AppSchema,
+    rng: &'a mut StdRng,
+    /// (entry name, rendered value) pairs chosen so far.
+    values: Vec<(String, String)>,
+    /// Planned misconfiguration, applied at build time.
+    misconfig: Option<(MisconfigCategory, String)>,
+}
+
+impl<'a> ImageGen<'a> {
+    fn new(id: &str, app: AppKind, schema: &'a AppSchema, rng: &'a mut StdRng) -> ImageGen<'a> {
+        let mut gen = ImageGen {
+            id: id.to_string(),
+            app,
+            schema,
+            rng,
+            values: Vec::new(),
+            misconfig: None,
+        };
+        gen.sample_values();
+        gen
+    }
+
+    fn value_of(&self, entry: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(k, _)| k == entry)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Sample a value for every present entry, honouring couplings.
+    fn sample_values(&mut self) {
+        // Two passes: independent entries first so coupled entries can read
+        // their partners.
+        let specs: Vec<EntrySpec> = self.schema.entries().to_vec();
+        for pass in 0..2 {
+            for spec in &specs {
+                let coupled = spec.coupling.is_some();
+                if (pass == 0) == coupled {
+                    continue;
+                }
+                if self.rng.gen_range(0..100) >= spec.presence_percent {
+                    continue;
+                }
+                let value = self.sample_value(spec);
+                self.values.push((spec.name.to_string(), value));
+            }
+        }
+    }
+
+    fn sample_value(&mut self, spec: &EntrySpec) -> String {
+        let base_value = match &spec.dist {
+            ValueDist::Fixed(v) => v.to_string(),
+            ValueDist::Choice(choices) => {
+                let total: u32 = choices.iter().map(|(_, w)| w).sum();
+                let mut pick = self.rng.gen_range(0..total);
+                let mut chosen = choices[0].0;
+                for (v, w) in *choices {
+                    if pick < *w {
+                        chosen = v;
+                        break;
+                    }
+                    pick -= w;
+                }
+                chosen.to_string()
+            }
+            ValueDist::PathPool { base, variants } => {
+                let i = self.rng.gen_range(0..*variants);
+                if i == 0 {
+                    base.to_string()
+                } else {
+                    format!("{base}{i}")
+                }
+            }
+            ValueDist::FilePool {
+                base,
+                variants,
+                suffix,
+            } => {
+                let i = self.rng.gen_range(0..*variants);
+                if i == 0 {
+                    format!("{base}{suffix}")
+                } else {
+                    format!("{base}{i}{suffix}")
+                }
+            }
+            ValueDist::NumberLadder(ladder) => {
+                let tuned = self.schema.is_tuned(spec.name);
+                self.sample_ladder(ladder, tuned)
+            }
+            ValueDist::SizeLadder(ladder) => {
+                let tuned = self.schema.is_tuned(spec.name);
+                self.sample_ladder(ladder, tuned)
+            }
+            ValueDist::BoolPercentOn(p) => {
+                if self.rng.gen_range(0..100) < *p {
+                    "On".to_string()
+                } else {
+                    "Off".to_string()
+                }
+            }
+        };
+        self.apply_coupling(spec, base_value)
+    }
+
+    /// Ladder sampling models the EC2-template reality the paper leans on
+    /// (§7.3): most images keep the shipped default, so *uncorrelated*
+    /// numeric entries stay at their first ladder value 93% of the time —
+    /// putting their value entropy below `Ht = 0.325` so the entropy filter
+    /// prunes the spurious cross-entry orderings they would otherwise form.
+    /// Correlated entries are the ones operators actually tune; they sample
+    /// uniformly with magnitude jitter so their genuine rules survive the
+    /// filter.
+    fn sample_ladder(&mut self, ladder: &[&str], tuned: bool) -> String {
+        if !tuned {
+            if ladder.len() == 1 || self.rng.gen_range(0..100) < 97 {
+                return ladder[0].to_string();
+            }
+            return ladder[1 + self.rng.gen_range(0..ladder.len() - 1)].to_string();
+        }
+        let v = ladder[self.rng.gen_range(0..ladder.len())].to_string();
+        self.jitter_magnitude(&v)
+    }
+
+    /// Power-of-two magnitude jitter for tuned (correlated) entries.
+    /// Coupled orderings are re-enforced afterwards in `apply_coupling`.
+    fn jitter_magnitude(&mut self, value: &str) -> String {
+        if self.rng.gen_range(0..100) >= 70 {
+            return value.to_string();
+        }
+        let digits_end = value
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(value.len());
+        if digits_end == 0 {
+            return value.to_string();
+        }
+        let n: u64 = match value[..digits_end].parse() {
+            Ok(v) => v,
+            Err(_) => return value.to_string(),
+        };
+        let suffix = &value[digits_end..];
+        let shift: i32 = self.rng.gen_range(-5..=5);
+        let jittered = if shift >= 0 {
+            n.checked_mul(1u64 << shift).unwrap_or(n)
+        } else {
+            (n >> (-shift as u32)).max(1)
+        };
+        format!("{jittered}{suffix}")
+    }
+
+    fn apply_coupling(&mut self, spec: &EntrySpec, value: String) -> String {
+        match spec.coupling {
+            Some(Coupling::EqualsEntry { other }) => {
+                self.value_of(other).map(str::to_string).unwrap_or(value)
+            }
+            Some(Coupling::LessThan {
+                other,
+                violation_percent,
+            }) => {
+                let partner = match self.value_of(other) {
+                    Some(p) => p.to_string(),
+                    None => return value,
+                };
+                let violate = self.rng.gen_range(0..100) < violation_percent;
+                constrain_less_than(&value, &partner, violate)
+            }
+            _ => value,
+        }
+    }
+
+    /// Pick a misconfiguration target for the category, recorded for the
+    /// build step.
+    fn plan_misconfig(&mut self, category: MisconfigCategory) -> Option<String> {
+        let candidates: Vec<String> = self
+            .schema
+            .entries()
+            .iter()
+            .filter(|e| {
+                self.value_of(e.name).is_some()
+                    && match category {
+                        MisconfigCategory::FilePath => {
+                            matches!(e.dist, ValueDist::PathPool { .. } | ValueDist::FilePool { .. })
+                        }
+                        MisconfigCategory::Permission => {
+                            matches!(e.coupling, Some(Coupling::OwnedBy { .. }))
+                        }
+                        MisconfigCategory::ValueCompare => {
+                            matches!(e.coupling, Some(Coupling::LessThan { .. }))
+                        }
+                    }
+            })
+            .map(|e| e.name.to_string())
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let entry = candidates[self.rng.gen_range(0..candidates.len())].clone();
+        self.misconfig = Some((category, entry.clone()));
+        Some(entry)
+    }
+
+    /// Materialize the image: base system + environment objects + config.
+    fn build(mut self) -> SystemImage {
+        // Apply a planned ValueCompare misconfig by flipping the ordering.
+        if let Some((MisconfigCategory::ValueCompare, entry)) = self.misconfig.clone() {
+            let spec = self.schema.entry(&entry).expect("planned entry exists");
+            if let Some(Coupling::LessThan { other, .. }) = spec.coupling {
+                if let Some(partner) = self.value_of(other).map(str::to_string) {
+                    let broken = constrain_less_than(
+                        self.value_of(&entry).expect("present").to_string().as_str(),
+                        &partner,
+                        true,
+                    );
+                    if let Some(slot) = self.values.iter_mut().find(|(k, _)| *k == entry) {
+                        slot.1 = broken;
+                    }
+                }
+            }
+        }
+
+        let app = self.app;
+        let mut builder = base_image(&self.id, app, &mut *self.rng);
+
+        // Materialize environment objects for path-valued entries.
+        // Ownership-coupled paths go first and are never overwritten by a
+        // later entry that happens to reference the same directory (e.g.
+        // `innodb_data_home_dir` mirroring `datadir`).
+        let owner_default = default_owner(app);
+        let mut created: std::collections::HashSet<String> = std::collections::HashSet::new();
+        let mut ordered: Vec<&EntrySpec> = self.schema.entries().iter().collect();
+        ordered.sort_by_key(|e| !matches!(e.coupling, Some(Coupling::OwnedBy { .. })));
+        for spec in ordered {
+            let value = match self.value_of(spec.name) {
+                Some(v) => v.to_string(),
+                None => continue,
+            };
+            let owner = match spec.coupling {
+                Some(Coupling::OwnedBy { user_entry }) => self
+                    .value_of(user_entry)
+                    .unwrap_or(owner_default)
+                    .to_string(),
+                _ => "root".to_string(),
+            };
+            match &spec.dist {
+                ValueDist::PathPool { .. } => {
+                    if created.insert(value.clone()) {
+                        let mode = if spec.coupling.is_some() { 0o750 } else { 0o755 };
+                        builder = builder.dir(&value, &owner, &owner, mode);
+                    }
+                }
+                ValueDist::FilePool { .. } => {
+                    if created.insert(value.clone()) {
+                        builder = builder.file(&value, &owner, &owner, 0o640, "");
+                    }
+                }
+                _ => {}
+            }
+            if let Some(Coupling::ConcatOnto { base_entry }) = spec.coupling {
+                if let Some(base) = self.value_of(base_entry) {
+                    let full = format!(
+                        "{}/{}",
+                        base.trim_end_matches('/'),
+                        value.trim_start_matches('/')
+                    );
+                    if created.insert(full.clone()) {
+                        builder = builder.file(&full, "root", "root", 0o644, "");
+                    }
+                }
+            }
+        }
+
+        // Apply FilePath/Permission misconfigurations against the
+        // environment (the config text itself stays plausible — exactly the
+        // class value-only detectors miss).
+        match self.misconfig.clone() {
+            Some((MisconfigCategory::FilePath, entry)) => {
+                let value = self.value_of(&entry).expect("present").to_string();
+                // Point the entry at a location that does not exist.
+                let broken = format!("{value}.missing");
+                if let Some(slot) = self.values.iter_mut().find(|(k, _)| *k == entry) {
+                    slot.1 = broken;
+                }
+            }
+            Some((MisconfigCategory::Permission, entry)) => {
+                let value = self.value_of(&entry).expect("present").to_string();
+                // Wrong owner: root grabs the path.
+                builder = builder.dir(&value, "root", "root", 0o700);
+            }
+            _ => {}
+        }
+
+        // Apache: a fraction of fleets keep symlinked content under the
+        // document root; those images run with FollowSymLinks=On.  This is
+        // the diversity the `hasSymLink -> FollowSymLinks` implication rule
+        // (real-world case #6) is learned from.
+        if app == AppKind::Apache && self.rng.gen_range(0..100) < 30 {
+            if let Some(droot) = self.value_of("DocumentRoot").map(str::to_string) {
+                builder = builder.symlink(&format!("{droot}/shared"), "/mnt/shared");
+                match self.values.iter_mut().find(|(k, _)| k == "FollowSymLinks") {
+                    Some(slot) => slot.1 = "On".to_string(),
+                    None => self.values.push(("FollowSymLinks".to_string(), "On".to_string())),
+                }
+            }
+        }
+
+        // Apache: a per-image selection of LoadModule lines.  Each module's
+        // shared object is materialized under ServerRoot/modules so the
+        // `ServerRoot + LoadModule/arg2` concatenation rule (paper Figure
+        // 4(b)) holds across the fleet.  Repeated directives are also what
+        // drives the per-occurrence attribute blow-up of paper Table 2.
+        if app == AppKind::Apache {
+            const MODULE_POOL: [&str; 18] = [
+                "auth_basic", "auth_digest", "authn_file", "authz_host", "authz_user",
+                "alias", "autoindex", "cgi", "deflate", "dir", "env", "expires",
+                "headers", "mime", "negotiation", "rewrite", "setenvif", "status",
+            ];
+            let server_root = self
+                .value_of("ServerRoot")
+                .unwrap_or("/etc/httpd")
+                .to_string();
+            let count = self.rng.gen_range(8..=MODULE_POOL.len());
+            for (i, module) in MODULE_POOL.iter().take(count).enumerate() {
+                let frag = format!("modules/mod_{module}.so");
+                let full = format!("{}/{}", server_root.trim_end_matches('/'), frag);
+                builder = builder.file(&full, "root", "root", 0o755, "");
+                self.values.push((
+                    format!("LoadModule {i}"),
+                    format!("{module}_module {frag}"),
+                ));
+            }
+        }
+
+        // Render the configuration file.
+        let config = render_config(app, &self.values);
+        let path = app.config_path();
+        builder = builder.file(path, "root", "root", 0o644, &config);
+
+        builder.build()
+    }
+}
+
+/// Enforce (or deliberately violate) `value < partner` for sizes/numbers.
+fn constrain_less_than(value: &str, partner: &str, violate: bool) -> String {
+    let parse = |s: &str| -> Option<(u64, String)> {
+        let digits_end = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+        if digits_end == 0 {
+            return None;
+        }
+        let n: u64 = s[..digits_end].parse().ok()?;
+        let suffix = s[digits_end..].to_string();
+        let mult: u64 = match suffix.as_str() {
+            "K" | "k" => 1 << 10,
+            "M" | "m" => 1 << 20,
+            "G" | "g" => 1 << 30,
+            _ => 1,
+        };
+        Some((n * mult, suffix))
+    };
+    let (pv, _) = match parse(partner) {
+        Some(p) => p,
+        None => return value.to_string(),
+    };
+    let (vv, _) = match parse(value) {
+        Some(v) => v,
+        None => return value.to_string(),
+    };
+    if violate {
+        if vv > pv {
+            return value.to_string();
+        }
+        // Make value comfortably larger than the partner.
+        let (pn, psuf) = split_magnitude(partner);
+        format!("{}{psuf}", pn.saturating_mul(4))
+    } else {
+        if vv < pv {
+            return value.to_string();
+        }
+        // Shrink strictly below the partner, downshifting the unit when the
+        // partner's magnitude is already 1 (1M → 512K, 1K → 512, 1 → 0).
+        let (pn, psuf) = split_magnitude(partner);
+        if pn >= 2 {
+            format!("{}{psuf}", pn / 2)
+        } else {
+            match psuf {
+                "G" | "g" => "512M".to_string(),
+                "M" | "m" => "512K".to_string(),
+                "K" | "k" => "512".to_string(),
+                _ => "0".to_string(),
+            }
+        }
+    }
+}
+
+fn split_magnitude(s: &str) -> (u64, &str) {
+    let digits_end = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+    (
+        s[..digits_end].parse().unwrap_or(1),
+        &s[digits_end..],
+    )
+}
+
+fn default_owner(app: AppKind) -> &'static str {
+    match app {
+        AppKind::Apache | AppKind::Php => "apache",
+        AppKind::Mysql => "mysql",
+        AppKind::Sshd => "root",
+    }
+}
+
+/// The base system shared by every generated image.
+fn base_image(id: &str, app: AppKind, rng: &mut StdRng) -> SystemImageBuilder {
+    let host_n: u32 = rng.gen_range(1..250);
+    let mut builder = SystemImage::builder(id)
+        .hostname(format!("ip-10-0-0-{host_n}"))
+        .ip_address(format!("10.0.0.{host_n}"))
+        .os(
+            ["AmazonLinux", "Ubuntu", "CentOS"][rng.gen_range(0..3)],
+            ["2013.03", "12.04", "6.4"][rng.gen_range(0..3)],
+        )
+        .user("daemon", 2, &["daemon"])
+        .user("nobody", 99, &["nobody"])
+        .user("apache", 48, &["apache"])
+        .user("www-data", 33, &["www-data"])
+        .user("mysql", 27, &["mysql"])
+        .user("mysqld", 28, &["mysqld"])
+        .user("sshd", 74, &["sshd"])
+        .dir("/etc", "root", "root", 0o755)
+        .dir("/var/log", "root", "root", 0o755)
+        .dir("/var/run", "root", "root", 0o755)
+        .dir("/tmp", "root", "root", 0o777)
+        .dir("/usr/lib", "root", "root", 0o755)
+        .security(SecurityState::disabled());
+    for (name, port) in [
+        ("ssh", 22u16),
+        ("http", 80),
+        ("https", 443),
+        ("http-alt", 8080),
+        ("mysql", 3306),
+        ("mysql-alt", 3307),
+        ("ssh-alt", 2222),
+    ] {
+        builder = builder.service(name, port);
+    }
+    // App-specific scaffolding referenced by fixed defaults.
+    match app {
+        AppKind::Apache => {
+            builder = builder
+                .dir("/var/www/icons", "root", "root", 0o755)
+                .dir("/var/www/cgi-bin", "root", "root", 0o755)
+                .file("/etc/mime.types", "root", "root", 0o644, "");
+        }
+        AppKind::Php => {
+            builder = builder.dir("/var/www/html", "apache", "apache", 0o755);
+        }
+        AppKind::Mysql => {
+            builder = builder.dir("/var/log/mysql", "mysql", "mysql", 0o750);
+        }
+        AppKind::Sshd => {
+            builder = builder.dir("/etc/ssh", "root", "root", 0o755);
+        }
+    }
+    builder
+}
+
+/// Render the sampled values into the application's config syntax.
+fn render_config(app: AppKind, values: &[(String, String)]) -> String {
+    match app {
+        AppKind::Mysql => {
+            let mut out = String::from("[mysqld]\n");
+            for (k, v) in values {
+                if v.is_empty() {
+                    out.push_str(k);
+                    out.push('\n');
+                } else {
+                    out.push_str(&format!("{k} = {v}\n"));
+                }
+            }
+            out
+        }
+        AppKind::Php => {
+            let mut out = String::from("[PHP]\n");
+            for (k, v) in values {
+                out.push_str(&format!("{k} = {v}\n"));
+            }
+            out
+        }
+        AppKind::Sshd => values
+            .iter()
+            .map(|(k, v)| format!("{k} {v}\n"))
+            .collect(),
+        AppKind::Apache => {
+            let mut out = String::new();
+            for (k, v) in values {
+                if k.starts_with("LoadModule ") {
+                    // Pre-formatted repeated directive (module name + path).
+                    out.push_str(&format!("LoadModule {v}\n"));
+                    continue;
+                }
+                if v.contains(' ') || v.is_empty() {
+                    out.push_str(&format!("{k} {v}\n"));
+                } else {
+                    out.push_str(&format!("{k} \"{v}\"\n"));
+                }
+            }
+            // Companion <Directory> for DocumentRoot — the correlation of
+            // real-world case #1.
+            if let Some((_, droot)) = values.iter().find(|(k, _)| k == "DocumentRoot") {
+                out.push_str(&format!(
+                    "<Directory {droot}>\n    AllowOverride None\n    DirSection \"{droot}\"\n</Directory>\n"
+                ));
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn populations_are_deterministic() {
+        let a = Population::training(AppKind::Mysql, &PopulationOptions::new(5, 9));
+        let b = Population::training(AppKind::Mysql, &PopulationOptions::new(5, 9));
+        for (x, y) in a.images().iter().zip(b.images()) {
+            assert_eq!(
+                x.read_file("/etc/mysql/my.cnf"),
+                y.read_file("/etc/mysql/my.cnf")
+            );
+        }
+        let c = Population::training(AppKind::Mysql, &PopulationOptions::new(5, 10));
+        assert_ne!(
+            a.images()[0].read_file("/etc/mysql/my.cnf"),
+            c.images()[0].read_file("/etc/mysql/my.cnf")
+        );
+    }
+
+    #[test]
+    fn training_images_have_parseable_configs() {
+        use encore_parser::LensRegistry;
+        let registry = LensRegistry::with_defaults();
+        for app in AppKind::EVALUATED {
+            let pop = Population::training(app, &PopulationOptions::new(8, 3));
+            for img in pop.images() {
+                let text = img.read_file(app.config_path()).expect("config present");
+                registry
+                    .parse(app.name(), text)
+                    .unwrap_or_else(|e| panic!("{app}: {e}\n{text}"));
+            }
+        }
+    }
+
+    #[test]
+    fn path_entries_reference_existing_objects() {
+        let pop = Population::training(AppKind::Mysql, &PopulationOptions::new(6, 4));
+        for img in pop.images() {
+            let text = img.read_file("/etc/mysql/my.cnf").unwrap();
+            for line in text.lines() {
+                if let Some((k, v)) = line.split_once(" = ") {
+                    if k == "datadir" {
+                        assert!(img.vfs().is_dir(v), "{}: datadir {v} missing", img.id());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ownership_coupling_enforced() {
+        let pop = Population::training(AppKind::Mysql, &PopulationOptions::new(10, 5));
+        for img in pop.images() {
+            let text = img.read_file("/etc/mysql/my.cnf").unwrap();
+            let get = |name: &str| {
+                text.lines()
+                    .find_map(|l| l.split_once(" = ").filter(|(k, _)| *k == name).map(|(_, v)| v))
+            };
+            if let (Some(datadir), Some(user)) = (get("datadir"), get("user")) {
+                let meta = img.vfs().metadata(datadir).expect("datadir exists");
+                assert_eq!(meta.owner, user, "{}", img.id());
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_misconfigs_recorded_and_bounded() {
+        let pop = Population::ec2_fresh(AppKind::Mysql, 40, 11);
+        assert!(!pop.seeded().is_empty());
+        assert!(pop.seeded().len() < 20);
+        for m in pop.seeded() {
+            assert!(pop.images().iter().any(|i| i.id() == m.image_id));
+        }
+    }
+
+    #[test]
+    fn private_cloud_has_lower_misconfig_rate() {
+        let ec2 = Population::ec2_fresh(AppKind::Php, 100, 13);
+        let pc = Population::private_cloud(AppKind::Php, 100, 13);
+        assert!(pc.seeded().len() < ec2.seeded().len());
+    }
+
+    #[test]
+    fn dormant_images_have_no_hardware() {
+        let pop = Population::training(AppKind::Mysql, &PopulationOptions::new(3, 2));
+        for img in pop.images() {
+            assert!(img.hardware().is_none());
+        }
+    }
+}

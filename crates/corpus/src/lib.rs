@@ -1,0 +1,39 @@
+//! Synthetic configuration corpora — the EC2 / private-cloud substitute.
+//!
+//! The paper trains on public Amazon EC2 images (127 Apache, 187 MySQL,
+//! 123 PHP) and evaluates on 120 fresh EC2 images plus 300 images from a
+//! commercial private cloud.  None of that data is available, so this crate
+//! generates the closest synthetic equivalent (DESIGN.md §2):
+//!
+//! * [`schema`] — per-application configuration schemas: entry names,
+//!   semantic types, realistic value distributions, and the environment
+//!   couplings (ownership, path existence, orderings) that EnCore's
+//!   templates learn,
+//! * [`genimage`] — a deterministic, seeded generator producing
+//!   [`SystemImage`](encore_sysimage::SystemImage) populations: pristine
+//!   training fleets and evaluation fleets with seeded misconfigurations,
+//! * [`realworld`] — the ten real-world misconfiguration scenarios of
+//!   paper Table 9, each reconstructed as a failing image,
+//! * [`study`] — the manual-study database behind paper Table 1.
+//!
+//! # Examples
+//!
+//! ```
+//! use encore_corpus::genimage::{Population, PopulationOptions};
+//! use encore_model::AppKind;
+//!
+//! let fleet = Population::training(AppKind::Mysql, &PopulationOptions::new(20, 1));
+//! assert_eq!(fleet.images().len(), 20);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod genimage;
+pub mod realworld;
+pub mod schema;
+pub mod study;
+
+pub use genimage::{Population, PopulationOptions, SeededMisconfig, MisconfigCategory};
+pub use realworld::{RealWorldCase, InfoKind};
+pub use schema::{AppSchema, EntrySpec, ValueDist};

@@ -1,0 +1,77 @@
+//! The manual configuration-entry study behind paper Table 1 (§2.1).
+//!
+//! The paper's authors manually examined the configuration entries of four
+//! server applications, counting how many relate to the execution
+//! environment and how many correlate with other entries.  Our equivalent
+//! of that manual exercise is the schema database: each [`EntrySpec`](crate::schema::EntrySpec)
+//! carries `env_related` and `correlated` flags assigned while modelling
+//! the entry.  This module aggregates them into the Table 1 rows.
+
+use crate::schema::AppSchema;
+use encore_model::AppKind;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StudyRow {
+    /// The application.
+    pub app: AppKind,
+    /// Total entries examined.
+    pub total: usize,
+    /// Entries associated with the environment.
+    pub env_related: usize,
+    /// Entries correlated with other entries.
+    pub correlated: usize,
+}
+
+impl StudyRow {
+    /// Percentage of environment-related entries.
+    pub fn env_percent(&self) -> f64 {
+        100.0 * self.env_related as f64 / self.total as f64
+    }
+
+    /// Percentage of correlated entries.
+    pub fn corr_percent(&self) -> f64 {
+        100.0 * self.correlated as f64 / self.total as f64
+    }
+}
+
+/// Aggregate the Table 1 rows for all four studied applications.
+pub fn table_1() -> Vec<StudyRow> {
+    AppKind::STUDIED
+        .iter()
+        .map(|&app| {
+            let schema = AppSchema::for_app(app);
+            StudyRow {
+                app,
+                total: schema.entries().len(),
+                env_related: schema.env_related_count(),
+                correlated: schema.correlated_count(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_rows_in_app_order() {
+        let rows = table_1();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].app, AppKind::Apache);
+        assert_eq!(rows[3].app, AppKind::Sshd);
+    }
+
+    #[test]
+    fn significant_portions_flagged() {
+        for row in table_1() {
+            // Paper: >20% of entries point to environment objects; around a
+            // third to half correlate.
+            assert!(row.env_percent() >= 10.0, "{:?}", row);
+            assert!(row.corr_percent() >= 15.0, "{:?}", row);
+            assert!(row.env_related <= row.total);
+            assert!(row.correlated <= row.total);
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! ConfErr-style misconfiguration injection (§7.1.1).
+//!
+//! The paper evaluates detection coverage by injecting random errors into
+//! correctly configured systems with ConfErr (citation 25).  This crate reproduces
+//! that capability: seeded, reproducible injections confined — like
+//! ConfErr's — to the configuration file itself ("the error injection of
+//! ConfErr is within the scope of configuration files and does not touch
+//! other system locations").
+//!
+//! Five injection operators are implemented:
+//!
+//! * [`InjectionKind::Typo`] — spelling errors in entry names (omission,
+//!   insertion, substitution, transposition, case flip — ConfErr's
+//!   psychologically-motivated typo model),
+//! * [`InjectionKind::ValueTypo`] — the same operators applied to a value,
+//! * [`InjectionKind::NumericPerturbation`] — off-by-orders-of-magnitude
+//!   numbers and flipped size units,
+//! * [`InjectionKind::PathError`] — truncated or misdirected paths,
+//! * [`InjectionKind::BoolFlip`] — boolean inversion.
+//!
+//! # Examples
+//!
+//! ```
+//! use encore_injector::{Injector, InjectionKind};
+//! use encore_parser::{IniLens, Lens};
+//!
+//! let config = "[mysqld]\nuser = mysql\ndatadir = /var/lib/mysql\n";
+//! let mut injector = Injector::with_seed(7);
+//! let (broken, injections) = injector.inject(&IniLens::mysql(), config, 1).unwrap();
+//! assert_eq!(injections.len(), 1);
+//! assert_ne!(broken, config);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use encore_parser::{KeyValue, Lens, ParseError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// The kind of error injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum InjectionKind {
+    /// Spelling error in the entry name.
+    Typo,
+    /// Spelling error in the value.
+    ValueTypo,
+    /// Numeric value perturbed (magnitude or unit).
+    NumericPerturbation,
+    /// Path value truncated or redirected.
+    PathError,
+    /// Boolean value inverted.
+    BoolFlip,
+}
+
+impl fmt::Display for InjectionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InjectionKind::Typo => "name typo",
+            InjectionKind::ValueTypo => "value typo",
+            InjectionKind::NumericPerturbation => "numeric perturbation",
+            InjectionKind::PathError => "path error",
+            InjectionKind::BoolFlip => "boolean flip",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Record of one injected error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Injection {
+    /// What was done.
+    pub kind: InjectionKind,
+    /// The *original* entry name (ground truth for detection scoring).
+    pub entry: String,
+    /// Entry name after injection (differs for [`InjectionKind::Typo`]).
+    pub entry_after: String,
+    /// Value before.
+    pub before: String,
+    /// Value after.
+    pub after: String,
+}
+
+/// Seeded error injector.
+#[derive(Debug)]
+pub struct Injector {
+    rng: StdRng,
+}
+
+impl Injector {
+    /// Deterministic injector from a seed.
+    pub fn with_seed(seed: u64) -> Injector {
+        Injector {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Inject `n` distinct errors into a configuration file.
+    ///
+    /// Each error hits a different entry.  Returns the modified file text
+    /// and the injection records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lens parse failures on the input text.
+    pub fn inject<L: Lens + ?Sized>(
+        &mut self,
+        lens: &L,
+        config: &str,
+        n: usize,
+    ) -> Result<(String, Vec<Injection>), ParseError> {
+        let mut pairs = lens.parse(config)?;
+        let mut injections = Vec::new();
+        let mut touched: Vec<usize> = Vec::new();
+        let mut attempts = 0;
+        while injections.len() < n && attempts < n * 50 {
+            attempts += 1;
+            if pairs.is_empty() {
+                break;
+            }
+            let idx = self.rng.gen_range(0..pairs.len());
+            if touched.contains(&idx) {
+                continue;
+            }
+            if let Some(injection) = self.mutate(&mut pairs[idx]) {
+                touched.push(idx);
+                injections.push(injection);
+            }
+        }
+        Ok((lens.render(&pairs), injections))
+    }
+
+    /// Mutate one pair, choosing an operator appropriate for its value.
+    fn mutate(&mut self, pair: &mut KeyValue) -> Option<Injection> {
+        let value = pair.value.clone();
+        let kind = self.pick_kind(&value);
+        let (entry_after, after) = match kind {
+            InjectionKind::Typo => {
+                let mangled = self.typo(&pair.key)?;
+                (mangled, value.clone())
+            }
+            InjectionKind::ValueTypo => {
+                let mangled = self.typo(&value)?;
+                (pair.key.clone(), mangled)
+            }
+            InjectionKind::NumericPerturbation => {
+                (pair.key.clone(), self.perturb_number(&value)?)
+            }
+            InjectionKind::PathError => (pair.key.clone(), self.break_path(&value)?),
+            InjectionKind::BoolFlip => (pair.key.clone(), flip_bool(&value)?),
+        };
+        let record = Injection {
+            kind,
+            entry: pair.key.clone(),
+            entry_after: entry_after.clone(),
+            before: value,
+            after: after.clone(),
+        };
+        pair.key = entry_after;
+        pair.value = after;
+        Some(record)
+    }
+
+    fn pick_kind(&mut self, value: &str) -> InjectionKind {
+        let is_bool = flip_bool(value).is_some();
+        let is_num = !value.is_empty()
+            && value.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(false);
+        let is_path = value.starts_with('/');
+        // Weighted choice among the applicable operators.  Spelling errors
+        // are ConfErr's signature class (its psychological typo model), so
+        // name typos carry double weight.
+        let mut options = vec![
+            InjectionKind::Typo,
+            InjectionKind::Typo,
+            InjectionKind::ValueTypo,
+        ];
+        if is_bool {
+            options.push(InjectionKind::BoolFlip);
+            options.push(InjectionKind::BoolFlip);
+        }
+        if is_num {
+            options.push(InjectionKind::NumericPerturbation);
+            options.push(InjectionKind::NumericPerturbation);
+        }
+        if is_path {
+            options.push(InjectionKind::PathError);
+            options.push(InjectionKind::PathError);
+        }
+        options[self.rng.gen_range(0..options.len())]
+    }
+
+    /// ConfErr's five typo operators.
+    fn typo(&mut self, text: &str) -> Option<String> {
+        if text.len() < 2 {
+            return None;
+        }
+        let chars: Vec<char> = text.chars().collect();
+        let mut out = chars.clone();
+        match self.rng.gen_range(0..5u8) {
+            // omission
+            0 => {
+                let i = self.rng.gen_range(0..out.len());
+                out.remove(i);
+            }
+            // insertion (duplicate a letter)
+            1 => {
+                let i = self.rng.gen_range(0..out.len());
+                let c = out[i];
+                out.insert(i, c);
+            }
+            // substitution (neighbouring letter)
+            2 => {
+                let i = self.rng.gen_range(0..out.len());
+                let c = out[i];
+                out[i] = if c == 'z' { 'a' } else { (c as u8 + 1) as char };
+            }
+            // transposition
+            3 => {
+                if out.len() >= 2 {
+                    let i = self.rng.gen_range(0..out.len() - 1);
+                    out.swap(i, i + 1);
+                }
+            }
+            // case flip
+            _ => {
+                let alpha: Vec<usize> = out
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.is_ascii_alphabetic())
+                    .map(|(i, _)| i)
+                    .collect();
+                if alpha.is_empty() {
+                    return None;
+                }
+                let i = alpha[self.rng.gen_range(0..alpha.len())];
+                out[i] = if out[i].is_ascii_uppercase() {
+                    out[i].to_ascii_lowercase()
+                } else {
+                    out[i].to_ascii_uppercase()
+                };
+            }
+        }
+        let mangled: String = out.into_iter().collect();
+        if mangled == text {
+            None
+        } else {
+            Some(mangled)
+        }
+    }
+
+    fn perturb_number(&mut self, value: &str) -> Option<String> {
+        let digits_end = value
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(value.len());
+        if digits_end == 0 {
+            return None;
+        }
+        let (digits, suffix) = value.split_at(digits_end);
+        let n: u64 = digits.parse().ok()?;
+        let mutated = match self.rng.gen_range(0..3u8) {
+            0 => n.checked_mul(1000)?,
+            1 => (n / 1000).max(0),
+            _ => n.checked_add(7)?,
+        };
+        if mutated == n {
+            return None;
+        }
+        Some(format!("{mutated}{suffix}"))
+    }
+
+    fn break_path(&mut self, value: &str) -> Option<String> {
+        if !value.starts_with('/') || value.len() < 2 {
+            return None;
+        }
+        Some(match self.rng.gen_range(0..3u8) {
+            // truncate the last component
+            0 => match value.rfind('/') {
+                Some(0) | None => format!("{value}.bak"),
+                Some(i) => value[..i].to_string(),
+            },
+            // redirect into a sibling that does not exist
+            1 => format!("{value}.bak"),
+            // point at a generic wrong location
+            _ => format!("/tmp/{}", value.rsplit('/').next().unwrap_or("x")),
+        })
+    }
+}
+
+fn flip_bool(value: &str) -> Option<String> {
+    let flipped = match value.to_ascii_lowercase().as_str() {
+        "on" => "Off",
+        "off" => "On",
+        "yes" => "no",
+        "no" => "yes",
+        "true" => "false",
+        "false" => "true",
+        "1" if value == "1" => "0",
+        "0" if value == "0" => "1",
+        _ => return None,
+    };
+    Some(flipped.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore_parser::IniLens;
+
+    const CONFIG: &str = "\
+[mysqld]
+user = mysql
+datadir = /var/lib/mysql
+max_allowed_packet = 16M
+skip-name-resolve = on
+port = 3306
+";
+
+    #[test]
+    fn injects_requested_count() {
+        let mut inj = Injector::with_seed(42);
+        let (text, records) = inj.inject(&IniLens::mysql(), CONFIG, 3).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_ne!(text, CONFIG);
+        // All touched entries distinct.
+        let mut entries: Vec<&str> = records.iter().map(|r| r.entry.as_str()).collect();
+        entries.sort_unstable();
+        entries.dedup();
+        assert_eq!(entries.len(), 3);
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let run = |seed| {
+            Injector::with_seed(seed)
+                .inject(&IniLens::mysql(), CONFIG, 2)
+                .unwrap()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).0, run(8).0);
+    }
+
+    #[test]
+    fn result_still_parses() {
+        for seed in 0..20 {
+            let mut inj = Injector::with_seed(seed);
+            let (text, _) = inj.inject(&IniLens::mysql(), CONFIG, 4).unwrap();
+            IniLens::mysql().parse(&text).expect("injected config must stay parseable");
+        }
+    }
+
+    #[test]
+    fn every_injection_changes_something() {
+        for seed in 0..30 {
+            let mut inj = Injector::with_seed(seed);
+            let (_, records) = inj.inject(&IniLens::mysql(), CONFIG, 3).unwrap();
+            for r in records {
+                assert!(
+                    r.entry != r.entry_after || r.before != r.after,
+                    "no-op injection {r:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bool_flip_helper() {
+        assert_eq!(flip_bool("On"), Some("Off".to_string()));
+        assert_eq!(flip_bool("no"), Some("yes".to_string()));
+        assert_eq!(flip_bool("1"), Some("0".to_string()));
+        assert_eq!(flip_bool("16M"), None);
+    }
+
+    #[test]
+    fn typo_never_returns_identity() {
+        let mut inj = Injector::with_seed(1);
+        for _ in 0..200 {
+            if let Some(t) = inj.typo("datadir") {
+                assert_ne!(t, "datadir");
+            }
+        }
+    }
+}

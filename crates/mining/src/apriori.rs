@@ -1,0 +1,201 @@
+//! Apriori frequent-item-set mining (level-wise candidate generation).
+//!
+//! Included both as a correctness oracle for FP-Growth (the two must agree)
+//! and to reproduce the paper's observation that "Apriori does not scale to
+//! large data sets" (§2.2) — candidate explosion hits the resource guard far
+//! earlier than FP-Growth does.
+
+use crate::{ItemId, ItemSet, MiningLimits, MiningResult, OutOfMemory, Transactions};
+use std::collections::HashMap;
+
+/// Apriori miner with an absolute minimum-support count.
+#[derive(Debug, Clone, Copy)]
+pub struct Apriori {
+    min_support: usize,
+}
+
+impl Apriori {
+    /// Create a miner; `min_support` is an absolute transaction count and
+    /// is clamped to at least 1.
+    pub fn new(min_support: usize) -> Apriori {
+        Apriori {
+            min_support: min_support.max(1),
+        }
+    }
+
+    /// The configured minimum support count.
+    pub fn min_support(&self) -> usize {
+        self.min_support
+    }
+
+    /// Mine all frequent item sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when the number of frequent item sets (plus
+    /// live candidates) exceeds `limits.max_itemsets` — the reproduction of
+    /// the paper's OOM terminations in Table 3.
+    pub fn mine(
+        &self,
+        tx: &Transactions,
+        limits: &MiningLimits,
+    ) -> Result<MiningResult, OutOfMemory> {
+        let mut all: Vec<(ItemSet, usize)> = Vec::new();
+
+        // L1: frequent single items.
+        let mut counts: HashMap<ItemId, usize> = HashMap::new();
+        for row in tx.rows() {
+            for &item in row {
+                *counts.entry(item).or_insert(0) += 1;
+            }
+        }
+        let mut level: Vec<ItemSet> = counts
+            .iter()
+            .filter(|&(_, &c)| c >= self.min_support)
+            .map(|(&i, _)| vec![i])
+            .collect();
+        level.sort();
+        for set in &level {
+            all.push((set.clone(), counts[&set[0]]));
+        }
+
+        // Level-wise expansion.
+        while !level.is_empty() {
+            let candidates = join_level(&level);
+            if candidates.len() + all.len() > limits.max_itemsets {
+                return Err(OutOfMemory {
+                    itemsets_produced: all.len(),
+                });
+            }
+            let mut next: Vec<(ItemSet, usize)> = Vec::new();
+            for cand in candidates {
+                let count = tx
+                    .rows()
+                    .iter()
+                    .filter(|row| is_subset(&cand, row))
+                    .count();
+                if count >= self.min_support {
+                    next.push((cand, count));
+                }
+            }
+            level = next.iter().map(|(s, _)| s.clone()).collect();
+            all.extend(next);
+            if all.len() > limits.max_itemsets {
+                return Err(OutOfMemory {
+                    itemsets_produced: all.len(),
+                });
+            }
+        }
+        Ok(MiningResult { itemsets: all })
+    }
+}
+
+/// Apriori join: combine k-sets sharing a (k-1)-prefix into (k+1)-candidates,
+/// pruning candidates with an infrequent k-subset.
+fn join_level(level: &[ItemSet]) -> Vec<ItemSet> {
+    use std::collections::HashSet;
+    let frequent: HashSet<&ItemSet> = level.iter().collect();
+    let mut out = Vec::new();
+    for i in 0..level.len() {
+        for j in (i + 1)..level.len() {
+            let (a, b) = (&level[i], &level[j]);
+            let k = a.len();
+            if a[..k - 1] != b[..k - 1] {
+                continue;
+            }
+            let mut cand = a.clone();
+            cand.push(b[k - 1]);
+            cand.sort_unstable();
+            // Prune: every k-subset must be frequent.
+            let all_frequent = (0..cand.len()).all(|skip| {
+                let sub: ItemSet = cand
+                    .iter()
+                    .enumerate()
+                    .filter(|(idx, _)| *idx != skip)
+                    .map(|(_, &v)| v)
+                    .collect();
+                frequent.contains(&sub)
+            });
+            if all_frequent {
+                out.push(cand);
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Is sorted `needle` a subset of sorted `haystack`?
+pub(crate) fn is_subset(needle: &[ItemId], haystack: &[ItemId]) -> bool {
+    let mut it = haystack.iter();
+    needle
+        .iter()
+        .all(|n| it.by_ref().any(|h| h == n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classic() -> Transactions {
+        // The textbook market-basket example.
+        Transactions::from_slices(&[
+            &["bread", "milk"],
+            &["bread", "diapers", "beer", "eggs"],
+            &["milk", "diapers", "beer", "cola"],
+            &["bread", "milk", "diapers", "beer"],
+            &["bread", "milk", "diapers", "cola"],
+        ])
+    }
+
+    #[test]
+    fn frequent_pairs_found() {
+        let tx = classic();
+        let result = Apriori::new(3).mine(&tx, &MiningLimits::unbounded()).unwrap();
+        let rendered: Vec<(Vec<&str>, usize)> = result
+            .itemsets
+            .iter()
+            .map(|(s, c)| (tx.render(s), *c))
+            .collect();
+        assert!(rendered.contains(&(vec!["bread", "milk"], 3)));
+        assert!(rendered.contains(&(vec!["diapers", "beer"], 3)) || rendered.contains(&(vec!["beer", "diapers"], 3)));
+        // {bread, beer} has support 2 < 3 and must be absent.
+        assert!(!rendered.iter().any(|(s, _)| s.len() == 2
+            && s.contains(&"bread")
+            && s.contains(&"beer")));
+    }
+
+    #[test]
+    fn min_support_one_returns_everything_frequent() {
+        let tx = Transactions::from_slices(&[&["a"], &["a", "b"]]);
+        let result = Apriori::new(1).mine(&tx, &MiningLimits::unbounded()).unwrap();
+        assert_eq!(result.len(), 3); // {a}, {b}, {a,b}
+    }
+
+    #[test]
+    fn resource_guard_trips() {
+        // 16 items all co-occurring → 2^16-1 frequent item sets.
+        let names: Vec<String> = (0..16).map(|i| format!("i{i}")).collect();
+        let row: Vec<&str> = names.iter().map(String::as_str).collect();
+        let tx = Transactions::from_slices(&[&row, &row]);
+        let err = Apriori::new(1)
+            .mine(&tx, &MiningLimits::capped(1000))
+            .unwrap_err();
+        assert!(err.itemsets_produced <= 1000 + 16);
+    }
+
+    #[test]
+    fn subset_check() {
+        assert!(is_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[1, 2, 3]));
+        assert!(is_subset(&[], &[1]));
+    }
+
+    #[test]
+    fn empty_transactions_mine_nothing() {
+        let tx = Transactions::new();
+        let result = Apriori::new(1).mine(&tx, &MiningLimits::unbounded()).unwrap();
+        assert!(result.is_empty());
+    }
+}

@@ -1,0 +1,263 @@
+//! FP-Growth frequent-item-set mining (FP-tree + conditional pattern bases).
+//!
+//! This is the algorithm the paper's scalability study centres on (§2.2,
+//! Table 3): it avoids Apriori's candidate generation but still materializes
+//! every frequent item set, so the *output* — and with it memory — grows
+//! exponentially with correlated attributes.  Our resource guard reproduces
+//! the paper's OOM terminations.
+
+use crate::{ItemId, ItemSet, MiningLimits, MiningResult, OutOfMemory, Transactions};
+use std::collections::HashMap;
+
+/// FP-Growth miner with an absolute minimum-support count.
+#[derive(Debug, Clone, Copy)]
+pub struct FpGrowth {
+    min_support: usize,
+}
+
+/// One FP-tree node.
+#[derive(Debug)]
+struct Node {
+    item: ItemId,
+    count: usize,
+    parent: usize,
+    children: HashMap<ItemId, usize>,
+}
+
+/// FP-tree over an arena of nodes.
+#[derive(Debug)]
+struct FpTree {
+    arena: Vec<Node>,
+    /// Header table: item → node indices.
+    header: HashMap<ItemId, Vec<usize>>,
+}
+
+impl FpTree {
+    fn new() -> FpTree {
+        FpTree {
+            arena: vec![Node {
+                item: ItemId::MAX,
+                count: 0,
+                parent: usize::MAX,
+                children: HashMap::new(),
+            }],
+            header: HashMap::new(),
+        }
+    }
+
+    fn insert(&mut self, items: &[ItemId], count: usize) {
+        let mut cur = 0usize;
+        for &item in items {
+            let next = match self.arena[cur].children.get(&item) {
+                Some(&idx) => {
+                    self.arena[idx].count += count;
+                    idx
+                }
+                None => {
+                    let idx = self.arena.len();
+                    self.arena.push(Node {
+                        item,
+                        count,
+                        parent: cur,
+                        children: HashMap::new(),
+                    });
+                    self.arena[cur].children.insert(item, idx);
+                    self.header.entry(item).or_default().push(idx);
+                    idx
+                }
+            };
+            cur = next;
+        }
+    }
+
+    /// Path from a node's parent up to the root (excluding the root),
+    /// bottom-up order.
+    fn prefix_path(&self, mut idx: usize) -> Vec<ItemId> {
+        let mut path = Vec::new();
+        idx = self.arena[idx].parent;
+        while idx != 0 && idx != usize::MAX {
+            path.push(self.arena[idx].item);
+            idx = self.arena[idx].parent;
+        }
+        path
+    }
+}
+
+impl FpGrowth {
+    /// Create a miner; `min_support` is an absolute count, clamped to ≥ 1.
+    pub fn new(min_support: usize) -> FpGrowth {
+        FpGrowth {
+            min_support: min_support.max(1),
+        }
+    }
+
+    /// The configured minimum support count.
+    pub fn min_support(&self) -> usize {
+        self.min_support
+    }
+
+    /// Mine all frequent item sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when more than `limits.max_itemsets` frequent
+    /// item sets are produced.
+    pub fn mine(
+        &self,
+        tx: &Transactions,
+        limits: &MiningLimits,
+    ) -> Result<MiningResult, OutOfMemory> {
+        // Global item counts.
+        let mut counts: HashMap<ItemId, usize> = HashMap::new();
+        for row in tx.rows() {
+            for &i in row {
+                *counts.entry(i).or_insert(0) += 1;
+            }
+        }
+        // Weighted "transactions" for the recursive step.
+        let weighted: Vec<(ItemSet, usize)> =
+            tx.rows().iter().map(|r| (r.clone(), 1)).collect();
+        let mut out = Vec::new();
+        self.mine_rec(&weighted, &counts, &[], limits, &mut out)?;
+        Ok(MiningResult { itemsets: out })
+    }
+
+    fn mine_rec(
+        &self,
+        transactions: &[(ItemSet, usize)],
+        counts: &HashMap<ItemId, usize>,
+        suffix: &[ItemId],
+        limits: &MiningLimits,
+        out: &mut Vec<(ItemSet, usize)>,
+    ) -> Result<(), OutOfMemory> {
+        // Frequent items at this level, ordered by descending count (the
+        // canonical FP-tree insertion order), ties by id.
+        let mut frequent: Vec<(ItemId, usize)> = counts
+            .iter()
+            .filter(|&(_, &c)| c >= self.min_support)
+            .map(|(&i, &c)| (i, c))
+            .collect();
+        frequent.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        if frequent.is_empty() {
+            return Ok(());
+        }
+        let order: HashMap<ItemId, usize> = frequent
+            .iter()
+            .enumerate()
+            .map(|(pos, &(i, _))| (i, pos))
+            .collect();
+
+        // Build the FP-tree.
+        let mut tree = FpTree::new();
+        for (row, weight) in transactions {
+            let mut filtered: Vec<ItemId> = row
+                .iter()
+                .copied()
+                .filter(|i| order.contains_key(i))
+                .collect();
+            filtered.sort_by_key(|i| order[i]);
+            if !filtered.is_empty() {
+                tree.insert(&filtered, *weight);
+            }
+        }
+
+        // Mine each item bottom-up.
+        for &(item, count) in frequent.iter().rev() {
+            let mut pattern: ItemSet = suffix.to_vec();
+            pattern.push(item);
+            pattern.sort_unstable();
+            out.push((pattern.clone(), count));
+            if out.len() > limits.max_itemsets {
+                return Err(OutOfMemory {
+                    itemsets_produced: out.len(),
+                });
+            }
+            // Conditional pattern base for `item`.
+            let mut cond: Vec<(ItemSet, usize)> = Vec::new();
+            let mut cond_counts: HashMap<ItemId, usize> = HashMap::new();
+            if let Some(nodes) = tree.header.get(&item) {
+                for &n in nodes {
+                    let path = tree.prefix_path(n);
+                    let w = tree.arena[n].count;
+                    if !path.is_empty() {
+                        for &p in &path {
+                            *cond_counts.entry(p).or_insert(0) += w;
+                        }
+                        cond.push((path, w));
+                    }
+                }
+            }
+            if !cond.is_empty() {
+                self.mine_rec(&cond, &cond_counts, &pattern, limits, out)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Apriori;
+
+    fn classic() -> Transactions {
+        Transactions::from_slices(&[
+            &["bread", "milk"],
+            &["bread", "diapers", "beer", "eggs"],
+            &["milk", "diapers", "beer", "cola"],
+            &["bread", "milk", "diapers", "beer"],
+            &["bread", "milk", "diapers", "cola"],
+        ])
+    }
+
+    #[test]
+    fn agrees_with_apriori_on_classic() {
+        let tx = classic();
+        for min_sup in 1..=4 {
+            let mut a = Apriori::new(min_sup).mine(&tx, &MiningLimits::unbounded()).unwrap();
+            let mut f = FpGrowth::new(min_sup).mine(&tx, &MiningLimits::unbounded()).unwrap();
+            a.canonicalize();
+            f.canonicalize();
+            assert_eq!(a, f, "min_sup={min_sup}");
+        }
+    }
+
+    #[test]
+    fn single_transaction_powerset() {
+        let tx = Transactions::from_slices(&[&["a", "b", "c"]]);
+        let result = FpGrowth::new(1).mine(&tx, &MiningLimits::unbounded()).unwrap();
+        assert_eq!(result.len(), 7); // 2^3 - 1
+    }
+
+    #[test]
+    fn supports_are_correct() {
+        let tx = classic();
+        let result = FpGrowth::new(3).mine(&tx, &MiningLimits::unbounded()).unwrap();
+        for (set, count) in &result.itemsets {
+            let expected = tx
+                .rows()
+                .iter()
+                .filter(|row| crate::apriori::is_subset(set, row))
+                .count();
+            assert_eq!(*count, expected, "{:?}", tx.render(set));
+        }
+    }
+
+    #[test]
+    fn resource_guard_trips() {
+        let names: Vec<String> = (0..20).map(|i| format!("i{i}")).collect();
+        let row: Vec<&str> = names.iter().map(String::as_str).collect();
+        let tx = Transactions::from_slices(&[&row, &row]);
+        let err = FpGrowth::new(1)
+            .mine(&tx, &MiningLimits::capped(5000))
+            .unwrap_err();
+        assert!(err.itemsets_produced > 5000);
+    }
+
+    #[test]
+    fn empty_input() {
+        let tx = Transactions::new();
+        let result = FpGrowth::new(1).mine(&tx, &MiningLimits::unbounded()).unwrap();
+        assert!(result.is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Hand-rolled association-rule mining — the Weka/RapidMiner substitute.
+//!
+//! Section 2.2 of the paper reports a negative result that motivates
+//! EnCore's design: off-the-shelf frequent-item-set mining (Apriori,
+//! FP-Growth) does not scale to configuration data once environment
+//! attributes are added and nominal attributes are discretized to booleans.
+//! To reproduce that finding (Tables 2 and 3) we implement both algorithms
+//! from scratch, plus:
+//!
+//! * [`discretize`] — the nominal→binomial conversion that inflates the
+//!   attribute count (Table 2's third row),
+//! * [`metrics`] — support, confidence, and Shannon entropy (§5.2),
+//! * a configurable resource guard standing in for the paper's
+//!   out-of-memory kill (Table 3's `OOM` cells).
+//!
+//! # Examples
+//!
+//! ```
+//! use encore_mining::{FpGrowth, MiningLimits, Transactions};
+//!
+//! let tx = Transactions::from_slices(&[
+//!     &["a", "b", "c"], &["a", "b"], &["a", "c"], &["b", "c"],
+//! ]);
+//! let result = FpGrowth::new(2).mine(&tx, &MiningLimits::unbounded()).unwrap();
+//! assert!(result.itemsets.len() >= 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apriori;
+pub mod discretize;
+pub mod fpgrowth;
+pub mod metrics;
+pub mod rules;
+pub mod transactions;
+
+pub use apriori::Apriori;
+pub use discretize::discretize;
+pub use fpgrowth::FpGrowth;
+pub use metrics::{confidence, entropy, support_count};
+pub use rules::{AssociationRule, extract_rules};
+pub use transactions::{ItemId, ItemSet, Transactions};
+
+use std::fmt;
+
+/// Resource limits for a mining run — the stand-in for the paper's 16 GB
+/// testbed that OOM-kills at 200+ attributes (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MiningLimits {
+    /// Maximum number of frequent item sets to materialize before aborting.
+    pub max_itemsets: usize,
+}
+
+impl MiningLimits {
+    /// No limits (tests and small runs).
+    pub fn unbounded() -> MiningLimits {
+        MiningLimits {
+            max_itemsets: usize::MAX,
+        }
+    }
+
+    /// Abort once `max_itemsets` frequent item sets have been produced.
+    pub fn capped(max_itemsets: usize) -> MiningLimits {
+        MiningLimits { max_itemsets }
+    }
+}
+
+impl Default for MiningLimits {
+    fn default() -> Self {
+        // Default guard ≈ what 16 GB of item-set bookkeeping tolerates.
+        MiningLimits::capped(20_000_000)
+    }
+}
+
+/// Outcome of a successful mining run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MiningResult {
+    /// Every frequent item set with its support count.
+    pub itemsets: Vec<(ItemSet, usize)>,
+}
+
+impl MiningResult {
+    /// Number of frequent item sets found.
+    pub fn len(&self) -> usize {
+        self.itemsets.len()
+    }
+
+    /// Whether no item set met the support threshold.
+    pub fn is_empty(&self) -> bool {
+        self.itemsets.is_empty()
+    }
+
+    /// Sort item sets canonically (by length then lexicographically) —
+    /// convenient for comparing algorithm outputs.
+    pub fn canonicalize(&mut self) {
+        for (set, _) in &mut self.itemsets {
+            set.sort_unstable();
+        }
+        self.itemsets.sort();
+    }
+}
+
+/// Mining failure: the resource guard tripped (the paper's `OOM`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// How many item sets had been materialized when the guard tripped.
+    pub itemsets_produced: usize,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mining aborted by resource guard after {} frequent item sets",
+            self.itemsets_produced
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limits_default_is_capped() {
+        assert_ne!(MiningLimits::default().max_itemsets, usize::MAX);
+    }
+
+    #[test]
+    fn oom_displays_count() {
+        let e = OutOfMemory {
+            itemsets_produced: 7,
+        };
+        assert!(e.to_string().contains('7'));
+    }
+}

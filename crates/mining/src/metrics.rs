@@ -1,0 +1,95 @@
+//! Rule-quality metrics: support, confidence, and Shannon entropy (§5.2).
+
+use crate::{ItemId, Transactions};
+
+/// Number of transactions containing every item of `set` (sorted ids).
+pub fn support_count(tx: &Transactions, set: &[ItemId]) -> usize {
+    tx.rows()
+        .iter()
+        .filter(|row| crate::apriori::is_subset(set, row))
+        .count()
+}
+
+/// Confidence of the rule `antecedent → consequent`:
+/// `support(antecedent ∪ consequent) / support(antecedent)`.
+///
+/// Returns `None` when the antecedent never occurs.
+pub fn confidence(tx: &Transactions, antecedent: &[ItemId], consequent: &[ItemId]) -> Option<f64> {
+    let ante = support_count(tx, antecedent);
+    if ante == 0 {
+        return None;
+    }
+    let mut both: Vec<ItemId> = antecedent.iter().chain(consequent).copied().collect();
+    both.sort_unstable();
+    both.dedup();
+    Some(support_count(tx, &both) as f64 / ante as f64)
+}
+
+/// Shannon entropy of a value distribution, in nats (the paper uses `ln`):
+/// `H = -Σ p_i ln p_i` with `p_i = N_i / N`.
+///
+/// The paper's threshold `Ht = 0.325` corresponds to a 90%/10% two-value
+/// split (§5.2); an entry must satisfy `H > Ht` to participate in rules.
+pub fn entropy(counts: impl IntoIterator<Item = usize>) -> f64 {
+    let counts: Vec<usize> = counts.into_iter().filter(|&c| c > 0).collect();
+    let n: usize = counts.iter().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    -counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / n as f64;
+            p * p.ln()
+        })
+        .sum::<f64>()
+}
+
+/// The paper's default entropy threshold (90%/10% two-value split).
+pub const DEFAULT_ENTROPY_THRESHOLD: f64 = 0.325;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_of_uniform_two_values_is_ln2() {
+        let h = entropy([50, 50]);
+        assert!((h - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_constant_is_zero() {
+        assert_eq!(entropy([100]), 0.0);
+        assert_eq!(entropy([]), 0.0);
+    }
+
+    #[test]
+    fn paper_threshold_matches_90_10_split() {
+        // H(0.9, 0.1) = -(0.9 ln 0.9 + 0.1 ln 0.1) ≈ 0.325
+        let h = entropy([90, 10]);
+        assert!((h - DEFAULT_ENTROPY_THRESHOLD).abs() < 0.001, "H = {h}");
+    }
+
+    #[test]
+    fn entropy_increases_with_diversity() {
+        assert!(entropy([50, 50]) < entropy([34, 33, 33]));
+        assert!(entropy([99, 1]) < entropy([90, 10]));
+    }
+
+    #[test]
+    fn support_and_confidence() {
+        let mut tx = Transactions::new();
+        tx.push(["a", "b"]);
+        tx.push(["a", "b"]);
+        tx.push(["a"]);
+        tx.push(["b"]);
+        let a = 0; // first interned
+        let b = 1;
+        assert_eq!(support_count(&tx, &[a]), 3);
+        assert_eq!(support_count(&tx, &[a, b]), 2);
+        let c = confidence(&tx, &[a], &[b]).unwrap();
+        assert!((c - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(confidence(&tx, &[99], &[b]), None);
+    }
+}

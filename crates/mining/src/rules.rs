@@ -1,0 +1,114 @@
+//! Association-rule extraction from frequent item sets.
+//!
+//! This is the "frequent-item-sets style" rule representation the paper
+//! finds insufficiently expressive for configuration correlations
+//! (Finding 4) — we implement it both as the baseline comparator and to
+//! complete the off-the-shelf mining substrate.
+
+use crate::{ItemSet, MiningResult, Transactions, confidence};
+
+/// An association rule `antecedent → consequent` with its metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssociationRule {
+    /// Left-hand side item set (sorted).
+    pub antecedent: ItemSet,
+    /// Right-hand side item set (sorted).
+    pub consequent: ItemSet,
+    /// Absolute support count of the union.
+    pub support: usize,
+    /// Confidence in `[0, 1]`.
+    pub confidence: f64,
+}
+
+impl AssociationRule {
+    /// Render the rule with item names.
+    pub fn render(&self, tx: &Transactions) -> String {
+        format!(
+            "{:?} => {:?} (sup={}, conf={:.2})",
+            tx.render(&self.antecedent),
+            tx.render(&self.consequent),
+            self.support,
+            self.confidence
+        )
+    }
+}
+
+/// Extract all rules with confidence ≥ `min_confidence` from mined frequent
+/// item sets, considering single-item consequents (the standard restriction
+/// used by Weka's FP-Growth implementation).
+pub fn extract_rules(
+    tx: &Transactions,
+    mined: &MiningResult,
+    min_confidence: f64,
+) -> Vec<AssociationRule> {
+    let mut out = Vec::new();
+    for (set, support) in &mined.itemsets {
+        if set.len() < 2 {
+            continue;
+        }
+        for (i, &cons) in set.iter().enumerate() {
+            let ante: ItemSet = set
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, &v)| v)
+                .collect();
+            if let Some(conf) = confidence(tx, &ante, &[cons]) {
+                if conf >= min_confidence {
+                    out.push(AssociationRule {
+                        antecedent: ante,
+                        consequent: vec![cons],
+                        support: *support,
+                        confidence: conf,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FpGrowth, MiningLimits};
+
+    #[test]
+    fn rules_meet_confidence_threshold() {
+        let tx = Transactions::from_slices(&[
+            &["a", "b"],
+            &["a", "b"],
+            &["a", "b"],
+            &["a"],
+            &["b", "c"],
+        ]);
+        let mined = FpGrowth::new(2).mine(&tx, &MiningLimits::unbounded()).unwrap();
+        let rules = extract_rules(&tx, &mined, 0.75);
+        assert!(rules.iter().all(|r| r.confidence >= 0.75));
+        // b → a has confidence 3/4 and must be present.
+        assert!(rules
+            .iter()
+            .any(|r| tx.render(&r.antecedent) == vec!["b"] && tx.render(&r.consequent) == vec!["a"]));
+        // a → b has confidence 3/4 as well.
+        assert!(rules
+            .iter()
+            .any(|r| tx.render(&r.antecedent) == vec!["a"] && tx.render(&r.consequent) == vec!["b"]));
+    }
+
+    #[test]
+    fn single_items_yield_no_rules() {
+        let tx = Transactions::from_slices(&[&["a"], &["a"]]);
+        let mined = FpGrowth::new(1).mine(&tx, &MiningLimits::unbounded()).unwrap();
+        assert!(extract_rules(&tx, &mined, 0.0).is_empty());
+    }
+
+    #[test]
+    fn render_mentions_metrics() {
+        let tx = Transactions::from_slices(&[&["x", "y"], &["x", "y"]]);
+        let mined = FpGrowth::new(2).mine(&tx, &MiningLimits::unbounded()).unwrap();
+        let rules = extract_rules(&tx, &mined, 0.9);
+        assert!(!rules.is_empty());
+        let s = rules[0].render(&tx);
+        assert!(s.contains("sup=2"));
+    }
+}

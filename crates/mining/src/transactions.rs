@@ -1,0 +1,120 @@
+//! Transaction database: the input representation of item-set mining.
+
+use std::collections::HashMap;
+
+/// Interned item identifier.
+pub type ItemId = u32;
+
+/// A set of items, sorted ascending by id.
+pub type ItemSet = Vec<ItemId>;
+
+/// A transaction database with an item-name intern table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Transactions {
+    names: Vec<String>,
+    ids: HashMap<String, ItemId>,
+    rows: Vec<ItemSet>,
+}
+
+impl Transactions {
+    /// An empty database.
+    pub fn new() -> Transactions {
+        Transactions::default()
+    }
+
+    /// Build from string slices (convenient for tests and doctests).
+    pub fn from_slices(rows: &[&[&str]]) -> Transactions {
+        let mut tx = Transactions::new();
+        for row in rows {
+            tx.push(row.iter().copied());
+        }
+        tx
+    }
+
+    /// Intern an item name.
+    pub fn intern(&mut self, name: &str) -> ItemId {
+        match self.ids.get(name) {
+            Some(&id) => id,
+            None => {
+                let id = self.names.len() as ItemId;
+                self.names.push(name.to_string());
+                self.ids.insert(name.to_string(), id);
+                id
+            }
+        }
+    }
+
+    /// Append one transaction of item names; duplicates within a
+    /// transaction are collapsed.
+    pub fn push<'a>(&mut self, items: impl IntoIterator<Item = &'a str>) {
+        let mut row: ItemSet = items.into_iter().map(|s| self.intern(s)).collect();
+        row.sort_unstable();
+        row.dedup();
+        self.rows.push(row);
+    }
+
+    /// The name of an item id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this database.
+    pub fn name(&self, id: ItemId) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Render an item set as names.
+    pub fn render(&self, set: &[ItemId]) -> Vec<&str> {
+        set.iter().map(|&i| self.name(i)).collect()
+    }
+
+    /// All transactions.
+    pub fn rows(&self) -> &[ItemSet] {
+        &self.rows
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of distinct items.
+    pub fn num_items(&self) -> usize {
+        self.names.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut tx = Transactions::new();
+        let a = tx.intern("a");
+        let b = tx.intern("b");
+        assert_eq!(tx.intern("a"), a);
+        assert_ne!(a, b);
+        assert_eq!(tx.name(a), "a");
+    }
+
+    #[test]
+    fn push_sorts_and_dedups() {
+        let mut tx = Transactions::new();
+        tx.push(["b", "a", "b"]);
+        assert_eq!(tx.rows()[0].len(), 2);
+        assert!(tx.rows()[0].windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn from_slices_counts() {
+        let tx = Transactions::from_slices(&[&["x", "y"], &["y", "z"]]);
+        assert_eq!(tx.len(), 2);
+        assert_eq!(tx.num_items(), 3);
+        assert_eq!(tx.render(&tx.rows()[1]), vec!["y", "z"]);
+    }
+}

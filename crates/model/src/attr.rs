@@ -1,0 +1,184 @@
+//! Attribute names.
+//!
+//! After data assembly the paper treats original configuration entries and
+//! augmented environment attributes uniformly ("attribute", §3).  An
+//! [`AttrName`] is the fully-qualified column name: a base entry plus an
+//! optional augmentation suffix, rendered as `entry.suffix` (Table 5a) —
+//! e.g. `datadir.owner` — or a free-standing environment attribute such as
+//! `Sys.HostName` (Table 5b).
+
+use crate::error::ModelError;
+use std::fmt;
+
+/// How an attribute was derived from the raw data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum Augmentation {
+    /// The original configuration entry value.
+    Original,
+    /// An environment property attached to a typed entry (Table 5a),
+    /// identified by its suffix (`owner`, `group`, `type`, ...).
+    EnvProperty,
+    /// Entry-independent environment data (Table 5b: `Sys.*`, `OS.*`, `HW.*`).
+    SystemWide,
+}
+
+/// Fully-qualified attribute name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct AttrName {
+    base: String,
+    suffix: Option<String>,
+    augmentation: Augmentation,
+}
+
+impl AttrName {
+    /// An original configuration entry (e.g. `datadir`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is empty; use [`AttrName::try_entry`] for fallible
+    /// construction from untrusted input.
+    pub fn entry(base: impl Into<String>) -> AttrName {
+        AttrName::try_entry(base).expect("attribute base name must be non-empty")
+    }
+
+    /// Fallible constructor for an original entry name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidAttrName`] when the name is empty or
+    /// contains control characters.
+    pub fn try_entry(base: impl Into<String>) -> Result<AttrName, ModelError> {
+        let base = base.into();
+        if base.is_empty() || base.chars().any(|c| c.is_control()) {
+            return Err(ModelError::InvalidAttrName(base));
+        }
+        Ok(AttrName {
+            base,
+            suffix: None,
+            augmentation: Augmentation::Original,
+        })
+    }
+
+    /// An augmented environment property of `self` (e.g. `datadir` →
+    /// `datadir.owner`).
+    pub fn augmented(&self, suffix: impl Into<String>) -> AttrName {
+        AttrName {
+            base: self.base.clone(),
+            suffix: Some(suffix.into()),
+            augmentation: Augmentation::EnvProperty,
+        }
+    }
+
+    /// A system-wide environment attribute (e.g. `Sys.HostName`).
+    pub fn system(name: impl Into<String>) -> AttrName {
+        AttrName {
+            base: name.into(),
+            suffix: None,
+            augmentation: Augmentation::SystemWide,
+        }
+    }
+
+    /// The base entry name (without any augmentation suffix).
+    pub fn base(&self) -> &str {
+        &self.base
+    }
+
+    /// The augmentation suffix, if any.
+    pub fn suffix(&self) -> Option<&str> {
+        self.suffix.as_deref()
+    }
+
+    /// How this attribute was derived.
+    pub fn augmentation(&self) -> Augmentation {
+        self.augmentation
+    }
+
+    /// Whether this is an original configuration entry.
+    pub fn is_original(&self) -> bool {
+        self.augmentation == Augmentation::Original
+    }
+
+    /// Whether this attribute came from the environment (either kind).
+    pub fn is_environmental(&self) -> bool {
+        !self.is_original()
+    }
+
+    /// Parse the rendered form back into an `AttrName`.
+    ///
+    /// `Sys.*`/`OS.*`/`HW.*`/`CPU.*`/`MemSize`/`HDD.*` prefixes parse as
+    /// system-wide attributes; `x.y` parses as an augmented property of `x`;
+    /// anything else is an original entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidAttrName`] for empty input.
+    pub fn parse(text: &str) -> Result<AttrName, ModelError> {
+        let t = text.trim();
+        if t.is_empty() {
+            return Err(ModelError::InvalidAttrName(text.to_string()));
+        }
+        const SYSTEM_PREFIXES: [&str; 5] = ["Sys.", "OS.", "HW.", "CPU.", "HDD."];
+        if SYSTEM_PREFIXES.iter().any(|p| t.starts_with(p)) || t == "MemSize" {
+            return Ok(AttrName::system(t));
+        }
+        match t.rsplit_once('.') {
+            Some((base, suffix)) if !base.is_empty() && !suffix.is_empty() => {
+                Ok(AttrName::try_entry(base)?.augmented(suffix))
+            }
+            _ => AttrName::try_entry(t),
+        }
+    }
+}
+
+impl fmt::Display for AttrName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.suffix {
+            Some(s) => write!(f, "{}.{}", self.base, s),
+            None => f.write_str(&self.base),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn augmented_names_render_with_dot() {
+        let a = AttrName::entry("datadir").augmented("owner");
+        assert_eq!(a.to_string(), "datadir.owner");
+        assert_eq!(a.base(), "datadir");
+        assert_eq!(a.suffix(), Some("owner"));
+        assert!(a.is_environmental());
+    }
+
+    #[test]
+    fn parse_classifies_system_attrs() {
+        let a = AttrName::parse("Sys.HostName").unwrap();
+        assert_eq!(a.augmentation(), Augmentation::SystemWide);
+        let b = AttrName::parse("MemSize").unwrap();
+        assert_eq!(b.augmentation(), Augmentation::SystemWide);
+    }
+
+    #[test]
+    fn parse_round_trips_augmented() {
+        let a = AttrName::entry("extension_dir").augmented("type");
+        let back = AttrName::parse(&a.to_string()).unwrap();
+        assert_eq!(back.base(), "extension_dir");
+        assert_eq!(back.suffix(), Some("type"));
+    }
+
+    #[test]
+    fn empty_names_rejected() {
+        assert!(AttrName::try_entry("").is_err());
+        assert!(AttrName::parse("  ").is_err());
+    }
+
+    #[test]
+    fn original_entries_have_no_suffix() {
+        let a = AttrName::entry("user");
+        assert!(a.is_original());
+        assert_eq!(a.suffix(), None);
+        assert_eq!(a.to_string(), "user");
+    }
+}

@@ -1,0 +1,221 @@
+//! The systems × attributes table consumed by rule inference.
+//!
+//! The assembler stores one [`Row`] per configured system; columns are
+//! [`AttrName`]s.  The table is sparse: an attribute absent from a system is
+//! simply missing from its row (the paper skips rules whose entries are
+//! absent, §6).
+
+use crate::attr::AttrName;
+use crate::error::ModelError;
+use crate::value::ConfigValue;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One configured system: an id plus its attribute values.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Row {
+    id: String,
+    cells: BTreeMap<AttrName, ConfigValue>,
+}
+
+impl Row {
+    /// Create an empty row for the system with the given id.
+    pub fn new(id: impl Into<String>) -> Row {
+        Row {
+            id: id.into(),
+            cells: BTreeMap::new(),
+        }
+    }
+
+    /// The system identifier (e.g. an image name).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Set an attribute value, returning the previous value if any.
+    pub fn set(&mut self, attr: AttrName, value: ConfigValue) -> Option<ConfigValue> {
+        self.cells.insert(attr, value)
+    }
+
+    /// Look up an attribute value.
+    pub fn get(&self, attr: &AttrName) -> Option<&ConfigValue> {
+        self.cells.get(attr)
+    }
+
+    /// Whether the row has a (present) value for `attr`.
+    pub fn has(&self, attr: &AttrName) -> bool {
+        self.cells.get(attr).map(|v| !v.is_absent()).unwrap_or(false)
+    }
+
+    /// Iterate over `(attribute, value)` pairs in attribute order.
+    pub fn iter(&self) -> impl Iterator<Item = (&AttrName, &ConfigValue)> {
+        self.cells.iter()
+    }
+
+    /// Number of attributes set in this row.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the row has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// The assembled dataset: a sparse table of systems × attributes.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Dataset {
+    rows: Vec<Row>,
+}
+
+impl Dataset {
+    /// Create an empty dataset.
+    pub fn new() -> Dataset {
+        Dataset::default()
+    }
+
+    /// Append a system row.
+    pub fn push_row(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// All rows, in insertion order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of systems.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Find a row by system id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NoSuchRow`] when the id is unknown.
+    pub fn row(&self, id: &str) -> Result<&Row, ModelError> {
+        self.rows
+            .iter()
+            .find(|r| r.id() == id)
+            .ok_or_else(|| ModelError::NoSuchRow(id.to_string()))
+    }
+
+    /// The set of all attribute names appearing in any row (the columns).
+    pub fn attributes(&self) -> BTreeSet<AttrName> {
+        self.rows
+            .iter()
+            .flat_map(|r| r.iter().map(|(a, _)| a.clone()))
+            .collect()
+    }
+
+    /// Number of distinct attributes (columns).
+    pub fn num_attributes(&self) -> usize {
+        self.attributes().len()
+    }
+
+    /// Total number of occupied cells (the paper's per-occurrence attribute
+    /// count in Table 2 treats each occurrence as an attribute).
+    pub fn num_occurrences(&self) -> usize {
+        self.rows.iter().map(Row::len).sum()
+    }
+
+    /// All present values of one attribute across rows.
+    pub fn column(&self, attr: &AttrName) -> Vec<&ConfigValue> {
+        self.rows
+            .iter()
+            .filter_map(|r| r.get(attr))
+            .filter(|v| !v.is_absent())
+            .collect()
+    }
+
+    /// Number of rows in which `attr` is present — the *support count* of the
+    /// attribute.
+    pub fn support(&self, attr: &AttrName) -> usize {
+        self.rows.iter().filter(|r| r.has(attr)).count()
+    }
+
+    /// Frequency of each rendered value of `attr` (input to entropy and the
+    /// Inverse Change Frequency ranking).
+    pub fn value_histogram(&self, attr: &AttrName) -> BTreeMap<String, usize> {
+        let mut hist = BTreeMap::new();
+        for v in self.column(attr) {
+            *hist.entry(v.render()).or_insert(0) += 1;
+        }
+        hist
+    }
+}
+
+impl FromIterator<Row> for Dataset {
+    fn from_iter<T: IntoIterator<Item = Row>>(iter: T) -> Self {
+        Dataset {
+            rows: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Row> for Dataset {
+    fn extend<T: IntoIterator<Item = Row>>(&mut self, iter: T) {
+        self.rows.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut ds = Dataset::new();
+        for i in 0..3 {
+            let mut r = Row::new(format!("sys-{i}"));
+            r.set(AttrName::entry("user"), ConfigValue::str("mysql"));
+            r.set(
+                AttrName::entry("datadir"),
+                ConfigValue::path(format!("/var/lib/mysql{i}")),
+            );
+            ds.push_row(r);
+        }
+        ds
+    }
+
+    #[test]
+    fn columns_and_support() {
+        let ds = sample();
+        assert_eq!(ds.num_rows(), 3);
+        assert_eq!(ds.num_attributes(), 2);
+        assert_eq!(ds.support(&AttrName::entry("user")), 3);
+        assert_eq!(ds.support(&AttrName::entry("missing")), 0);
+    }
+
+    #[test]
+    fn histogram_counts_values() {
+        let ds = sample();
+        let hist = ds.value_histogram(&AttrName::entry("user"));
+        assert_eq!(hist.get("mysql"), Some(&3));
+        let hist = ds.value_histogram(&AttrName::entry("datadir"));
+        assert_eq!(hist.len(), 3);
+    }
+
+    #[test]
+    fn absent_values_do_not_count_as_present() {
+        let mut r = Row::new("s");
+        r.set(AttrName::entry("x"), ConfigValue::Absent);
+        assert!(!r.has(&AttrName::entry("x")));
+        let ds: Dataset = [r].into_iter().collect();
+        assert_eq!(ds.support(&AttrName::entry("x")), 0);
+        assert!(ds.column(&AttrName::entry("x")).is_empty());
+    }
+
+    #[test]
+    fn row_lookup_by_id() {
+        let ds = sample();
+        assert!(ds.row("sys-1").is_ok());
+        assert!(ds.row("nope").is_err());
+    }
+
+    #[test]
+    fn occurrences_count_cells() {
+        let ds = sample();
+        assert_eq!(ds.num_occurrences(), 6);
+    }
+}

@@ -1,0 +1,183 @@
+//! The semantic type system of §4.2 (paper Table 4).
+//!
+//! EnCore's analyses are *type-directed*: a template slot only accepts
+//! attributes of a matching [`SemType`], which is what makes the rule search
+//! tractable (Finding 3) and what anchors environment augmentation (§4.3).
+
+use std::fmt;
+
+/// Semantic type of a configuration attribute.
+///
+/// The variants mirror paper Table 4 plus the two trivial fall-back types
+/// (`Str`, and `Number` which Table 4 lists explicitly).  `Permission` and
+/// `Enum` appear as augmented-attribute types in Table 5a.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[non_exhaustive]
+pub enum SemType {
+    /// Absolute file-system path (`/.+(/.+)*`), verified against the VFS.
+    FilePath,
+    /// Relative path fragment, concatenable onto a `FilePath`.
+    PartialFilePath,
+    /// Bare file name (no directory separators).
+    FileName,
+    /// System user name, verified against `/etc/passwd`.
+    UserName,
+    /// System group name, verified against `/etc/group`.
+    GroupName,
+    /// IPv4/IPv6 address (optionally with a netmask suffix).
+    IpAddress,
+    /// TCP/UDP port number, verified against `/etc/services`.
+    PortNumber,
+    /// Plain numeric quantity.
+    Number,
+    /// Byte size with a unit suffix (`K`, `M`, `G`, `T`).
+    Size,
+    /// URL (`scheme://...`).
+    Url,
+    /// MIME type (`major/minor`), verified against the IANA table.
+    MimeType,
+    /// Character-set name, verified against the IANA table.
+    Charset,
+    /// ISO 639-1 language code.
+    Language,
+    /// Boolean (On/Off, yes/no, true/false, 0/1).
+    Boolean,
+    /// Octal permission bits (augmented attributes only).
+    Permission,
+    /// Small closed set of symbolic values (augmented attributes only).
+    Enum,
+    /// Untyped string — the fall-back when nothing else matches.
+    Str,
+}
+
+impl SemType {
+    /// All predefined types, in priority order used by syntactic inference.
+    ///
+    /// More specific types come first: a value matching `FilePath` must be
+    /// classified as such before the `Str` fall-back is considered.
+    pub const PRIORITY: [SemType; 17] = [
+        SemType::Url,
+        SemType::IpAddress,
+        SemType::Size,
+        SemType::Boolean,
+        SemType::FilePath,
+        SemType::PartialFilePath,
+        SemType::MimeType,
+        SemType::Permission,
+        SemType::PortNumber,
+        SemType::Number,
+        SemType::FileName,
+        SemType::UserName,
+        SemType::GroupName,
+        SemType::Charset,
+        SemType::Language,
+        SemType::Enum,
+        SemType::Str,
+    ];
+
+    /// Whether this type carries system-environment semantics, i.e. whether
+    /// Table 5a defines augmented attributes for it.
+    pub fn is_env_related(self) -> bool {
+        matches!(
+            self,
+            SemType::FilePath
+                | SemType::PartialFilePath
+                | SemType::FileName
+                | SemType::UserName
+                | SemType::GroupName
+                | SemType::IpAddress
+                | SemType::PortNumber
+        )
+    }
+
+    /// Whether the type is one of the two trivial fall-backs (§7.2 counts
+    /// "NonTrivial" entries as those *not* typed `Str`/`Number`).
+    pub fn is_trivial(self) -> bool {
+        matches!(self, SemType::Str | SemType::Number)
+    }
+
+    /// Whether values of this type are ordered and numerically comparable
+    /// (eligible for `<` templates).
+    pub fn is_ordered(self) -> bool {
+        matches!(self, SemType::Number | SemType::Size | SemType::PortNumber)
+    }
+
+    /// Short stable name used in rule files and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SemType::FilePath => "FilePath",
+            SemType::PartialFilePath => "PartialFilePath",
+            SemType::FileName => "FileName",
+            SemType::UserName => "UserName",
+            SemType::GroupName => "GroupName",
+            SemType::IpAddress => "IPAddress",
+            SemType::PortNumber => "PortNumber",
+            SemType::Number => "Number",
+            SemType::Size => "Size",
+            SemType::Url => "URL",
+            SemType::MimeType => "MIMEType",
+            SemType::Charset => "Charset",
+            SemType::Language => "Language",
+            SemType::Boolean => "Boolean",
+            SemType::Permission => "Permission",
+            SemType::Enum => "Enum",
+            SemType::Str => "String",
+        }
+    }
+
+    /// Parse a type name as written in templates and customization files.
+    pub fn parse_name(s: &str) -> Option<SemType> {
+        let canon = s.trim();
+        SemType::PRIORITY
+            .iter()
+            .copied()
+            .find(|t| t.name().eq_ignore_ascii_case(canon))
+    }
+}
+
+impl fmt::Display for SemType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for ty in SemType::PRIORITY {
+            assert_eq!(SemType::parse_name(ty.name()), Some(ty), "{ty}");
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!(SemType::parse_name("filepath"), Some(SemType::FilePath));
+        assert_eq!(SemType::parse_name(" USERNAME "), Some(SemType::UserName));
+    }
+
+    #[test]
+    fn env_related_types_match_table_5a() {
+        assert!(SemType::FilePath.is_env_related());
+        assert!(SemType::UserName.is_env_related());
+        assert!(SemType::IpAddress.is_env_related());
+        assert!(!SemType::Number.is_env_related());
+        assert!(!SemType::Str.is_env_related());
+    }
+
+    #[test]
+    fn trivial_types_are_str_and_number() {
+        let trivial: Vec<_> = SemType::PRIORITY.iter().filter(|t| t.is_trivial()).collect();
+        assert_eq!(trivial.len(), 2);
+    }
+
+    #[test]
+    fn priority_contains_no_duplicates() {
+        let mut seen = std::collections::HashSet::new();
+        for ty in SemType::PRIORITY {
+            assert!(seen.insert(ty), "duplicate {ty}");
+        }
+    }
+}

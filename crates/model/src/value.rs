@@ -1,0 +1,336 @@
+//! Configuration values.
+//!
+//! A [`ConfigValue`] is the parsed form of one configuration setting or one
+//! augmented environment attribute.  Values keep both a normalised typed view
+//! (used by relation validators) and their raw textual form (used by the
+//! value-comparison baselines and by reporting).
+
+use crate::error::ModelError;
+use std::fmt;
+
+/// Unit suffix of a [`ConfigValue::Size`] value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum SizeUnit {
+    /// Bytes (no suffix).
+    B,
+    /// Kibibytes (`K`).
+    K,
+    /// Mebibytes (`M`).
+    M,
+    /// Gibibytes (`G`).
+    G,
+    /// Tebibytes (`T`).
+    T,
+}
+
+impl SizeUnit {
+    /// Multiplier to bytes.
+    pub fn multiplier(self) -> u64 {
+        match self {
+            SizeUnit::B => 1,
+            SizeUnit::K => 1 << 10,
+            SizeUnit::M => 1 << 20,
+            SizeUnit::G => 1 << 30,
+            SizeUnit::T => 1 << 40,
+        }
+    }
+
+    /// Parse a single-letter suffix.
+    pub fn from_suffix(c: char) -> Option<SizeUnit> {
+        match c.to_ascii_uppercase() {
+            'K' => Some(SizeUnit::K),
+            'M' => Some(SizeUnit::M),
+            'G' => Some(SizeUnit::G),
+            'T' => Some(SizeUnit::T),
+            _ => None,
+        }
+    }
+
+    /// Canonical suffix letter (empty for bytes).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            SizeUnit::B => "",
+            SizeUnit::K => "K",
+            SizeUnit::M => "M",
+            SizeUnit::G => "G",
+            SizeUnit::T => "T",
+        }
+    }
+}
+
+/// A parsed configuration (or augmented-attribute) value.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[non_exhaustive]
+pub enum ConfigValue {
+    /// Free-form string (also the raw form of every other variant).
+    Str(String),
+    /// Numeric value (integers and decimals).
+    Number(f64),
+    /// Byte size with original magnitude and unit.
+    Size {
+        /// Magnitude in the original unit.
+        magnitude: u64,
+        /// The unit suffix.
+        unit: SizeUnit,
+    },
+    /// Boolean.
+    Bool(bool),
+    /// Absolute or partial file-system path.
+    Path(String),
+    /// IP address, stored textually with an `is_v6` flag.
+    Ip {
+        /// Original textual address.
+        text: String,
+        /// Whether the address is IPv6.
+        v6: bool,
+    },
+    /// A value that was absent in a given system (sparse dataset cell).
+    Absent,
+}
+
+impl ConfigValue {
+    /// Construct a string value.
+    pub fn str(s: impl Into<String>) -> ConfigValue {
+        ConfigValue::Str(s.into())
+    }
+
+    /// Construct a path value.
+    pub fn path(p: impl Into<String>) -> ConfigValue {
+        ConfigValue::Path(p.into())
+    }
+
+    /// Construct a numeric value.
+    pub fn number(n: f64) -> ConfigValue {
+        ConfigValue::Number(n)
+    }
+
+    /// Construct a boolean value.
+    pub fn boolean(b: bool) -> ConfigValue {
+        ConfigValue::Bool(b)
+    }
+
+    /// Construct a size value.
+    pub fn size(magnitude: u64, unit: SizeUnit) -> ConfigValue {
+        ConfigValue::Size { magnitude, unit }
+    }
+
+    /// Parse an IP literal, classifying v4 vs v6.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ParseValue`] if the input is neither a dotted
+    /// IPv4 quad nor a coloned IPv6 literal.
+    pub fn parse_ip(text: &str) -> Result<ConfigValue, ModelError> {
+        let t = text.trim();
+        let v4 = t.split('.').count() == 4
+            && t.split('.')
+                .all(|o| !o.is_empty() && o.chars().all(|c| c.is_ascii_digit()) && o.parse::<u16>().map(|v| v < 256).unwrap_or(false));
+        let v6 = t.contains(':')
+            && t.chars().all(|c| c.is_ascii_hexdigit() || c == ':');
+        if v4 || v6 {
+            Ok(ConfigValue::Ip {
+                text: t.to_string(),
+                v6,
+            })
+        } else {
+            Err(ModelError::ParseValue {
+                expected: "IP address",
+                input: text.to_string(),
+            })
+        }
+    }
+
+    /// Parse a size literal such as `64M` or `1024`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ParseValue`] if the magnitude is not numeric or
+    /// the suffix is not one of `K`, `M`, `G`, `T`.
+    pub fn parse_size(text: &str) -> Result<ConfigValue, ModelError> {
+        let t = text.trim();
+        let err = || ModelError::ParseValue {
+            expected: "size",
+            input: text.to_string(),
+        };
+        if t.is_empty() {
+            return Err(err());
+        }
+        let last = t.chars().last().expect("non-empty");
+        let (digits, unit) = if last.is_ascii_digit() {
+            (t, SizeUnit::B)
+        } else {
+            let unit = SizeUnit::from_suffix(last).ok_or_else(err)?;
+            (&t[..t.len() - 1], unit)
+        };
+        let magnitude: u64 = digits.parse().map_err(|_| err())?;
+        Ok(ConfigValue::Size { magnitude, unit })
+    }
+
+    /// Parse a boolean in any of the forms configuration files use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ParseValue`] for anything outside the accepted
+    /// literal set.
+    pub fn parse_bool(text: &str) -> Result<ConfigValue, ModelError> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "on" | "yes" | "true" | "1" => Ok(ConfigValue::Bool(true)),
+            "off" | "no" | "false" | "0" => Ok(ConfigValue::Bool(false)),
+            _ => Err(ModelError::ParseValue {
+                expected: "boolean",
+                input: text.to_string(),
+            }),
+        }
+    }
+
+    /// The value in bytes if this is a `Size`, the plain number if `Number`.
+    pub fn as_bytes(&self) -> Option<u64> {
+        match self {
+            ConfigValue::Size { magnitude, unit } => Some(magnitude * unit.multiplier()),
+            ConfigValue::Number(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric view (sizes convert to bytes).
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            ConfigValue::Number(n) => Some(*n),
+            ConfigValue::Size { .. } => self.as_bytes().map(|b| b as f64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            ConfigValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// String view of the underlying text, if the variant carries text.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ConfigValue::Str(s) => Some(s),
+            ConfigValue::Path(p) => Some(p),
+            ConfigValue::Ip { text, .. } => Some(text),
+            _ => None,
+        }
+    }
+
+    /// Whether this cell is [`ConfigValue::Absent`].
+    pub fn is_absent(&self) -> bool {
+        matches!(self, ConfigValue::Absent)
+    }
+
+    /// Canonical textual rendering used for value-equality comparison by the
+    /// baselines and for CSV export.
+    pub fn render(&self) -> String {
+        match self {
+            ConfigValue::Str(s) => s.clone(),
+            ConfigValue::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            ConfigValue::Size { magnitude, unit } => format!("{magnitude}{}", unit.suffix()),
+            ConfigValue::Bool(b) => if *b { "On" } else { "Off" }.to_string(),
+            ConfigValue::Path(p) => p.clone(),
+            ConfigValue::Ip { text, .. } => text.clone(),
+            ConfigValue::Absent => String::new(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<&str> for ConfigValue {
+    fn from(s: &str) -> Self {
+        ConfigValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for ConfigValue {
+    fn from(s: String) -> Self {
+        ConfigValue::Str(s)
+    }
+}
+
+impl From<f64> for ConfigValue {
+    fn from(n: f64) -> Self {
+        ConfigValue::Number(n)
+    }
+}
+
+impl From<bool> for ConfigValue {
+    fn from(b: bool) -> Self {
+        ConfigValue::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_parsing_and_bytes() {
+        let v = ConfigValue::parse_size("64M").expect("parse");
+        assert_eq!(v.as_bytes(), Some(64 << 20));
+        assert_eq!(v.render(), "64M");
+        let plain = ConfigValue::parse_size("2048").expect("parse");
+        assert_eq!(plain.as_bytes(), Some(2048));
+    }
+
+    #[test]
+    fn size_rejects_garbage() {
+        assert!(ConfigValue::parse_size("").is_err());
+        assert!(ConfigValue::parse_size("12Q").is_err());
+        assert!(ConfigValue::parse_size("M").is_err());
+    }
+
+    #[test]
+    fn bool_accepts_all_config_spellings() {
+        for t in ["On", "yes", "TRUE", "1"] {
+            assert_eq!(ConfigValue::parse_bool(t).unwrap().as_bool(), Some(true));
+        }
+        for t in ["Off", "no", "false", "0"] {
+            assert_eq!(ConfigValue::parse_bool(t).unwrap().as_bool(), Some(false));
+        }
+        assert!(ConfigValue::parse_bool("maybe").is_err());
+    }
+
+    #[test]
+    fn ip_classification() {
+        match ConfigValue::parse_ip("10.0.1.1").unwrap() {
+            ConfigValue::Ip { v6, .. } => assert!(!v6),
+            other => panic!("unexpected {other:?}"),
+        }
+        match ConfigValue::parse_ip("fe80::1").unwrap() {
+            ConfigValue::Ip { v6, .. } => assert!(v6),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(ConfigValue::parse_ip("300.1.1.1").is_err());
+        assert!(ConfigValue::parse_ip("not-an-ip").is_err());
+    }
+
+    #[test]
+    fn render_round_trips_for_display() {
+        let v = ConfigValue::number(42.0);
+        assert_eq!(v.to_string(), "42");
+        let v = ConfigValue::boolean(true);
+        assert_eq!(v.to_string(), "On");
+    }
+
+    #[test]
+    fn number_view_of_sizes_is_bytes() {
+        let v = ConfigValue::parse_size("1K").unwrap();
+        assert_eq!(v.as_number(), Some(1024.0));
+    }
+}

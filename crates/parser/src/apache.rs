@@ -1,0 +1,385 @@
+//! Apache httpd configuration lens.
+//!
+//! httpd.conf is directive-oriented: `Directive arg1 arg2 ...` plus nested
+//! container sections `<Directory /path> ... </Directory>`.  The lens
+//! flattens this structure into keys:
+//!
+//! * single-argument directives → `Directive` = arg,
+//! * multi-argument directives → `Directive/arg1`, `Directive/arg2`, ...
+//!   (the paper's rule `ServerRoot + LoadModule/arg2 => <FilePath exists>`
+//!   relies on exactly this naming, Figure 4(b)),
+//! * section-scoped directives → `Section:arg|Directive` — the `|`
+//!   separator cannot collide with slashes inside section arguments
+//!   (Apache "allows nested configuration entries at arbitrary levels"
+//!   and unseen section/entry combinations are flagged, §7.1.2).
+//!
+//! Repeated directives (e.g. many `LoadModule` lines) get an occurrence
+//! index: `LoadModule#0/arg1`, `LoadModule#1/arg1`, ...
+
+use crate::{KeyValue, Lens, ParseError};
+use std::collections::HashMap;
+
+/// Lens for Apache httpd-style configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ApacheLens {
+    _priv: (),
+}
+
+impl ApacheLens {
+    /// Create the lens.
+    pub fn new() -> ApacheLens {
+        ApacheLens::default()
+    }
+
+    /// Directives that legitimately repeat and therefore carry an occurrence
+    /// index in their flattened key.
+    fn is_repeatable(directive: &str) -> bool {
+        matches!(
+            directive,
+            "LoadModule" | "AddType" | "AddHandler" | "Alias" | "Listen" | "Include"
+        )
+    }
+}
+
+/// Split a directive line into words, honouring double quotes.
+fn split_args(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut quoted = false;
+    for c in line.chars() {
+        match c {
+            '"' => quoted = !quoted,
+            c if c.is_whitespace() && !quoted => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+impl Lens for ApacheLens {
+    fn name(&self) -> &str {
+        "httpd.conf"
+    }
+
+    fn parse(&self, text: &str) -> Result<Vec<KeyValue>, ParseError> {
+        let mut pairs = Vec::new();
+        let mut section_stack: Vec<String> = Vec::new();
+        let mut occurrence: HashMap<String, usize> = HashMap::new();
+
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("</") {
+                let name = rest.trim_end_matches('>').trim();
+                match section_stack.pop() {
+                    Some(open) if open.split(':').next() == Some(name) => continue,
+                    _ => {
+                        return Err(ParseError::MismatchedClose {
+                            line: idx + 1,
+                            found: name.to_string(),
+                        })
+                    }
+                }
+            }
+            if let Some(rest) = line.strip_prefix('<') {
+                let inner = rest.trim_end_matches('>').trim();
+                let mut words = split_args(inner);
+                if words.is_empty() {
+                    return Err(ParseError::BadLine {
+                        line: idx + 1,
+                        text: raw.to_string(),
+                    });
+                }
+                let name = words.remove(0);
+                let arg = words.join(" ");
+                // Expose the section argument as a stable attribute
+                // (`Directory#0/section` = "/var/www/html") so correlations
+                // between directives and section scopes are learnable —
+                // e.g. "DocumentRoot should have a related <Directory>"
+                // (real-world case #1).
+                if !arg.is_empty() {
+                    let prefix = if section_stack.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{}|", section_stack.join("|"))
+                    };
+                    let n = occurrence.entry(format!("<{name}>")).or_insert(0);
+                    pairs.push(KeyValue::new(
+                        format!("{prefix}{name}#{n}/section"),
+                        arg.clone(),
+                    ));
+                    *n += 1;
+                }
+                section_stack.push(if arg.is_empty() {
+                    name
+                } else {
+                    format!("{name}:{arg}")
+                });
+                continue;
+            }
+            let words = split_args(line);
+            if words.is_empty() {
+                continue;
+            }
+            let directive = &words[0];
+            let prefix = if section_stack.is_empty() {
+                String::new()
+            } else {
+                format!("{}|", section_stack.join("|"))
+            };
+            let base = if ApacheLens::is_repeatable(directive) {
+                let n = occurrence.entry(directive.clone()).or_insert(0);
+                let key = format!("{prefix}{directive}#{n}");
+                *n += 1;
+                key
+            } else {
+                format!("{prefix}{directive}")
+            };
+            match words.len() {
+                1 => pairs.push(KeyValue::new(base, "")),
+                2 => pairs.push(KeyValue::new(base, words[1].clone())),
+                _ => {
+                    for (i, arg) in words[1..].iter().enumerate() {
+                        pairs.push(KeyValue::new(format!("{base}/arg{}", i + 1), arg.clone()));
+                    }
+                }
+            }
+        }
+        if let Some(open) = section_stack.pop() {
+            return Err(ParseError::UnclosedSection {
+                name: open.split(':').next().unwrap_or(&open).to_string(),
+            });
+        }
+        Ok(pairs)
+    }
+
+    fn render(&self, pairs: &[KeyValue]) -> String {
+        // Re-group multi-arg directives (`Key/argN`) and section scopes.
+        let mut out = String::new();
+        let mut open_sections: Vec<String> = Vec::new();
+        let mut grouped: Vec<(String, Vec<(usize, String)>)> = Vec::new();
+        for kv in pairs {
+            let (scope_key, argpos) = match kv.key.rfind("/arg") {
+                Some(i) if kv.key[i + 4..].chars().all(|c| c.is_ascii_digit()) && !kv.key[i + 4..].is_empty() => {
+                    (kv.key[..i].to_string(), kv.key[i + 4..].parse::<usize>().expect("digits"))
+                }
+                _ => (kv.key.clone(), 0),
+            };
+            match grouped.last_mut() {
+                Some((k, args)) if *k == scope_key && argpos > 0 => {
+                    args.push((argpos, kv.value.clone()))
+                }
+                _ => grouped.push((scope_key, vec![(argpos, kv.value.clone())])),
+            }
+        }
+        for (key, mut args) in grouped {
+            let parts: Vec<&str> = key.split('|').collect();
+            // Section-argument pairs (`Name#n/section`) are the
+            // authoritative section openers.
+            let last = parts[parts.len() - 1];
+            if let Some(sec) = last.strip_suffix("/section") {
+                let name = sec.split('#').next().unwrap_or(sec);
+                let arg = args
+                    .first()
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_default();
+                // Close sections deeper than this one's outer scope.
+                let outer = &parts[..parts.len() - 1];
+                while open_sections.len() > outer.len()
+                    || !open_sections.iter().zip(outer.iter()).all(|(a, b)| a == *b)
+                {
+                    match open_sections.pop() {
+                        Some(closed) => {
+                            let n = closed.split(':').next().unwrap_or(&closed);
+                            out.push_str(&format!("</{n}>\n"));
+                        }
+                        None => break,
+                    }
+                }
+                out.push_str(&format!("<{name} {arg}>\n"));
+                open_sections.push(format!("{name}:{arg}"));
+                continue;
+            }
+            let sections = &parts[..parts.len() - 1];
+            // close sections no longer in scope
+            while open_sections.len() > sections.len()
+                || !open_sections
+                    .iter()
+                    .zip(sections.iter())
+                    .all(|(a, b)| a == *b)
+            {
+                let closed = open_sections.pop().expect("non-empty while unequal");
+                let name = closed.split(':').next().unwrap_or(&closed);
+                out.push_str(&format!("</{name}>\n"));
+                if open_sections.len() <= sections.len()
+                    && open_sections
+                        .iter()
+                        .zip(sections.iter())
+                        .all(|(a, b)| a == *b)
+                {
+                    break;
+                }
+            }
+            // open new sections
+            for s in &sections[open_sections.len()..] {
+                match s.split_once(':') {
+                    Some((name, arg)) => out.push_str(&format!("<{name} {arg}>\n")),
+                    None => out.push_str(&format!("<{s}>\n")),
+                }
+                open_sections.push(s.to_string());
+            }
+            let directive_raw = parts[parts.len() - 1];
+            let directive = directive_raw.split('#').next().unwrap_or(directive_raw);
+            args.sort_by_key(|(pos, _)| *pos);
+            let rendered_args: Vec<String> = args
+                .into_iter()
+                .filter(|(_, v)| !v.is_empty())
+                .map(|(_, v)| {
+                    if v.contains(' ') {
+                        format!("\"{v}\"")
+                    } else {
+                        v
+                    }
+                })
+                .collect();
+            if rendered_args.is_empty() {
+                out.push_str(&format!("{directive}\n"));
+            } else {
+                out.push_str(&format!("{directive} {}\n", rendered_args.join(" ")));
+            }
+        }
+        while let Some(closed) = open_sections.pop() {
+            let name = closed.split(':').next().unwrap_or(&closed);
+            out.push_str(&format!("</{name}>\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HTTPD: &str = r#"
+# Apache configuration
+ServerRoot "/etc/httpd"
+Listen 80
+LoadModule auth_basic_module modules/mod_auth_basic.so
+LoadModule mime_module modules/mod_mime.so
+User apache
+DocumentRoot "/var/www/html"
+<Directory /var/www/html>
+    Options Indexes FollowSymLinks
+    AllowOverride None
+</Directory>
+Timeout 60
+"#;
+
+    #[test]
+    fn single_arg_directives() {
+        let pairs = ApacheLens::new().parse(HTTPD).unwrap();
+        let get = |k: &str| {
+            pairs
+                .iter()
+                .find(|p| p.key == k)
+                .map(|p| p.value.as_str())
+        };
+        assert_eq!(get("ServerRoot"), Some("/etc/httpd"));
+        assert_eq!(get("User"), Some("apache"));
+        assert_eq!(get("Timeout"), Some("60"));
+    }
+
+    #[test]
+    fn repeated_multiarg_directives_get_indices() {
+        let pairs = ApacheLens::new().parse(HTTPD).unwrap();
+        let get = |k: &str| pairs.iter().find(|p| p.key == k).map(|p| p.value.as_str());
+        assert_eq!(get("LoadModule#0/arg1"), Some("auth_basic_module"));
+        assert_eq!(get("LoadModule#0/arg2"), Some("modules/mod_auth_basic.so"));
+        assert_eq!(get("LoadModule#1/arg2"), Some("modules/mod_mime.so"));
+        assert_eq!(get("Listen#0"), Some("80"));
+    }
+
+    #[test]
+    fn sections_scope_keys() {
+        let pairs = ApacheLens::new().parse(HTTPD).unwrap();
+        let get = |k: &str| pairs.iter().find(|p| p.key == k).map(|p| p.value.as_str());
+        assert_eq!(get("Directory:/var/www/html|AllowOverride"), Some("None"));
+        assert_eq!(get("Directory:/var/www/html|Options/arg1"), Some("Indexes"));
+        assert_eq!(
+            get("Directory:/var/www/html|Options/arg2"),
+            Some("FollowSymLinks")
+        );
+    }
+
+    #[test]
+    fn unclosed_section_is_error() {
+        let err = ApacheLens::new().parse("<Directory /x>\nOptions None\n").unwrap_err();
+        assert!(matches!(err, ParseError::UnclosedSection { .. }));
+    }
+
+    #[test]
+    fn mismatched_close_is_error() {
+        let err = ApacheLens::new()
+            .parse("<Directory /x>\n</Files>\n")
+            .unwrap_err();
+        assert!(matches!(err, ParseError::MismatchedClose { .. }));
+    }
+
+    #[test]
+    fn quoted_values_keep_spaces() {
+        let pairs = ApacheLens::new()
+            .parse("ServerAdmin \"web master\"\n")
+            .unwrap();
+        assert_eq!(pairs[0].value, "web master");
+    }
+
+    #[test]
+    fn round_trip() {
+        let lens = ApacheLens::new();
+        let pairs = lens.parse(HTTPD).unwrap();
+        let rendered = lens.render(&pairs);
+        let back = lens.parse(&rendered).unwrap();
+        assert_eq!(pairs, back, "render:\n{rendered}");
+    }
+}
+
+#[cfg(test)]
+mod section_arg_tests {
+    use super::*;
+
+    #[test]
+    fn section_args_exposed_as_attributes() {
+        let pairs = ApacheLens::new()
+            .parse("DocumentRoot /var/www/html\n<Directory /var/www/html>\nAllowOverride None\n</Directory>\n")
+            .unwrap();
+        let sec = pairs.iter().find(|p| p.key == "Directory#0/section").unwrap();
+        assert_eq!(sec.value, "/var/www/html");
+    }
+
+    #[test]
+    fn section_arg_round_trip() {
+        let lens = ApacheLens::new();
+        let text = "DocumentRoot /srv/www\n<Directory /srv/www>\nAllowOverride All\n</Directory>\n<Directory /var/www/cgi-bin>\nOptions None\n</Directory>\n";
+        let pairs = lens.parse(text).unwrap();
+        let back = lens.parse(&lens.render(&pairs)).unwrap();
+        assert_eq!(pairs, back, "render:\n{}", lens.render(&pairs));
+    }
+
+    #[test]
+    fn empty_section_round_trip() {
+        let lens = ApacheLens::new();
+        let pairs = lens.parse("<Directory /opt>\n</Directory>\nTimeout 60\n").unwrap();
+        assert_eq!(pairs.len(), 2);
+        let back = lens.parse(&lens.render(&pairs)).unwrap();
+        assert_eq!(pairs, back, "render:\n{}", lens.render(&pairs));
+    }
+}

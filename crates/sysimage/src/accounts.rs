@@ -1,0 +1,204 @@
+//! Account database: the `/etc/passwd` and `/etc/group` stand-ins.
+
+use std::collections::BTreeMap;
+
+/// One `/etc/passwd` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct User {
+    /// Login name.
+    pub name: String,
+    /// Numeric user id.
+    pub uid: u32,
+    /// Primary group id.
+    pub gid: u32,
+}
+
+impl User {
+    /// Create a user record.
+    pub fn new(name: impl Into<String>, uid: u32, gid: u32) -> User {
+        User {
+            name: name.into(),
+            uid,
+            gid,
+        }
+    }
+
+    /// Whether the user is an administrator (uid 0).
+    pub fn is_admin(&self) -> bool {
+        self.uid == 0
+    }
+}
+
+/// One `/etc/group` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    /// Group name.
+    pub name: String,
+    /// Numeric group id.
+    pub gid: u32,
+    /// Member user names.
+    pub members: Vec<String>,
+}
+
+impl Group {
+    /// Create a group record.
+    pub fn new(name: impl Into<String>, gid: u32, members: &[&str]) -> Group {
+        Group {
+            name: name.into(),
+            gid,
+            members: members.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// The account database of one system image.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Accounts {
+    users: BTreeMap<String, User>,
+    groups: BTreeMap<String, Group>,
+    next_gid: u32,
+}
+
+impl Accounts {
+    /// Create an empty database.
+    pub fn new() -> Accounts {
+        Accounts {
+            next_gid: 1000,
+            ..Accounts::default()
+        }
+    }
+
+    /// Add (or replace) a user.
+    pub fn add_user(&mut self, user: User) {
+        self.users.insert(user.name.clone(), user);
+    }
+
+    /// Add (or replace) a group.
+    pub fn add_group(&mut self, group: Group) {
+        self.groups.insert(group.name.clone(), group);
+    }
+
+    /// Ensure a group with this name exists (allocating a gid if new).
+    pub fn ensure_group(&mut self, name: &str) {
+        if !self.groups.contains_key(name) {
+            self.next_gid += 1;
+            let gid = self.next_gid;
+            self.add_group(Group::new(name, gid, &[]));
+        }
+    }
+
+    /// Add `user` to `group` (both must already exist by name; the group is
+    /// created if missing).
+    pub fn add_membership(&mut self, user: &str, group: &str) {
+        self.ensure_group(group);
+        let g = self.groups.get_mut(group).expect("ensured above");
+        if !g.members.iter().any(|m| m == user) {
+            g.members.push(user.to_string());
+        }
+    }
+
+    /// Look up a user by name.
+    pub fn user(&self, name: &str) -> Option<&User> {
+        self.users.get(name)
+    }
+
+    /// Look up a group by name.
+    pub fn group(&self, name: &str) -> Option<&Group> {
+        self.groups.get(name)
+    }
+
+    /// Whether `user` is a member of `group` (explicit membership or the
+    /// user's primary group).
+    pub fn is_member(&self, user: &str, group: &str) -> bool {
+        if let Some(g) = self.groups.get(group) {
+            if g.members.iter().any(|m| m == user) {
+                return true;
+            }
+            if let Some(u) = self.users.get(user) {
+                return u.gid == g.gid;
+            }
+        }
+        false
+    }
+
+    /// All groups `user` belongs to.
+    pub fn groups_of(&self, user: &str) -> Vec<&str> {
+        self.groups
+            .values()
+            .filter(|g| self.is_member(user, &g.name))
+            .map(|g| g.name.as_str())
+            .collect()
+    }
+
+    /// Whether the user is in the root group (`user.isRootGroup`, Table 5a).
+    pub fn in_root_group(&self, user: &str) -> bool {
+        self.is_member(user, "root")
+    }
+
+    /// Iterate user names (`Acct.UserList`, Table 7).
+    pub fn user_list(&self) -> impl Iterator<Item = &str> {
+        self.users.keys().map(String::as_str)
+    }
+
+    /// Iterate group names (`Acct.GroupList`, Table 7).
+    pub fn group_list(&self) -> impl Iterator<Item = &str> {
+        self.groups.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Accounts {
+        let mut a = Accounts::new();
+        a.add_user(User::new("root", 0, 0));
+        a.add_group(Group::new("root", 0, &["root"]));
+        a.add_user(User::new("mysql", 27, 27));
+        a.add_group(Group::new("mysql", 27, &["mysql"]));
+        a.add_user(User::new("apache", 48, 48));
+        a.add_group(Group::new("apache", 48, &[]));
+        a
+    }
+
+    #[test]
+    fn membership_explicit_and_primary() {
+        let a = db();
+        assert!(a.is_member("mysql", "mysql"));
+        // apache group has no explicit members but gid 48 is apache's primary
+        assert!(a.is_member("apache", "apache"));
+        assert!(!a.is_member("mysql", "apache"));
+    }
+
+    #[test]
+    fn admin_detection() {
+        let a = db();
+        assert!(a.user("root").unwrap().is_admin());
+        assert!(!a.user("mysql").unwrap().is_admin());
+    }
+
+    #[test]
+    fn root_group_detection() {
+        let a = db();
+        assert!(a.in_root_group("root"));
+        assert!(!a.in_root_group("mysql"));
+    }
+
+    #[test]
+    fn ensure_group_is_idempotent() {
+        let mut a = db();
+        a.ensure_group("www");
+        let gid = a.group("www").unwrap().gid;
+        a.ensure_group("www");
+        assert_eq!(a.group("www").unwrap().gid, gid);
+    }
+
+    #[test]
+    fn groups_of_lists_all() {
+        let mut a = db();
+        a.add_membership("mysql", "backup");
+        let gs = a.groups_of("mysql");
+        assert!(gs.contains(&"mysql"));
+        assert!(gs.contains(&"backup"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Hardware specification — the `/proc` stand-in (Table 5b / Table 7).
+
+/// Hardware description of a *running* instance.
+///
+/// Dormant images (the EC2 training corpus) carry no hardware spec; see
+/// [`crate::SystemImage::hardware`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardwareSpec {
+    /// Number of CPU hardware threads (`CPU.Threads` / `HW.Cores`).
+    pub cpu_threads: u32,
+    /// CPU frequency in MHz (`CPU.Freq`).
+    pub cpu_freq_mhz: u32,
+    /// Physical memory in bytes (`MemSize` / `HW.Memory`).
+    pub mem_bytes: u64,
+    /// Available disk space in bytes (`HDD.AvailSpace` / `HW.DiskSize`).
+    pub disk_avail_bytes: u64,
+}
+
+impl HardwareSpec {
+    /// A small cloud instance (1 vCPU, 1.7 GiB — the classic EC2 m1.small).
+    pub fn small() -> HardwareSpec {
+        HardwareSpec {
+            cpu_threads: 1,
+            cpu_freq_mhz: 2000,
+            mem_bytes: 17 << 27, // 1.7 GiB
+            disk_avail_bytes: 160 << 30,
+        }
+    }
+
+    /// A large instance (8 threads, 16 GiB — the paper's mining testbed).
+    pub fn large() -> HardwareSpec {
+        HardwareSpec {
+            cpu_threads: 8,
+            cpu_freq_mhz: 2600,
+            mem_bytes: 16 << 30,
+            disk_avail_bytes: 1 << 40,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        assert!(HardwareSpec::small().mem_bytes < HardwareSpec::large().mem_bytes);
+        assert!(HardwareSpec::small().cpu_threads < HardwareSpec::large().cpu_threads);
+    }
+}

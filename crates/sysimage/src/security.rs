@@ -1,0 +1,99 @@
+//! Security-module state: SELinux / AppArmor (`OS.SEStatus`, Table 5b).
+//!
+//! Real-world case #4 of Table 9 (MySQL data-writing error caused by an
+//! undesired AppArmor profile) requires modelling whether a mandatory-access
+//! module confines a path.
+
+/// Which security module is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SecurityModule {
+    /// No MAC module.
+    None,
+    /// SELinux.
+    SeLinux,
+    /// AppArmor.
+    AppArmor,
+}
+
+/// Security-module state of an image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SecurityState {
+    module: SecurityModule,
+    enforcing: bool,
+    confined_paths: Vec<String>,
+}
+
+impl Default for SecurityState {
+    fn default() -> Self {
+        SecurityState {
+            module: SecurityModule::None,
+            enforcing: false,
+            confined_paths: Vec::new(),
+        }
+    }
+}
+
+impl SecurityState {
+    /// No security module.
+    pub fn disabled() -> SecurityState {
+        SecurityState::default()
+    }
+
+    /// An enforcing module with a set of confined path prefixes.
+    pub fn enforcing(module: SecurityModule, confined: &[&str]) -> SecurityState {
+        SecurityState {
+            module,
+            enforcing: true,
+            confined_paths: confined.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// The active module.
+    pub fn module(&self) -> SecurityModule {
+        self.module
+    }
+
+    /// Whether the module is enforcing.
+    pub fn is_enforcing(&self) -> bool {
+        self.enforcing && self.module != SecurityModule::None
+    }
+
+    /// Whether writes to `path` are denied by the module (i.e. the path is
+    /// outside every allowed profile prefix while the module enforces).
+    ///
+    /// AppArmor profiles whitelist directories; a `datadir` moved outside
+    /// `/var/lib/mysql` is denied even with correct Unix permissions — the
+    /// exact failure of real-world case #4.
+    pub fn denies_write(&self, path: &str) -> bool {
+        self.is_enforcing() && !self.confined_paths.iter().any(|p| path.starts_with(p.as_str()))
+    }
+
+    /// Status string for the `OS.SEStatus` attribute.
+    pub fn status_str(&self) -> &'static str {
+        match (self.module, self.enforcing) {
+            (SecurityModule::None, _) => "disabled",
+            (_, true) => "enforcing",
+            (_, false) => "permissive",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_denies_nothing() {
+        let s = SecurityState::disabled();
+        assert!(!s.denies_write("/anywhere"));
+        assert_eq!(s.status_str(), "disabled");
+    }
+
+    #[test]
+    fn enforcing_denies_outside_profile() {
+        let s = SecurityState::enforcing(SecurityModule::AppArmor, &["/var/lib/mysql"]);
+        assert!(!s.denies_write("/var/lib/mysql/ibdata1"));
+        assert!(s.denies_write("/data/mysql"));
+        assert_eq!(s.status_str(), "enforcing");
+    }
+}

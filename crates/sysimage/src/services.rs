@@ -1,0 +1,95 @@
+//! Service/port table — the `/etc/services` stand-in.
+
+use std::collections::BTreeMap;
+
+/// Mapping between service names and port numbers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Services {
+    by_port: BTreeMap<u16, String>,
+    by_name: BTreeMap<String, u16>,
+}
+
+impl Services {
+    /// An empty table.
+    pub fn new() -> Services {
+        Services::default()
+    }
+
+    /// A table preloaded with the well-known services the evaluated
+    /// applications reference.
+    pub fn well_known() -> Services {
+        let mut s = Services::new();
+        for (name, port) in [
+            ("ssh", 22),
+            ("smtp", 25),
+            ("http", 80),
+            ("pop3", 110),
+            ("https", 443),
+            ("mysql", 3306),
+            ("postgres", 5432),
+            ("http-alt", 8080),
+        ] {
+            s.add(name, port);
+        }
+        s
+    }
+
+    /// Register a service.
+    pub fn add(&mut self, name: &str, port: u16) {
+        self.by_port.insert(port, name.to_string());
+        self.by_name.insert(name.to_string(), port);
+    }
+
+    /// Service name for a port (`Service.PortServMap`, Table 7).
+    pub fn name_of(&self, port: u16) -> Option<&str> {
+        self.by_port.get(&port).map(String::as_str)
+    }
+
+    /// Port for a service name.
+    pub fn port_of(&self, name: &str) -> Option<u16> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Whether the port is registered at all.
+    pub fn knows_port(&self, port: u16) -> bool {
+        self.by_port.contains_key(&port)
+    }
+
+    /// Iterate registered ports (`Service.Ports`, Table 7).
+    pub fn ports(&self) -> impl Iterator<Item = u16> + '_ {
+        self.by_port.keys().copied()
+    }
+
+    /// Number of registered services.
+    pub fn len(&self) -> usize {
+        self.by_port.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_port.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_known_has_the_app_ports() {
+        let s = Services::well_known();
+        assert_eq!(s.name_of(80), Some("http"));
+        assert_eq!(s.name_of(3306), Some("mysql"));
+        assert_eq!(s.port_of("https"), Some(443));
+        assert!(!s.knows_port(5));
+    }
+
+    #[test]
+    fn add_overwrites_both_directions() {
+        let mut s = Services::new();
+        s.add("custom", 9000);
+        assert_eq!(s.name_of(9000), Some("custom"));
+        assert_eq!(s.port_of("custom"), Some(9000));
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,395 @@
+//! Virtual file system with per-node Unix metadata.
+//!
+//! This is the stand-in for the file-system metadata the paper's collector
+//! crawls from images.  It supports everything the semantic type verifier
+//! and the Table 5a augmenter need: existence checks, owner/group/mode,
+//! directory-vs-file kind, directory listings, symlink detection, and a
+//! Unix-style accessibility check (used by the `!=` / NotAccessible
+//! template).
+
+use std::collections::BTreeMap;
+
+/// Kind of a VFS node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileKind {
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Directory,
+    /// Symbolic link.
+    Symlink,
+}
+
+impl FileKind {
+    /// Short name as rendered into augmented attributes (`dir` / `file` /
+    /// `symlink`), matching Table 5a's `datadir.type = dir` example.
+    pub fn name(self) -> &'static str {
+        match self {
+            FileKind::Regular => "file",
+            FileKind::Directory => "dir",
+            FileKind::Symlink => "symlink",
+        }
+    }
+}
+
+/// Metadata of one VFS node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileMeta {
+    /// Owning user name.
+    pub owner: String,
+    /// Owning group name.
+    pub group: String,
+    /// Unix permission bits (e.g. `0o644`).
+    pub mode: u32,
+    /// Node kind.
+    pub kind: FileKind,
+    /// Symlink target, when `kind == Symlink`.
+    pub symlink_target: Option<String>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Node {
+    meta: FileMeta,
+    contents: Option<String>,
+}
+
+/// An in-memory file tree with Unix metadata.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Vfs {
+    nodes: BTreeMap<String, Node>,
+}
+
+fn normalize(path: &str) -> String {
+    if path == "/" {
+        return "/".to_string();
+    }
+    let trimmed = path.trim_end_matches('/');
+    if trimmed.is_empty() {
+        "/".to_string()
+    } else {
+        trimmed.to_string()
+    }
+}
+
+fn parent_of(path: &str) -> Option<String> {
+    if path == "/" {
+        return None;
+    }
+    match path.rfind('/') {
+        Some(0) => Some("/".to_string()),
+        Some(i) => Some(path[..i].to_string()),
+        None => None,
+    }
+}
+
+impl Vfs {
+    /// Create an empty VFS.
+    pub fn new() -> Vfs {
+        Vfs::default()
+    }
+
+    fn ensure_parents(&mut self, path: &str) {
+        let mut missing = Vec::new();
+        let mut cur = parent_of(path);
+        while let Some(p) = cur {
+            if self.nodes.contains_key(&p) {
+                break;
+            }
+            missing.push(p.clone());
+            cur = parent_of(&p);
+        }
+        for p in missing.into_iter().rev() {
+            self.nodes.insert(
+                p,
+                Node {
+                    meta: FileMeta {
+                        owner: "root".to_string(),
+                        group: "root".to_string(),
+                        mode: 0o755,
+                        kind: FileKind::Directory,
+                        symlink_target: None,
+                    },
+                    contents: None,
+                },
+            );
+        }
+    }
+
+    /// Add (or replace) a directory, creating root-owned parents as needed.
+    pub fn add_dir(&mut self, path: &str, owner: &str, group: &str, mode: u32) {
+        let path = normalize(path);
+        self.ensure_parents(&path);
+        self.nodes.insert(
+            path,
+            Node {
+                meta: FileMeta {
+                    owner: owner.to_string(),
+                    group: group.to_string(),
+                    mode,
+                    kind: FileKind::Directory,
+                    symlink_target: None,
+                },
+                contents: None,
+            },
+        );
+    }
+
+    /// Add (or replace) a regular file, creating parents as needed.
+    pub fn add_file(&mut self, path: &str, owner: &str, group: &str, mode: u32, contents: &str) {
+        let path = normalize(path);
+        self.ensure_parents(&path);
+        self.nodes.insert(
+            path,
+            Node {
+                meta: FileMeta {
+                    owner: owner.to_string(),
+                    group: group.to_string(),
+                    mode,
+                    kind: FileKind::Regular,
+                    symlink_target: None,
+                },
+                contents: Some(contents.to_string()),
+            },
+        );
+    }
+
+    /// Add (or replace) a symlink, creating parents as needed.
+    pub fn add_symlink(&mut self, path: &str, target: &str) {
+        let path = normalize(path);
+        self.ensure_parents(&path);
+        self.nodes.insert(
+            path,
+            Node {
+                meta: FileMeta {
+                    owner: "root".to_string(),
+                    group: "root".to_string(),
+                    mode: 0o777,
+                    kind: FileKind::Symlink,
+                    symlink_target: Some(target.to_string()),
+                },
+                contents: None,
+            },
+        );
+    }
+
+    /// Change owner/group of an existing node; returns `false` if absent.
+    pub fn chown(&mut self, path: &str, owner: &str, group: &str) -> bool {
+        match self.nodes.get_mut(&normalize(path)) {
+            Some(n) => {
+                n.meta.owner = owner.to_string();
+                n.meta.group = group.to_string();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Change mode of an existing node; returns `false` if absent.
+    pub fn chmod(&mut self, path: &str, mode: u32) -> bool {
+        match self.nodes.get_mut(&normalize(path)) {
+            Some(n) => {
+                n.meta.mode = mode;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove a node (and any children, if a directory).
+    pub fn remove(&mut self, path: &str) {
+        let path = normalize(path);
+        let prefix = format!("{}/", path);
+        self.nodes.retain(|p, _| p != &path && !p.starts_with(&prefix));
+    }
+
+    /// Metadata of a node.
+    pub fn metadata(&self, path: &str) -> Option<&FileMeta> {
+        self.nodes.get(&normalize(path)).map(|n| &n.meta)
+    }
+
+    /// Whether a path exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.nodes.contains_key(&normalize(path))
+    }
+
+    /// Whether a path exists and is a directory.
+    pub fn is_dir(&self, path: &str) -> bool {
+        self.metadata(path).map(|m| m.kind == FileKind::Directory).unwrap_or(false)
+    }
+
+    /// Whether a path exists and is a regular file.
+    pub fn is_file(&self, path: &str) -> bool {
+        self.metadata(path).map(|m| m.kind == FileKind::Regular).unwrap_or(false)
+    }
+
+    /// Contents of a regular file.
+    pub fn contents(&self, path: &str) -> Option<&str> {
+        self.nodes.get(&normalize(path)).and_then(|n| n.contents.as_deref())
+    }
+
+    /// Immediate children of a directory (full paths, sorted).
+    pub fn children(&self, path: &str) -> Vec<&str> {
+        let dir = normalize(path);
+        let prefix = if dir == "/" { "/".to_string() } else { format!("{dir}/") };
+        self.nodes
+            .keys()
+            .filter(|p| {
+                p.starts_with(&prefix)
+                    && p.len() > prefix.len()
+                    && !p[prefix.len()..].contains('/')
+            })
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// Whether a directory directly contains a sub-directory.
+    pub fn has_subdir(&self, path: &str) -> bool {
+        self.children(path).iter().any(|c| self.is_dir(c))
+    }
+
+    /// Whether a directory directly contains a symlink — drives the
+    /// `FollowSymLinks` correlation (real-world case #6).
+    pub fn has_symlink(&self, path: &str) -> bool {
+        self.children(path)
+            .iter()
+            .any(|c| self.metadata(c).map(|m| m.kind == FileKind::Symlink).unwrap_or(false))
+    }
+
+    /// All paths in the tree (the `FS.FileList` view of Table 7).
+    pub fn file_list(&self) -> impl Iterator<Item = &str> {
+        self.nodes.keys().map(String::as_str)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Unix-style accessibility check: can `user` (member of `groups`) read
+    /// the node?  Checks the owner/group/other read bits; root always can.
+    pub fn readable_by(&self, path: &str, user: &str, groups: &[&str]) -> bool {
+        if user == "root" {
+            return true;
+        }
+        match self.metadata(path) {
+            None => false,
+            Some(m) => {
+                if m.owner == user {
+                    m.mode & 0o400 != 0
+                } else if groups.contains(&m.group.as_str()) {
+                    m.mode & 0o040 != 0
+                } else {
+                    m.mode & 0o004 != 0
+                }
+            }
+        }
+    }
+
+    /// Unix-style writability check, mirroring [`Vfs::readable_by`].
+    pub fn writable_by(&self, path: &str, user: &str, groups: &[&str]) -> bool {
+        if user == "root" {
+            return true;
+        }
+        match self.metadata(path) {
+            None => false,
+            Some(m) => {
+                if m.owner == user {
+                    m.mode & 0o200 != 0
+                } else if groups.contains(&m.group.as_str()) {
+                    m.mode & 0o020 != 0
+                } else {
+                    m.mode & 0o002 != 0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vfs() -> Vfs {
+        let mut v = Vfs::new();
+        v.add_dir("/", "root", "root", 0o755);
+        v.add_dir("/var/lib/mysql", "mysql", "mysql", 0o700);
+        v.add_file("/var/lib/mysql/ibdata1", "mysql", "mysql", 0o660, "");
+        v.add_file("/etc/php.ini", "root", "root", 0o644, "x=1");
+        v.add_symlink("/var/www/html/link", "/etc");
+        v
+    }
+
+    #[test]
+    fn parents_are_created() {
+        let v = vfs();
+        assert!(v.is_dir("/var"));
+        assert!(v.is_dir("/var/lib"));
+        assert_eq!(v.metadata("/var").unwrap().owner, "root");
+    }
+
+    #[test]
+    fn kind_checks() {
+        let v = vfs();
+        assert!(v.is_dir("/var/lib/mysql"));
+        assert!(v.is_file("/etc/php.ini"));
+        assert!(!v.is_dir("/etc/php.ini"));
+        assert_eq!(v.metadata("/var/www/html/link").unwrap().kind, FileKind::Symlink);
+    }
+
+    #[test]
+    fn children_and_symlink_detection() {
+        let v = vfs();
+        assert_eq!(v.children("/var/lib/mysql"), vec!["/var/lib/mysql/ibdata1"]);
+        assert!(v.has_symlink("/var/www/html"));
+        assert!(!v.has_symlink("/var/lib/mysql"));
+        assert!(v.has_subdir("/var"));
+    }
+
+    #[test]
+    fn trailing_slash_normalized() {
+        let v = vfs();
+        assert!(v.exists("/var/lib/mysql/"));
+        assert!(v.is_dir("/var/lib/mysql/"));
+    }
+
+    #[test]
+    fn accessibility_owner_group_other() {
+        let v = vfs();
+        // owner read of 0o700 dir
+        assert!(v.readable_by("/var/lib/mysql", "mysql", &["mysql"]));
+        // other users cannot read 0o700
+        assert!(!v.readable_by("/var/lib/mysql", "apache", &["apache"]));
+        // group member can read 0o660 file
+        assert!(v.readable_by("/var/lib/mysql/ibdata1", "backup", &["mysql"]));
+        // world-readable file
+        assert!(v.readable_by("/etc/php.ini", "nobody", &[]));
+        // world cannot write 0o644
+        assert!(!v.writable_by("/etc/php.ini", "nobody", &[]));
+        // root can do everything
+        assert!(v.writable_by("/var/lib/mysql", "root", &[]));
+    }
+
+    #[test]
+    fn remove_is_recursive() {
+        let mut v = vfs();
+        v.remove("/var/lib/mysql");
+        assert!(!v.exists("/var/lib/mysql"));
+        assert!(!v.exists("/var/lib/mysql/ibdata1"));
+        assert!(v.exists("/var/lib"));
+    }
+
+    #[test]
+    fn chown_chmod() {
+        let mut v = vfs();
+        assert!(v.chown("/etc/php.ini", "apache", "apache"));
+        assert_eq!(v.metadata("/etc/php.ini").unwrap().owner, "apache");
+        assert!(v.chmod("/etc/php.ini", 0o600));
+        assert_eq!(v.metadata("/etc/php.ini").unwrap().mode, 0o600);
+        assert!(!v.chown("/missing", "a", "b"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Audit a fleet of fresh images with rules learned from a training
+//! population — the §7.1.3 experiment in miniature: EnCore surprisingly
+//! finds misconfigurations in public template images.
+//!
+//! ```text
+//! cargo run --release --example ec2_audit
+//! ```
+
+use encore::prelude::*;
+use encore_corpus::genimage::{Population, PopulationOptions};
+use encore_model::AppKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = AppKind::Php;
+    let training_fleet = Population::training(app, &PopulationOptions::new(80, 5));
+    let training = TrainingSet::assemble(app, training_fleet.images())?;
+    let engine = EnCore::learn(&training, &LearnOptions::default());
+    println!(
+        "learned {} rules from {} training images",
+        engine.rules().len(),
+        training.len()
+    );
+
+    // 40 fresh images, ~20% of which carry a seeded misconfiguration.
+    let fresh = Population::ec2_fresh(app, 40, 17);
+    println!(
+        "auditing {} fresh images ({} seeded errors hidden among them)\n",
+        fresh.images().len(),
+        fresh.seeded().len()
+    );
+
+    let mut flagged_images = 0;
+    let mut found = 0;
+    for image in fresh.images() {
+        let report = engine.check_image(app, image)?;
+        let significant: Vec<_> = report
+            .warnings()
+            .iter()
+            .filter(|w| w.score() >= 10.0)
+            .collect();
+        if significant.is_empty() {
+            continue;
+        }
+        flagged_images += 1;
+        let seeded_here: Vec<_> = fresh
+            .seeded()
+            .iter()
+            .filter(|s| s.image_id == image.id())
+            .collect();
+        for s in &seeded_here {
+            if report.detects(&s.entry) {
+                found += 1;
+                println!(
+                    "{}: found seeded {} error on `{}` (rank {:?})",
+                    image.id(),
+                    s.category,
+                    s.entry,
+                    report.rank_of(&s.entry)
+                );
+            }
+        }
+        if seeded_here.is_empty() {
+            println!(
+                "{}: {} significant warnings (top: {})",
+                image.id(),
+                significant.len(),
+                significant[0]
+            );
+        }
+    }
+    println!(
+        "\naudit complete: {flagged_images} images flagged, {found}/{} seeded errors found",
+        fresh.seeded().len()
+    );
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! The paper's Figure 1 end-to-end: both motivating real-world failures,
+//! detected with rules learned from a synthetic EC2-like population.
+//!
+//! * Figure 1(a): PHP `extension_dir` points at a regular file — invisible
+//!   to value comparison (paths vary), caught through environment typing.
+//! * Figure 1(b): MySQL `datadir` not owned by the configured `user` —
+//!   caught through the learned ownership correlation rule.
+//!
+//! ```text
+//! cargo run --release --example mysql_ownership
+//! ```
+
+use encore::prelude::*;
+use encore_corpus::realworld;
+use encore_corpus::genimage::{Population, PopulationOptions};
+use encore_model::AppKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for case_id in [2usize, 3] {
+        let case = realworld::all_cases(7)
+            .into_iter()
+            .find(|c| c.id == case_id)
+            .expect("case exists");
+        println!("== case {}: {}", case.id, case.description);
+        println!("   info required: {}", case.info);
+
+        let n = match case.app {
+            AppKind::Mysql => 120,
+            _ => 80,
+        };
+        let fleet = Population::training(case.app, &PopulationOptions::new(n, 99));
+        let training = TrainingSet::assemble(case.app, fleet.images())?;
+        let engine = EnCore::learn(&training, &LearnOptions::default());
+        let report = engine.check_image(case.app, &case.image)?;
+
+        match report.rank_of(case.culprit) {
+            Some(rank) => println!(
+                "   detected `{}` at rank {rank} of {} warnings",
+                case.culprit,
+                report.len()
+            ),
+            None => println!("   MISSED (report had {} warnings)", report.len()),
+        }
+        if let Some(w) = report.warnings().first() {
+            println!("   top warning: {w}");
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Quickstart: train EnCore on a synthetic MySQL fleet and check a broken
+//! system — the Figure 1(b) scenario (datadir owned by the wrong user).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use encore::prelude::*;
+use encore_corpus::genimage::{Population, PopulationOptions};
+use encore_model::AppKind;
+use encore_sysimage::SystemImage;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A training fleet — the stand-in for crawling EC2 images.
+    let fleet = Population::training(AppKind::Mysql, &PopulationOptions::new(60, 42));
+    println!("training on {} MySQL images ...", fleet.images().len());
+
+    // 2. Assemble (parse + infer types + integrate environment) and learn.
+    let training = TrainingSet::assemble(AppKind::Mysql, fleet.images())?;
+    let engine = EnCore::learn(&training, &LearnOptions::default());
+    println!("learned {} correlation rules, e.g.:", engine.rules().len());
+    for rule in engine.rules().rules().iter().take(5) {
+        println!("    {rule}");
+    }
+
+    // 3. A target system with the paper's Figure 1(b) error: the datadir
+    //    is owned by `backup`, but the server runs as `mysql`.
+    let target: SystemImage = SystemImage::builder("target")
+        .user("mysql", 27, &["mysql"])
+        .user("backup", 34, &["backup"])
+        .dir("/var/lib/mysql", "backup", "backup", 0o700)
+        .file(
+            "/etc/mysql/my.cnf",
+            "root",
+            "root",
+            0o644,
+            "[mysqld]\nuser = mysql\ndatadir = /var/lib/mysql\nmax_allowed_packet = 16M\n",
+        )
+        .build();
+
+    // 4. Detect.
+    let report = engine.check_image(AppKind::Mysql, &target)?;
+    println!("\n{} warnings for the target system:", report.len());
+    for (i, w) in report.warnings().iter().enumerate().take(8) {
+        println!("  {:>2}. {w}", i + 1);
+    }
+    assert!(report.detects("datadir"), "the ownership violation must surface");
+    println!("\ndatadir misconfiguration detected at rank {:?}", report.rank_of("datadir"));
+    Ok(())
+}

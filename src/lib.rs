@@ -1,0 +1,36 @@
+//! EnCore reproduction — umbrella crate.
+//!
+//! This workspace reproduces *EnCore: Exploiting System Environment and
+//! Correlation Information for Misconfiguration Detection* (ASPLOS 2014)
+//! as a Rust library suite.  This umbrella crate re-exports every
+//! subsystem and hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`).
+//!
+//! Start with [`encore`] (the detector), [`encore_corpus`] (synthetic
+//! image populations), and the `tables` binary in `encore-bench` (the
+//! evaluation harness).
+//!
+//! # Examples
+//!
+//! ```
+//! use encore::prelude::*;
+//! use encore_corpus::genimage::{Population, PopulationOptions};
+//! use encore_model::AppKind;
+//!
+//! let fleet = Population::training(AppKind::Mysql, &PopulationOptions::new(25, 7));
+//! let training = TrainingSet::assemble(AppKind::Mysql, fleet.images())?;
+//! let engine = EnCore::learn(&training, &LearnOptions::default());
+//! assert!(!engine.rules().is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use encore;
+pub use encore_assemble;
+pub use encore_corpus;
+pub use encore_injector;
+pub use encore_mining;
+pub use encore_model;
+pub use encore_parser;
+pub use encore_sysimage;

@@ -1,0 +1,210 @@
+//! Property-based tests over the core invariants (proptest).
+
+use encore_mining::{entropy, Apriori, FpGrowth, MiningLimits, Transactions};
+use encore_model::{AttrName, ConfigValue, Dataset, Row, SemType};
+use encore_parser::{IniLens, KeyValue, Lens, SshdLens};
+use proptest::prelude::*;
+
+/// Strategy: plausible configuration keys.
+fn key_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{2,14}".prop_map(|s| s)
+}
+
+/// Strategy: values without newlines/comment markers.
+fn value_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_/.]{1,20}"
+}
+
+proptest! {
+    /// INI lens round-trip: parse(render(pairs)) == pairs.
+    #[test]
+    fn ini_round_trip(pairs in proptest::collection::vec(
+        (key_strategy(), value_strategy()), 0..20
+    )) {
+        let lens = IniLens::mysql();
+        let kvs: Vec<KeyValue> = pairs
+            .into_iter()
+            .map(|(k, v)| KeyValue::new(k, v))
+            .collect();
+        let rendered = lens.render(&kvs);
+        let back = lens.parse(&rendered).expect("rendered config parses");
+        prop_assert_eq!(back, kvs);
+    }
+
+    /// sshd lens round-trip.
+    #[test]
+    fn sshd_round_trip(pairs in proptest::collection::vec(
+        (key_strategy(), value_strategy()), 0..20
+    )) {
+        let lens = SshdLens::new();
+        let kvs: Vec<KeyValue> = pairs
+            .into_iter()
+            .map(|(k, v)| KeyValue::new(k, v))
+            .collect();
+        let rendered = lens.render(&kvs);
+        let back = lens.parse(&rendered).expect("rendered config parses");
+        prop_assert_eq!(back, kvs);
+    }
+
+    /// Apriori and FP-Growth agree on every input.
+    #[test]
+    fn apriori_equals_fpgrowth(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0u8..10, 0..6),
+            0..12
+        ),
+        min_support in 1usize..4
+    ) {
+        let mut tx = Transactions::new();
+        for row in &rows {
+            let items: Vec<String> = row.iter().map(|i| format!("i{i}")).collect();
+            tx.push(items.iter().map(String::as_str));
+        }
+        let mut a = Apriori::new(min_support)
+            .mine(&tx, &MiningLimits::unbounded())
+            .expect("apriori");
+        let mut f = FpGrowth::new(min_support)
+            .mine(&tx, &MiningLimits::unbounded())
+            .expect("fpgrowth");
+        a.canonicalize();
+        f.canonicalize();
+        prop_assert_eq!(a, f);
+    }
+
+    /// Shannon entropy is bounded: 0 <= H <= ln(n).
+    #[test]
+    fn entropy_bounds(counts in proptest::collection::vec(1usize..100, 1..20)) {
+        let n = counts.len() as f64;
+        let h = entropy(counts);
+        prop_assert!(h >= -1e-12, "H = {h}");
+        prop_assert!(h <= n.ln() + 1e-9, "H = {h} > ln({n})");
+    }
+
+    /// Entropy is maximal for uniform distributions.
+    #[test]
+    fn entropy_uniform_is_max(n in 2usize..20, c in 1usize..50) {
+        let uniform = entropy(std::iter::repeat(c).take(n));
+        prop_assert!((uniform - (n as f64).ln()).abs() < 1e-9);
+    }
+
+    /// Size parsing respects unit multipliers.
+    #[test]
+    fn size_parse_multiplier(mag in 1u64..1000, unit in prop::sample::select(vec!["K", "M", "G"])) {
+        let v = ConfigValue::parse_size(&format!("{mag}{unit}")).expect("parses");
+        let mult = match unit {
+            "K" => 1u64 << 10,
+            "M" => 1 << 20,
+            _ => 1 << 30,
+        };
+        prop_assert_eq!(v.as_bytes(), Some(mag * mult));
+    }
+
+    /// AttrName display/parse round-trips for augmented attributes.
+    #[test]
+    fn attr_name_round_trip(base in "[a-z][a-z_]{1,12}", suffix in "[a-z]{2,8}") {
+        let attr = AttrName::entry(&base).augmented(&suffix);
+        let parsed = AttrName::parse(&attr.to_string()).expect("parses");
+        prop_assert_eq!(parsed.base(), base.as_str());
+        prop_assert_eq!(parsed.suffix(), Some(suffix.as_str()));
+    }
+
+    /// Dataset support never exceeds the row count, and histograms sum to
+    /// the support.
+    #[test]
+    fn dataset_support_invariants(values in proptest::collection::vec(
+        proptest::option::of("[a-z]{1,4}"), 1..30
+    )) {
+        let mut ds = Dataset::new();
+        let attr = AttrName::entry("x");
+        for (i, v) in values.iter().enumerate() {
+            let mut row = Row::new(format!("s{i}"));
+            if let Some(s) = v {
+                row.set(attr.clone(), ConfigValue::str(s.clone()));
+            }
+            ds.push_row(row);
+        }
+        let support = ds.support(&attr);
+        prop_assert!(support <= ds.num_rows());
+        let hist_total: usize = ds.value_histogram(&attr).values().sum();
+        prop_assert_eq!(hist_total, support);
+    }
+
+    /// Type inference always lands on a priority type, and trivial
+    /// fall-back never panics.
+    #[test]
+    fn type_inference_total(value in "[ -~]{0,30}") {
+        let img = encore_sysimage::SystemImage::builder("p").build();
+        let inference = encore_assemble::TypeInference::new();
+        let ty = inference.infer(&value, &img);
+        prop_assert!(SemType::PRIORITY.contains(&ty));
+    }
+
+    /// Injection always changes the config and keeps it parseable.
+    #[test]
+    fn injection_changes_and_parses(seed in 0u64..500) {
+        let config = "[mysqld]\nuser = mysql\ndatadir = /var/lib/mysql\nmax_allowed_packet = 16M\nport = 3306\n";
+        let lens = IniLens::mysql();
+        let (broken, injections) = encore_injector::Injector::with_seed(seed)
+            .inject(&lens, config, 2)
+            .expect("injects");
+        prop_assert_eq!(injections.len(), 2);
+        prop_assert_ne!(broken.as_str(), config);
+        lens.parse(&broken).expect("still parses");
+    }
+
+    /// Raising filter thresholds never admits more rules (monotonicity).
+    #[test]
+    fn filter_monotonicity(support in 1usize..20, confidence in 0.0f64..1.0) {
+        use encore::filter::{judge, FilterThresholds, Verdict};
+        let mut ds = Dataset::new();
+        for i in 0..20 {
+            let mut r = Row::new(format!("s{i}"));
+            r.set(AttrName::entry("a"), ConfigValue::str(format!("v{i}")));
+            r.set(AttrName::entry("b"), ConfigValue::str(format!("w{}", i % 5)));
+            ds.push_row(r);
+        }
+        let lax = FilterThresholds {
+            min_support_fraction: 0.05,
+            min_confidence: 0.5,
+            entropy_threshold: 0.1,
+            use_entropy: true,
+        };
+        let strict = FilterThresholds {
+            min_support_fraction: 0.5,
+            min_confidence: 0.95,
+            entropy_threshold: 0.9,
+            use_entropy: true,
+        };
+        let a = AttrName::entry("a");
+        let b = AttrName::entry("b");
+        let lax_verdict = judge(&lax, &ds, &a, &b, support, confidence, None);
+        let strict_verdict = judge(&strict, &ds, &a, &b, support, confidence, None);
+        // If strict accepts, lax must accept too.
+        if strict_verdict == Verdict::Accept {
+            prop_assert_eq!(lax_verdict, Verdict::Accept);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Population generation is deterministic in its seed and always yields
+    /// parseable configurations.
+    #[test]
+    fn population_determinism(seed in 0u64..50) {
+        use encore_corpus::genimage::{Population, PopulationOptions};
+        use encore_model::AppKind;
+        let a = Population::training(AppKind::Php, &PopulationOptions::new(3, seed));
+        let b = Population::training(AppKind::Php, &PopulationOptions::new(3, seed));
+        for (x, y) in a.images().iter().zip(b.images()) {
+            prop_assert_eq!(x.read_file("/etc/php.ini"), y.read_file("/etc/php.ini"));
+        }
+        let registry = encore_parser::LensRegistry::with_defaults();
+        for img in a.images() {
+            registry
+                .parse("php", img.read_file("/etc/php.ini").expect("config"))
+                .expect("parses");
+        }
+    }
+}
