@@ -158,13 +158,7 @@ pub fn augment_system_wide(row: &mut Row, image: &SystemImage) {
     );
     row.set(
         AttrName::system("Sys.Users"),
-        ConfigValue::str(
-            image
-                .accounts()
-                .user_list()
-                .collect::<Vec<_>>()
-                .join(","),
-        ),
+        ConfigValue::str(image.accounts().user_list().collect::<Vec<_>>().join(",")),
     );
     row.set(
         AttrName::system("OS.DistName"),
@@ -249,7 +243,10 @@ mod tests {
         let mut row = Row::new("t");
         let attr = AttrName::entry("datadir");
         augment_entry(&mut row, &attr, "/nope", SemType::FilePath, &img);
-        assert_eq!(row.get(&attr.augmented("owner")), Some(&ConfigValue::Absent));
+        assert_eq!(
+            row.get(&attr.augmented("owner")),
+            Some(&ConfigValue::Absent)
+        );
         assert!(!row.has(&attr.augmented("owner")));
     }
 
@@ -328,7 +325,9 @@ mod tests {
 
     #[test]
     fn system_wide_attrs_with_hardware() {
-        let img = SystemImage::builder("t").hardware(HardwareSpec::large()).build();
+        let img = SystemImage::builder("t")
+            .hardware(HardwareSpec::large())
+            .build();
         let mut row = Row::new("t");
         augment_system_wide(&mut row, &img);
         assert_eq!(

@@ -207,9 +207,7 @@ impl TypeInference {
                 .split_once('/')
                 .map(|(major, _)| IANA_MIME_MAJOR.contains(&major))
                 .unwrap_or(false),
-            SemType::Charset => IANA_CHARSETS
-                .iter()
-                .any(|c| c.eq_ignore_ascii_case(value)),
+            SemType::Charset => IANA_CHARSETS.iter().any(|c| c.eq_ignore_ascii_case(value)),
             SemType::Language => ISO_639_1.contains(&value.to_ascii_lowercase().as_str()),
             // Purely syntactic types need no external verification (N/A in
             // Table 4); future variants default to accepting.
@@ -329,14 +327,8 @@ mod tests {
     #[test]
     fn coerce_respects_type() {
         assert_eq!(coerce("42", SemType::Number), ConfigValue::number(42.0));
-        assert_eq!(
-            coerce("64M", SemType::Size).as_bytes(),
-            Some(64 << 20)
-        );
+        assert_eq!(coerce("64M", SemType::Size).as_bytes(), Some(64 << 20));
         assert_eq!(coerce("Off", SemType::Boolean), ConfigValue::boolean(false));
-        assert_eq!(
-            coerce("/x", SemType::FilePath),
-            ConfigValue::path("/x")
-        );
+        assert_eq!(coerce("/x", SemType::FilePath), ConfigValue::path("/x"));
     }
 }

@@ -170,11 +170,7 @@ impl Assembler {
     ///
     /// [`AssembleError::MissingConfig`] if the image lacks the config file;
     /// [`AssembleError::Parse`] on lens failure.
-    pub fn assemble_image(
-        &self,
-        app: AppKind,
-        image: &SystemImage,
-    ) -> Result<Row, AssembleError> {
+    pub fn assemble_image(&self, app: AppKind, image: &SystemImage) -> Result<Row, AssembleError> {
         Ok(self.assemble_system(app, image)?.row)
     }
 

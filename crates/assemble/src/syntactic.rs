@@ -73,8 +73,13 @@ pub fn is_port_number(s: &str) -> bool {
 /// Does `s` look like a plain number? (`[0-9]+[.0-9]*`)
 pub fn is_number(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().map(|c| c.is_ascii_digit() || c == '-').unwrap_or(false)
-        && s.trim_start_matches('-').chars().all(|c| c.is_ascii_digit() || c == '.')
+        && s.chars()
+            .next()
+            .map(|c| c.is_ascii_digit() || c == '-')
+            .unwrap_or(false)
+        && s.trim_start_matches('-')
+            .chars()
+            .all(|c| c.is_ascii_digit() || c == '.')
         && s.chars().filter(|&c| c == '.').count() <= 1
         && !s.trim_start_matches('-').is_empty()
 }
@@ -106,7 +111,8 @@ pub fn is_mime_type(s: &str) -> bool {
 /// Does `s` look like a charset name? (`[\w-]+`, must contain a letter)
 pub fn is_charset(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
         && s.chars().any(|c| c.is_ascii_alphabetic())
 }
 
@@ -118,7 +124,10 @@ pub fn is_language(s: &str) -> bool {
 /// Does `s` look like a size literal? (`[\d]+[KMGT]`)
 pub fn is_size(s: &str) -> bool {
     s.len() >= 2
-        && s.chars().last().map(|c| "KMGTkmgt".contains(c)).unwrap_or(false)
+        && s.chars()
+            .last()
+            .map(|c| "KMGTkmgt".contains(c))
+            .unwrap_or(false)
         && s[..s.len() - 1].chars().all(|c| c.is_ascii_digit())
 }
 
@@ -245,8 +254,10 @@ mod tests {
         assert_eq!(c.last(), Some(&SemType::Str));
         // A bare number is port-eligible and number-eligible, port first.
         let c = candidates("3306");
-        assert!(c.iter().position(|t| *t == SemType::PortNumber).unwrap()
-            < c.iter().position(|t| *t == SemType::Number).unwrap());
+        assert!(
+            c.iter().position(|t| *t == SemType::PortNumber).unwrap()
+                < c.iter().position(|t| *t == SemType::Number).unwrap()
+        );
     }
 
     #[test]

@@ -11,11 +11,9 @@ fn bench_assemble(c: &mut Criterion) {
     for app in AppKind::EVALUATED {
         let pop = Population::training(app, &PopulationOptions::new(20, 1));
         let assembler = Assembler::new();
-        group.bench_with_input(
-            BenchmarkId::new("augmented", app.name()),
-            &pop,
-            |b, pop| b.iter(|| assembler.assemble_training_set(app, pop.images())),
-        );
+        group.bench_with_input(BenchmarkId::new("augmented", app.name()), &pop, |b, pop| {
+            b.iter(|| assembler.assemble_training_set(app, pop.images()))
+        });
         let plain = Assembler::new().without_augmentation();
         group.bench_with_input(
             BenchmarkId::new("original-only", app.name()),

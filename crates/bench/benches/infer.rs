@@ -2,7 +2,7 @@
 //! — EnCore's answer to the Table 3 blow-up.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use encore::infer::RuleInference;
+use encore::infer::{InferOptions, RuleInference};
 use encore::prelude::*;
 use encore_corpus::genimage::{Population, PopulationOptions};
 use encore_model::AppKind;
@@ -27,5 +27,42 @@ fn bench_infer(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_infer);
+/// Work-stealing scalability: wall time of one inference pass over a MySQL
+/// fleet at 1/2/4/8 workers.  Before timing anything, every worker count's
+/// output is checked byte-identical against the sequential reference —
+/// parallelism must never change the learned rules.
+fn bench_infer_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("infer_scaling");
+    group.sample_size(10);
+    let engine = RuleInference::predefined();
+    let thresholds = FilterThresholds::default();
+    for n in [40usize, 80, 160] {
+        let pop = Population::training(AppKind::Mysql, &PopulationOptions::new(n, 1));
+        let training = TrainingSet::assemble(AppKind::Mysql, pop.images()).expect("assembles");
+        let (reference, _) = engine
+            .try_infer_with(&training, &thresholds, &InferOptions::with_workers(1))
+            .expect("sequential reference");
+        for workers in [1usize, 2, 4, 8] {
+            let (rules, _) = engine
+                .try_infer_with(&training, &thresholds, &InferOptions::with_workers(workers))
+                .expect("parallel inference");
+            assert_eq!(
+                rules.render(),
+                reference.render(),
+                "workers={workers} must reproduce the sequential rule set at n={n}"
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("workers-{workers}"), n),
+                &training,
+                |b, ts| {
+                    let options = InferOptions::with_workers(workers);
+                    b.iter(|| engine.try_infer_with(ts, &thresholds, &options).unwrap())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_infer, bench_infer_scaling);
 criterion_main!(benches);

@@ -46,15 +46,11 @@ fn bench_mining(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(4));
     for k in [20usize, 40, 60] {
         let truncated = truncate(&tx, k);
-        group.bench_with_input(
-            BenchmarkId::new("fpgrowth", k),
-            &truncated,
-            |b, tx| {
-                b.iter(|| {
-                    let _ = FpGrowth::new(min_support).mine(tx, &limits);
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("fpgrowth", k), &truncated, |b, tx| {
+            b.iter(|| {
+                let _ = FpGrowth::new(min_support).mine(tx, &limits);
+            })
+        });
         group.bench_with_input(BenchmarkId::new("apriori", k), &truncated, |b, tx| {
             b.iter(|| {
                 let _ = Apriori::new(min_support).mine(tx, &limits);

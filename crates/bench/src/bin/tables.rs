@@ -15,13 +15,10 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
-                scale = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--scale requires a number");
-                        std::process::exit(2);
-                    });
+                scale = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--scale requires a number");
+                    std::process::exit(2);
+                });
             }
             "--help" | "-h" => {
                 eprintln!("usage: tables [TABLE_NUMBER ...] [--scale F]");

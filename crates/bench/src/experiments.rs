@@ -1,6 +1,7 @@
 //! One function per paper table.
 
 use encore::baseline::{Baseline, BaselineEnv};
+use encore::infer::{InferOptions, RuleInference};
 use encore::prelude::*;
 use encore_assemble::Assembler;
 use encore_corpus::genimage::{MisconfigCategory, Population, PopulationOptions};
@@ -115,7 +116,10 @@ pub fn table_1(_config: &ExperimentConfig) -> TableOutput {
     let mut out = TableOutput::new("Table 1: entries associated with environment and correlations");
     out.row(
         "header",
-        format!("{:<8} {:>6} {:>16} {:>16}", "Apps", "Total", "Env-Related", "Correlated"),
+        format!(
+            "{:<8} {:>6} {:>16} {:>16}",
+            "Apps", "Total", "Env-Related", "Correlated"
+        ),
         vec![],
     );
     for row in study::table_1() {
@@ -130,7 +134,11 @@ pub fn table_1(_config: &ExperimentConfig) -> TableOutput {
                 row.correlated,
                 row.corr_percent()
             ),
-            vec![row.total as f64, row.env_related as f64, row.correlated as f64],
+            vec![
+                row.total as f64,
+                row.env_related as f64,
+                row.correlated as f64,
+            ],
         );
     }
     out
@@ -165,10 +173,7 @@ pub fn table_2(config: &ExperimentConfig) -> TableOutput {
     ] {
         out.row(
             name,
-            format!(
-                "{:<12} {:>8} {:>8} {:>8}",
-                name, vals[0], vals[1], vals[2]
-            ),
+            format!("{:<12} {:>8} {:>8} {:>8}", name, vals[0], vals[1], vals[2]),
             vals.iter().map(|&v| v as f64).collect(),
         );
     }
@@ -211,16 +216,20 @@ fn truncate_attributes(tx: &Transactions, k: usize) -> Transactions {
 
 /// Table 3 — FP-Growth cost versus attribute count.
 pub fn table_3(config: &ExperimentConfig) -> TableOutput {
-    let mut out = TableOutput::new(
-        "Table 3: FP-Growth time (s) and frequent-item-set size vs #attributes",
-    );
+    let mut out =
+        TableOutput::new("Table 3: FP-Growth time (s) and frequent-item-set size vs #attributes");
     out.row(
         "header",
         format!(
             "{:<10} {}",
             "entries",
             AppKind::EVALUATED
-                .map(|a| format!("{:>10} {:>12} {:>10}", format!("{a}-attrs"), "time(s)", "freq"))
+                .map(|a| format!(
+                    "{:>10} {:>12} {:>10}",
+                    format!("{a}-attrs"),
+                    "time(s)",
+                    "freq"
+                ))
                 .join(" ")
         ),
         vec![],
@@ -241,7 +250,14 @@ pub fn table_3(config: &ExperimentConfig) -> TableOutput {
     // is where a 16 GB machine starts thrashing.
     let limits = MiningLimits::capped(4_000_000);
     for &k in &[30usize, 60, 100, 150] {
-        let mut line = format!("{:<10}", if k == 150 { "150+".to_string() } else { k.to_string() });
+        let mut line = format!(
+            "{:<10}",
+            if k == 150 {
+                "150+".to_string()
+            } else {
+                k.to_string()
+            }
+        );
         let mut vals = Vec::new();
         for (tx, n_rows) in &prepared {
             let truncated = truncate_attributes(tx, k);
@@ -268,7 +284,11 @@ pub fn table_3(config: &ExperimentConfig) -> TableOutput {
                         "OOM",
                         format!(">{}", oom.itemsets_produced)
                     );
-                    vals.extend([truncated.num_items() as f64, f64::INFINITY, oom.itemsets_produced as f64]);
+                    vals.extend([
+                        truncated.num_items() as f64,
+                        f64::INFINITY,
+                        oom.itemsets_produced as f64,
+                    ]);
                 }
             }
         }
@@ -321,10 +341,16 @@ pub fn table_8(config: &ExperimentConfig) -> TableOutput {
     for app in AppKind::EVALUATED {
         let pop = training_population(app, config);
         // Held-out target image: generated from a disjoint seed.
-        let target = Population::training(app, &PopulationOptions::new(1, config.seed ^ 0xfeed ^ app as u64))
-            .images()[0]
+        let target = Population::training(
+            app,
+            &PopulationOptions::new(1, config.seed ^ 0xfeed ^ app as u64),
+        )
+        .images()[0]
             .clone();
-        let clean_config = target.read_file(app.config_path()).expect("config").to_string();
+        let clean_config = target
+            .read_file(app.config_path())
+            .expect("config")
+            .to_string();
         let lens = registry.lens(app.name()).expect("lens");
         let mut injector = Injector::with_seed(config.seed ^ 0x1417 ^ app as u64);
         let (broken_text, injections) = injector
@@ -359,7 +385,12 @@ pub fn table_8(config: &ExperimentConfig) -> TableOutput {
                 d_env,
                 d_encore
             ),
-            vec![injections.len() as f64, d_base as f64, d_env as f64, d_encore as f64],
+            vec![
+                injections.len() as f64,
+                d_base as f64,
+                d_env as f64,
+                d_encore as f64,
+            ],
         );
     }
     out
@@ -640,10 +671,7 @@ fn rule_is_true(app: AppKind, rule: &Rule) -> bool {
     }
     // DocumentRoot ↔ <Directory> correlation (not a schema coupling — the
     // generator emits the companion section directly).
-    if app == AppKind::Apache
-        && a_base == "DocumentRoot"
-        && rule.b.base().ends_with("/section")
-    {
+    if app == AppKind::Apache && a_base == "DocumentRoot" && rule.b.base().ends_with("/section") {
         return true;
     }
     // ServerRoot + LoadModule/arg2 concatenation.
@@ -655,25 +683,28 @@ fn rule_is_true(app: AppKind, rule: &Rule) -> bool {
         return true;
     }
     for spec in schema.entries() {
-        let matches_pair = |x: &str, y: &str| spec.name == x && {
-            match spec.coupling {
-                Some(Coupling::OwnedBy { user_entry }) => {
-                    rule.relation == Relation::Owns && y == user_entry
+        let matches_pair = |x: &str, y: &str| {
+            spec.name == x && {
+                match spec.coupling {
+                    Some(Coupling::OwnedBy { user_entry }) => {
+                        rule.relation == Relation::Owns && y == user_entry
+                    }
+                    Some(Coupling::LessThan { other, .. }) => {
+                        matches!(rule.relation, Relation::LessNum | Relation::LessSize)
+                            && y == other
+                    }
+                    Some(Coupling::ConcatOnto { base_entry }) => {
+                        rule.relation == Relation::ConcatPath && y == base_entry
+                    }
+                    Some(Coupling::EqualsEntry { other }) => {
+                        matches!(rule.relation, Relation::Equal | Relation::MemberEq) && y == other
+                    }
+                    Some(Coupling::GuardsSymlinks { path_entry }) => {
+                        rule.relation == Relation::ExtBoolImplies
+                            && (y.starts_with(path_entry) || x.starts_with(path_entry))
+                    }
+                    None => false,
                 }
-                Some(Coupling::LessThan { other, .. }) => {
-                    matches!(rule.relation, Relation::LessNum | Relation::LessSize) && y == other
-                }
-                Some(Coupling::ConcatOnto { base_entry }) => {
-                    rule.relation == Relation::ConcatPath && y == base_entry
-                }
-                Some(Coupling::EqualsEntry { other }) => {
-                    matches!(rule.relation, Relation::Equal | Relation::MemberEq) && y == other
-                }
-                Some(Coupling::GuardsSymlinks { path_entry }) => {
-                    rule.relation == Relation::ExtBoolImplies
-                        && (y.starts_with(path_entry) || x.starts_with(path_entry))
-                }
-                None => false,
             }
         };
         // Slot order varies by relation; accept either binding, and accept
@@ -701,7 +732,10 @@ pub fn table_12(config: &ExperimentConfig) -> TableOutput {
     let mut out = TableOutput::new("Table 12: detected correlation rules with the filters");
     out.row(
         "header",
-        format!("{:<8} {:>14} {:>15}", "App", "DetectedRules", "FalsePositives"),
+        format!(
+            "{:<8} {:>14} {:>15}",
+            "App", "DetectedRules", "FalsePositives"
+        ),
         vec![],
     );
     for app in AppKind::EVALUATED {
@@ -737,19 +771,23 @@ pub fn table_13(config: &ExperimentConfig) -> TableOutput {
     for app in AppKind::EVALUATED {
         let pop = training_population(app, config);
         let training = TrainingSet::assemble(app, pop.images()).expect("training");
-        let without = EnCore::learn(
-            &training,
-            &LearnOptions {
-                thresholds: FilterThresholds::default().without_entropy(),
-                ..LearnOptions::default()
-            },
-        );
-        let with = EnCore::learn(&training, &LearnOptions::default());
+        // Candidates don't depend on the filter thresholds, so one
+        // instantiation pass judged under both filter settings replaces the
+        // two full `EnCore::learn` runs this table used to cost.
+        let dual = RuleInference::predefined()
+            .try_infer_dual(
+                &training,
+                &FilterThresholds::default(),
+                &InferOptions::default(),
+            )
+            .expect("inference");
+        let (with, _) = &dual.entropy_on;
+        let (without, _) = &dual.entropy_off;
         let kept: std::collections::HashSet<String> =
-            with.rules().rules().iter().map(Rule::render).collect();
+            with.rules().iter().map(Rule::render).collect();
         let mut fp_reduced = 0usize;
         let mut fn_introduced = 0usize;
-        for rule in without.rules().rules() {
+        for rule in without.rules() {
             if kept.contains(&rule.render()) {
                 continue;
             }
@@ -764,12 +802,12 @@ pub fn table_13(config: &ExperimentConfig) -> TableOutput {
             format!(
                 "{:<8} {:>9} {:>11} {:>14}",
                 app.name(),
-                without.rules().len(),
+                without.len(),
                 fp_reduced,
                 fn_introduced
             ),
             vec![
-                without.rules().len() as f64,
+                without.len() as f64,
                 fp_reduced as f64,
                 fn_introduced as f64,
             ],

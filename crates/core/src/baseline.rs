@@ -224,8 +224,9 @@ mod tests {
         let sv = report
             .warnings()
             .iter()
-            .find(|w| w.kind() == WarningKind::SuspiciousValue
-                && w.attr().to_string() == "datadir.type")
+            .find(|w| {
+                w.kind() == WarningKind::SuspiciousValue && w.attr().to_string() == "datadir.type"
+            })
             .expect("suspicious datadir.type");
         assert!(sv.detail().contains("file"));
     }

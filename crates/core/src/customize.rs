@@ -28,17 +28,26 @@ use encore_sysimage::SystemImage;
 use std::fmt;
 use std::sync::Arc;
 
+/// Shared validator closure deciding whether a relation holds between two
+/// rendered values within an image.
+type RelationValidator = Arc<dyn Fn(&str, &str, &SystemImage) -> bool + Send + Sync>;
+
+/// Shared matcher closure over one rendered value.
+type ValueMatcher = Arc<dyn Fn(&str) -> bool + Send + Sync>;
+
 /// A user-defined relation validator (§5.3.2's programmatic path).
 #[derive(Clone)]
 pub struct CustomRelation {
     /// Name for reports.
     pub name: String,
-    validator: Arc<dyn Fn(&str, &str, &SystemImage) -> bool + Send + Sync>,
+    validator: RelationValidator,
 }
 
 impl fmt::Debug for CustomRelation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CustomRelation").field("name", &self.name).finish()
+        f.debug_struct("CustomRelation")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -87,7 +96,7 @@ impl fmt::Display for CustomizeError {
 impl std::error::Error for CustomizeError {}
 
 /// Build a matcher closure from the matcher vocabulary.
-fn build_matcher(spec: &str) -> Option<Arc<dyn Fn(&str) -> bool + Send + Sync>> {
+fn build_matcher(spec: &str) -> Option<ValueMatcher> {
     let spec = spec.trim().to_string();
     if let Some(p) = spec.strip_prefix("prefix:") {
         let p = p.trim().to_string();
@@ -111,7 +120,8 @@ fn build_matcher(spec: &str) -> Option<Arc<dyn Fn(&str) -> bool + Send + Sync>> 
         return Some(Arc::new(|v: &str| {
             !v.is_empty()
                 && v.split('.').count() >= 2
-                && v.split('.').all(|seg| !seg.is_empty() && seg.chars().all(|c| c.is_ascii_digit()))
+                && v.split('.')
+                    .all(|seg| !seg.is_empty() && seg.chars().all(|c| c.is_ascii_digit()))
         }));
     }
     None
@@ -134,7 +144,7 @@ pub fn parse(text: &str) -> Result<Customization, CustomizeError> {
     let mut out = Customization::default();
     // name → (maps_to, matcher?)
     let mut declared: Vec<(String, SemType)> = Vec::new();
-    let mut matchers: Vec<(String, Arc<dyn Fn(&str) -> bool + Send + Sync>)> = Vec::new();
+    let mut matchers: Vec<(String, ValueMatcher)> = Vec::new();
 
     for (idx, raw) in text.lines().enumerate() {
         let line = raw.trim();
@@ -275,7 +285,8 @@ $$Template
 
     #[test]
     fn code_bearing_sections_are_tolerated() {
-        let text = "$$TypeValidation\n(value): { return True }\n$$Template\n[A:Number] < [B:Number]\n";
+        let text =
+            "$$TypeValidation\n(value): { return True }\n$$Template\n[A:Number] < [B:Number]\n";
         let c = parse(text).unwrap();
         assert_eq!(c.templates.len(), 1);
     }

@@ -336,9 +336,7 @@ impl AnomalyDetector {
                 report.warnings.push(Warning {
                     kind: WarningKind::TypeViolation,
                     attr: attr.clone(),
-                    detail: format!(
-                        "value `{rendered}` is {inferred}, trained type is {expected}"
-                    ),
+                    detail: format!("value `{rendered}` is {inferred}, trained type is {expected}"),
                     score: 90.0 + 10.0 / cardinality as f64,
                     rule: None,
                 });
@@ -415,8 +413,8 @@ mod tests {
     fn engine() -> AnomalyDetector {
         let images = fleet(12);
         let ts = TrainingSet::assemble(AppKind::Mysql, &images).unwrap();
-        let (rules, _) = RuleInference::predefined()
-            .infer(&ts, &FilterThresholds::default().without_entropy());
+        let (rules, _) =
+            RuleInference::predefined().infer(&ts, &FilterThresholds::default().without_entropy());
         AnomalyDetector::new(&ts, rules)
     }
 
@@ -438,7 +436,9 @@ mod tests {
     #[test]
     fn detects_wrong_owner_via_correlation() {
         let det = engine();
-        let report = det.check_image(AppKind::Mysql, &broken_owner_image()).unwrap();
+        let report = det
+            .check_image(AppKind::Mysql, &broken_owner_image())
+            .unwrap();
         assert!(report.detects("datadir"), "{report:?}");
         let w = report
             .warnings()
@@ -535,7 +535,9 @@ mod tests {
     #[test]
     fn rank_of_missing_entry_is_none() {
         let det = engine();
-        let report = det.check_image(AppKind::Mysql, &fleet(1).remove(0)).unwrap();
+        let report = det
+            .check_image(AppKind::Mysql, &fleet(1).remove(0))
+            .unwrap();
         assert_eq!(report.rank_of("not_an_entry"), None);
     }
 

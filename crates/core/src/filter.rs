@@ -11,6 +11,7 @@
 //! The filter reports *why* each candidate was dropped so Table 13's
 //! staged-filter analysis can be regenerated.
 
+use crate::stats::StatsCache;
 use encore_mining::metrics::{entropy, DEFAULT_ENTROPY_THRESHOLD};
 use encore_model::{AttrName, Dataset};
 
@@ -76,26 +77,30 @@ pub enum Verdict {
 }
 
 /// Entropy of an attribute's value distribution in a dataset.
+///
+/// Reference (uncached) computation; the inference path goes through
+/// [`StatsCache::entropy`], which memoizes this per attribute per run.
 pub fn attribute_entropy(dataset: &Dataset, attr: &AttrName) -> f64 {
     entropy(dataset.value_histogram(attr).into_values())
 }
 
-/// Judge one candidate rule.
+/// Judge one candidate rule against the statistics of one training run.
 ///
 /// `support` and `confidence` come from the inference pass;
 /// `template_min_confidence` optionally overrides the global confidence
-/// threshold (Figure 6's `-- 90%` syntax).
+/// threshold (Figure 6's `-- 90%` syntax).  Entropies are read through the
+/// [`StatsCache`] so candidates sharing an attribute don't recompute its
+/// value histogram.
 pub fn judge(
     thresholds: &FilterThresholds,
-    dataset: &Dataset,
+    stats: &StatsCache,
     a: &AttrName,
     b: &AttrName,
     support: usize,
     confidence: f64,
     template_min_confidence: Option<f64>,
 ) -> Verdict {
-    let min_support =
-        (thresholds.min_support_fraction * dataset.num_rows() as f64).ceil() as usize;
+    let min_support = (thresholds.min_support_fraction * stats.num_rows() as f64).ceil() as usize;
     if support < min_support.max(1) {
         return Verdict::Reject(RejectReason::LowSupport);
     }
@@ -107,7 +112,7 @@ pub fn judge(
         // "For a rule to be included, all the involved attributes need to be
         // included", i.e. each must have H > Ht (§5.2).
         for attr in [a, b] {
-            if attribute_entropy(dataset, attr) <= thresholds.entropy_threshold {
+            if stats.entropy(attr) <= thresholds.entropy_threshold {
                 return Verdict::Reject(RejectReason::LowEntropy);
             }
         }
@@ -118,6 +123,7 @@ pub fn judge(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::TypeMap;
     use encore_model::{ConfigValue, Row};
 
     /// Dataset where `varied` takes many values and `fixed` only one.
@@ -136,13 +142,17 @@ mod tests {
         ds
     }
 
+    fn cache() -> StatsCache {
+        StatsCache::new(dataset(), &TypeMap::new())
+    }
+
     #[test]
     fn entropy_filter_drops_stable_attributes() {
-        let ds = dataset();
+        let stats = cache();
         let t = FilterThresholds::default();
         let v = judge(
             &t,
-            &ds,
+            &stats,
             &AttrName::entry("fixed"),
             &AttrName::entry("varied"),
             10,
@@ -152,7 +162,7 @@ mod tests {
         assert_eq!(v, Verdict::Reject(RejectReason::LowEntropy));
         let v = judge(
             &t,
-            &ds,
+            &stats,
             &AttrName::entry("half"),
             &AttrName::entry("varied"),
             10,
@@ -164,11 +174,11 @@ mod tests {
 
     #[test]
     fn disabling_entropy_admits_stable_attributes() {
-        let ds = dataset();
+        let stats = cache();
         let t = FilterThresholds::default().without_entropy();
         let v = judge(
             &t,
-            &ds,
+            &stats,
             &AttrName::entry("fixed"),
             &AttrName::entry("varied"),
             10,
@@ -180,25 +190,49 @@ mod tests {
 
     #[test]
     fn support_and_confidence_thresholds() {
-        let ds = dataset();
+        let stats = cache();
         let t = FilterThresholds::default().without_entropy();
         assert_eq!(
-            judge(&t, &ds, &AttrName::entry("a"), &AttrName::entry("b"), 0, 1.0, None),
+            judge(
+                &t,
+                &stats,
+                &AttrName::entry("a"),
+                &AttrName::entry("b"),
+                0,
+                1.0,
+                None
+            ),
             Verdict::Reject(RejectReason::LowSupport)
         );
         assert_eq!(
-            judge(&t, &ds, &AttrName::entry("a"), &AttrName::entry("b"), 10, 0.5, None),
+            judge(
+                &t,
+                &stats,
+                &AttrName::entry("a"),
+                &AttrName::entry("b"),
+                10,
+                0.5,
+                None
+            ),
             Verdict::Reject(RejectReason::LowConfidence)
         );
     }
 
     #[test]
     fn template_confidence_overrides_global() {
-        let ds = dataset();
+        let stats = cache();
         let t = FilterThresholds::default().without_entropy();
         // Global is 0.90; a lax template admits 0.75.
         assert_eq!(
-            judge(&t, &ds, &AttrName::entry("a"), &AttrName::entry("b"), 10, 0.75, Some(0.7)),
+            judge(
+                &t,
+                &stats,
+                &AttrName::entry("a"),
+                &AttrName::entry("b"),
+                10,
+                0.75,
+                Some(0.7)
+            ),
             Verdict::Accept
         );
     }
@@ -221,10 +255,11 @@ mod tests {
             }
             ds
         };
+        let stats = StatsCache::new(ds, &TypeMap::new());
         let t = FilterThresholds::default();
         let v = judge(
             &t,
-            &ds,
+            &stats,
             &AttrName::entry("split"),
             &AttrName::entry("varied"),
             100,

@@ -10,16 +10,24 @@
 //! quadratic-in-all-attributes search that sinks FP-Growth (Table 3), each
 //! template only touches the handful of attributes of the right types.
 //! The instance computations share no state — "this process is highly
-//! parallelizable" — so templates are evaluated on scoped worker threads
-//! (crossbeam).
+//! parallelizable" — so each template's eligible-A list is split into
+//! `(template, a-chunk)` work units fed through the work-stealing pool in
+//! [`crate::pool`]; chunk results are merged back in unit order, so the
+//! learned [`RuleSet`] is byte-identical to a sequential run no matter how
+//! many workers steal.  Per-attribute statistics (semantic types, value
+//! entropies) are resolved once per run in a shared [`StatsCache`].
 
 use crate::filter::{judge, FilterThresholds, RejectReason, Verdict};
+use crate::pool::{self, PoolError};
 use crate::relation::{evaluate, Applicability, SystemView};
 use crate::rules::{Rule, RuleSet};
+use crate::stats::StatsCache;
 use crate::template::{Relation, Template};
 use crate::train::TrainingSet;
 use encore_model::{AttrName, SemType};
 use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::Range;
 
 /// Statistics from an inference run — the raw numbers behind Tables 12/13.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -35,6 +43,82 @@ pub struct InferenceStats {
     pub dropped_by_confidence: usize,
     /// Rules kept.
     pub kept: usize,
+}
+
+/// A worker failed while instantiating templates.
+///
+/// Unlike the seed implementation — which `expect`ed its way through the
+/// thread scope, so one malformed attribute aborted the whole
+/// `EnCore::learn` — worker panics are caught per work unit and surfaced
+/// through this recoverable error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InferError {
+    /// A worker panicked while processing the given work unit.
+    WorkerPanicked {
+        /// Index of the failing unit in the run's work list.
+        unit: usize,
+        /// Rendered panic payload.
+        message: String,
+    },
+}
+
+impl fmt::Display for InferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferError::WorkerPanicked { unit, message } => {
+                write!(f, "inference worker panicked on unit {unit}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InferError {}
+
+impl From<PoolError> for InferError {
+    fn from(e: PoolError) -> InferError {
+        InferError::WorkerPanicked {
+            unit: e.unit,
+            message: e.message,
+        }
+    }
+}
+
+/// Tuning knobs for one inference run.
+#[derive(Debug, Clone, Default)]
+pub struct InferOptions {
+    /// Worker threads for template instantiation; `None` uses
+    /// [`std::thread::available_parallelism`].  `Some(1)` is the sequential
+    /// reference the parallel path must reproduce byte-identically.
+    pub workers: Option<usize>,
+}
+
+impl InferOptions {
+    /// Options pinning the worker count.
+    pub fn with_workers(workers: usize) -> InferOptions {
+        InferOptions {
+            workers: Some(workers),
+        }
+    }
+
+    fn resolved_workers(&self) -> usize {
+        self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    }
+}
+
+/// Both judging outcomes of one single candidate-generation pass — the
+/// Table 13 staged-filter analysis without inferring twice.
+#[derive(Debug, Clone)]
+pub struct DualInference {
+    /// Rules and stats judged under the given thresholds with the entropy
+    /// filter forced **on**.
+    pub entropy_on: (RuleSet, InferenceStats),
+    /// The same candidates judged with the entropy filter forced **off**
+    /// (Table 13's "Original" column).
+    pub entropy_off: (RuleSet, InferenceStats),
 }
 
 /// The rule-inference engine.
@@ -60,81 +144,174 @@ impl RuleInference {
     }
 
     /// Infer and filter rules from a training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an inference worker panics; use [`RuleInference::try_infer`]
+    /// to handle that recoverably.
     pub fn infer(
         &self,
         training: &TrainingSet,
         thresholds: &FilterThresholds,
     ) -> (RuleSet, InferenceStats) {
-        let dataset = training.dataset();
-        let attrs: Vec<AttrName> = dataset.attributes().into_iter().collect();
+        self.try_infer(training, thresholds)
+            .expect("inference worker panicked")
+    }
 
-        // Evaluate templates in parallel; each worker returns its candidates.
-        let chunks: Vec<Vec<Candidate>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .templates
-                .iter()
-                .map(|t| {
-                    let attrs = &attrs;
-                    let training = &training;
-                    scope.spawn(move |_| instantiate_template(t, attrs, training))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("template worker panicked"))
-                .collect()
+    /// Infer and filter rules, surfacing worker panics as [`InferError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InferError::WorkerPanicked`] if any work unit panics.
+    pub fn try_infer(
+        &self,
+        training: &TrainingSet,
+        thresholds: &FilterThresholds,
+    ) -> Result<(RuleSet, InferenceStats), InferError> {
+        self.try_infer_with(training, thresholds, &InferOptions::default())
+    }
+
+    /// [`RuleInference::try_infer`] with explicit tuning options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InferError::WorkerPanicked`] if any work unit panics.
+    pub fn try_infer_with(
+        &self,
+        training: &TrainingSet,
+        thresholds: &FilterThresholds,
+        options: &InferOptions,
+    ) -> Result<(RuleSet, InferenceStats), InferError> {
+        let cache = training.stats_cache();
+        let candidates = self.collect_candidates(training, &cache, options)?;
+        Ok(judge_candidates(&candidates, thresholds, &cache))
+    }
+
+    /// Judge one candidate pass under the given thresholds **and** their
+    /// entropy-free variant — candidates are threshold-independent, so the
+    /// Table 13 comparison needs only one instantiation sweep, not two.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InferError::WorkerPanicked`] if any work unit panics.
+    pub fn try_infer_dual(
+        &self,
+        training: &TrainingSet,
+        thresholds: &FilterThresholds,
+        options: &InferOptions,
+    ) -> Result<DualInference, InferError> {
+        let cache = training.stats_cache();
+        let candidates = self.collect_candidates(training, &cache, options)?;
+        let mut on = *thresholds;
+        on.use_entropy = true;
+        let off = on.without_entropy();
+        Ok(DualInference {
+            entropy_on: judge_candidates(&candidates, &on, &cache),
+            entropy_off: judge_candidates(&candidates, &off, &cache),
         })
-        .expect("crossbeam scope");
-
-        let mut stats = InferenceStats::default();
-        let mut rules = RuleSet::new();
-        let mut seen: BTreeSet<(String, String, String)> = BTreeSet::new();
-        for cand in chunks.into_iter().flatten() {
-            stats.candidates += 1;
-            let key = (
-                cand.rule.a.to_string(),
-                format!("{:?}", cand.rule.relation),
-                cand.rule.b.to_string(),
-            );
-            if !seen.insert(key) {
-                stats.candidates -= 1; // duplicate instance across templates
-                continue;
-            }
-            match judge(
-                thresholds,
-                &dataset,
-                &cand.rule.a,
-                &cand.rule.b,
-                cand.rule.support,
-                cand.rule.confidence,
-                cand.template_min_confidence,
-            ) {
-                Verdict::Accept => {
-                    stats.kept += 1;
-                    rules.push(cand.rule);
-                }
-                Verdict::Reject(RejectReason::LowSupport) => stats.dropped_by_support += 1,
-                Verdict::Reject(RejectReason::LowConfidence) => stats.dropped_by_confidence += 1,
-                Verdict::Reject(RejectReason::LowEntropy) => stats.dropped_by_entropy += 1,
-            }
-        }
-        (rules, stats)
     }
 
     /// Count, for every candidate surviving support+confidence, whether the
     /// entropy filter would drop it — the staged analysis behind Table 13.
+    /// Runs one inference pass and judges it under both filter settings.
     pub fn entropy_filter_effect(
         &self,
         training: &TrainingSet,
         thresholds: &FilterThresholds,
     ) -> EntropyEffect {
-        let (with, _) = self.infer(training, thresholds);
-        let (without, _) = self.infer(training, &(*thresholds).without_entropy());
+        let dual = self
+            .try_infer_dual(training, thresholds, &InferOptions::default())
+            .expect("inference worker panicked");
         EntropyEffect {
-            original: without.len(),
-            after_entropy: with.len(),
+            original: dual.entropy_off.0.len(),
+            after_entropy: dual.entropy_on.0.len(),
         }
     }
+
+    /// Generate the (deduplicated, deterministically ordered) candidate
+    /// list via the work-stealing pool.
+    fn collect_candidates(
+        &self,
+        training: &TrainingSet,
+        cache: &StatsCache,
+        options: &InferOptions,
+    ) -> Result<Vec<Candidate>, InferError> {
+        self.collect_candidates_via(training, cache, options, instantiate_unit)
+    }
+
+    /// Worker seam: `run_unit` processes one `(template, a-chunk)` unit.
+    /// Production passes [`instantiate_unit`]; tests substitute panicking
+    /// closures to exercise error propagation through the real pipeline.
+    fn collect_candidates_via<F>(
+        &self,
+        training: &TrainingSet,
+        cache: &StatsCache,
+        options: &InferOptions,
+        run_unit: F,
+    ) -> Result<Vec<Candidate>, InferError>
+    where
+        F: Fn(&WorkUnit<'_, '_>, &TrainingSet, &StatsCache) -> Vec<Candidate> + Sync,
+    {
+        let attrs = cache.attributes();
+        let works: Vec<TemplateWork<'_>> = self
+            .templates
+            .iter()
+            .map(|t| TemplateWork::new(t, attrs, cache))
+            .collect();
+        let units: Vec<WorkUnit<'_, '_>> = works
+            .iter()
+            .flat_map(|work| {
+                let len = work.eligible_a.len();
+                (0..len.div_ceil(A_CHUNK)).map(move |chunk| WorkUnit {
+                    work,
+                    a_range: chunk * A_CHUNK..((chunk + 1) * A_CHUNK).min(len),
+                })
+            })
+            .collect();
+        let workers = options.resolved_workers();
+        let chunks = pool::run_units(&units, workers, |unit| run_unit(unit, training, cache))?;
+        Ok(dedup_candidates(chunks.into_iter().flatten()))
+    }
+}
+
+/// Attributes per work unit: small enough that one quadratic template
+/// shatters into many stealable units, large enough that scheduling noise
+/// stays negligible next to the per-pair evaluation loop.
+const A_CHUNK: usize = 8;
+
+/// One template plus its eligible slot bindings, resolved once per run.
+struct TemplateWork<'a> {
+    template: &'a Template,
+    generic: bool,
+    eligible_a: Vec<&'a AttrName>,
+    eligible_b: Vec<&'a AttrName>,
+}
+
+impl<'a> TemplateWork<'a> {
+    fn new(template: &'a Template, attrs: &'a [AttrName], cache: &StatsCache) -> TemplateWork<'a> {
+        let generic = is_same_type_generic(template);
+        let (eligible_a, eligible_b) = if generic {
+            let all: Vec<&AttrName> = attrs.iter().collect();
+            (all.clone(), all)
+        } else {
+            (
+                eligible(attrs, cache, template.a.ty),
+                eligible(attrs, cache, template.b.ty),
+            )
+        };
+        TemplateWork {
+            template,
+            generic,
+            eligible_a,
+            eligible_b,
+        }
+    }
+}
+
+/// One stealable unit: a chunk of a template's eligible-A attributes.
+struct WorkUnit<'a, 'w> {
+    work: &'w TemplateWork<'a>,
+    a_range: Range<usize>,
 }
 
 /// Result of the staged entropy-filter analysis.
@@ -148,14 +325,70 @@ pub struct EntropyEffect {
 
 impl EntropyEffect {
     /// How many rules the entropy filter removed.
+    ///
+    /// Saturates at zero: the two counts come from independently judged
+    /// passes, and a caller-constructed (or future relaxed-filter) effect
+    /// where `after_entropy > original` must not panic on underflow.
     pub fn removed(&self) -> usize {
-        self.original - self.after_entropy
+        self.original.saturating_sub(self.after_entropy)
     }
 }
 
+#[derive(Debug)]
 struct Candidate {
     rule: Rule,
     template_min_confidence: Option<f64>,
+}
+
+/// Drop duplicate template instances (the same `(a, relation, b)` can fall
+/// out of several templates), keeping first-seen order.
+fn dedup_candidates(candidates: impl IntoIterator<Item = Candidate>) -> Vec<Candidate> {
+    let mut seen: BTreeSet<(String, String, String)> = BTreeSet::new();
+    let mut out = Vec::new();
+    for cand in candidates {
+        let key = (
+            cand.rule.a.to_string(),
+            format!("{:?}", cand.rule.relation),
+            cand.rule.b.to_string(),
+        );
+        if seen.insert(key) {
+            out.push(cand);
+        }
+    }
+    out
+}
+
+/// Run the §5.2 filters over a deduplicated candidate list.
+fn judge_candidates(
+    candidates: &[Candidate],
+    thresholds: &FilterThresholds,
+    cache: &StatsCache,
+) -> (RuleSet, InferenceStats) {
+    let mut stats = InferenceStats {
+        candidates: candidates.len(),
+        ..InferenceStats::default()
+    };
+    let mut rules = RuleSet::new();
+    for cand in candidates {
+        match judge(
+            thresholds,
+            cache,
+            &cand.rule.a,
+            &cand.rule.b,
+            cand.rule.support,
+            cand.rule.confidence,
+            cand.template_min_confidence,
+        ) {
+            Verdict::Accept => {
+                stats.kept += 1;
+                rules.push(cand.rule.clone());
+            }
+            Verdict::Reject(RejectReason::LowSupport) => stats.dropped_by_support += 1,
+            Verdict::Reject(RejectReason::LowConfidence) => stats.dropped_by_confidence += 1,
+            Verdict::Reject(RejectReason::LowEntropy) => stats.dropped_by_entropy += 1,
+        }
+    }
+    (rules, stats)
 }
 
 /// Attributes eligible for a slot type.
@@ -163,15 +396,11 @@ struct Candidate {
 /// `Str` slots accept only genuinely string-typed attributes — allowing
 /// every attribute in `Str` slots would reintroduce the quadratic blow-up
 /// the type restriction exists to avoid.
-fn eligible<'a>(
-    attrs: &'a [AttrName],
-    training: &TrainingSet,
-    slot_ty: SemType,
-) -> Vec<&'a AttrName> {
+fn eligible<'a>(attrs: &'a [AttrName], cache: &StatsCache, slot_ty: SemType) -> Vec<&'a AttrName> {
     attrs
         .iter()
         .filter(|a| {
-            let ty = training.types().type_of(a);
+            let ty = cache.type_of(a);
             match slot_ty {
                 // Plain numbers and ports compare; sizes have their own
                 // template (comparing seconds against bytes is never a
@@ -193,24 +422,16 @@ fn is_same_type_generic(template: &Template) -> bool {
         && template.b.ty == SemType::Str
 }
 
-fn instantiate_template(
-    template: &Template,
-    attrs: &[AttrName],
+fn instantiate_unit(
+    unit: &WorkUnit<'_, '_>,
     training: &TrainingSet,
+    cache: &StatsCache,
 ) -> Vec<Candidate> {
-    let generic = is_same_type_generic(template);
-    let all: Vec<&AttrName> = attrs.iter().collect();
-    let (eligible_a, eligible_b) = if generic {
-        (all.clone(), all)
-    } else {
-        (
-            eligible(attrs, training, template.a.ty),
-            eligible(attrs, training, template.b.ty),
-        )
-    };
+    let work = unit.work;
+    let template = work.template;
     let mut out = Vec::new();
-    for &a in &eligible_a {
-        for &b in &eligible_b {
+    for &a in &work.eligible_a[unit.a_range.clone()] {
+        for &b in &work.eligible_b {
             if a == b {
                 continue;
             }
@@ -226,15 +447,13 @@ fn instantiate_template(
             // (the paper's `DataDir => user`); letting the user slot range
             // over augmented `.owner` mirrors re-derives each ownership
             // clique transitively.
-            if matches!(
-                template.relation,
-                Relation::Owns | Relation::NotAccessible
-            ) && !b.is_original()
+            if matches!(template.relation, Relation::Owns | Relation::NotAccessible)
+                && !b.is_original()
             {
                 continue;
             }
-            if generic {
-                let (ta, tb) = (training.types().type_of(a), training.types().type_of(b));
+            if work.generic {
+                let (ta, tb) = (cache.type_of(a), cache.type_of(b));
                 // Same-type restriction, and equality over booleans/enums is
                 // vacuous co-occurrence rather than correlation — skip it,
                 // matching the spirit of the paper's type-based selection.
@@ -280,7 +499,13 @@ fn instantiate_template(
             }
             let confidence = holds as f64 / applicable as f64;
             out.push(Candidate {
-                rule: Rule::new(a.clone(), template.relation, b.clone(), applicable, confidence),
+                rule: Rule::new(
+                    a.clone(),
+                    template.relation,
+                    b.clone(),
+                    applicable,
+                    confidence,
+                ),
                 template_min_confidence: template.min_confidence,
             });
         }
@@ -362,8 +587,79 @@ mod tests {
     fn no_rule_relates_attribute_to_itself() {
         let images = fleet(8);
         let ts = TrainingSet::assemble(AppKind::Mysql, &images).unwrap();
-        let (rules, _) = RuleInference::predefined()
-            .infer(&ts, &FilterThresholds::default().without_entropy());
+        let (rules, _) =
+            RuleInference::predefined().infer(&ts, &FilterThresholds::default().without_entropy());
         assert!(rules.rules().iter().all(|r| r.a != r.b));
+    }
+
+    #[test]
+    fn worker_counts_agree_with_sequential_reference() {
+        let images = fleet(10);
+        let ts = TrainingSet::assemble(AppKind::Mysql, &images).unwrap();
+        let engine = RuleInference::predefined();
+        let thresholds = FilterThresholds::default().without_entropy();
+        let (reference, ref_stats) = engine
+            .try_infer_with(&ts, &thresholds, &InferOptions::with_workers(1))
+            .unwrap();
+        for workers in [2, 4, 8] {
+            let (rules, stats) = engine
+                .try_infer_with(&ts, &thresholds, &InferOptions::with_workers(workers))
+                .unwrap();
+            assert_eq!(rules, reference, "workers={workers}");
+            assert_eq!(rules.render(), reference.render(), "workers={workers}");
+            assert_eq!(stats, ref_stats, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn dual_inference_matches_two_separate_runs() {
+        let images = fleet(12);
+        let ts = TrainingSet::assemble(AppKind::Mysql, &images).unwrap();
+        let engine = RuleInference::predefined();
+        let thresholds = FilterThresholds::default();
+        let dual = engine
+            .try_infer_dual(&ts, &thresholds, &InferOptions::default())
+            .unwrap();
+        let with = engine.infer(&ts, &thresholds);
+        let without = engine.infer(&ts, &thresholds.without_entropy());
+        assert_eq!(dual.entropy_on, with);
+        assert_eq!(dual.entropy_off, without);
+    }
+
+    #[test]
+    fn worker_panic_is_a_recoverable_error() {
+        let images = fleet(6);
+        let ts = TrainingSet::assemble(AppKind::Mysql, &images).unwrap();
+        let engine = RuleInference::predefined();
+        let cache = StatsCache::new(ts.dataset(), ts.types());
+        let err = engine
+            .collect_candidates_via(
+                &ts,
+                &cache,
+                &InferOptions::with_workers(4),
+                |_, _, _| -> Vec<Candidate> { panic!("malformed attribute") },
+            )
+            .expect_err("panicking workers must surface an error");
+        let InferError::WorkerPanicked { message, .. } = err;
+        assert!(message.contains("malformed attribute"));
+        // The process (and this test) survived: the error is recoverable,
+        // and a subsequent well-formed run still succeeds.
+        assert!(engine.try_infer(&ts, &FilterThresholds::default()).is_ok());
+    }
+
+    #[test]
+    fn entropy_effect_removed_saturates_instead_of_panicking() {
+        // Regression: `removed()` used unchecked subtraction and panicked on
+        // underflow for caller-constructed effects.
+        let effect = EntropyEffect {
+            original: 3,
+            after_entropy: 10,
+        };
+        assert_eq!(effect.removed(), 0);
+        let normal = EntropyEffect {
+            original: 10,
+            after_entropy: 3,
+        };
+        assert_eq!(normal.removed(), 7);
     }
 }

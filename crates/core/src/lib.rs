@@ -68,16 +68,19 @@ pub mod customize;
 pub mod detect;
 pub mod filter;
 pub mod infer;
+pub mod pool;
 pub mod relation;
 pub mod rules;
+pub mod stats;
 pub mod template;
 pub mod train;
 pub mod types;
 
 pub use detect::{AnomalyDetector, Report, Warning, WarningKind};
 pub use filter::FilterThresholds;
-pub use infer::{InferenceStats, RuleInference};
+pub use infer::{InferError, InferOptions, InferenceStats, RuleInference};
 pub use rules::{Rule, RuleSet};
+pub use stats::StatsCache;
 pub use template::{Relation, Slot, Template};
 pub use train::TrainingSet;
 pub use types::TypeMap;
@@ -105,6 +108,9 @@ pub struct LearnOptions {
     /// Rule filters; defaults to the paper's §7.3 thresholds (confidence
     /// 90%, support 10% of the training images, entropy 0.325).
     pub thresholds: FilterThresholds,
+    /// Inference worker threads; `None` uses all available parallelism.
+    /// The learned rules are identical for every worker count.
+    pub workers: Option<usize>,
 }
 
 impl Default for LearnOptions {
@@ -112,6 +118,7 @@ impl Default for LearnOptions {
         LearnOptions {
             templates: Template::predefined(),
             thresholds: FilterThresholds::default(),
+            workers: None,
         }
     }
 }
@@ -129,13 +136,33 @@ pub struct EnCore {
 
 impl EnCore {
     /// Learn configuration rules from a training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an inference worker panics; [`EnCore::try_learn`] surfaces
+    /// that recoverably instead.
     pub fn learn(training: &TrainingSet, options: &LearnOptions) -> EnCore {
+        EnCore::try_learn(training, options).expect("inference worker panicked")
+    }
+
+    /// Learn configuration rules, surfacing inference-worker panics as a
+    /// recoverable [`InferError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InferError::WorkerPanicked`] if a template-instantiation
+    /// work unit panics.
+    pub fn try_learn(training: &TrainingSet, options: &LearnOptions) -> Result<EnCore, InferError> {
         let inference = RuleInference::new(options.templates.clone());
-        let (rules, stats) = inference.infer(training, &options.thresholds);
-        EnCore {
+        let infer_options = InferOptions {
+            workers: options.workers,
+        };
+        let (rules, stats) =
+            inference.try_infer_with(training, &options.thresholds, &infer_options)?;
+        Ok(EnCore {
             detector: AnomalyDetector::new(training, rules),
             stats,
-        }
+        })
     }
 
     /// The learned rule set.

@@ -1,0 +1,168 @@
+//! A small work-stealing worker pool for embarrassingly parallel units.
+//!
+//! The paper notes of template instantiation that the instance computations
+//! "share no state — this process is highly parallelizable" (§5.1).  The
+//! pool runs a slice of work units on `workers` scoped threads which pull
+//! the next unprocessed unit from a shared atomic cursor, so a handful of
+//! expensive units (one quadratic generic-equality template, say) cannot
+//! strand the other workers idle the way one-thread-per-template
+//! parallelism did.
+//!
+//! Results are returned **in unit order** regardless of which worker ran
+//! which unit, so callers get output byte-identical to a sequential pass.
+//! A panicking unit is caught and surfaced as a [`PoolError`] instead of
+//! poisoning the process.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A worker panicked while processing a unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError {
+    /// Index of the failing unit.
+    pub unit: usize,
+    /// The panic payload, rendered.
+    pub message: String,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker panicked on unit {}: {}", self.unit, self.message)
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `f` over every unit on up to `workers` threads, returning the
+/// results in unit order.
+///
+/// # Errors
+///
+/// Returns the first (lowest-index) [`PoolError`] if any unit panics; the
+/// remaining units still run to completion.
+pub fn run_units<U, O, F>(units: &[U], workers: usize, f: F) -> Result<Vec<O>, PoolError>
+where
+    U: Sync,
+    O: Send,
+    F: Fn(&U) -> O + Sync,
+{
+    let workers = workers.clamp(1, units.len().max(1));
+    let run_one = |index: usize| -> (usize, Result<O, String>) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(&units[index]))).map_err(panic_message);
+        (index, outcome)
+    };
+
+    let mut tagged: Vec<(usize, Result<O, String>)> = if workers <= 1 {
+        (0..units.len()).map(run_one).collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let index = cursor.fetch_add(1, Ordering::Relaxed);
+                            if index >= units.len() {
+                                break;
+                            }
+                            local.push(run_one(index));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| {
+                    // Unit panics are caught inside run_one; a worker thread
+                    // can only panic through harness bugs, which we surface
+                    // as an empty contribution judged below by the
+                    // completeness check.
+                    h.join().unwrap_or_default()
+                })
+                .collect()
+        })
+    };
+
+    tagged.sort_by_key(|(index, _)| *index);
+    if tagged.len() != units.len() {
+        return Err(PoolError {
+            unit: tagged.len(),
+            message: "worker thread died without reporting".to_string(),
+        });
+    }
+    let mut out = Vec::with_capacity(units.len());
+    for (index, result) in tagged {
+        match result {
+            Ok(v) => out.push(v),
+            Err(message) => {
+                return Err(PoolError {
+                    unit: index,
+                    message,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_unit_order_across_worker_counts() {
+        let units: Vec<usize> = (0..103).collect();
+        let reference: Vec<usize> = units.iter().map(|u| u * 3).collect();
+        for workers in [1, 2, 4, 8, 16] {
+            let got = run_units(&units, workers, |u| u * 3).expect("no panics");
+            assert_eq!(got, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_units_is_fine() {
+        let got: Vec<usize> = run_units(&[] as &[usize], 4, |u| *u).expect("empty");
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn panics_become_errors_with_unit_index() {
+        let units: Vec<usize> = (0..20).collect();
+        for workers in [1, 4] {
+            let err = run_units(&units, workers, |&u| {
+                if u == 7 {
+                    panic!("unit seven is cursed");
+                }
+                u
+            })
+            .expect_err("must fail");
+            assert_eq!(err.unit, 7, "workers={workers}");
+            assert!(err.message.contains("cursed"), "{err}");
+        }
+    }
+
+    #[test]
+    fn first_failing_unit_wins() {
+        let units: Vec<usize> = (0..50).collect();
+        let err = run_units(&units, 8, |&u| {
+            if u % 13 == 12 {
+                panic!("boom {u}");
+            }
+            u
+        })
+        .expect_err("must fail");
+        assert_eq!(err.unit, 12);
+    }
+}

@@ -178,7 +178,10 @@ fn subnet_of(va: &ConfigValue, vb: &ConfigValue) -> Applicability {
         None => (b_text, 24),
     };
     let parse4 = |s: &str| -> Option<u32> {
-        let octets: Vec<u32> = s.split('.').map(|o| o.parse().ok()).collect::<Option<_>>()?;
+        let octets: Vec<u32> = s
+            .split('.')
+            .map(|o| o.parse().ok())
+            .collect::<Option<_>>()?;
         if octets.len() == 4 && octets.iter().all(|&o| o < 256) {
             Some((octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3])
         } else {
@@ -207,7 +210,11 @@ fn concat_path(va: &ConfigValue, vb: &ConfigValue, view: SystemView<'_>) -> Appl
         (Some(d), Some(f)) => (d, f),
         _ => return Applicability::NotApplicable,
     };
-    let full = format!("{}/{}", dir.trim_end_matches('/'), frag.trim_start_matches('/'));
+    let full = format!(
+        "{}/{}",
+        dir.trim_end_matches('/'),
+        frag.trim_start_matches('/')
+    );
     Applicability::from_bool(image.vfs().exists(&full))
 }
 
@@ -285,13 +292,19 @@ mod tests {
 
     fn row(image: &SystemImage) -> Row {
         let mut r = Row::new(image.id());
-        r.set(AttrName::entry("datadir"), ConfigValue::path("/var/lib/mysql"));
+        r.set(
+            AttrName::entry("datadir"),
+            ConfigValue::path("/var/lib/mysql"),
+        );
         r.set(
             AttrName::entry("datadir").augmented("owner"),
             ConfigValue::str("mysql"),
         );
         r.set(AttrName::entry("user"), ConfigValue::str("mysql"));
-        r.set(AttrName::entry("ServerRoot"), ConfigValue::path("/etc/httpd"));
+        r.set(
+            AttrName::entry("ServerRoot"),
+            ConfigValue::path("/etc/httpd"),
+        );
         r.set(
             AttrName::entry("LoadModule#0/arg2"),
             ConfigValue::path("modules/mod_mime.so"),
@@ -469,14 +482,8 @@ mod tests {
             AttrName::entry("client"),
             ConfigValue::parse_ip("10.0.1.55").unwrap(),
         );
-        r.set(
-            AttrName::entry("allowed"),
-            ConfigValue::str("10.0.1.0/24"),
-        );
-        r.set(
-            AttrName::entry("other"),
-            ConfigValue::str("192.168.0.0/16"),
-        );
+        r.set(AttrName::entry("allowed"), ConfigValue::str("10.0.1.0/24"));
+        r.set(AttrName::entry("other"), ConfigValue::str("192.168.0.0/16"));
         let view = SystemView::new(&r, &img);
         assert_eq!(
             evaluate(
@@ -502,7 +509,10 @@ mod tests {
     fn bool_implication() {
         let img = image();
         let mut r = row(&img);
-        r.set(AttrName::entry("FollowSymLinks"), ConfigValue::boolean(false));
+        r.set(
+            AttrName::entry("FollowSymLinks"),
+            ConfigValue::boolean(false),
+        );
         r.set(
             AttrName::entry("DocumentRoot").augmented("hasSymLink"),
             ConfigValue::boolean(false),
@@ -520,7 +530,10 @@ mod tests {
             Applicability::NotApplicable
         );
         // A true antecedent requires the consequent.
-        r.set(AttrName::entry("FollowSymLinks"), ConfigValue::boolean(true));
+        r.set(
+            AttrName::entry("FollowSymLinks"),
+            ConfigValue::boolean(true),
+        );
         let view = SystemView::new(&r, &img);
         assert_eq!(
             evaluate(

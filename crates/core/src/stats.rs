@@ -1,0 +1,147 @@
+//! Shared read-only statistics for one inference run.
+//!
+//! Rule inference consults two per-attribute statistics over and over:
+//!
+//! * the **semantic type** of each attribute, when gathering eligible slot
+//!   bindings — previously re-derived through [`TypeMap::type_of`] for every
+//!   template;
+//! * the **Shannon entropy** of each attribute's value distribution, when
+//!   the entropy filter judges a candidate — previously recomputed from a
+//!   fresh value histogram for every candidate, O(candidates × rows) of
+//!   redundant work since many candidates share attributes.
+//!
+//! [`StatsCache`] resolves every type once up front and memoizes entropies
+//! on first use.  The cache is immutable after construction apart from the
+//! entropy memo (guarded by a mutex), so it can be shared read-only across
+//! the inference worker pool.
+
+use crate::types::TypeMap;
+use encore_mining::metrics::entropy;
+use encore_model::{AttrName, Dataset, SemType};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Per-run cache of attribute statistics: resolved types and memoized
+/// entropies over one training dataset.
+#[derive(Debug)]
+pub struct StatsCache {
+    dataset: Dataset,
+    attributes: Vec<AttrName>,
+    types: BTreeMap<AttrName, SemType>,
+    type_map: TypeMap,
+    entropies: Mutex<BTreeMap<AttrName, f64>>,
+}
+
+impl StatsCache {
+    /// Build a cache over a dataset, resolving the type of every attribute
+    /// once through `types`.
+    pub fn new(dataset: Dataset, types: &TypeMap) -> StatsCache {
+        let attributes: Vec<AttrName> = dataset.attributes().into_iter().collect();
+        let resolved = attributes
+            .iter()
+            .map(|a| (a.clone(), types.type_of(a)))
+            .collect();
+        StatsCache {
+            dataset,
+            attributes,
+            types: resolved,
+            type_map: types.clone(),
+            entropies: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Number of training systems.
+    pub fn num_rows(&self) -> usize {
+        self.dataset.num_rows()
+    }
+
+    /// Every attribute appearing in the dataset, in stable (sorted) order.
+    pub fn attributes(&self) -> &[AttrName] {
+        &self.attributes
+    }
+
+    /// The resolved semantic type of an attribute (falling back to the
+    /// source [`TypeMap`] for attributes outside the dataset).
+    pub fn type_of(&self, attr: &AttrName) -> SemType {
+        match self.types.get(attr) {
+            Some(t) => *t,
+            None => self.type_map.type_of(attr),
+        }
+    }
+
+    /// Shannon entropy of the attribute's value distribution, computed at
+    /// most once per attribute per run.
+    pub fn entropy(&self, attr: &AttrName) -> f64 {
+        let mut memo = self.entropies.lock().expect("entropy memo poisoned");
+        if let Some(&h) = memo.get(attr) {
+            return h;
+        }
+        let h = entropy(self.dataset.value_histogram(attr).into_values());
+        memo.insert(attr.clone(), h);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::attribute_entropy;
+    use encore_model::{ConfigValue, Row};
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        for i in 0..12 {
+            let mut r = Row::new(format!("s{i}"));
+            r.set(AttrName::entry("varied"), ConfigValue::str(format!("v{i}")));
+            r.set(AttrName::entry("fixed"), ConfigValue::str("same"));
+            r.set(
+                AttrName::entry("thirds"),
+                ConfigValue::str(format!("t{}", i % 3)),
+            );
+            ds.push_row(r);
+        }
+        ds
+    }
+
+    #[test]
+    fn entropy_matches_uncached_computation() {
+        let ds = dataset();
+        let cache = StatsCache::new(ds.clone(), &TypeMap::new());
+        for name in ["varied", "fixed", "thirds", "absent"] {
+            let attr = AttrName::entry(name);
+            let direct = attribute_entropy(&ds, &attr);
+            // Query twice: the second answer comes from the memo.
+            assert_eq!(cache.entropy(&attr), direct, "{name}");
+            assert_eq!(cache.entropy(&attr), direct, "{name} (memoized)");
+        }
+    }
+
+    #[test]
+    fn types_resolved_once_match_type_map() {
+        let ds = dataset();
+        let mut tm = TypeMap::new();
+        tm.set(AttrName::entry("varied"), SemType::FilePath);
+        let cache = StatsCache::new(ds, &tm);
+        assert_eq!(cache.type_of(&AttrName::entry("varied")), SemType::FilePath);
+        // Unstored attributes fall back to the TypeMap's own fallback rules.
+        assert_eq!(
+            cache.type_of(&AttrName::entry("fixed").augmented("owner")),
+            tm.type_of(&AttrName::entry("fixed").augmented("owner"))
+        );
+    }
+
+    #[test]
+    fn attributes_are_sorted_and_complete() {
+        let cache = StatsCache::new(dataset(), &TypeMap::new());
+        let names: Vec<String> = cache.attributes().iter().map(|a| a.to_string()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        assert_eq!(names.len(), 3);
+    }
+}

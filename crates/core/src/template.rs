@@ -176,7 +176,11 @@ impl Template {
             // [A] in [B]: user in group.
             Template::new(SemType::UserName, Relation::InGroup, SemType::GroupName),
             // [A] != [B]: path not accessible by user.
-            Template::new(SemType::FilePath, Relation::NotAccessible, SemType::UserName),
+            Template::new(
+                SemType::FilePath,
+                Relation::NotAccessible,
+                SemType::UserName,
+            ),
             // [A] => [B]: user owns path.
             Template::new(SemType::FilePath, Relation::Owns, SemType::UserName),
             // [A] < [B]: numeric ordering.
@@ -213,8 +217,8 @@ impl Template {
                 .split_once(':')
                 .ok_or_else(|| format!("slot `{inner}` must be `Label:Type`"))?;
             let label = label.trim().chars().next().ok_or("empty slot label")?;
-            let ty = SemType::parse_name(ty)
-                .ok_or_else(|| format!("unknown type `{}`", ty.trim()))?;
+            let ty =
+                SemType::parse_name(ty).ok_or_else(|| format!("unknown type `{}`", ty.trim()))?;
             Ok((label, ty))
         };
         // Grammar: [A:T] OP [B:T] with an optional trailing `=>` marker for
@@ -235,8 +239,14 @@ impl Template {
         let relation = Relation::resolve(op, ty_a, ty_b)
             .ok_or_else(|| format!("operator `{op}` undefined for {ty_a}/{ty_b}"))?;
         let mut t = Template {
-            a: Slot { label: label_a, ty: ty_a },
-            b: Slot { label: label_b, ty: ty_b },
+            a: Slot {
+                label: label_a,
+                ty: ty_a,
+            },
+            b: Slot {
+                label: label_b,
+                ty: ty_b,
+            },
             relation,
             min_confidence: None,
         };
@@ -288,7 +298,10 @@ mod tests {
             Relation::resolve("<", SemType::Str, SemType::Str),
             Some(Relation::SubstringOf)
         );
-        assert_eq!(Relation::resolve("<", SemType::Boolean, SemType::Boolean), None);
+        assert_eq!(
+            Relation::resolve("<", SemType::Boolean, SemType::Boolean),
+            None
+        );
     }
 
     #[test]

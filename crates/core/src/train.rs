@@ -115,6 +115,12 @@ impl TrainingSet {
     pub fn dataset(&self) -> Dataset {
         self.systems.iter().map(|(r, _)| r.clone()).collect()
     }
+
+    /// A fresh per-run statistics cache (resolved attribute types + memoized
+    /// value entropies) over this training set.
+    pub fn stats_cache(&self) -> crate::stats::StatsCache {
+        crate::stats::StatsCache::new(self.dataset(), &self.types)
+    }
 }
 
 #[cfg(test)]

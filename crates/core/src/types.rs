@@ -86,9 +86,7 @@ impl TypeMap {
             return *t;
         }
         match attr.augmentation() {
-            Augmentation::EnvProperty => {
-                augmented_suffix_type(attr.suffix().unwrap_or_default())
-            }
+            Augmentation::EnvProperty => augmented_suffix_type(attr.suffix().unwrap_or_default()),
             Augmentation::SystemWide => system_attr_type(attr.base()),
             Augmentation::Original => SemType::Str,
         }
@@ -128,10 +126,7 @@ mod tests {
     #[test]
     fn tie_prefers_specific_type() {
         let mut votes = BTreeMap::new();
-        votes.insert(
-            AttrName::entry("x"),
-            vec![SemType::FilePath, SemType::Str],
-        );
+        votes.insert(AttrName::entry("x"), vec![SemType::FilePath, SemType::Str]);
         let map = TypeMap::merge_votes(&votes);
         assert_eq!(map.type_of(&AttrName::entry("x")), SemType::FilePath);
     }
@@ -141,8 +136,14 @@ mod tests {
         let map = TypeMap::new();
         let datadir = AttrName::entry("datadir");
         assert_eq!(map.type_of(&datadir.augmented("owner")), SemType::UserName);
-        assert_eq!(map.type_of(&datadir.augmented("hasSymLink")), SemType::Boolean);
-        assert_eq!(map.type_of(&datadir.augmented("permission")), SemType::Permission);
+        assert_eq!(
+            map.type_of(&datadir.augmented("hasSymLink")),
+            SemType::Boolean
+        );
+        assert_eq!(
+            map.type_of(&datadir.augmented("permission")),
+            SemType::Permission
+        );
         assert_eq!(
             map.type_of(&AttrName::system("Sys.IPAddress")),
             SemType::IpAddress

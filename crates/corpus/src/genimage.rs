@@ -123,7 +123,8 @@ impl Population {
         for i in 0..options.n {
             let id = format!("{prefix}-{}-{i:04}", app.name());
             let mut gen = ImageGen::new(&id, app, &schema, &mut rng);
-            if options.misconfig_percent > 0 && gen.rng.gen_range(0..100) < options.misconfig_percent
+            if options.misconfig_percent > 0
+                && gen.rng.gen_range(0..100u32) < options.misconfig_percent
             {
                 let category = match gen.rng.gen_range(0..3u8) {
                     0 => MisconfigCategory::FilePath,
@@ -207,7 +208,7 @@ impl<'a> ImageGen<'a> {
                 if (pass == 0) == coupled {
                     continue;
                 }
-                if self.rng.gen_range(0..100) >= spec.presence_percent {
+                if self.rng.gen_range(0..100u32) >= spec.presence_percent {
                     continue;
                 }
                 let value = self.sample_value(spec);
@@ -261,7 +262,7 @@ impl<'a> ImageGen<'a> {
                 self.sample_ladder(ladder, tuned)
             }
             ValueDist::BoolPercentOn(p) => {
-                if self.rng.gen_range(0..100) < *p {
+                if self.rng.gen_range(0..100u32) < *p {
                     "On".to_string()
                 } else {
                     "Off".to_string()
@@ -329,7 +330,7 @@ impl<'a> ImageGen<'a> {
                     Some(p) => p.to_string(),
                     None => return value,
                 };
-                let violate = self.rng.gen_range(0..100) < violation_percent;
+                let violate = self.rng.gen_range(0..100u32) < violation_percent;
                 constrain_less_than(&value, &partner, violate)
             }
             _ => value,
@@ -347,7 +348,10 @@ impl<'a> ImageGen<'a> {
                 self.value_of(e.name).is_some()
                     && match category {
                         MisconfigCategory::FilePath => {
-                            matches!(e.dist, ValueDist::PathPool { .. } | ValueDist::FilePool { .. })
+                            matches!(
+                                e.dist,
+                                ValueDist::PathPool { .. } | ValueDist::FilePool { .. }
+                            )
                         }
                         MisconfigCategory::Permission => {
                             matches!(e.coupling, Some(Coupling::OwnedBy { .. }))
@@ -410,16 +414,16 @@ impl<'a> ImageGen<'a> {
                 _ => "root".to_string(),
             };
             match &spec.dist {
-                ValueDist::PathPool { .. } => {
-                    if created.insert(value.clone()) {
-                        let mode = if spec.coupling.is_some() { 0o750 } else { 0o755 };
-                        builder = builder.dir(&value, &owner, &owner, mode);
-                    }
+                ValueDist::PathPool { .. } if created.insert(value.clone()) => {
+                    let mode = if spec.coupling.is_some() {
+                        0o750
+                    } else {
+                        0o755
+                    };
+                    builder = builder.dir(&value, &owner, &owner, mode);
                 }
-                ValueDist::FilePool { .. } => {
-                    if created.insert(value.clone()) {
-                        builder = builder.file(&value, &owner, &owner, 0o640, "");
-                    }
+                ValueDist::FilePool { .. } if created.insert(value.clone()) => {
+                    builder = builder.file(&value, &owner, &owner, 0o640, "");
                 }
                 _ => {}
             }
@@ -466,7 +470,9 @@ impl<'a> ImageGen<'a> {
                 builder = builder.symlink(&format!("{droot}/shared"), "/mnt/shared");
                 match self.values.iter_mut().find(|(k, _)| k == "FollowSymLinks") {
                     Some(slot) => slot.1 = "On".to_string(),
-                    None => self.values.push(("FollowSymLinks".to_string(), "On".to_string())),
+                    None => self
+                        .values
+                        .push(("FollowSymLinks".to_string(), "On".to_string())),
                 }
             }
         }
@@ -478,9 +484,24 @@ impl<'a> ImageGen<'a> {
         // drives the per-occurrence attribute blow-up of paper Table 2.
         if app == AppKind::Apache {
             const MODULE_POOL: [&str; 18] = [
-                "auth_basic", "auth_digest", "authn_file", "authz_host", "authz_user",
-                "alias", "autoindex", "cgi", "deflate", "dir", "env", "expires",
-                "headers", "mime", "negotiation", "rewrite", "setenvif", "status",
+                "auth_basic",
+                "auth_digest",
+                "authn_file",
+                "authz_host",
+                "authz_user",
+                "alias",
+                "autoindex",
+                "cgi",
+                "deflate",
+                "dir",
+                "env",
+                "expires",
+                "headers",
+                "mime",
+                "negotiation",
+                "rewrite",
+                "setenvif",
+                "status",
             ];
             let server_root = self
                 .value_of("ServerRoot")
@@ -491,10 +512,8 @@ impl<'a> ImageGen<'a> {
                 let frag = format!("modules/mod_{module}.so");
                 let full = format!("{}/{}", server_root.trim_end_matches('/'), frag);
                 builder = builder.file(&full, "root", "root", 0o755, "");
-                self.values.push((
-                    format!("LoadModule {i}"),
-                    format!("{module}_module {frag}"),
-                ));
+                self.values
+                    .push((format!("LoadModule {i}"), format!("{module}_module {frag}")));
             }
         }
 
@@ -561,10 +580,7 @@ fn constrain_less_than(value: &str, partner: &str, violate: bool) -> String {
 
 fn split_magnitude(s: &str) -> (u64, &str) {
     let digits_end = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
-    (
-        s[..digits_end].parse().unwrap_or(1),
-        &s[digits_end..],
-    )
+    (s[..digits_end].parse().unwrap_or(1), &s[digits_end..])
 }
 
 fn default_owner(app: AppKind) -> &'static str {
@@ -582,8 +598,8 @@ fn base_image(id: &str, app: AppKind, rng: &mut StdRng) -> SystemImageBuilder {
         .hostname(format!("ip-10-0-0-{host_n}"))
         .ip_address(format!("10.0.0.{host_n}"))
         .os(
-            ["AmazonLinux", "Ubuntu", "CentOS"][rng.gen_range(0..3)],
-            ["2013.03", "12.04", "6.4"][rng.gen_range(0..3)],
+            ["AmazonLinux", "Ubuntu", "CentOS"][rng.gen_range(0..3usize)],
+            ["2013.03", "12.04", "6.4"][rng.gen_range(0..3usize)],
         )
         .user("daemon", 2, &["daemon"])
         .user("nobody", 99, &["nobody"])
@@ -652,10 +668,7 @@ fn render_config(app: AppKind, values: &[(String, String)]) -> String {
             }
             out
         }
-        AppKind::Sshd => values
-            .iter()
-            .map(|(k, v)| format!("{k} {v}\n"))
-            .collect(),
+        AppKind::Sshd => values.iter().map(|(k, v)| format!("{k} {v}\n")).collect(),
         AppKind::Apache => {
             let mut out = String::new();
             for (k, v) in values {
@@ -739,8 +752,11 @@ mod tests {
         for img in pop.images() {
             let text = img.read_file("/etc/mysql/my.cnf").unwrap();
             let get = |name: &str| {
-                text.lines()
-                    .find_map(|l| l.split_once(" = ").filter(|(k, _)| *k == name).map(|(_, v)| v))
+                text.lines().find_map(|l| {
+                    l.split_once(" = ")
+                        .filter(|(k, _)| *k == name)
+                        .map(|(_, v)| v)
+                })
             };
             if let (Some(datadir), Some(user)) = (get("datadir"), get("user")) {
                 let meta = img.vfs().metadata(datadir).expect("datadir exists");

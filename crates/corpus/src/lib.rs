@@ -34,6 +34,6 @@ pub mod realworld;
 pub mod schema;
 pub mod study;
 
-pub use genimage::{Population, PopulationOptions, SeededMisconfig, MisconfigCategory};
-pub use realworld::{RealWorldCase, InfoKind};
+pub use genimage::{MisconfigCategory, Population, PopulationOptions, SeededMisconfig};
+pub use realworld::{InfoKind, RealWorldCase};
 pub use schema::{AppSchema, EntrySpec, ValueDist};

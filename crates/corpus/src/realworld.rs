@@ -74,9 +74,7 @@ pub fn all_cases(seed: u64) -> Vec<RealWorldCase> {
 
 /// A clean base image drawn from the app's generator population.
 fn fresh_image(app: AppKind, seed: u64) -> SystemImage {
-    Population::training(app, &PopulationOptions::new(1, seed ^ 0xbeef))
-        .images()[0]
-        .clone()
+    Population::training(app, &PopulationOptions::new(1, seed ^ 0xbeef)).images()[0].clone()
 }
 
 /// Rewrite one entry inside a config file body (INI/Apache-style line edit),
@@ -150,7 +148,10 @@ fn rebuild_with_vfs(image: SystemImage, vfs: encore_sysimage::Vfs) -> SystemImag
 fn case_1(seed: u64) -> RealWorldCase {
     let app = AppKind::Apache;
     let image = fresh_image(app, seed ^ 1);
-    let config = image.read_file(app.config_path()).expect("config").to_string();
+    let config = image
+        .read_file(app.config_path())
+        .expect("config")
+        .to_string();
     // Redirect DocumentRoot to a real directory that has no <Directory>
     // section; the existing section still references the old path.
     let new_root = "/srv/www/app";
@@ -189,7 +190,10 @@ fn case_1(seed: u64) -> RealWorldCase {
 fn case_2(seed: u64) -> RealWorldCase {
     let app = AppKind::Php;
     let image = fresh_image(app, seed ^ 2);
-    let config = image.read_file(app.config_path()).expect("config").to_string();
+    let config = image
+        .read_file(app.config_path())
+        .expect("config")
+        .to_string();
     let bad = "/usr/lib/php/modules/pdo.so";
     let mut vfs = image.vfs().clone();
     vfs.add_file(bad, "root", "root", 0o644, "");
@@ -211,7 +215,10 @@ fn case_2(seed: u64) -> RealWorldCase {
 fn case_3(seed: u64) -> RealWorldCase {
     let app = AppKind::Mysql;
     let image = fresh_image(app, seed ^ 3);
-    let config = image.read_file(app.config_path()).expect("config").to_string();
+    let config = image
+        .read_file(app.config_path())
+        .expect("config")
+        .to_string();
     let datadir = read_entry(&config, app, "datadir").expect("datadir present");
     let mut vfs = image.vfs().clone();
     vfs.chown(&datadir, "root", "root");
@@ -231,7 +238,10 @@ fn case_3(seed: u64) -> RealWorldCase {
 fn case_4(seed: u64) -> RealWorldCase {
     let app = AppKind::Mysql;
     let image = fresh_image(app, seed ^ 4);
-    let config = image.read_file(app.config_path()).expect("config").to_string();
+    let config = image
+        .read_file(app.config_path())
+        .expect("config")
+        .to_string();
     let new_dir = "/data/mysql";
     let mut vfs = image.vfs().clone();
     vfs.add_dir(new_dir, "mysql", "mysql", 0o750);
@@ -258,8 +268,16 @@ fn case_4(seed: u64) -> RealWorldCase {
 fn case_5(seed: u64) -> RealWorldCase {
     let app = AppKind::Php;
     let image = fresh_image(app, seed ^ 5);
-    let config = image.read_file(app.config_path()).expect("config").to_string();
-    let config = rewrite_entry(&config, app, "extension_dir", "/usr/local/lib/php/extensions");
+    let config = image
+        .read_file(app.config_path())
+        .expect("config")
+        .to_string();
+    let config = rewrite_entry(
+        &config,
+        app,
+        "extension_dir",
+        "/usr/local/lib/php/extensions",
+    );
     let mut vfs = image.vfs().clone();
     vfs.add_file(app.config_path(), "root", "root", 0o644, &config);
     RealWorldCase {
@@ -278,7 +296,10 @@ fn case_5(seed: u64) -> RealWorldCase {
 fn case_6(seed: u64) -> RealWorldCase {
     let app = AppKind::Apache;
     let image = fresh_image(app, seed ^ 6);
-    let config = image.read_file(app.config_path()).expect("config").to_string();
+    let config = image
+        .read_file(app.config_path())
+        .expect("config")
+        .to_string();
     let droot = read_entry(&config, app, "DocumentRoot").expect("DocumentRoot");
     let mut vfs = image.vfs().clone();
     vfs.add_symlink(&format!("{droot}/shared"), "/mnt/nfs/shared");
@@ -301,7 +322,10 @@ fn case_6(seed: u64) -> RealWorldCase {
 fn case_7(seed: u64) -> RealWorldCase {
     let app = AppKind::Apache;
     let image = fresh_image(app, seed ^ 7);
-    let config = image.read_file(app.config_path()).expect("config").to_string();
+    let config = image
+        .read_file(app.config_path())
+        .expect("config")
+        .to_string();
     let droot = read_entry(&config, app, "DocumentRoot").expect("DocumentRoot");
     let mut vfs = image.vfs().clone();
     // root grabs the document root with a restrictive mode.
@@ -324,7 +348,10 @@ fn case_7(seed: u64) -> RealWorldCase {
 fn case_8(seed: u64) -> RealWorldCase {
     let app = AppKind::Mysql;
     let image = fresh_image(app, seed ^ 8);
-    let config = image.read_file(app.config_path()).expect("config").to_string();
+    let config = image
+        .read_file(app.config_path())
+        .expect("config")
+        .to_string();
     // 16G on a 16GiB machine.
     let config = rewrite_entry(&config, app, "max_heap_table_size", "16G");
     let mut vfs = image.vfs().clone();
@@ -345,7 +372,10 @@ fn case_8(seed: u64) -> RealWorldCase {
 fn case_9(seed: u64) -> RealWorldCase {
     let app = AppKind::Mysql;
     let image = fresh_image(app, seed ^ 9);
-    let config = image.read_file(app.config_path()).expect("config").to_string();
+    let config = image
+        .read_file(app.config_path())
+        .expect("config")
+        .to_string();
     let mut vfs = image.vfs().clone();
     // `log_error` is usually present in generated configs; materialize it
     // when this particular sample skipped it.
@@ -381,7 +411,10 @@ fn case_9(seed: u64) -> RealWorldCase {
 fn case_10(seed: u64) -> RealWorldCase {
     let app = AppKind::Php;
     let image = fresh_image(app, seed ^ 10);
-    let config = image.read_file(app.config_path()).expect("config").to_string();
+    let config = image
+        .read_file(app.config_path())
+        .expect("config")
+        .to_string();
     let config = rewrite_entry(&config, app, "post_max_size", "8M");
     let config = rewrite_entry(&config, app, "upload_max_filesize", "64M");
     // The co-occurring true misconfiguration: session.save_path owned by
@@ -402,7 +435,8 @@ fn case_10(seed: u64) -> RealWorldCase {
     RealWorldCase {
         id: 10,
         app,
-        description: "Failure when uploading large file due to the wrong setting of file size limit",
+        description:
+            "Failure when uploading large file due to the wrong setting of file size limit",
         info: InfoKind::Corr,
         culprit: "upload_max_filesize",
         image: rebuild_with_vfs(image, vfs),
@@ -460,7 +494,11 @@ mod tests {
     fn case_10_ordering_violated() {
         let c = case_10(1);
         let config = c.image.read_file(c.app.config_path()).unwrap();
-        assert!(read_entry(config, c.app, "upload_max_filesize").unwrap().contains("64M"));
-        assert!(read_entry(config, c.app, "post_max_size").unwrap().contains("8M"));
+        assert!(read_entry(config, c.app, "upload_max_filesize")
+            .unwrap()
+            .contains("64M"));
+        assert!(read_entry(config, c.app, "post_max_size")
+            .unwrap()
+            .contains("8M"));
     }
 }

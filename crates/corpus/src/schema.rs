@@ -225,120 +225,537 @@ const ON_OFF_MIXED: ValueDist = BoolPercentOn(55);
 fn apache_entries() -> Vec<EntrySpec> {
     vec![
         // --- serving fundamentals ------------------------------------------------
-        EntrySpec::new("ServerRoot", FilePath, PathPool { base: "/etc/httpd", variants: 3 }, 100).env().corr(),
-        EntrySpec::new("DocumentRoot", FilePath, PathPool { base: "/var/www/html", variants: 32 }, 100)
-            .env()
-            .couple(OwnedBy { user_entry: "User" }),
-        EntrySpec::new("User", UserName, Choice(&[("apache", 8), ("www-data", 3), ("nobody", 1)]), 100).env().corr(),
-        EntrySpec::new("Group", GroupName, Choice(&[("apache", 8), ("www-data", 3), ("nobody", 1)]), 100)
-            .env()
-            .couple(EqualsEntry { other: "User" }),
-        EntrySpec::new("Listen", PortNumber, Choice(&[("80", 12), ("8080", 3), ("443", 2)]), 100).env(),
-        EntrySpec::new("ServerName", Str, Choice(&[("localhost", 6), ("web01.example.com", 3), ("www.example.com", 3)]), 85),
-        EntrySpec::new("ServerAdmin", Str, Choice(&[("root@localhost", 7), ("webmaster@example.com", 5)]), 90),
-        EntrySpec::new("PidFile", FilePath, FilePool { base: "/var/run/httpd", variants: 2, suffix: ".pid" }, 95).env(),
-        EntrySpec::new("ErrorLog", FilePath, FilePool { base: "/var/log/httpd/error", variants: 24, suffix: ".log" }, 100)
-            .env()
-            .couple(OwnedBy { user_entry: "User" }),
-        EntrySpec::new("CustomLog", FilePath, FilePool { base: "/var/log/httpd/access", variants: 24, suffix: ".log" }, 90).env().corr(),
-        EntrySpec::new("LogLevel", Str, Choice(&[("warn", 9), ("error", 3), ("debug", 1)]), 95),
+        EntrySpec::new(
+            "ServerRoot",
+            FilePath,
+            PathPool {
+                base: "/etc/httpd",
+                variants: 3,
+            },
+            100,
+        )
+        .env()
+        .corr(),
+        EntrySpec::new(
+            "DocumentRoot",
+            FilePath,
+            PathPool {
+                base: "/var/www/html",
+                variants: 32,
+            },
+            100,
+        )
+        .env()
+        .couple(OwnedBy { user_entry: "User" }),
+        EntrySpec::new(
+            "User",
+            UserName,
+            Choice(&[("apache", 8), ("www-data", 3), ("nobody", 1)]),
+            100,
+        )
+        .env()
+        .corr(),
+        EntrySpec::new(
+            "Group",
+            GroupName,
+            Choice(&[("apache", 8), ("www-data", 3), ("nobody", 1)]),
+            100,
+        )
+        .env()
+        .couple(EqualsEntry { other: "User" }),
+        EntrySpec::new(
+            "Listen",
+            PortNumber,
+            Choice(&[("80", 12), ("8080", 3), ("443", 2)]),
+            100,
+        )
+        .env(),
+        EntrySpec::new(
+            "ServerName",
+            Str,
+            Choice(&[
+                ("localhost", 6),
+                ("web01.example.com", 3),
+                ("www.example.com", 3),
+            ]),
+            85,
+        ),
+        EntrySpec::new(
+            "ServerAdmin",
+            Str,
+            Choice(&[("root@localhost", 7), ("webmaster@example.com", 5)]),
+            90,
+        ),
+        EntrySpec::new(
+            "PidFile",
+            FilePath,
+            FilePool {
+                base: "/var/run/httpd",
+                variants: 2,
+                suffix: ".pid",
+            },
+            95,
+        )
+        .env(),
+        EntrySpec::new(
+            "ErrorLog",
+            FilePath,
+            FilePool {
+                base: "/var/log/httpd/error",
+                variants: 24,
+                suffix: ".log",
+            },
+            100,
+        )
+        .env()
+        .couple(OwnedBy { user_entry: "User" }),
+        EntrySpec::new(
+            "CustomLog",
+            FilePath,
+            FilePool {
+                base: "/var/log/httpd/access",
+                variants: 24,
+                suffix: ".log",
+            },
+            90,
+        )
+        .env()
+        .corr(),
+        EntrySpec::new(
+            "LogLevel",
+            Str,
+            Choice(&[("warn", 9), ("error", 3), ("debug", 1)]),
+            95,
+        ),
         EntrySpec::new("LogFormat", Str, Fixed("%h %l %u %t \\\"%r\\\" %>s %b"), 80),
-        EntrySpec::new("TransferLog", FilePath, FilePool { base: "/var/log/httpd/transfer", variants: 2, suffix: ".log" }, 25).env(),
-        EntrySpec::new("ScoreBoardFile", FilePath, FilePool { base: "/var/run/httpd/scoreboard", variants: 2, suffix: "" }, 30).env(),
-        EntrySpec::new("CoreDumpDirectory", FilePath, PathPool { base: "/var/tmp/httpd-core", variants: 2 }, 20).env(),
-        EntrySpec::new("LockFile", FilePath, FilePool { base: "/var/lock/httpd", variants: 2, suffix: ".lock" }, 40).env(),
-        EntrySpec::new("Include", PartialFilePath, Choice(&[("conf.d/ssl.conf", 5), ("conf.d/php.conf", 5), ("conf.d/vhosts.conf", 2)]), 70)
-            .env()
-            .couple(ConcatOnto { base_entry: "ServerRoot" }),
-        EntrySpec::new("TypesConfig", FilePath, FilePool { base: "/etc/mime", variants: 2, suffix: ".types" }, 85).env(),
-        EntrySpec::new("MIMEMagicFile", PartialFilePath, Choice(&[("conf/magic", 9), ("conf/magic.local", 1)]), 60)
-            .env()
-            .couple(ConcatOnto { base_entry: "ServerRoot" }),
-        EntrySpec::new("DirectoryIndex", FileName, Choice(&[("index.html", 8), ("index.php", 4), ("default.htm", 1)]), 95).env(),
-        EntrySpec::new("AccessFileName", FileName, Choice(&[(".htaccess", 12), (".acl", 1)]), 80).env(),
+        EntrySpec::new(
+            "TransferLog",
+            FilePath,
+            FilePool {
+                base: "/var/log/httpd/transfer",
+                variants: 2,
+                suffix: ".log",
+            },
+            25,
+        )
+        .env(),
+        EntrySpec::new(
+            "ScoreBoardFile",
+            FilePath,
+            FilePool {
+                base: "/var/run/httpd/scoreboard",
+                variants: 2,
+                suffix: "",
+            },
+            30,
+        )
+        .env(),
+        EntrySpec::new(
+            "CoreDumpDirectory",
+            FilePath,
+            PathPool {
+                base: "/var/tmp/httpd-core",
+                variants: 2,
+            },
+            20,
+        )
+        .env(),
+        EntrySpec::new(
+            "LockFile",
+            FilePath,
+            FilePool {
+                base: "/var/lock/httpd",
+                variants: 2,
+                suffix: ".lock",
+            },
+            40,
+        )
+        .env(),
+        EntrySpec::new(
+            "Include",
+            PartialFilePath,
+            Choice(&[
+                ("conf.d/ssl.conf", 5),
+                ("conf.d/php.conf", 5),
+                ("conf.d/vhosts.conf", 2),
+            ]),
+            70,
+        )
+        .env()
+        .couple(ConcatOnto {
+            base_entry: "ServerRoot",
+        }),
+        EntrySpec::new(
+            "TypesConfig",
+            FilePath,
+            FilePool {
+                base: "/etc/mime",
+                variants: 2,
+                suffix: ".types",
+            },
+            85,
+        )
+        .env(),
+        EntrySpec::new(
+            "MIMEMagicFile",
+            PartialFilePath,
+            Choice(&[("conf/magic", 9), ("conf/magic.local", 1)]),
+            60,
+        )
+        .env()
+        .couple(ConcatOnto {
+            base_entry: "ServerRoot",
+        }),
+        EntrySpec::new(
+            "DirectoryIndex",
+            FileName,
+            Choice(&[("index.html", 8), ("index.php", 4), ("default.htm", 1)]),
+            95,
+        )
+        .env(),
+        EntrySpec::new(
+            "AccessFileName",
+            FileName,
+            Choice(&[(".htaccess", 12), (".acl", 1)]),
+            80,
+        )
+        .env(),
         // --- connection management ----------------------------------------------
         EntrySpec::new("Timeout", Number, NumberLadder(&["60", "120", "300"]), 95),
         EntrySpec::new("KeepAlive", Boolean, ON_OFF_MOSTLY_ON, 95),
-        EntrySpec::new("MaxKeepAliveRequests", Number, NumberLadder(&["100", "200", "500"]), 90),
-        EntrySpec::new("KeepAliveTimeout", Number, NumberLadder(&["5", "15", "30"]), 90)
-            .couple(LessThan { other: "Timeout", violation_percent: 3 }),
+        EntrySpec::new(
+            "MaxKeepAliveRequests",
+            Number,
+            NumberLadder(&["100", "200", "500"]),
+            90,
+        ),
+        EntrySpec::new(
+            "KeepAliveTimeout",
+            Number,
+            NumberLadder(&["5", "15", "30"]),
+            90,
+        )
+        .couple(LessThan {
+            other: "Timeout",
+            violation_percent: 3,
+        }),
         EntrySpec::new("ListenBacklog", Number, NumberLadder(&["511", "1024"]), 25),
-        EntrySpec::new("SendBufferSize", Number, NumberLadder(&["0", "16384", "65536"]), 20),
-        EntrySpec::new("ReceiveBufferSize", Number, NumberLadder(&["0", "16384"]), 15),
+        EntrySpec::new(
+            "SendBufferSize",
+            Number,
+            NumberLadder(&["0", "16384", "65536"]),
+            20,
+        ),
+        EntrySpec::new(
+            "ReceiveBufferSize",
+            Number,
+            NumberLadder(&["0", "16384"]),
+            15,
+        ),
         // --- mpm tuning -----------------------------------------------------------
         EntrySpec::new("StartServers", Number, NumberLadder(&["5", "8", "10"]), 90).corr(),
-        EntrySpec::new("MinSpareServers", Number, NumberLadder(&["5", "10", "25"]), 90)
-            .couple(LessThan { other: "MaxSpareServers", violation_percent: 4 }),
-        EntrySpec::new("MaxSpareServers", Number, NumberLadder(&["20", "50", "75"]), 90).corr(),
+        EntrySpec::new(
+            "MinSpareServers",
+            Number,
+            NumberLadder(&["5", "10", "25"]),
+            90,
+        )
+        .couple(LessThan {
+            other: "MaxSpareServers",
+            violation_percent: 4,
+        }),
+        EntrySpec::new(
+            "MaxSpareServers",
+            Number,
+            NumberLadder(&["20", "50", "75"]),
+            90,
+        )
+        .corr(),
         EntrySpec::new("ServerLimit", Number, NumberLadder(&["256", "512"]), 70).corr(),
-        EntrySpec::new("MaxClients", Number, NumberLadder(&["150", "256", "512"]), 90)
-            .couple(LessThan { other: "ServerLimit", violation_percent: 4 }),
-        EntrySpec::new("MaxRequestsPerChild", Number, NumberLadder(&["0", "4000", "10000"]), 85),
-        EntrySpec::new("MinSpareThreads", Number, NumberLadder(&["25", "75"]), 45)
-            .couple(LessThan { other: "MaxSpareThreads", violation_percent: 4 }),
+        EntrySpec::new(
+            "MaxClients",
+            Number,
+            NumberLadder(&["150", "256", "512"]),
+            90,
+        )
+        .couple(LessThan {
+            other: "ServerLimit",
+            violation_percent: 4,
+        }),
+        EntrySpec::new(
+            "MaxRequestsPerChild",
+            Number,
+            NumberLadder(&["0", "4000", "10000"]),
+            85,
+        ),
+        EntrySpec::new("MinSpareThreads", Number, NumberLadder(&["25", "75"]), 45).couple(
+            LessThan {
+                other: "MaxSpareThreads",
+                violation_percent: 4,
+            },
+        ),
         EntrySpec::new("MaxSpareThreads", Number, NumberLadder(&["75", "250"]), 45).corr(),
         EntrySpec::new("ThreadsPerChild", Number, NumberLadder(&["25", "64"]), 45),
         EntrySpec::new("ThreadLimit", Number, NumberLadder(&["64", "128"]), 40),
         EntrySpec::new("MaxMemFree", Number, NumberLadder(&["0", "2048"]), 15),
-        EntrySpec::new("GracefulShutdownTimeout", Number, NumberLadder(&["0", "30"]), 10),
+        EntrySpec::new(
+            "GracefulShutdownTimeout",
+            Number,
+            NumberLadder(&["0", "30"]),
+            10,
+        ),
         // --- identity & lookup ----------------------------------------------------
         EntrySpec::new("UseCanonicalName", Boolean, ON_OFF_MOSTLY_OFF, 70),
         EntrySpec::new("HostnameLookups", Boolean, Fixed("Off"), 90),
-        EntrySpec::new("ServerTokens", Str, Choice(&[("OS", 6), ("Prod", 5), ("Full", 1)]), 80),
+        EntrySpec::new(
+            "ServerTokens",
+            Str,
+            Choice(&[("OS", 6), ("Prod", 5), ("Full", 1)]),
+            80,
+        ),
         EntrySpec::new("ServerSignature", Boolean, ON_OFF_MIXED, 80),
         EntrySpec::new("TraceEnable", Boolean, ON_OFF_MOSTLY_OFF, 40),
         EntrySpec::new("ExtendedStatus", Boolean, ON_OFF_MOSTLY_OFF, 35),
-        EntrySpec::new("FileETag", Str, Choice(&[("INode MTime Size", 8), ("MTime Size", 3), ("None", 1)]), 30),
+        EntrySpec::new(
+            "FileETag",
+            Str,
+            Choice(&[("INode MTime Size", 8), ("MTime Size", 3), ("None", 1)]),
+            30,
+        ),
         EntrySpec::new("ContentDigest", Boolean, ON_OFF_MOSTLY_OFF, 15),
         // --- content handling -------------------------------------------------
-        EntrySpec::new("AddDefaultCharset", Charset, Choice(&[("UTF-8", 10), ("ISO-8859-1", 3)]), 75).env(),
-        EntrySpec::new("DefaultType", MimeType, Choice(&[("text/plain", 10), ("text/html", 2)]), 70).env(),
-        EntrySpec::new("AddLanguage", Language, Choice(&[("en", 8), ("fr", 2), ("de", 2), ("ja", 1)]), 55).env(),
-        EntrySpec::new("LanguagePriority", Language, Choice(&[("en", 10), ("fr", 1), ("de", 1)]), 50).env(),
-        EntrySpec::new("ForceLanguagePriority", Str, Choice(&[("Prefer Fallback", 9), ("Prefer", 2)]), 45),
-        EntrySpec::new("AddType", MimeType, Choice(&[("application/x-httpd-php", 5), ("text/x-component", 2), ("application/x-tar", 2)]), 65).env(),
-        EntrySpec::new("AddEncoding", Str, Choice(&[("x-compress .Z", 5), ("x-gzip .gz .tgz", 6)]), 40),
-        EntrySpec::new("AddHandler", Str, Choice(&[("cgi-script .cgi", 6), ("type-map var", 3)]), 40),
-        EntrySpec::new("AddCharset", Charset, Choice(&[("UTF-8", 7), ("ISO-8859-2", 2), ("KOI8-R", 1)]), 30).env(),
-        EntrySpec::new("DefaultIcon", PartialFilePath, Choice(&[("icons/unknown.gif", 11), ("icons/blank.gif", 1)]), 45).env(),
+        EntrySpec::new(
+            "AddDefaultCharset",
+            Charset,
+            Choice(&[("UTF-8", 10), ("ISO-8859-1", 3)]),
+            75,
+        )
+        .env(),
+        EntrySpec::new(
+            "DefaultType",
+            MimeType,
+            Choice(&[("text/plain", 10), ("text/html", 2)]),
+            70,
+        )
+        .env(),
+        EntrySpec::new(
+            "AddLanguage",
+            Language,
+            Choice(&[("en", 8), ("fr", 2), ("de", 2), ("ja", 1)]),
+            55,
+        )
+        .env(),
+        EntrySpec::new(
+            "LanguagePriority",
+            Language,
+            Choice(&[("en", 10), ("fr", 1), ("de", 1)]),
+            50,
+        )
+        .env(),
+        EntrySpec::new(
+            "ForceLanguagePriority",
+            Str,
+            Choice(&[("Prefer Fallback", 9), ("Prefer", 2)]),
+            45,
+        ),
+        EntrySpec::new(
+            "AddType",
+            MimeType,
+            Choice(&[
+                ("application/x-httpd-php", 5),
+                ("text/x-component", 2),
+                ("application/x-tar", 2),
+            ]),
+            65,
+        )
+        .env(),
+        EntrySpec::new(
+            "AddEncoding",
+            Str,
+            Choice(&[("x-compress .Z", 5), ("x-gzip .gz .tgz", 6)]),
+            40,
+        ),
+        EntrySpec::new(
+            "AddHandler",
+            Str,
+            Choice(&[("cgi-script .cgi", 6), ("type-map var", 3)]),
+            40,
+        ),
+        EntrySpec::new(
+            "AddCharset",
+            Charset,
+            Choice(&[("UTF-8", 7), ("ISO-8859-2", 2), ("KOI8-R", 1)]),
+            30,
+        )
+        .env(),
+        EntrySpec::new(
+            "DefaultIcon",
+            PartialFilePath,
+            Choice(&[("icons/unknown.gif", 11), ("icons/blank.gif", 1)]),
+            45,
+        )
+        .env(),
         EntrySpec::new("ReadmeName", FileName, Fixed("README.html"), 40),
         EntrySpec::new("HeaderName", FileName, Fixed("HEADER.html"), 40),
         EntrySpec::new("IndexIgnore", Str, Fixed(".??* *~ *# HEADER* README*"), 40),
-        EntrySpec::new("IndexOptions", Str, Choice(&[("FancyIndexing HTMLTable", 8), ("FancyIndexing", 4)]), 45),
-        EntrySpec::new("AddIcon", Str, Choice(&[("/icons/binary.gif .bin .exe", 6), ("/icons/tar.gif .tar", 4)]), 35),
-        EntrySpec::new("AddIconByType", Str, Fixed("(TXT,/icons/text.gif) text/*"), 30),
-        EntrySpec::new("AddIconByEncoding", Str, Fixed("(CMP,/icons/compressed.gif) x-compress x-gzip"), 30),
-        EntrySpec::new("ErrorDocument", Str, Choice(&[("404 /error/404.html", 5), ("500 /error/500.html", 4)]), 35),
+        EntrySpec::new(
+            "IndexOptions",
+            Str,
+            Choice(&[("FancyIndexing HTMLTable", 8), ("FancyIndexing", 4)]),
+            45,
+        ),
+        EntrySpec::new(
+            "AddIcon",
+            Str,
+            Choice(&[
+                ("/icons/binary.gif .bin .exe", 6),
+                ("/icons/tar.gif .tar", 4),
+            ]),
+            35,
+        ),
+        EntrySpec::new(
+            "AddIconByType",
+            Str,
+            Fixed("(TXT,/icons/text.gif) text/*"),
+            30,
+        ),
+        EntrySpec::new(
+            "AddIconByEncoding",
+            Str,
+            Fixed("(CMP,/icons/compressed.gif) x-compress x-gzip"),
+            30,
+        ),
+        EntrySpec::new(
+            "ErrorDocument",
+            Str,
+            Choice(&[("404 /error/404.html", 5), ("500 /error/500.html", 4)]),
+            35,
+        ),
         // --- access & overrides -----------------------------------------------
-        EntrySpec::new("AllowOverride", Str, Choice(&[("None", 9), ("All", 3), ("AuthConfig", 1)]), 90),
-        EntrySpec::new("Order", Str, Choice(&[("allow,deny", 9), ("deny,allow", 3)]), 85),
-        EntrySpec::new("Allow", Str, Choice(&[("from all", 11), ("from 10.0.0.0/8", 2)]), 85),
-        EntrySpec::new("Deny", Str, Choice(&[("from none", 8), ("from all", 3)]), 40),
-        EntrySpec::new("Options", Str, Choice(&[("Indexes FollowSymLinks", 8), ("None", 3), ("All", 1)]), 90).corr(),
+        EntrySpec::new(
+            "AllowOverride",
+            Str,
+            Choice(&[("None", 9), ("All", 3), ("AuthConfig", 1)]),
+            90,
+        ),
+        EntrySpec::new(
+            "Order",
+            Str,
+            Choice(&[("allow,deny", 9), ("deny,allow", 3)]),
+            85,
+        ),
+        EntrySpec::new(
+            "Allow",
+            Str,
+            Choice(&[("from all", 11), ("from 10.0.0.0/8", 2)]),
+            85,
+        ),
+        EntrySpec::new(
+            "Deny",
+            Str,
+            Choice(&[("from none", 8), ("from all", 3)]),
+            40,
+        ),
+        EntrySpec::new(
+            "Options",
+            Str,
+            Choice(&[("Indexes FollowSymLinks", 8), ("None", 3), ("All", 1)]),
+            90,
+        )
+        .corr(),
         EntrySpec::new("FollowSymLinks", Boolean, BoolPercentOn(70), 85)
             .env()
-            .couple(GuardsSymlinks { path_entry: "DocumentRoot" }),
-        EntrySpec::new("Alias", Str, Choice(&[("/icons/ /var/www/icons/", 8), ("/error/ /var/www/error/", 5)]), 60),
-        EntrySpec::new("ScriptAlias", Str, Choice(&[("/cgi-bin/ /var/www/cgi-bin/", 11), ("/cgi/ /srv/cgi/", 1)]), 60),
-        EntrySpec::new("NameVirtualHost", Str, Choice(&[("*:80", 10), ("192.168.0.10:80", 1)]), 30),
-        EntrySpec::new("SetHandler", Str, Choice(&[("server-status", 6), ("server-info", 2)]), 20),
-        EntrySpec::new("BrowserMatch", Str, Fixed("\\\"Mozilla/2\\\" nokeepalive"), 35),
+            .couple(GuardsSymlinks {
+                path_entry: "DocumentRoot",
+            }),
+        EntrySpec::new(
+            "Alias",
+            Str,
+            Choice(&[
+                ("/icons/ /var/www/icons/", 8),
+                ("/error/ /var/www/error/", 5),
+            ]),
+            60,
+        ),
+        EntrySpec::new(
+            "ScriptAlias",
+            Str,
+            Choice(&[("/cgi-bin/ /var/www/cgi-bin/", 11), ("/cgi/ /srv/cgi/", 1)]),
+            60,
+        ),
+        EntrySpec::new(
+            "NameVirtualHost",
+            Str,
+            Choice(&[("*:80", 10), ("192.168.0.10:80", 1)]),
+            30,
+        ),
+        EntrySpec::new(
+            "SetHandler",
+            Str,
+            Choice(&[("server-status", 6), ("server-info", 2)]),
+            20,
+        ),
+        EntrySpec::new(
+            "BrowserMatch",
+            Str,
+            Fixed("\\\"Mozilla/2\\\" nokeepalive"),
+            35,
+        ),
         // --- limits -----------------------------------------------------------
-        EntrySpec::new("LimitRequestBody", Number, NumberLadder(&["0", "1048576", "10485760"]), 30),
-        EntrySpec::new("LimitRequestFields", Number, NumberLadder(&["100", "200"]), 20),
+        EntrySpec::new(
+            "LimitRequestBody",
+            Number,
+            NumberLadder(&["0", "1048576", "10485760"]),
+            30,
+        ),
+        EntrySpec::new(
+            "LimitRequestFields",
+            Number,
+            NumberLadder(&["100", "200"]),
+            20,
+        ),
         EntrySpec::new("LimitRequestFieldSize", Number, NumberLadder(&["8190"]), 15),
         EntrySpec::new("LimitRequestLine", Number, NumberLadder(&["8190"]), 15),
         EntrySpec::new("RLimitCPU", Number, NumberLadder(&["60", "120"]), 10),
-        EntrySpec::new("RLimitMEM", Number, NumberLadder(&["67108864", "134217728"]), 10),
+        EntrySpec::new(
+            "RLimitMEM",
+            Number,
+            NumberLadder(&["67108864", "134217728"]),
+            10,
+        ),
         EntrySpec::new("RLimitNPROC", Number, NumberLadder(&["25", "50"]), 10),
         // --- misc ---------------------------------------------------------------
         EntrySpec::new("EnableMMAP", Boolean, ON_OFF_MOSTLY_ON, 35),
         EntrySpec::new("EnableSendfile", Boolean, ON_OFF_MOSTLY_ON, 40),
-        EntrySpec::new("SetEnv", Str, Choice(&[("APP_ENV production", 7), ("APP_ENV staging", 3)]), 25),
-        EntrySpec::new("ServerPort", PortNumber, Choice(&[("80", 12), ("8080", 3), ("443", 2)]), 55)
-            .couple(EqualsEntry { other: "Listen" }),
-        EntrySpec::new("UserDir", Str, Choice(&[("disabled", 9), ("public_html", 3)]), 45),
-        EntrySpec::new("CacheRoot", FilePath, PathPool { base: "/var/cache/httpd", variants: 2 }, 15).env(),
+        EntrySpec::new(
+            "SetEnv",
+            Str,
+            Choice(&[("APP_ENV production", 7), ("APP_ENV staging", 3)]),
+            25,
+        ),
+        EntrySpec::new(
+            "ServerPort",
+            PortNumber,
+            Choice(&[("80", 12), ("8080", 3), ("443", 2)]),
+            55,
+        )
+        .couple(EqualsEntry { other: "Listen" }),
+        EntrySpec::new(
+            "UserDir",
+            Str,
+            Choice(&[("disabled", 9), ("public_html", 3)]),
+            45,
+        ),
+        EntrySpec::new(
+            "CacheRoot",
+            FilePath,
+            PathPool {
+                base: "/var/cache/httpd",
+                variants: 2,
+            },
+            15,
+        )
+        .env(),
         EntrySpec::new("CacheEnable", Str, Fixed("disk /"), 12),
         EntrySpec::new("RewriteEngine", Boolean, ON_OFF_MIXED, 35),
         EntrySpec::new("ProxyRequests", Boolean, ON_OFF_MOSTLY_OFF, 20),
@@ -350,135 +767,534 @@ fn apache_entries() -> Vec<EntrySpec> {
 fn mysql_entries() -> Vec<EntrySpec> {
     vec![
         // --- identity & storage ------------------------------------------------
-        EntrySpec::new("user", UserName, Choice(&[("mysql", 10), ("mysqld", 2), ("root", 1)]), 100).env().corr(),
-        EntrySpec::new("datadir", FilePath, PathPool { base: "/var/lib/mysql", variants: 32 }, 100)
-            .env()
-            .couple(OwnedBy { user_entry: "user" }),
-        EntrySpec::new("basedir", FilePath, PathPool { base: "/usr", variants: 2 }, 70).env(),
-        EntrySpec::new("tmpdir", FilePath, PathPool { base: "/tmp", variants: 16 }, 80).env(),
-        EntrySpec::new("socket", FilePath, FilePool { base: "/var/lib/mysql/mysql", variants: 3, suffix: ".sock" }, 95).env(),
-        EntrySpec::new("pid-file", FilePath, FilePool { base: "/var/run/mysqld/mysqld", variants: 2, suffix: ".pid" }, 90).env(),
+        EntrySpec::new(
+            "user",
+            UserName,
+            Choice(&[("mysql", 10), ("mysqld", 2), ("root", 1)]),
+            100,
+        )
+        .env()
+        .corr(),
+        EntrySpec::new(
+            "datadir",
+            FilePath,
+            PathPool {
+                base: "/var/lib/mysql",
+                variants: 32,
+            },
+            100,
+        )
+        .env()
+        .couple(OwnedBy { user_entry: "user" }),
+        EntrySpec::new(
+            "basedir",
+            FilePath,
+            PathPool {
+                base: "/usr",
+                variants: 2,
+            },
+            70,
+        )
+        .env(),
+        EntrySpec::new(
+            "tmpdir",
+            FilePath,
+            PathPool {
+                base: "/tmp",
+                variants: 16,
+            },
+            80,
+        )
+        .env(),
+        EntrySpec::new(
+            "socket",
+            FilePath,
+            FilePool {
+                base: "/var/lib/mysql/mysql",
+                variants: 3,
+                suffix: ".sock",
+            },
+            95,
+        )
+        .env(),
+        EntrySpec::new(
+            "pid-file",
+            FilePath,
+            FilePool {
+                base: "/var/run/mysqld/mysqld",
+                variants: 2,
+                suffix: ".pid",
+            },
+            90,
+        )
+        .env(),
         EntrySpec::new("port", PortNumber, Choice(&[("3306", 40), ("3307", 1)]), 95).env(),
-        EntrySpec::new("bind-address", IpAddress, Choice(&[("127.0.0.1", 8), ("0.0.0.0", 5), ("10.0.0.5", 1)]), 85).env(),
-        EntrySpec::new("lc-messages-dir", FilePath, PathPool { base: "/usr/share/mysql", variants: 2 }, 60).env(),
+        EntrySpec::new(
+            "bind-address",
+            IpAddress,
+            Choice(&[("127.0.0.1", 8), ("0.0.0.0", 5), ("10.0.0.5", 1)]),
+            85,
+        )
+        .env(),
+        EntrySpec::new(
+            "lc-messages-dir",
+            FilePath,
+            PathPool {
+                base: "/usr/share/mysql",
+                variants: 2,
+            },
+            60,
+        )
+        .env(),
         EntrySpec::new("server-id", Number, NumberLadder(&["1", "2", "10"]), 60),
         // --- logging -------------------------------------------------------------
-        EntrySpec::new("log_error", FilePath, FilePool { base: "/var/log/mysql/error", variants: 24, suffix: ".log" }, 95)
-            .env()
-            .couple(OwnedBy { user_entry: "user" }),
+        EntrySpec::new(
+            "log_error",
+            FilePath,
+            FilePool {
+                base: "/var/log/mysql/error",
+                variants: 24,
+                suffix: ".log",
+            },
+            95,
+        )
+        .env()
+        .couple(OwnedBy { user_entry: "user" }),
         EntrySpec::new("general_log", Boolean, ON_OFF_MOSTLY_OFF, 60),
-        EntrySpec::new("general_log_file", FilePath, FilePool { base: "/var/log/mysql/general", variants: 3, suffix: ".log" }, 55).env().corr(),
+        EntrySpec::new(
+            "general_log_file",
+            FilePath,
+            FilePool {
+                base: "/var/log/mysql/general",
+                variants: 3,
+                suffix: ".log",
+            },
+            55,
+        )
+        .env()
+        .corr(),
         EntrySpec::new("slow_query_log", Boolean, ON_OFF_MIXED, 65),
-        EntrySpec::new("slow_query_log_file", FilePath, FilePool { base: "/var/log/mysql/slow", variants: 3, suffix: ".log" }, 60).env().corr(),
-        EntrySpec::new("long_query_time", Number, NumberLadder(&["1", "2", "10"]), 65),
+        EntrySpec::new(
+            "slow_query_log_file",
+            FilePath,
+            FilePool {
+                base: "/var/log/mysql/slow",
+                variants: 3,
+                suffix: ".log",
+            },
+            60,
+        )
+        .env()
+        .corr(),
+        EntrySpec::new(
+            "long_query_time",
+            Number,
+            NumberLadder(&["1", "2", "10"]),
+            65,
+        ),
         EntrySpec::new("log_warnings", Number, NumberLadder(&["1", "2"]), 45),
-        EntrySpec::new("log_queries_not_using_indexes", Boolean, ON_OFF_MOSTLY_OFF, 35),
-        EntrySpec::new("expire_logs_days", Number, NumberLadder(&["7", "10", "30"]), 55),
-        EntrySpec::new("log-bin", FilePath, FilePool { base: "/var/log/mysql/bin", variants: 3, suffix: ".log" }, 45).env(),
-        EntrySpec::new("binlog_format", Str, Choice(&[("STATEMENT", 6), ("ROW", 5), ("MIXED", 2)]), 40),
+        EntrySpec::new(
+            "log_queries_not_using_indexes",
+            Boolean,
+            ON_OFF_MOSTLY_OFF,
+            35,
+        ),
+        EntrySpec::new(
+            "expire_logs_days",
+            Number,
+            NumberLadder(&["7", "10", "30"]),
+            55,
+        ),
+        EntrySpec::new(
+            "log-bin",
+            FilePath,
+            FilePool {
+                base: "/var/log/mysql/bin",
+                variants: 3,
+                suffix: ".log",
+            },
+            45,
+        )
+        .env(),
+        EntrySpec::new(
+            "binlog_format",
+            Str,
+            Choice(&[("STATEMENT", 6), ("ROW", 5), ("MIXED", 2)]),
+            40,
+        ),
         EntrySpec::new("sync_binlog", Number, NumberLadder(&["0", "1"]), 35),
-        EntrySpec::new("max_binlog_size", Size, SizeLadder(&["100M", "512M", "1G"]), 45),
+        EntrySpec::new(
+            "max_binlog_size",
+            Size,
+            SizeLadder(&["100M", "512M", "1G"]),
+            45,
+        ),
         EntrySpec::new("max_binlog_cache_size", Size, SizeLadder(&["2G", "4G"]), 20),
         EntrySpec::new("log_slave_updates", Boolean, ON_OFF_MOSTLY_OFF, 20),
-        EntrySpec::new("relay_log", FilePath, FilePool { base: "/var/log/mysql/relay", variants: 2, suffix: ".log" }, 20).env(),
-        EntrySpec::new("relay_log_index", FilePath, FilePool { base: "/var/log/mysql/relay", variants: 2, suffix: ".index" }, 15).env(),
+        EntrySpec::new(
+            "relay_log",
+            FilePath,
+            FilePool {
+                base: "/var/log/mysql/relay",
+                variants: 2,
+                suffix: ".log",
+            },
+            20,
+        )
+        .env(),
+        EntrySpec::new(
+            "relay_log_index",
+            FilePath,
+            FilePool {
+                base: "/var/log/mysql/relay",
+                variants: 2,
+                suffix: ".index",
+            },
+            15,
+        )
+        .env(),
         EntrySpec::new("relay_log_info_file", FileName, Fixed("relay-log.info"), 15).env(),
         // --- buffers & caches (the ordering-rule playground) -----------------
-        EntrySpec::new("key_buffer_size", Size, SizeLadder(&["16M", "32M", "128M", "256M"]), 90).corr(),
-        EntrySpec::new("max_allowed_packet", Size, SizeLadder(&["1M", "16M", "64M"]), 95).corr(),
-        EntrySpec::new("net_buffer_length", Size, Fixed("8K"), 70)
-            .couple(LessThan { other: "max_allowed_packet", violation_percent: 2 }),
-        EntrySpec::new("sort_buffer_size", Size, SizeLadder(&["512K", "2M", "4M"]), 80),
-        EntrySpec::new("read_buffer_size", Size, SizeLadder(&["128K", "256K", "1M"]), 80),
-        EntrySpec::new("read_rnd_buffer_size", Size, SizeLadder(&["256K", "512K", "4M"]), 75),
-        EntrySpec::new("myisam_sort_buffer_size", Size, SizeLadder(&["8M", "64M"]), 70),
-        EntrySpec::new("join_buffer_size", Size, SizeLadder(&["128K", "256K", "1M"]), 55),
-        EntrySpec::new("bulk_insert_buffer_size", Size, SizeLadder(&["8M", "16M"]), 40),
+        EntrySpec::new(
+            "key_buffer_size",
+            Size,
+            SizeLadder(&["16M", "32M", "128M", "256M"]),
+            90,
+        )
+        .corr(),
+        EntrySpec::new(
+            "max_allowed_packet",
+            Size,
+            SizeLadder(&["1M", "16M", "64M"]),
+            95,
+        )
+        .corr(),
+        EntrySpec::new("net_buffer_length", Size, Fixed("8K"), 70).couple(LessThan {
+            other: "max_allowed_packet",
+            violation_percent: 2,
+        }),
+        EntrySpec::new(
+            "sort_buffer_size",
+            Size,
+            SizeLadder(&["512K", "2M", "4M"]),
+            80,
+        ),
+        EntrySpec::new(
+            "read_buffer_size",
+            Size,
+            SizeLadder(&["128K", "256K", "1M"]),
+            80,
+        ),
+        EntrySpec::new(
+            "read_rnd_buffer_size",
+            Size,
+            SizeLadder(&["256K", "512K", "4M"]),
+            75,
+        ),
+        EntrySpec::new(
+            "myisam_sort_buffer_size",
+            Size,
+            SizeLadder(&["8M", "64M"]),
+            70,
+        ),
+        EntrySpec::new(
+            "join_buffer_size",
+            Size,
+            SizeLadder(&["128K", "256K", "1M"]),
+            55,
+        ),
+        EntrySpec::new(
+            "bulk_insert_buffer_size",
+            Size,
+            SizeLadder(&["8M", "16M"]),
+            40,
+        ),
         EntrySpec::new("preload_buffer_size", Size, SizeLadder(&["32K"]), 15),
-        EntrySpec::new("query_cache_size", Size, SizeLadder(&["0", "16M", "64M"]), 75).corr(),
-        EntrySpec::new("query_cache_limit", Size, SizeLadder(&["1M", "2M"]), 70)
-            .couple(LessThan { other: "query_cache_size", violation_percent: 5 }),
+        EntrySpec::new(
+            "query_cache_size",
+            Size,
+            SizeLadder(&["0", "16M", "64M"]),
+            75,
+        )
+        .corr(),
+        EntrySpec::new("query_cache_limit", Size, SizeLadder(&["1M", "2M"]), 70).couple(LessThan {
+            other: "query_cache_size",
+            violation_percent: 5,
+        }),
         EntrySpec::new("query_cache_type", Number, NumberLadder(&["0", "1"]), 55),
         EntrySpec::new("query_cache_min_res_unit", Size, SizeLadder(&["4K"]), 15),
         EntrySpec::new("query_alloc_block_size", Size, SizeLadder(&["8K"]), 12),
         EntrySpec::new("query_prealloc_size", Size, SizeLadder(&["8K"]), 12),
-        EntrySpec::new("tmp_table_size", Size, SizeLadder(&["16M", "32M", "64M"]), 70).corr(),
+        EntrySpec::new(
+            "tmp_table_size",
+            Size,
+            SizeLadder(&["16M", "32M", "64M"]),
+            70,
+        )
+        .corr(),
         // The ladder legitimately reaches 16G (big-memory instances set it
         // that high), which is why real-world case #8 — 16G on a 16 GiB box
         // — is invisible without hardware data in the training set.
-        EntrySpec::new("max_heap_table_size", Size, SizeLadder(&["16M", "32M", "64M", "16G"]), 70).corr(),
+        EntrySpec::new(
+            "max_heap_table_size",
+            Size,
+            SizeLadder(&["16M", "32M", "64M", "16G"]),
+            70,
+        )
+        .corr(),
         EntrySpec::new("thread_stack", Size, SizeLadder(&["192K", "256K"]), 60),
-        EntrySpec::new("thread_cache_size", Number, NumberLadder(&["8", "16", "64"]), 70),
+        EntrySpec::new(
+            "thread_cache_size",
+            Number,
+            NumberLadder(&["8", "16", "64"]),
+            70,
+        ),
         EntrySpec::new("thread_concurrency", Number, NumberLadder(&["8", "10"]), 35),
-        EntrySpec::new("transaction_alloc_block_size", Size, SizeLadder(&["8K"]), 10),
+        EntrySpec::new(
+            "transaction_alloc_block_size",
+            Size,
+            SizeLadder(&["8K"]),
+            10,
+        ),
         EntrySpec::new("transaction_prealloc_size", Size, SizeLadder(&["4K"]), 10),
         EntrySpec::new("range_alloc_block_size", Size, SizeLadder(&["4K"]), 10),
         // --- connection management -------------------------------------------
-        EntrySpec::new("max_connections", Number, NumberLadder(&["100", "151", "500", "1000"]), 85).corr(),
-        EntrySpec::new("max_user_connections", Number, NumberLadder(&["0", "50", "100"]), 40)
-            .couple(LessThan { other: "max_connections", violation_percent: 3 }),
-        EntrySpec::new("max_connect_errors", Number, NumberLadder(&["10", "100", "10000"]), 45),
+        EntrySpec::new(
+            "max_connections",
+            Number,
+            NumberLadder(&["100", "151", "500", "1000"]),
+            85,
+        )
+        .corr(),
+        EntrySpec::new(
+            "max_user_connections",
+            Number,
+            NumberLadder(&["0", "50", "100"]),
+            40,
+        )
+        .couple(LessThan {
+            other: "max_connections",
+            violation_percent: 3,
+        }),
+        EntrySpec::new(
+            "max_connect_errors",
+            Number,
+            NumberLadder(&["10", "100", "10000"]),
+            45,
+        ),
         EntrySpec::new("connect_timeout", Number, NumberLadder(&["5", "10"]), 45),
         EntrySpec::new("wait_timeout", Number, NumberLadder(&["600", "28800"]), 60),
-        EntrySpec::new("interactive_timeout", Number, NumberLadder(&["3600", "28800"]), 55),
+        EntrySpec::new(
+            "interactive_timeout",
+            Number,
+            NumberLadder(&["3600", "28800"]),
+            55,
+        ),
         EntrySpec::new("net_read_timeout", Number, NumberLadder(&["30", "60"]), 35),
-        EntrySpec::new("net_write_timeout", Number, NumberLadder(&["60", "120"]), 35),
+        EntrySpec::new(
+            "net_write_timeout",
+            Number,
+            NumberLadder(&["60", "120"]),
+            35,
+        ),
         EntrySpec::new("net_retry_count", Number, NumberLadder(&["10"]), 20),
         EntrySpec::new("back_log", Number, NumberLadder(&["50", "128"]), 35),
-        EntrySpec::new("innodb_open_files", Number, NumberLadder(&["300", "2000"]), 20),
+        EntrySpec::new(
+            "innodb_open_files",
+            Number,
+            NumberLadder(&["300", "2000"]),
+            20,
+        ),
         EntrySpec::new("skip-name-resolve", Boolean, ON_OFF_MIXED, 50),
         EntrySpec::new("skip-external-locking", Boolean, ON_OFF_MOSTLY_ON, 75),
         EntrySpec::new("skip-networking", Boolean, ON_OFF_MOSTLY_OFF, 20),
         // --- table & file limits -----------------------------------------------
-        EntrySpec::new("table_open_cache", Number, NumberLadder(&["64", "400", "2000"]), 70),
-        EntrySpec::new("table_definition_cache", Number, NumberLadder(&["400", "1400"]), 40),
-        EntrySpec::new("open_files_limit", Number, NumberLadder(&["1024", "5000", "65535"]), 50),
-        EntrySpec::new("lower_case_table_names", Number, NumberLadder(&["0", "1"]), 45),
+        EntrySpec::new(
+            "table_open_cache",
+            Number,
+            NumberLadder(&["64", "400", "2000"]),
+            70,
+        ),
+        EntrySpec::new(
+            "table_definition_cache",
+            Number,
+            NumberLadder(&["400", "1400"]),
+            40,
+        ),
+        EntrySpec::new(
+            "open_files_limit",
+            Number,
+            NumberLadder(&["1024", "5000", "65535"]),
+            50,
+        ),
+        EntrySpec::new(
+            "lower_case_table_names",
+            Number,
+            NumberLadder(&["0", "1"]),
+            45,
+        ),
         EntrySpec::new("low_priority_updates", Boolean, ON_OFF_MOSTLY_OFF, 15),
         EntrySpec::new("concurrent_insert", Number, NumberLadder(&["1", "2"]), 25),
         // --- per-statement limits ----------------------------------------------
-        EntrySpec::new("max_join_size", Number, NumberLadder(&["18446744073709551615"]), 15),
+        EntrySpec::new(
+            "max_join_size",
+            Number,
+            NumberLadder(&["18446744073709551615"]),
+            15,
+        ),
         EntrySpec::new("max_sort_length", Number, NumberLadder(&["1024"]), 15),
-        EntrySpec::new("max_length_for_sort_data", Number, NumberLadder(&["1024"]), 15),
+        EntrySpec::new(
+            "max_length_for_sort_data",
+            Number,
+            NumberLadder(&["1024"]),
+            15,
+        ),
         EntrySpec::new("max_error_count", Number, NumberLadder(&["64"]), 12),
-        EntrySpec::new("max_prepared_stmt_count", Number, NumberLadder(&["16382"]), 12),
+        EntrySpec::new(
+            "max_prepared_stmt_count",
+            Number,
+            NumberLadder(&["16382"]),
+            12,
+        ),
         EntrySpec::new("max_sp_recursion_depth", Number, NumberLadder(&["0"]), 10),
         EntrySpec::new("group_concat_max_len", Number, NumberLadder(&["1024"]), 20),
         EntrySpec::new("ft_min_word_len", Number, NumberLadder(&["4"]), 15),
         // --- character sets --------------------------------------------------------
-        EntrySpec::new("character-set-server", Charset, Choice(&[("UTF-8", 9), ("ISO-8859-1", 4)]), 65).env(),
-        EntrySpec::new("collation-server", Str, Choice(&[("utf8_general_ci", 9), ("latin1_swedish_ci", 4)]), 60).corr(),
+        EntrySpec::new(
+            "character-set-server",
+            Charset,
+            Choice(&[("UTF-8", 9), ("ISO-8859-1", 4)]),
+            65,
+        )
+        .env(),
+        EntrySpec::new(
+            "collation-server",
+            Str,
+            Choice(&[("utf8_general_ci", 9), ("latin1_swedish_ci", 4)]),
+            60,
+        )
+        .corr(),
         EntrySpec::new("init-connect", Str, Fixed("SET NAMES utf8"), 20),
         EntrySpec::new("old_passwords", Number, NumberLadder(&["0", "1"]), 25),
-        EntrySpec::new("sql_mode", Str, Choice(&[("STRICT_TRANS_TABLES", 5), ("TRADITIONAL", 2), ("", 5)]), 45),
-        EntrySpec::new("default-storage-engine", Str, Choice(&[("InnoDB", 9), ("MyISAM", 5)]), 55),
+        EntrySpec::new(
+            "sql_mode",
+            Str,
+            Choice(&[("STRICT_TRANS_TABLES", 5), ("TRADITIONAL", 2), ("", 5)]),
+            45,
+        ),
+        EntrySpec::new(
+            "default-storage-engine",
+            Str,
+            Choice(&[("InnoDB", 9), ("MyISAM", 5)]),
+            55,
+        ),
         // --- innodb ------------------------------------------------------------------
-        EntrySpec::new("innodb_data_home_dir", FilePath, PathPool { base: "/var/lib/mysql", variants: 4 }, 40)
-            .env()
-            .couple(EqualsEntry { other: "datadir" }),
-        EntrySpec::new("innodb_data_file_path", Str, Choice(&[("ibdata1:10M:autoextend", 11), ("ibdata1:128M", 2)]), 45),
-        EntrySpec::new("innodb_log_group_home_dir", FilePath, PathPool { base: "/var/lib/mysql", variants: 4 }, 35).env().corr(),
-        EntrySpec::new("innodb_buffer_pool_size", Size, SizeLadder(&["128M", "512M", "1G"]), 70).corr(),
-        EntrySpec::new("innodb_log_file_size", Size, SizeLadder(&["5M", "48M", "256M"]), 55)
-            .couple(LessThan { other: "innodb_buffer_pool_size", violation_percent: 4 }),
-        EntrySpec::new("innodb_log_buffer_size", Size, SizeLadder(&["8M", "16M"]), 50)
-            .couple(LessThan { other: "innodb_log_file_size", violation_percent: 4 }),
-        EntrySpec::new("innodb_flush_log_at_trx_commit", Number, NumberLadder(&["0", "1", "2"]), 55),
-        EntrySpec::new("innodb_lock_wait_timeout", Number, NumberLadder(&["50", "120"]), 45),
+        EntrySpec::new(
+            "innodb_data_home_dir",
+            FilePath,
+            PathPool {
+                base: "/var/lib/mysql",
+                variants: 4,
+            },
+            40,
+        )
+        .env()
+        .couple(EqualsEntry { other: "datadir" }),
+        EntrySpec::new(
+            "innodb_data_file_path",
+            Str,
+            Choice(&[("ibdata1:10M:autoextend", 11), ("ibdata1:128M", 2)]),
+            45,
+        ),
+        EntrySpec::new(
+            "innodb_log_group_home_dir",
+            FilePath,
+            PathPool {
+                base: "/var/lib/mysql",
+                variants: 4,
+            },
+            35,
+        )
+        .env()
+        .corr(),
+        EntrySpec::new(
+            "innodb_buffer_pool_size",
+            Size,
+            SizeLadder(&["128M", "512M", "1G"]),
+            70,
+        )
+        .corr(),
+        EntrySpec::new(
+            "innodb_log_file_size",
+            Size,
+            SizeLadder(&["5M", "48M", "256M"]),
+            55,
+        )
+        .couple(LessThan {
+            other: "innodb_buffer_pool_size",
+            violation_percent: 4,
+        }),
+        EntrySpec::new(
+            "innodb_log_buffer_size",
+            Size,
+            SizeLadder(&["8M", "16M"]),
+            50,
+        )
+        .couple(LessThan {
+            other: "innodb_log_file_size",
+            violation_percent: 4,
+        }),
+        EntrySpec::new(
+            "innodb_flush_log_at_trx_commit",
+            Number,
+            NumberLadder(&["0", "1", "2"]),
+            55,
+        ),
+        EntrySpec::new(
+            "innodb_lock_wait_timeout",
+            Number,
+            NumberLadder(&["50", "120"]),
+            45,
+        ),
         EntrySpec::new("innodb_file_per_table", Boolean, ON_OFF_MIXED, 50),
-        EntrySpec::new("innodb_thread_concurrency", Number, NumberLadder(&["0", "8", "16"]), 30),
-        EntrySpec::new("innodb_flush_method", Str, Choice(&[("O_DIRECT", 7), ("fdatasync", 4)]), 30),
+        EntrySpec::new(
+            "innodb_thread_concurrency",
+            Number,
+            NumberLadder(&["0", "8", "16"]),
+            30,
+        ),
+        EntrySpec::new(
+            "innodb_flush_method",
+            Str,
+            Choice(&[("O_DIRECT", 7), ("fdatasync", 4)]),
+            30,
+        ),
         // --- myisam ----------------------------------------------------------------
-        EntrySpec::new("myisam_max_sort_file_size", Size, SizeLadder(&["2G", "10G"]), 25),
+        EntrySpec::new(
+            "myisam_max_sort_file_size",
+            Size,
+            SizeLadder(&["2G", "10G"]),
+            25,
+        ),
         EntrySpec::new("myisam_repair_threads", Number, NumberLadder(&["1"]), 15),
-        EntrySpec::new("myisam-recover", Str, Choice(&[("BACKUP", 8), ("FORCE,BACKUP", 3)]), 30),
+        EntrySpec::new(
+            "myisam-recover",
+            Str,
+            Choice(&[("BACKUP", 8), ("FORCE,BACKUP", 3)]),
+            30,
+        ),
         // --- delayed inserts ------------------------------------------------------
         EntrySpec::new("delayed_insert_limit", Number, NumberLadder(&["100"]), 10),
         EntrySpec::new("delayed_insert_timeout", Number, NumberLadder(&["300"]), 10),
         EntrySpec::new("delayed_queue_size", Number, NumberLadder(&["1000"]), 10),
         EntrySpec::new("max_delayed_threads", Number, NumberLadder(&["20"]), 10),
         // --- replication/monitoring -------------------------------------------
-        EntrySpec::new("replicate-do-db", Str, Choice(&[("appdb", 6), ("proddb", 3)]), 15),
+        EntrySpec::new(
+            "replicate-do-db",
+            Str,
+            Choice(&[("appdb", 6), ("proddb", 3)]),
+            15,
+        ),
         EntrySpec::new("report-host", Str, Choice(&[("db01", 5), ("db02", 3)]), 12),
         EntrySpec::new("slave_net_timeout", Number, NumberLadder(&["3600"]), 12),
         EntrySpec::new("slave_compressed_protocol", Boolean, ON_OFF_MOSTLY_OFF, 10),
@@ -500,15 +1316,49 @@ fn php_entries() -> Vec<EntrySpec> {
         EntrySpec::new("output_buffering", Size, SizeLadder(&["4K", "8K"]), 70),
         EntrySpec::new("zlib.output_compression", Boolean, ON_OFF_MOSTLY_OFF, 60),
         EntrySpec::new("implicit_flush", Boolean, ON_OFF_MOSTLY_OFF, 55),
-        EntrySpec::new("serialize_precision", Number, NumberLadder(&["17", "100"]), 45),
+        EntrySpec::new(
+            "serialize_precision",
+            Number,
+            NumberLadder(&["17", "100"]),
+            45,
+        ),
         EntrySpec::new("safe_mode", Boolean, ON_OFF_MOSTLY_OFF, 65),
         EntrySpec::new("safe_mode_gid", Boolean, ON_OFF_MOSTLY_OFF, 40),
         EntrySpec::new("expose_php", Boolean, ON_OFF_MIXED, 75),
-        EntrySpec::new("max_execution_time", Number, NumberLadder(&["30", "60", "300"]), 90)
-            .couple(LessThan { other: "max_input_time", violation_percent: 35 }),
-        EntrySpec::new("max_input_time", Number, NumberLadder(&["60", "120", "600"]), 80).corr(),
-        EntrySpec::new("memory_limit", Size, SizeLadder(&["64M", "128M", "256M"]), 95).corr(),
-        EntrySpec::new("error_reporting", Str, Choice(&[("E_ALL & ~E_DEPRECATED", 8), ("E_ALL", 4), ("E_ALL & ~E_NOTICE", 4)]), 90),
+        EntrySpec::new(
+            "max_execution_time",
+            Number,
+            NumberLadder(&["30", "60", "300"]),
+            90,
+        )
+        .couple(LessThan {
+            other: "max_input_time",
+            violation_percent: 35,
+        }),
+        EntrySpec::new(
+            "max_input_time",
+            Number,
+            NumberLadder(&["60", "120", "600"]),
+            80,
+        )
+        .corr(),
+        EntrySpec::new(
+            "memory_limit",
+            Size,
+            SizeLadder(&["64M", "128M", "256M"]),
+            95,
+        )
+        .corr(),
+        EntrySpec::new(
+            "error_reporting",
+            Str,
+            Choice(&[
+                ("E_ALL & ~E_DEPRECATED", 8),
+                ("E_ALL", 4),
+                ("E_ALL & ~E_NOTICE", 4),
+            ]),
+            90,
+        ),
         EntrySpec::new("display_errors", Boolean, ON_OFF_MOSTLY_OFF, 90),
         EntrySpec::new("display_startup_errors", Boolean, ON_OFF_MOSTLY_OFF, 70),
         EntrySpec::new("log_errors", Boolean, ON_OFF_MOSTLY_ON, 90),
@@ -516,10 +1366,24 @@ fn php_entries() -> Vec<EntrySpec> {
         EntrySpec::new("ignore_repeated_errors", Boolean, ON_OFF_MOSTLY_OFF, 45),
         EntrySpec::new("track_errors", Boolean, ON_OFF_MOSTLY_OFF, 50),
         EntrySpec::new("html_errors", Boolean, ON_OFF_MIXED, 55),
-        EntrySpec::new("error_log", FilePath, FilePool { base: "/var/log/php/error", variants: 24, suffix: ".log" }, 75)
-            .env()
-            .couple(OwnedBy { user_entry: "user" }),
-        EntrySpec::new("variables_order", Str, Choice(&[("GPCS", 10), ("EGPCS", 3)]), 65),
+        EntrySpec::new(
+            "error_log",
+            FilePath,
+            FilePool {
+                base: "/var/log/php/error",
+                variants: 24,
+                suffix: ".log",
+            },
+            75,
+        )
+        .env()
+        .couple(OwnedBy { user_entry: "user" }),
+        EntrySpec::new(
+            "variables_order",
+            Str,
+            Choice(&[("GPCS", 10), ("EGPCS", 3)]),
+            65,
+        ),
         EntrySpec::new("register_globals", Boolean, ON_OFF_MOSTLY_OFF, 70),
         EntrySpec::new("register_long_arrays", Boolean, ON_OFF_MOSTLY_OFF, 50),
         EntrySpec::new("register_argc_argv", Boolean, ON_OFF_MIXED, 55),
@@ -529,36 +1393,130 @@ fn php_entries() -> Vec<EntrySpec> {
         EntrySpec::new("magic_quotes_runtime", Boolean, ON_OFF_MOSTLY_OFF, 60),
         EntrySpec::new("auto_prepend_file", FileName, Fixed("prepend.php"), 10).env(),
         EntrySpec::new("auto_append_file", FileName, Fixed("append.php"), 8).env(),
-        EntrySpec::new("default_mimetype", MimeType, Choice(&[("text/html", 12), ("text/plain", 2)]), 70).env(),
-        EntrySpec::new("default_charset", Charset, Choice(&[("UTF-8", 11), ("ISO-8859-1", 3)]), 70).env(),
-        EntrySpec::new("doc_root", FilePath, PathPool { base: "/var/www/html", variants: 24 }, 35).env().corr(),
+        EntrySpec::new(
+            "default_mimetype",
+            MimeType,
+            Choice(&[("text/html", 12), ("text/plain", 2)]),
+            70,
+        )
+        .env(),
+        EntrySpec::new(
+            "default_charset",
+            Charset,
+            Choice(&[("UTF-8", 11), ("ISO-8859-1", 3)]),
+            70,
+        )
+        .env(),
+        EntrySpec::new(
+            "doc_root",
+            FilePath,
+            PathPool {
+                base: "/var/www/html",
+                variants: 24,
+            },
+            35,
+        )
+        .env()
+        .corr(),
         EntrySpec::new("user_dir", Str, Choice(&[("", 8), ("public_html", 3)]), 25),
-        EntrySpec::new("extension_dir", FilePath, PathPool { base: "/usr/lib/php/modules", variants: 24 }, 90).env().corr(),
-        EntrySpec::new("extension", PartialFilePath, Choice(&[("modules/pdo.so", 6), ("modules/mysqli.so", 5), ("modules/gd.so", 3)]), 60)
-            .env()
-            .couple(ConcatOnto { base_entry: "extension_dir" }),
+        EntrySpec::new(
+            "extension_dir",
+            FilePath,
+            PathPool {
+                base: "/usr/lib/php/modules",
+                variants: 24,
+            },
+            90,
+        )
+        .env()
+        .corr(),
+        EntrySpec::new(
+            "extension",
+            PartialFilePath,
+            Choice(&[
+                ("modules/pdo.so", 6),
+                ("modules/mysqli.so", 5),
+                ("modules/gd.so", 3),
+            ]),
+            60,
+        )
+        .env()
+        .couple(ConcatOnto {
+            base_entry: "extension_dir",
+        }),
         EntrySpec::new("enable_dl", Boolean, ON_OFF_MOSTLY_OFF, 55),
         EntrySpec::new("file_uploads", Boolean, ON_OFF_MOSTLY_ON, 85),
-        EntrySpec::new("upload_tmp_dir", FilePath, PathPool { base: "/var/tmp/php", variants: 16 }, 55)
-            .env()
-            .couple(OwnedBy { user_entry: "user" }),
-        EntrySpec::new("upload_max_filesize", Size, SizeLadder(&["2M", "8M", "16M"]), 90)
-            .couple(LessThan { other: "post_max_size", violation_percent: 3 }),
+        EntrySpec::new(
+            "upload_tmp_dir",
+            FilePath,
+            PathPool {
+                base: "/var/tmp/php",
+                variants: 16,
+            },
+            55,
+        )
+        .env()
+        .couple(OwnedBy { user_entry: "user" }),
+        EntrySpec::new(
+            "upload_max_filesize",
+            Size,
+            SizeLadder(&["2M", "8M", "16M"]),
+            90,
+        )
+        .couple(LessThan {
+            other: "post_max_size",
+            violation_percent: 3,
+        }),
         EntrySpec::new("max_file_uploads", Number, NumberLadder(&["20", "50"]), 55),
         EntrySpec::new("allow_url_fopen", Boolean, ON_OFF_MIXED, 75),
         EntrySpec::new("allow_url_include", Boolean, ON_OFF_MOSTLY_OFF, 65),
-        EntrySpec::new("default_socket_timeout", Number, NumberLadder(&["60", "120"]), 60),
-        EntrySpec::new("date.timezone", Str, Choice(&[("UTC", 8), ("America/New_York", 4), ("Europe/Berlin", 2)]), 70),
-        EntrySpec::new("session.save_handler", Str, Choice(&[("files", 12), ("memcached", 2)]), 70),
-        EntrySpec::new("session.save_path", FilePath, PathPool { base: "/var/lib/php/session", variants: 16 }, 65)
-            .env()
-            .couple(OwnedBy { user_entry: "user" }),
+        EntrySpec::new(
+            "default_socket_timeout",
+            Number,
+            NumberLadder(&["60", "120"]),
+            60,
+        ),
+        EntrySpec::new(
+            "date.timezone",
+            Str,
+            Choice(&[("UTC", 8), ("America/New_York", 4), ("Europe/Berlin", 2)]),
+            70,
+        ),
+        EntrySpec::new(
+            "session.save_handler",
+            Str,
+            Choice(&[("files", 12), ("memcached", 2)]),
+            70,
+        ),
+        EntrySpec::new(
+            "session.save_path",
+            FilePath,
+            PathPool {
+                base: "/var/lib/php/session",
+                variants: 16,
+            },
+            65,
+        )
+        .env()
+        .couple(OwnedBy { user_entry: "user" }),
         EntrySpec::new("session.use_cookies", Boolean, ON_OFF_MOSTLY_ON, 60),
-        EntrySpec::new("session.gc_maxlifetime", Number, NumberLadder(&["1440", "3600"]), 55),
+        EntrySpec::new(
+            "session.gc_maxlifetime",
+            Number,
+            NumberLadder(&["1440", "3600"]),
+            55,
+        ),
         // `user` is not a php.ini entry in reality; our PHP model runs under
         // the web-server account and exposes it so ownership couplings can
         // be learned (the paper's PHP cases lean on the same linkage).
-        EntrySpec::new("user", UserName, Choice(&[("apache", 9), ("www-data", 4)]), 85).env().corr(),
+        EntrySpec::new(
+            "user",
+            UserName,
+            Choice(&[("apache", 9), ("www-data", 4)]),
+            85,
+        )
+        .env()
+        .corr(),
     ]
 }
 
@@ -567,28 +1525,79 @@ fn sshd_entries() -> Vec<EntrySpec> {
     vec![
         EntrySpec::new("Port", PortNumber, Choice(&[("22", 13), ("2222", 2)]), 95).env(),
         EntrySpec::new("Protocol", Number, NumberLadder(&["2"]), 80).corr(),
-        EntrySpec::new("ListenAddress", IpAddress, Choice(&[("0.0.0.0", 9), ("127.0.0.1", 2), ("10.0.0.2", 1)]), 60).env(),
-        EntrySpec::new("AddressFamily", Str, Choice(&[("any", 10), ("inet", 3)]), 45),
-        EntrySpec::new("HostKey", FilePath, FilePool { base: "/etc/ssh/ssh_host_rsa_key", variants: 2, suffix: "" }, 90).env(),
+        EntrySpec::new(
+            "ListenAddress",
+            IpAddress,
+            Choice(&[("0.0.0.0", 9), ("127.0.0.1", 2), ("10.0.0.2", 1)]),
+            60,
+        )
+        .env(),
+        EntrySpec::new(
+            "AddressFamily",
+            Str,
+            Choice(&[("any", 10), ("inet", 3)]),
+            45,
+        ),
+        EntrySpec::new(
+            "HostKey",
+            FilePath,
+            FilePool {
+                base: "/etc/ssh/ssh_host_rsa_key",
+                variants: 2,
+                suffix: "",
+            },
+            90,
+        )
+        .env(),
         EntrySpec::new("UsePrivilegeSeparation", Boolean, ON_OFF_MOSTLY_ON, 65),
-        EntrySpec::new("KeyRegenerationInterval", Number, NumberLadder(&["3600"]), 40).corr(),
+        EntrySpec::new(
+            "KeyRegenerationInterval",
+            Number,
+            NumberLadder(&["3600"]),
+            40,
+        )
+        .corr(),
         EntrySpec::new("ServerKeyBits", Number, NumberLadder(&["768", "1024"]), 40).corr(),
-        EntrySpec::new("SyslogFacility", Str, Choice(&[("AUTH", 8), ("AUTHPRIV", 6)]), 75),
+        EntrySpec::new(
+            "SyslogFacility",
+            Str,
+            Choice(&[("AUTH", 8), ("AUTHPRIV", 6)]),
+            75,
+        ),
         EntrySpec::new("LogLevel", Str, Choice(&[("INFO", 10), ("VERBOSE", 3)]), 75),
         EntrySpec::new("LoginGraceTime", Number, NumberLadder(&["30", "120"]), 60).corr(),
-        EntrySpec::new("PermitRootLogin", Str, Choice(&[("no", 8), ("yes", 4), ("without-password", 2)]), 90).corr(),
+        EntrySpec::new(
+            "PermitRootLogin",
+            Str,
+            Choice(&[("no", 8), ("yes", 4), ("without-password", 2)]),
+            90,
+        )
+        .corr(),
         EntrySpec::new("StrictModes", Boolean, ON_OFF_MOSTLY_ON, 70).env(),
         EntrySpec::new("MaxAuthTries", Number, NumberLadder(&["3", "6"]), 55).corr(),
         EntrySpec::new("MaxSessions", Number, NumberLadder(&["10"]), 40),
         EntrySpec::new("RSAAuthentication", Boolean, ON_OFF_MOSTLY_ON, 55).corr(),
         EntrySpec::new("PubkeyAuthentication", Boolean, ON_OFF_MOSTLY_ON, 85).corr(),
-        EntrySpec::new("AuthorizedKeysFile", PartialFilePath, Choice(&[(".ssh/authorized_keys", 12), (".ssh/keys", 1)]), 75).env().corr(),
+        EntrySpec::new(
+            "AuthorizedKeysFile",
+            PartialFilePath,
+            Choice(&[(".ssh/authorized_keys", 12), (".ssh/keys", 1)]),
+            75,
+        )
+        .env()
+        .corr(),
         EntrySpec::new("HostbasedAuthentication", Boolean, ON_OFF_MOSTLY_OFF, 50).corr(),
         EntrySpec::new("IgnoreUserKnownHosts", Boolean, ON_OFF_MOSTLY_OFF, 40).corr(),
         EntrySpec::new("IgnoreRhosts", Boolean, ON_OFF_MOSTLY_ON, 45).corr(),
         EntrySpec::new("PasswordAuthentication", Boolean, ON_OFF_MIXED, 90).corr(),
         EntrySpec::new("PermitEmptyPasswords", Boolean, ON_OFF_MOSTLY_OFF, 70).corr(),
-        EntrySpec::new("ChallengeResponseAuthentication", Boolean, ON_OFF_MOSTLY_OFF, 65).corr(),
+        EntrySpec::new(
+            "ChallengeResponseAuthentication",
+            Boolean,
+            ON_OFF_MOSTLY_OFF,
+            65,
+        )
+        .corr(),
         EntrySpec::new("KerberosAuthentication", Boolean, ON_OFF_MOSTLY_OFF, 30).corr(),
         EntrySpec::new("GSSAPIAuthentication", Boolean, ON_OFF_MIXED, 45).corr(),
         EntrySpec::new("GSSAPICleanupCredentials", Boolean, ON_OFF_MOSTLY_ON, 35).corr(),
@@ -604,25 +1613,134 @@ fn sshd_entries() -> Vec<EntrySpec> {
         EntrySpec::new("TCPKeepAlive", Boolean, ON_OFF_MOSTLY_ON, 55),
         EntrySpec::new("UseLogin", Boolean, ON_OFF_MOSTLY_OFF, 30),
         EntrySpec::new("PermitUserEnvironment", Boolean, ON_OFF_MOSTLY_OFF, 30),
-        EntrySpec::new("Compression", Str, Choice(&[("delayed", 9), ("yes", 3)]), 40),
-        EntrySpec::new("ClientAliveInterval", Number, NumberLadder(&["0", "300"]), 50)
-            .couple(LessThan { other: "KeyRegenerationInterval", violation_percent: 5 }),
+        EntrySpec::new(
+            "Compression",
+            Str,
+            Choice(&[("delayed", 9), ("yes", 3)]),
+            40,
+        ),
+        EntrySpec::new(
+            "ClientAliveInterval",
+            Number,
+            NumberLadder(&["0", "300"]),
+            50,
+        )
+        .couple(LessThan {
+            other: "KeyRegenerationInterval",
+            violation_percent: 5,
+        }),
         EntrySpec::new("ClientAliveCountMax", Number, NumberLadder(&["3"]), 40),
         EntrySpec::new("UseDNS", Boolean, ON_OFF_MIXED, 55),
-        EntrySpec::new("PidFile", FilePath, FilePool { base: "/var/run/sshd", variants: 2, suffix: ".pid" }, 50).env(),
-        EntrySpec::new("MaxStartups", Str, Choice(&[("10:30:100", 8), ("10", 4)]), 40),
+        EntrySpec::new(
+            "PidFile",
+            FilePath,
+            FilePool {
+                base: "/var/run/sshd",
+                variants: 2,
+                suffix: ".pid",
+            },
+            50,
+        )
+        .env(),
+        EntrySpec::new(
+            "MaxStartups",
+            Str,
+            Choice(&[("10:30:100", 8), ("10", 4)]),
+            40,
+        ),
         EntrySpec::new("PermitTunnel", Boolean, ON_OFF_MOSTLY_OFF, 25),
-        EntrySpec::new("ChrootDirectory", FilePath, PathPool { base: "/var/empty/sshd", variants: 2 }, 20).env().corr(),
-        EntrySpec::new("Banner", FilePath, FilePool { base: "/etc/issue", variants: 2, suffix: ".net" }, 35).env(),
-        EntrySpec::new("Subsystem", Str, Choice(&[("sftp /usr/libexec/openssh/sftp-server", 10), ("sftp internal-sftp", 4)]), 70).env().corr(),
-        EntrySpec::new("AllowUsers", UserName, Choice(&[("admin", 6), ("deploy", 4), ("ec2-user", 4)]), 30).env().corr(),
-        EntrySpec::new("AllowGroups", GroupName, Choice(&[("wheel", 7), ("ssh-users", 3)]), 25).env().corr(),
-        EntrySpec::new("DenyUsers", UserName, Choice(&[("guest", 6), ("ftp", 2)]), 15).env().corr(),
-        EntrySpec::new("DenyGroups", GroupName, Choice(&[("nogroup", 5)]), 10).env().corr(),
-        EntrySpec::new("Ciphers", Str, Choice(&[("aes128-ctr,aes192-ctr,aes256-ctr", 9), ("aes256-cbc", 2)]), 35),
-        EntrySpec::new("MACs", Str, Choice(&[("hmac-sha1,hmac-ripemd160", 7), ("hmac-sha2-256", 4)]), 30),
-        EntrySpec::new("KexAlgorithms", Str, Choice(&[("diffie-hellman-group14-sha1", 8), ("diffie-hellman-group1-sha1", 2)]), 20),
-        EntrySpec::new("HostKeyAgent", FilePath, FilePool { base: "/var/run/ssh-agent", variants: 2, suffix: ".sock" }, 10).env(),
+        EntrySpec::new(
+            "ChrootDirectory",
+            FilePath,
+            PathPool {
+                base: "/var/empty/sshd",
+                variants: 2,
+            },
+            20,
+        )
+        .env()
+        .corr(),
+        EntrySpec::new(
+            "Banner",
+            FilePath,
+            FilePool {
+                base: "/etc/issue",
+                variants: 2,
+                suffix: ".net",
+            },
+            35,
+        )
+        .env(),
+        EntrySpec::new(
+            "Subsystem",
+            Str,
+            Choice(&[
+                ("sftp /usr/libexec/openssh/sftp-server", 10),
+                ("sftp internal-sftp", 4),
+            ]),
+            70,
+        )
+        .env()
+        .corr(),
+        EntrySpec::new(
+            "AllowUsers",
+            UserName,
+            Choice(&[("admin", 6), ("deploy", 4), ("ec2-user", 4)]),
+            30,
+        )
+        .env()
+        .corr(),
+        EntrySpec::new(
+            "AllowGroups",
+            GroupName,
+            Choice(&[("wheel", 7), ("ssh-users", 3)]),
+            25,
+        )
+        .env()
+        .corr(),
+        EntrySpec::new(
+            "DenyUsers",
+            UserName,
+            Choice(&[("guest", 6), ("ftp", 2)]),
+            15,
+        )
+        .env()
+        .corr(),
+        EntrySpec::new("DenyGroups", GroupName, Choice(&[("nogroup", 5)]), 10)
+            .env()
+            .corr(),
+        EntrySpec::new(
+            "Ciphers",
+            Str,
+            Choice(&[("aes128-ctr,aes192-ctr,aes256-ctr", 9), ("aes256-cbc", 2)]),
+            35,
+        ),
+        EntrySpec::new(
+            "MACs",
+            Str,
+            Choice(&[("hmac-sha1,hmac-ripemd160", 7), ("hmac-sha2-256", 4)]),
+            30,
+        ),
+        EntrySpec::new(
+            "KexAlgorithms",
+            Str,
+            Choice(&[
+                ("diffie-hellman-group14-sha1", 8),
+                ("diffie-hellman-group1-sha1", 2),
+            ]),
+            20,
+        ),
+        EntrySpec::new(
+            "HostKeyAgent",
+            FilePath,
+            FilePool {
+                base: "/var/run/ssh-agent",
+                variants: 2,
+                suffix: ".sock",
+            },
+            10,
+        )
+        .env(),
     ]
 }
 

@@ -145,9 +145,7 @@ impl Injector {
                 let mangled = self.typo(&value)?;
                 (pair.key.clone(), mangled)
             }
-            InjectionKind::NumericPerturbation => {
-                (pair.key.clone(), self.perturb_number(&value)?)
-            }
+            InjectionKind::NumericPerturbation => (pair.key.clone(), self.perturb_number(&value)?),
             InjectionKind::PathError => (pair.key.clone(), self.break_path(&value)?),
             InjectionKind::BoolFlip => (pair.key.clone(), flip_bool(&value)?),
         };
@@ -166,7 +164,11 @@ impl Injector {
     fn pick_kind(&mut self, value: &str) -> InjectionKind {
         let is_bool = flip_bool(value).is_some();
         let is_num = !value.is_empty()
-            && value.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(false);
+            && value
+                .chars()
+                .next()
+                .map(|c| c.is_ascii_digit())
+                .unwrap_or(false);
         let is_path = value.starts_with('/');
         // Weighted choice among the applicable operators.  Spelling errors
         // are ConfErr's signature class (its psychological typo model), so
@@ -261,7 +263,7 @@ impl Injector {
         let n: u64 = digits.parse().ok()?;
         let mutated = match self.rng.gen_range(0..3u8) {
             0 => n.checked_mul(1000)?,
-            1 => (n / 1000).max(0),
+            1 => n / 1000,
             _ => n.checked_add(7)?,
         };
         if mutated == n {
@@ -346,7 +348,9 @@ port = 3306
         for seed in 0..20 {
             let mut inj = Injector::with_seed(seed);
             let (text, _) = inj.inject(&IniLens::mysql(), CONFIG, 4).unwrap();
-            IniLens::mysql().parse(&text).expect("injected config must stay parseable");
+            IniLens::mysql()
+                .parse(&text)
+                .expect("injected config must stay parseable");
         }
     }
 

@@ -69,11 +69,7 @@ impl Apriori {
             }
             let mut next: Vec<(ItemSet, usize)> = Vec::new();
             for cand in candidates {
-                let count = tx
-                    .rows()
-                    .iter()
-                    .filter(|row| is_subset(&cand, row))
-                    .count();
+                let count = tx.rows().iter().filter(|row| is_subset(&cand, row)).count();
                 if count >= self.min_support {
                     next.push((cand, count));
                 }
@@ -129,9 +125,7 @@ fn join_level(level: &[ItemSet]) -> Vec<ItemSet> {
 /// Is sorted `needle` a subset of sorted `haystack`?
 pub(crate) fn is_subset(needle: &[ItemId], haystack: &[ItemId]) -> bool {
     let mut it = haystack.iter();
-    needle
-        .iter()
-        .all(|n| it.by_ref().any(|h| h == n))
+    needle.iter().all(|n| it.by_ref().any(|h| h == n))
 }
 
 #[cfg(test)]
@@ -152,24 +146,31 @@ mod tests {
     #[test]
     fn frequent_pairs_found() {
         let tx = classic();
-        let result = Apriori::new(3).mine(&tx, &MiningLimits::unbounded()).unwrap();
+        let result = Apriori::new(3)
+            .mine(&tx, &MiningLimits::unbounded())
+            .unwrap();
         let rendered: Vec<(Vec<&str>, usize)> = result
             .itemsets
             .iter()
             .map(|(s, c)| (tx.render(s), *c))
             .collect();
         assert!(rendered.contains(&(vec!["bread", "milk"], 3)));
-        assert!(rendered.contains(&(vec!["diapers", "beer"], 3)) || rendered.contains(&(vec!["beer", "diapers"], 3)));
+        assert!(
+            rendered.contains(&(vec!["diapers", "beer"], 3))
+                || rendered.contains(&(vec!["beer", "diapers"], 3))
+        );
         // {bread, beer} has support 2 < 3 and must be absent.
-        assert!(!rendered.iter().any(|(s, _)| s.len() == 2
-            && s.contains(&"bread")
-            && s.contains(&"beer")));
+        assert!(!rendered
+            .iter()
+            .any(|(s, _)| s.len() == 2 && s.contains(&"bread") && s.contains(&"beer")));
     }
 
     #[test]
     fn min_support_one_returns_everything_frequent() {
         let tx = Transactions::from_slices(&[&["a"], &["a", "b"]]);
-        let result = Apriori::new(1).mine(&tx, &MiningLimits::unbounded()).unwrap();
+        let result = Apriori::new(1)
+            .mine(&tx, &MiningLimits::unbounded())
+            .unwrap();
         assert_eq!(result.len(), 3); // {a}, {b}, {a,b}
     }
 
@@ -195,7 +196,9 @@ mod tests {
     #[test]
     fn empty_transactions_mine_nothing() {
         let tx = Transactions::new();
-        let result = Apriori::new(1).mine(&tx, &MiningLimits::unbounded()).unwrap();
+        let result = Apriori::new(1)
+            .mine(&tx, &MiningLimits::unbounded())
+            .unwrap();
         assert!(result.is_empty());
     }
 }

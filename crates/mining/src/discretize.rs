@@ -34,7 +34,11 @@ mod tests {
 
     fn dataset() -> Dataset {
         let mut ds = Dataset::new();
-        for (id, user, port) in [("a", "mysql", 3306.0), ("b", "mysql", 3307.0), ("c", "root", 3306.0)] {
+        for (id, user, port) in [
+            ("a", "mysql", 3306.0),
+            ("b", "mysql", 3307.0),
+            ("c", "root", 3306.0),
+        ] {
             let mut r = Row::new(id);
             r.set(AttrName::entry("user"), ConfigValue::str(user));
             r.set(AttrName::entry("port"), ConfigValue::number(port));

@@ -115,8 +115,7 @@ impl FpGrowth {
             }
         }
         // Weighted "transactions" for the recursive step.
-        let weighted: Vec<(ItemSet, usize)> =
-            tx.rows().iter().map(|r| (r.clone(), 1)).collect();
+        let weighted: Vec<(ItemSet, usize)> = tx.rows().iter().map(|r| (r.clone(), 1)).collect();
         let mut out = Vec::new();
         self.mine_rec(&weighted, &counts, &[], limits, &mut out)?;
         Ok(MiningResult { itemsets: out })
@@ -214,8 +213,12 @@ mod tests {
     fn agrees_with_apriori_on_classic() {
         let tx = classic();
         for min_sup in 1..=4 {
-            let mut a = Apriori::new(min_sup).mine(&tx, &MiningLimits::unbounded()).unwrap();
-            let mut f = FpGrowth::new(min_sup).mine(&tx, &MiningLimits::unbounded()).unwrap();
+            let mut a = Apriori::new(min_sup)
+                .mine(&tx, &MiningLimits::unbounded())
+                .unwrap();
+            let mut f = FpGrowth::new(min_sup)
+                .mine(&tx, &MiningLimits::unbounded())
+                .unwrap();
             a.canonicalize();
             f.canonicalize();
             assert_eq!(a, f, "min_sup={min_sup}");
@@ -225,14 +228,18 @@ mod tests {
     #[test]
     fn single_transaction_powerset() {
         let tx = Transactions::from_slices(&[&["a", "b", "c"]]);
-        let result = FpGrowth::new(1).mine(&tx, &MiningLimits::unbounded()).unwrap();
+        let result = FpGrowth::new(1)
+            .mine(&tx, &MiningLimits::unbounded())
+            .unwrap();
         assert_eq!(result.len(), 7); // 2^3 - 1
     }
 
     #[test]
     fn supports_are_correct() {
         let tx = classic();
-        let result = FpGrowth::new(3).mine(&tx, &MiningLimits::unbounded()).unwrap();
+        let result = FpGrowth::new(3)
+            .mine(&tx, &MiningLimits::unbounded())
+            .unwrap();
         for (set, count) in &result.itemsets {
             let expected = tx
                 .rows()
@@ -257,7 +264,9 @@ mod tests {
     #[test]
     fn empty_input() {
         let tx = Transactions::new();
-        let result = FpGrowth::new(1).mine(&tx, &MiningLimits::unbounded()).unwrap();
+        let result = FpGrowth::new(1)
+            .mine(&tx, &MiningLimits::unbounded())
+            .unwrap();
         assert!(result.is_empty());
     }
 }

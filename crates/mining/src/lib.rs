@@ -39,7 +39,7 @@ pub use apriori::Apriori;
 pub use discretize::discretize;
 pub use fpgrowth::FpGrowth;
 pub use metrics::{confidence, entropy, support_count};
-pub use rules::{AssociationRule, extract_rules};
+pub use rules::{extract_rules, AssociationRule};
 pub use transactions::{ItemId, ItemSet, Transactions};
 
 use std::fmt;

@@ -5,7 +5,7 @@
 //! (Finding 4) — we implement it both as the baseline comparator and to
 //! complete the off-the-shelf mining substrate.
 
-use crate::{ItemSet, MiningResult, Transactions, confidence};
+use crate::{confidence, ItemSet, MiningResult, Transactions};
 
 /// An association rule `antecedent → consequent` with its metrics.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,30 +82,36 @@ mod tests {
             &["a"],
             &["b", "c"],
         ]);
-        let mined = FpGrowth::new(2).mine(&tx, &MiningLimits::unbounded()).unwrap();
+        let mined = FpGrowth::new(2)
+            .mine(&tx, &MiningLimits::unbounded())
+            .unwrap();
         let rules = extract_rules(&tx, &mined, 0.75);
         assert!(rules.iter().all(|r| r.confidence >= 0.75));
         // b → a has confidence 3/4 and must be present.
-        assert!(rules
-            .iter()
-            .any(|r| tx.render(&r.antecedent) == vec!["b"] && tx.render(&r.consequent) == vec!["a"]));
+        assert!(rules.iter().any(
+            |r| tx.render(&r.antecedent) == vec!["b"] && tx.render(&r.consequent) == vec!["a"]
+        ));
         // a → b has confidence 3/4 as well.
-        assert!(rules
-            .iter()
-            .any(|r| tx.render(&r.antecedent) == vec!["a"] && tx.render(&r.consequent) == vec!["b"]));
+        assert!(rules.iter().any(
+            |r| tx.render(&r.antecedent) == vec!["a"] && tx.render(&r.consequent) == vec!["b"]
+        ));
     }
 
     #[test]
     fn single_items_yield_no_rules() {
         let tx = Transactions::from_slices(&[&["a"], &["a"]]);
-        let mined = FpGrowth::new(1).mine(&tx, &MiningLimits::unbounded()).unwrap();
+        let mined = FpGrowth::new(1)
+            .mine(&tx, &MiningLimits::unbounded())
+            .unwrap();
         assert!(extract_rules(&tx, &mined, 0.0).is_empty());
     }
 
     #[test]
     fn render_mentions_metrics() {
         let tx = Transactions::from_slices(&[&["x", "y"], &["x", "y"]]);
-        let mined = FpGrowth::new(2).mine(&tx, &MiningLimits::unbounded()).unwrap();
+        let mined = FpGrowth::new(2)
+            .mine(&tx, &MiningLimits::unbounded())
+            .unwrap();
         let rules = extract_rules(&tx, &mined, 0.9);
         assert!(!rules.is_empty());
         let s = rules[0].render(&tx);

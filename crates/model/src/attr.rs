@@ -11,7 +11,9 @@ use crate::error::ModelError;
 use std::fmt;
 
 /// How an attribute was derived from the raw data.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Augmentation {
     /// The original configuration entry value.
     Original,
@@ -23,7 +25,9 @@ pub enum Augmentation {
 }
 
 /// Fully-qualified attribute name.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct AttrName {
     base: String,
     suffix: Option<String>,

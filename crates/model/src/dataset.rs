@@ -43,7 +43,10 @@ impl Row {
 
     /// Whether the row has a (present) value for `attr`.
     pub fn has(&self, attr: &AttrName) -> bool {
-        self.cells.get(attr).map(|v| !v.is_absent()).unwrap_or(false)
+        self.cells
+            .get(attr)
+            .map(|v| !v.is_absent())
+            .unwrap_or(false)
     }
 
     /// Iterate over `(attribute, value)` pairs in attribute order.

@@ -42,7 +42,9 @@ pub use value::{ConfigValue, SizeUnit};
 use std::fmt;
 
 /// The server applications studied in the paper's evaluation (§2.1, §7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum AppKind {
     /// Apache httpd (core + mpm modules).
     Apache,
@@ -59,12 +61,8 @@ impl AppKind {
     pub const EVALUATED: [AppKind; 3] = [AppKind::Apache, AppKind::Mysql, AppKind::Php];
 
     /// All four applications from the manual study (Table 1).
-    pub const STUDIED: [AppKind; 4] = [
-        AppKind::Apache,
-        AppKind::Mysql,
-        AppKind::Php,
-        AppKind::Sshd,
-    ];
+    pub const STUDIED: [AppKind; 4] =
+        [AppKind::Apache, AppKind::Mysql, AppKind::Php, AppKind::Sshd];
 
     /// Canonical configuration-file path for this application.
     pub fn config_path(self) -> &'static str {

@@ -11,7 +11,9 @@ use std::fmt;
 /// The variants mirror paper Table 4 plus the two trivial fall-back types
 /// (`Str`, and `Number` which Table 4 lists explicitly).  `Permission` and
 /// `Enum` appear as augmented-attribute types in Table 5a.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 #[non_exhaustive]
 pub enum SemType {
     /// Absolute file-system path (`/.+(/.+)*`), verified against the VFS.
@@ -169,7 +171,10 @@ mod tests {
 
     #[test]
     fn trivial_types_are_str_and_number() {
-        let trivial: Vec<_> = SemType::PRIORITY.iter().filter(|t| t.is_trivial()).collect();
+        let trivial: Vec<_> = SemType::PRIORITY
+            .iter()
+            .filter(|t| t.is_trivial())
+            .collect();
         assert_eq!(trivial.len(), 2);
     }
 

@@ -9,7 +9,9 @@ use crate::error::ModelError;
 use std::fmt;
 
 /// Unit suffix of a [`ConfigValue::Size`] value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum SizeUnit {
     /// Bytes (no suffix).
     B,
@@ -123,10 +125,12 @@ impl ConfigValue {
     pub fn parse_ip(text: &str) -> Result<ConfigValue, ModelError> {
         let t = text.trim();
         let v4 = t.split('.').count() == 4
-            && t.split('.')
-                .all(|o| !o.is_empty() && o.chars().all(|c| c.is_ascii_digit()) && o.parse::<u16>().map(|v| v < 256).unwrap_or(false));
-        let v6 = t.contains(':')
-            && t.chars().all(|c| c.is_ascii_hexdigit() || c == ':');
+            && t.split('.').all(|o| {
+                !o.is_empty()
+                    && o.chars().all(|c| c.is_ascii_digit())
+                    && o.parse::<u16>().map(|v| v < 256).unwrap_or(false)
+            });
+        let v6 = t.contains(':') && t.chars().all(|c| c.is_ascii_hexdigit() || c == ':');
         if v4 || v6 {
             Ok(ConfigValue::Ip {
                 text: t.to_string(),

@@ -169,8 +169,14 @@ impl Lens for ApacheLens {
         let mut grouped: Vec<(String, Vec<(usize, String)>)> = Vec::new();
         for kv in pairs {
             let (scope_key, argpos) = match kv.key.rfind("/arg") {
-                Some(i) if kv.key[i + 4..].chars().all(|c| c.is_ascii_digit()) && !kv.key[i + 4..].is_empty() => {
-                    (kv.key[..i].to_string(), kv.key[i + 4..].parse::<usize>().expect("digits"))
+                Some(i)
+                    if kv.key[i + 4..].chars().all(|c| c.is_ascii_digit())
+                        && !kv.key[i + 4..].is_empty() =>
+                {
+                    (
+                        kv.key[..i].to_string(),
+                        kv.key[i + 4..].parse::<usize>().expect("digits"),
+                    )
                 }
                 _ => (kv.key.clone(), 0),
             };
@@ -188,10 +194,7 @@ impl Lens for ApacheLens {
             let last = parts[parts.len() - 1];
             if let Some(sec) = last.strip_suffix("/section") {
                 let name = sec.split('#').next().unwrap_or(sec);
-                let arg = args
-                    .first()
-                    .map(|(_, v)| v.clone())
-                    .unwrap_or_default();
+                let arg = args.first().map(|(_, v)| v.clone()).unwrap_or_default();
                 // Close sections deeper than this one's outer scope.
                 let outer = &parts[..parts.len() - 1];
                 while open_sections.len() > outer.len()
@@ -287,12 +290,7 @@ Timeout 60
     #[test]
     fn single_arg_directives() {
         let pairs = ApacheLens::new().parse(HTTPD).unwrap();
-        let get = |k: &str| {
-            pairs
-                .iter()
-                .find(|p| p.key == k)
-                .map(|p| p.value.as_str())
-        };
+        let get = |k: &str| pairs.iter().find(|p| p.key == k).map(|p| p.value.as_str());
         assert_eq!(get("ServerRoot"), Some("/etc/httpd"));
         assert_eq!(get("User"), Some("apache"));
         assert_eq!(get("Timeout"), Some("60"));
@@ -322,7 +320,9 @@ Timeout 60
 
     #[test]
     fn unclosed_section_is_error() {
-        let err = ApacheLens::new().parse("<Directory /x>\nOptions None\n").unwrap_err();
+        let err = ApacheLens::new()
+            .parse("<Directory /x>\nOptions None\n")
+            .unwrap_err();
         assert!(matches!(err, ParseError::UnclosedSection { .. }));
     }
 
@@ -361,7 +361,10 @@ mod section_arg_tests {
         let pairs = ApacheLens::new()
             .parse("DocumentRoot /var/www/html\n<Directory /var/www/html>\nAllowOverride None\n</Directory>\n")
             .unwrap();
-        let sec = pairs.iter().find(|p| p.key == "Directory#0/section").unwrap();
+        let sec = pairs
+            .iter()
+            .find(|p| p.key == "Directory#0/section")
+            .unwrap();
         assert_eq!(sec.value, "/var/www/html");
     }
 
@@ -377,7 +380,9 @@ mod section_arg_tests {
     #[test]
     fn empty_section_round_trip() {
         let lens = ApacheLens::new();
-        let pairs = lens.parse("<Directory /opt>\n</Directory>\nTimeout 60\n").unwrap();
+        let pairs = lens
+            .parse("<Directory /opt>\n</Directory>\nTimeout 60\n")
+            .unwrap();
         assert_eq!(pairs.len(), 2);
         let back = lens.parse(&lens.render(&pairs)).unwrap();
         assert_eq!(pairs, back, "render:\n{}", lens.render(&pairs));

@@ -166,7 +166,10 @@ log_error = /var/log/mysql/error.log
     #[test]
     fn flags_have_empty_value() {
         let pairs = IniLens::mysql().parse(MY_CNF).unwrap();
-        let flag = pairs.iter().find(|p| p.key == "skip-external-locking").unwrap();
+        let flag = pairs
+            .iter()
+            .find(|p| p.key == "skip-external-locking")
+            .unwrap();
         assert_eq!(flag.value, "");
     }
 

@@ -200,7 +200,9 @@ impl SystemImageBuilder {
 
     /// Add a group with members.
     pub fn group(mut self, name: &str, gid: u32, members: &[&str]) -> Self {
-        self.image.accounts.add_group(Group::new(name, gid, members));
+        self.image
+            .accounts
+            .add_group(Group::new(name, gid, members));
         self
     }
 
@@ -230,7 +232,9 @@ impl SystemImageBuilder {
 
     /// Set an environment variable (running instances only).
     pub fn env_var(mut self, key: &str, value: &str) -> Self {
-        self.image.env_vars.insert(key.to_string(), value.to_string());
+        self.image
+            .env_vars
+            .insert(key.to_string(), value.to_string());
         self
     }
 
@@ -273,7 +277,13 @@ mod tests {
     #[test]
     fn file_contents_readable() {
         let img = SystemImage::builder("i")
-            .file("/etc/php.ini", "root", "root", 0o644, "memory_limit = 64M\n")
+            .file(
+                "/etc/php.ini",
+                "root",
+                "root",
+                0o644,
+                "memory_limit = 64M\n",
+            )
             .build();
         assert_eq!(img.read_file("/etc/php.ini"), Some("memory_limit = 64M\n"));
         assert_eq!(img.read_file("/missing"), None);
@@ -281,7 +291,9 @@ mod tests {
 
     #[test]
     fn user_helper_creates_groups() {
-        let img = SystemImage::builder("i").user("mysql", 27, &["mysql"]).build();
+        let img = SystemImage::builder("i")
+            .user("mysql", 27, &["mysql"])
+            .build();
         assert!(img.accounts().group("mysql").is_some());
         assert!(img.accounts().is_member("mysql", "mysql"));
     }

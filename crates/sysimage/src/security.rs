@@ -65,7 +65,11 @@ impl SecurityState {
     /// `/var/lib/mysql` is denied even with correct Unix permissions — the
     /// exact failure of real-world case #4.
     pub fn denies_write(&self, path: &str) -> bool {
-        self.is_enforcing() && !self.confined_paths.iter().any(|p| path.starts_with(p.as_str()))
+        self.is_enforcing()
+            && !self
+                .confined_paths
+                .iter()
+                .any(|p| path.starts_with(p.as_str()))
     }
 
     /// Status string for the `OS.SEStatus` attribute.

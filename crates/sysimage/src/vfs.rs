@@ -199,7 +199,8 @@ impl Vfs {
     pub fn remove(&mut self, path: &str) {
         let path = normalize(path);
         let prefix = format!("{}/", path);
-        self.nodes.retain(|p, _| p != &path && !p.starts_with(&prefix));
+        self.nodes
+            .retain(|p, _| p != &path && !p.starts_with(&prefix));
     }
 
     /// Metadata of a node.
@@ -214,29 +215,37 @@ impl Vfs {
 
     /// Whether a path exists and is a directory.
     pub fn is_dir(&self, path: &str) -> bool {
-        self.metadata(path).map(|m| m.kind == FileKind::Directory).unwrap_or(false)
+        self.metadata(path)
+            .map(|m| m.kind == FileKind::Directory)
+            .unwrap_or(false)
     }
 
     /// Whether a path exists and is a regular file.
     pub fn is_file(&self, path: &str) -> bool {
-        self.metadata(path).map(|m| m.kind == FileKind::Regular).unwrap_or(false)
+        self.metadata(path)
+            .map(|m| m.kind == FileKind::Regular)
+            .unwrap_or(false)
     }
 
     /// Contents of a regular file.
     pub fn contents(&self, path: &str) -> Option<&str> {
-        self.nodes.get(&normalize(path)).and_then(|n| n.contents.as_deref())
+        self.nodes
+            .get(&normalize(path))
+            .and_then(|n| n.contents.as_deref())
     }
 
     /// Immediate children of a directory (full paths, sorted).
     pub fn children(&self, path: &str) -> Vec<&str> {
         let dir = normalize(path);
-        let prefix = if dir == "/" { "/".to_string() } else { format!("{dir}/") };
+        let prefix = if dir == "/" {
+            "/".to_string()
+        } else {
+            format!("{dir}/")
+        };
         self.nodes
             .keys()
             .filter(|p| {
-                p.starts_with(&prefix)
-                    && p.len() > prefix.len()
-                    && !p[prefix.len()..].contains('/')
+                p.starts_with(&prefix) && p.len() > prefix.len() && !p[prefix.len()..].contains('/')
             })
             .map(String::as_str)
             .collect()
@@ -250,9 +259,11 @@ impl Vfs {
     /// Whether a directory directly contains a symlink — drives the
     /// `FollowSymLinks` correlation (real-world case #6).
     pub fn has_symlink(&self, path: &str) -> bool {
-        self.children(path)
-            .iter()
-            .any(|c| self.metadata(c).map(|m| m.kind == FileKind::Symlink).unwrap_or(false))
+        self.children(path).iter().any(|c| {
+            self.metadata(c)
+                .map(|m| m.kind == FileKind::Symlink)
+                .unwrap_or(false)
+        })
     }
 
     /// All paths in the tree (the `FS.FileList` view of Table 7).
@@ -338,7 +349,10 @@ mod tests {
         assert!(v.is_dir("/var/lib/mysql"));
         assert!(v.is_file("/etc/php.ini"));
         assert!(!v.is_dir("/etc/php.ini"));
-        assert_eq!(v.metadata("/var/www/html/link").unwrap().kind, FileKind::Symlink);
+        assert_eq!(
+            v.metadata("/var/www/html/link").unwrap().kind,
+            FileKind::Symlink
+        );
     }
 
     #[test]

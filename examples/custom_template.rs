@@ -50,10 +50,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &training,
         &LearnOptions {
             templates,
-            thresholds: FilterThresholds::default(),
+            ..LearnOptions::default()
         },
     );
-    println!("learned {} rules from the custom template set:", engine.rules().len());
+    println!(
+        "learned {} rules from the custom template set:",
+        engine.rules().len()
+    );
     for rule in engine.rules() {
         println!("    {rule}");
     }

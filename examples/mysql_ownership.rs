@@ -11,8 +11,8 @@
 //! ```
 
 use encore::prelude::*;
-use encore_corpus::realworld;
 use encore_corpus::genimage::{Population, PopulationOptions};
+use encore_corpus::realworld;
 use encore_model::AppKind;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -44,7 +44,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, w) in report.warnings().iter().enumerate().take(8) {
         println!("  {:>2}. {w}", i + 1);
     }
-    assert!(report.detects("datadir"), "the ownership violation must surface");
-    println!("\ndatadir misconfiguration detected at rank {:?}", report.rank_of("datadir"));
+    assert!(
+        report.detects("datadir"),
+        "the ownership violation must surface"
+    );
+    println!(
+        "\ndatadir misconfiguration detected at rank {:?}",
+        report.rank_of("datadir")
+    );
     Ok(())
 }

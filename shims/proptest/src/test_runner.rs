@@ -1,0 +1,63 @@
+//! Case generation and execution.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases to generate per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        // Real proptest defaults to 256; this workspace's properties are
+        // heavier per case (population generation, mining), so stay lighter
+        // while still exceeding any boundary the invariants care about.
+        Config { cases: 64 }
+    }
+}
+
+/// Deterministic per-case RNG: the same case index always replays the same
+/// inputs, so failures are reproducible without persistence files.
+pub fn case_rng(case: u64) -> StdRng {
+    StdRng::seed_from_u64(0x70_72_6f_70_74_65_73_74u64 ^ (case.wrapping_mul(0x9E37_79B9)))
+}
+
+/// Generates and executes cases for one property.
+pub struct TestRunner {
+    config: Config,
+}
+
+impl TestRunner {
+    /// A runner with the given config.
+    pub fn new(config: Config) -> TestRunner {
+        TestRunner { config }
+    }
+
+    /// Run `test` against `config.cases` generated values; panics on the
+    /// first failing case, labelled with its case number.
+    pub fn run<S: Strategy>(&mut self, strategy: &S, test: impl Fn(S::Value)) {
+        for case in 0..u64::from(self.config.cases) {
+            let mut rng = case_rng(case);
+            let value = strategy.generate(&mut rng);
+            if let Err(panic) = catch_unwind(AssertUnwindSafe(|| test(value))) {
+                eprintln!(
+                    "proptest shim: case {case}/{} failed (deterministic; rerun reproduces it)",
+                    self.config.cases
+                );
+                resume_unwind(panic);
+            }
+        }
+    }
+}

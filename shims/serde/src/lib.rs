@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derive macros so
+//! `#[derive(serde::Serialize, serde::Deserialize)]` annotations compile
+//! without a crates registry.  Marker traits of the same names are defined
+//! alongside (traits and derive macros live in separate namespaces), so
+//! `T: serde::Serialize` bounds also resolve — though no impls are
+//! generated, keeping any real serialization honest about the shim.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

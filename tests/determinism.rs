@@ -1,0 +1,62 @@
+//! Regression: parallel rule inference must be invisible in the output.
+//!
+//! The work-stealing pool may execute `(template, a-chunk)` units in any
+//! order on any number of workers; the merged candidate stream — and
+//! therefore the learned `RuleSet`, its rendering, and the inference
+//! statistics — must be byte-identical to the sequential (`workers = 1`)
+//! reference for every fleet.
+
+use encore::infer::{InferOptions, RuleInference};
+use encore::prelude::*;
+use encore_corpus::genimage::{Population, PopulationOptions};
+use encore_model::AppKind;
+
+#[test]
+fn work_stealing_ruleset_is_identical_to_sequential() {
+    let engine = RuleInference::predefined();
+    for app in [AppKind::Mysql, AppKind::Apache] {
+        for seed in [11u64, 47] {
+            let pop = Population::training(app, &PopulationOptions::new(40, seed));
+            let training = TrainingSet::assemble(app, pop.images()).expect("training assembles");
+            let thresholds = FilterThresholds::default();
+            let (reference, ref_stats) = engine
+                .try_infer_with(&training, &thresholds, &InferOptions::with_workers(1))
+                .expect("sequential inference");
+            for workers in [2usize, 8] {
+                let (rules, stats) = engine
+                    .try_infer_with(&training, &thresholds, &InferOptions::with_workers(workers))
+                    .expect("parallel inference");
+                let ctx = format!("app={app:?} seed={seed} workers={workers}");
+                assert_eq!(rules, reference, "{ctx}");
+                assert_eq!(rules.render(), reference.render(), "{ctx}");
+                assert_eq!(stats, ref_stats, "{ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn learn_is_deterministic_across_worker_counts() {
+    let pop = Population::training(AppKind::Mysql, &PopulationOptions::new(30, 5));
+    let training = TrainingSet::assemble(AppKind::Mysql, pop.images()).expect("training assembles");
+    let sequential = EnCore::learn(
+        &training,
+        &LearnOptions {
+            workers: Some(1),
+            ..LearnOptions::default()
+        },
+    );
+    let parallel = EnCore::learn(
+        &training,
+        &LearnOptions {
+            workers: Some(4),
+            ..LearnOptions::default()
+        },
+    );
+    assert_eq!(
+        sequential.rules().render(),
+        parallel.rules().render(),
+        "EnCore::learn must not depend on the worker count"
+    );
+    assert_eq!(sequential.stats(), parallel.stats());
+}

@@ -42,9 +42,7 @@ fn clean_in_distribution_images_raise_no_high_confidence_correlations() {
         let engine = EnCore::learn(&ts, &LearnOptions::default());
         // Check a training member itself: perfect-confidence rules cannot
         // fire on data they were learned from.
-        let report = engine
-            .check_image(app, &pop.images()[0])
-            .expect("check");
+        let report = engine.check_image(app, &pop.images()[0]).expect("check");
         for w in report.warnings() {
             if let Some(rule) = w.rule() {
                 assert!(
@@ -60,7 +58,10 @@ fn clean_in_distribution_images_raise_no_high_confidence_correlations() {
 fn ownership_misconfiguration_detected_per_app() {
     // The Figure 1(b) shape, generalized: break the ownership coupling of
     // each app's coupled path and expect a correlation violation.
-    let case = realworld::all_cases(3).into_iter().find(|c| c.id == 3).unwrap();
+    let case = realworld::all_cases(3)
+        .into_iter()
+        .find(|c| c.id == 3)
+        .unwrap();
     let (_, ts) = training(AppKind::Mysql, 60, 3);
     let engine = EnCore::learn(&ts, &LearnOptions::default());
     let report = engine.check_image(case.app, &case.image).expect("check");

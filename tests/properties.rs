@@ -156,6 +156,8 @@ proptest! {
     #[test]
     fn filter_monotonicity(support in 1usize..20, confidence in 0.0f64..1.0) {
         use encore::filter::{judge, FilterThresholds, Verdict};
+        use encore::stats::StatsCache;
+        use encore::types::TypeMap;
         let mut ds = Dataset::new();
         for i in 0..20 {
             let mut r = Row::new(format!("s{i}"));
@@ -163,6 +165,7 @@ proptest! {
             r.set(AttrName::entry("b"), ConfigValue::str(format!("w{}", i % 5)));
             ds.push_row(r);
         }
+        let stats = StatsCache::new(ds, &TypeMap::new());
         let lax = FilterThresholds {
             min_support_fraction: 0.05,
             min_confidence: 0.5,
@@ -177,8 +180,8 @@ proptest! {
         };
         let a = AttrName::entry("a");
         let b = AttrName::entry("b");
-        let lax_verdict = judge(&lax, &ds, &a, &b, support, confidence, None);
-        let strict_verdict = judge(&strict, &ds, &a, &b, support, confidence, None);
+        let lax_verdict = judge(&lax, &stats, &a, &b, support, confidence, None);
+        let strict_verdict = judge(&strict, &stats, &a, &b, support, confidence, None);
         // If strict accepts, lax must accept too.
         if strict_verdict == Verdict::Accept {
             prop_assert_eq!(lax_verdict, Verdict::Accept);
