@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use encore::infer::{InferOptions, RuleInference};
 use encore::prelude::*;
 use encore_corpus::genimage::{Population, PopulationOptions};
-use encore_model::AppKind;
+use encore_model::{AppKind, SemType};
 
 fn bench_infer(c: &mut Criterion) {
     let mut group = c.benchmark_group("infer");
@@ -64,5 +64,51 @@ fn bench_infer_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_infer, bench_infer_scaling);
+/// Dead-unit pruning: inference with the presence-mask liveness filter on
+/// versus off, over a template list padded with templates that are dead on
+/// a MySQL corpus (no Url/IP-pair candidates).  The outputs are checked
+/// byte-identical first — pruning must be invisible in the rules.
+fn bench_infer_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("infer_pruning");
+    group.sample_size(10);
+    let mut templates = Template::predefined();
+    templates.push(Template::new(SemType::Url, Relation::Equal, SemType::Url));
+    templates.push(Template::new(
+        SemType::IpAddress,
+        Relation::SubnetOf,
+        SemType::IpAddress,
+    ));
+    let engine = RuleInference::new(templates);
+    let thresholds = FilterThresholds::default();
+    for n in [30usize, 60] {
+        let pop = Population::training(AppKind::Mysql, &PopulationOptions::new(n, 1));
+        let training = TrainingSet::assemble(AppKind::Mysql, pop.images()).expect("assembles");
+        let pruned_options = InferOptions::with_workers(4);
+        let unpruned_options = InferOptions::with_workers(4).without_pruning();
+        let (pruned, _) = engine
+            .try_infer_with(&training, &thresholds, &pruned_options)
+            .expect("pruned inference");
+        let (unpruned, _) = engine
+            .try_infer_with(&training, &thresholds, &unpruned_options)
+            .expect("unpruned inference");
+        assert_eq!(
+            pruned.render(),
+            unpruned.render(),
+            "pruning must not change the learned rules at n={n}"
+        );
+        for (label, options) in [("pruned", &pruned_options), ("unpruned", &unpruned_options)] {
+            group.bench_with_input(BenchmarkId::new(label, n), &training, |b, ts| {
+                b.iter(|| engine.try_infer_with(ts, &thresholds, options).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_infer,
+    bench_infer_scaling,
+    bench_infer_pruning
+);
 criterion_main!(benches);

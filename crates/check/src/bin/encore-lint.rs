@@ -1,0 +1,223 @@
+//! encore-lint — static checks for EnCore templates, rule sets, and corpora.
+//!
+//! ```text
+//! encore-lint [--app mysql|apache|php|sshd] [--images N] [--seed N]
+//!             [--templates FILE] [--rules FILE]
+//!             [--min-confidence X] [--min-support-fraction X]
+//!             [--entropy-threshold X]
+//!             [--json] [--deny-warnings]
+//! ```
+//!
+//! Builds (or loads) a template list, generates a training corpus for the
+//! chosen application, runs the template type-checker, the corpus
+//! eligibility analyzer, and the rule-set linter (over `--rules FILE`, or
+//! over rules learned from the corpus when no file is given), then prints
+//! the diagnostics and exits `1` if any error-severity diagnostic is
+//! present (`--deny-warnings` promotes warnings).
+
+use encore::{EnCore, FilterThresholds, LearnOptions, RuleSet, Template, TrainingSet};
+use encore_check::{check_all, Code, Diagnostic, LintReport};
+use encore_corpus::{Population, PopulationOptions};
+use encore_model::AppKind;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: encore-lint [options]
+  --app NAME                application corpus: mysql|apache|php|sshd (default mysql)
+  --images N                training corpus size (default 20)
+  --seed N                  corpus generation seed (default 7)
+  --templates FILE          template file, one template per line (default: the
+                            11 predefined templates)
+  --rules FILE              rule file to lint (default: lint rules learned
+                            from the corpus)
+  --min-confidence X        confidence threshold (default 0.90)
+  --min-support-fraction X  support threshold as a fraction (default 0.10)
+  --entropy-threshold X     entropy threshold (default 0.325)
+  --no-entropy              disable the entropy filter when learning
+  --json                    emit JSON instead of text
+  --deny-warnings           exit nonzero on warnings too
+  --help                    show this help";
+
+struct Options {
+    app: AppKind,
+    images: usize,
+    seed: u64,
+    templates_file: Option<String>,
+    rules_file: Option<String>,
+    thresholds: FilterThresholds,
+    json: bool,
+    deny_warnings: bool,
+}
+
+fn parse_app(name: &str) -> Result<AppKind, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "mysql" => Ok(AppKind::Mysql),
+        "apache" => Ok(AppKind::Apache),
+        "php" => Ok(AppKind::Php),
+        "sshd" => Ok(AppKind::Sshd),
+        other => Err(format!("unknown app `{other}` (mysql|apache|php|sshd)")),
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut options = Options {
+        app: AppKind::Mysql,
+        images: 20,
+        seed: 7,
+        templates_file: None,
+        rules_file: None,
+        thresholds: FilterThresholds::default(),
+        json: false,
+        deny_warnings: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--app" => options.app = parse_app(value("--app")?)?,
+            "--images" => {
+                options.images = value("--images")?
+                    .parse()
+                    .map_err(|e| format!("bad --images: {e}"))?;
+            }
+            "--seed" => {
+                options.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--templates" => options.templates_file = Some(value("--templates")?.clone()),
+            "--rules" => options.rules_file = Some(value("--rules")?.clone()),
+            "--min-confidence" => {
+                options.thresholds.min_confidence = value("--min-confidence")?
+                    .parse()
+                    .map_err(|e| format!("bad --min-confidence: {e}"))?;
+            }
+            "--min-support-fraction" => {
+                options.thresholds.min_support_fraction = value("--min-support-fraction")?
+                    .parse()
+                    .map_err(|e| format!("bad --min-support-fraction: {e}"))?;
+            }
+            "--entropy-threshold" => {
+                options.thresholds.entropy_threshold = value("--entropy-threshold")?
+                    .parse()
+                    .map_err(|e| format!("bad --entropy-threshold: {e}"))?;
+            }
+            "--no-entropy" => options.thresholds.use_entropy = false,
+            "--json" => options.json = true,
+            "--deny-warnings" => options.deny_warnings = true,
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(Some(options))
+}
+
+/// Parse a template file: one template per line, `#` comments and blanks
+/// skipped.  Syntax failures become `EC001` diagnostics rather than hard
+/// errors, so one bad line does not hide findings about the others.
+fn load_templates(text: &str) -> (Vec<Template>, Vec<Diagnostic>) {
+    let mut templates = Vec::new();
+    let mut diags = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match Template::parse_syntax(line) {
+            Ok(t) => templates.push(t),
+            Err(e) => diags.push(
+                Diagnostic::new(Code::TemplateSyntax, format!("line {}: {e}", i + 1))
+                    .with_context(line.to_string()),
+            ),
+        }
+    }
+    (templates, diags)
+}
+
+fn run(options: &Options) -> Result<(LintReport, bool), String> {
+    let mut report = LintReport::new();
+
+    let templates = match &options.templates_file {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read templates file `{path}`: {e}"))?;
+            let (templates, diags) = load_templates(&text);
+            report.extend(diags);
+            templates
+        }
+        None => Template::predefined(),
+    };
+
+    let population = Population::training(
+        options.app,
+        &PopulationOptions::new(options.images, options.seed),
+    );
+    let training = TrainingSet::assemble(options.app, population.images())
+        .map_err(|e| format!("corpus assembly failed: {e}"))?;
+    let cache = training.stats_cache();
+
+    let rules: Option<RuleSet> = match &options.rules_file {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read rules file `{path}`: {e}"))?;
+            Some(RuleSet::parse(&text).map_err(|e| format!("rules file `{path}`: {e}"))?)
+        }
+        None if options.thresholds.validate().is_ok() => {
+            // Lint the rules this corpus actually teaches.  Learning only
+            // accepts well-typed templates; the type errors are reported by
+            // check_all below either way.
+            let well_typed: Vec<Template> = templates
+                .iter()
+                .filter(|t| t.validate().is_ok())
+                .cloned()
+                .collect();
+            let engine = EnCore::learn(
+                &training,
+                &LearnOptions {
+                    templates: well_typed,
+                    thresholds: options.thresholds,
+                    workers: None,
+                },
+            );
+            Some(engine.rules().clone())
+        }
+        // Thresholds are invalid: check_all reports EC050; don't learn
+        // with them.
+        None => None,
+    };
+
+    let all = check_all(&templates, &options.thresholds, &cache, rules.as_ref());
+    report.extend(all.diagnostics().to_vec());
+    Ok((report, options.deny_warnings))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(Some(options)) => options,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("encore-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&options) {
+        Ok((report, deny_warnings)) => {
+            if options.json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            ExitCode::from(report.exit_code(deny_warnings) as u8)
+        }
+        Err(e) => {
+            eprintln!("encore-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! The diagnostic model: stable codes, severities, and renderings.
+//!
+//! Every finding the checkers produce is a [`Diagnostic`] carrying a stable
+//! [`Code`] (`EC0xx`), so scripts and CI can match on codes rather than
+//! message text.  Codes are grouped by analyzer:
+//!
+//! * `EC00x` — template type-checking,
+//! * `EC01x` — corpus eligibility (dead templates),
+//! * `EC02x`/`EC03x`/`EC04x` — rule-set linting (contradictions,
+//!   redundancy, orphans),
+//! * `EC05x` — filter-threshold validation.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational only.
+    Info,
+    /// Suspicious but not fatal; `--deny-warnings` promotes these.
+    Warning,
+    /// A defect — `encore-lint` exits nonzero when any is present.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => f.write_str("info"),
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// `EC001` — a template line failed to parse.
+    TemplateSyntax,
+    /// `EC002` — a template's slot types are not admitted by its relation.
+    IllTypedTemplate,
+    /// `EC003` — a template's confidence override is outside `(0, 1]`.
+    BadTemplateConfidence,
+    /// `EC004` — the same template appears more than once.
+    DuplicateTemplate,
+    /// `EC010` — a template has no eligible attributes for a slot.
+    DeadTemplateNoSlots,
+    /// `EC011` — a template has eligible slots but zero live pairs.
+    DeadTemplateNoPairs,
+    /// `EC020` — contradictory ordering rules (`A < B` and `B < A`).
+    ContradictoryOrdering,
+    /// `EC021` — one path is claimed by two different owner entries.
+    ConflictingOwners,
+    /// `EC022` — an equality rule contradicts a strict ordering rule.
+    EqualContradictsOrdering,
+    /// `EC030` — a symmetric duplicate of an equality rule.
+    SymmetricEqualDuplicate,
+    /// `EC031` — a substring rule subsumed by an equality rule.
+    SubstringSubsumedByEqual,
+    /// `EC032` — an exact duplicate rule.
+    DuplicateRule,
+    /// `EC040` — a rule references an attribute absent from the corpus.
+    OrphanRule,
+    /// `EC050` — filter thresholds out of range.
+    InvalidThresholds,
+}
+
+impl Code {
+    /// The stable `EC0xx` string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::TemplateSyntax => "EC001",
+            Code::IllTypedTemplate => "EC002",
+            Code::BadTemplateConfidence => "EC003",
+            Code::DuplicateTemplate => "EC004",
+            Code::DeadTemplateNoSlots => "EC010",
+            Code::DeadTemplateNoPairs => "EC011",
+            Code::ContradictoryOrdering => "EC020",
+            Code::ConflictingOwners => "EC021",
+            Code::EqualContradictsOrdering => "EC022",
+            Code::SymmetricEqualDuplicate => "EC030",
+            Code::SubstringSubsumedByEqual => "EC031",
+            Code::DuplicateRule => "EC032",
+            Code::OrphanRule => "EC040",
+            Code::InvalidThresholds => "EC050",
+        }
+    }
+
+    /// The severity a diagnostic with this code carries unless the analyzer
+    /// overrides it (only [`Code::ConflictingOwners`] is context-dependent:
+    /// it downgrades to a warning without row evidence of differing owners).
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Code::TemplateSyntax
+            | Code::IllTypedTemplate
+            | Code::BadTemplateConfidence
+            | Code::ContradictoryOrdering
+            | Code::ConflictingOwners
+            | Code::EqualContradictsOrdering
+            | Code::OrphanRule
+            | Code::InvalidThresholds => Severity::Error,
+            Code::DuplicateTemplate
+            | Code::DeadTemplateNoSlots
+            | Code::DeadTemplateNoPairs
+            | Code::SymmetricEqualDuplicate
+            | Code::SubstringSubsumedByEqual
+            | Code::DuplicateRule => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: a code, a severity, a message, and optional context (the
+/// offending template or rule, rendered).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity (the code's default unless overridden).
+    pub severity: Severity,
+    /// Human-readable description of the defect.
+    pub message: String,
+    /// The offending artifact, rendered (a template or rule line).
+    pub context: Option<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic at the code's default severity.
+    pub fn new(code: Code, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            message: message.into(),
+            context: None,
+        }
+    }
+
+    /// Attach the offending artifact.
+    pub fn with_context(mut self, context: impl Into<String>) -> Diagnostic {
+        self.context = Some(context.into());
+        self
+    }
+
+    /// Override the severity (e.g. `EC021` without row evidence).
+    pub fn with_severity(mut self, severity: Severity) -> Diagnostic {
+        self.severity = severity;
+        self
+    }
+
+    /// Compiler-style one/two-line text rendering.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("{}[{}]: {}", self.severity, self.code, self.message);
+        if let Some(ctx) = &self.context {
+            out.push_str("\n  --> ");
+            out.push_str(ctx);
+        }
+        out
+    }
+
+    /// JSON object rendering (hand-rolled; the offline serde shim has no
+    /// `serde_json`).
+    pub fn render_json(&self) -> String {
+        let mut out = format!(
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"",
+            self.code,
+            self.severity,
+            escape_json(&self.message)
+        );
+        match &self.context {
+            Some(ctx) => {
+                out.push_str(",\"context\":\"");
+                out.push_str(&escape_json(ctx));
+                out.push_str("\"}");
+            }
+            None => out.push_str(",\"context\":null}"),
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_text())
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let all = [
+            Code::TemplateSyntax,
+            Code::IllTypedTemplate,
+            Code::BadTemplateConfidence,
+            Code::DuplicateTemplate,
+            Code::DeadTemplateNoSlots,
+            Code::DeadTemplateNoPairs,
+            Code::ContradictoryOrdering,
+            Code::ConflictingOwners,
+            Code::EqualContradictsOrdering,
+            Code::SymmetricEqualDuplicate,
+            Code::SubstringSubsumedByEqual,
+            Code::DuplicateRule,
+            Code::OrphanRule,
+            Code::InvalidThresholds,
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for c in all {
+            assert!(c.as_str().starts_with("EC"));
+            assert_eq!(c.as_str().len(), 5);
+            assert!(seen.insert(c.as_str()), "duplicate code {c}");
+        }
+    }
+
+    #[test]
+    fn text_rendering_is_compiler_style() {
+        let d = Diagnostic::new(Code::IllTypedTemplate, "bad slots")
+            .with_context("[A:Size] => [B:UserName]");
+        let text = d.render_text();
+        assert!(text.starts_with("error[EC002]: bad slots"));
+        assert!(text.contains("--> [A:Size] => [B:UserName]"));
+    }
+
+    #[test]
+    fn json_rendering_escapes_specials() {
+        let d = Diagnostic::new(Code::DuplicateRule, "dup \"x\"\nnext").with_context("a\\b");
+        let json = d.render_json();
+        assert!(json.contains("\"code\":\"EC032\""));
+        assert!(json.contains("\"severity\":\"warning\""));
+        assert!(json.contains("dup \\\"x\\\"\\nnext"));
+        assert!(json.contains("\"context\":\"a\\\\b\""));
+    }
+
+    #[test]
+    fn severity_override_sticks() {
+        let d = Diagnostic::new(Code::ConflictingOwners, "m").with_severity(Severity::Warning);
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(Code::ConflictingOwners.default_severity(), Severity::Error);
+    }
+}

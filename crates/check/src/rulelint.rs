@@ -1,0 +1,304 @@
+//! Rule-set linting: contradictions, redundancy, and orphans in a learned
+//! (or hand-written) rule set.
+//!
+//! The inference filters guarantee per-rule statistical quality, but say
+//! nothing about the set as a whole — two individually high-confidence
+//! rules can still be jointly unsatisfiable, and customization files (§5.3)
+//! are hand-edited, so they drift.  This linter checks the *set*:
+//!
+//! * **Contradictions** — `A < B` with `B < A` (`EC020`), one path owned by
+//!   two different user entries (`EC021`), `A == B` alongside a strict
+//!   ordering between the same pair (`EC022`).
+//! * **Redundancy** — symmetric duplicates of the commutative `==`
+//!   (`EC030`), substring rules subsumed by an equality on the same pair
+//!   (`EC031`), exact duplicates (`EC032`).
+//! * **Orphans** — rules referencing attributes the corpus does not contain
+//!   at all (`EC040`); such rules can never fire and usually indicate a
+//!   renamed entry or a stale customization file.
+
+use crate::diag::{Code, Diagnostic, Severity};
+use encore::{Relation, Rule, RuleSet, StatsCache};
+use encore_model::AttrName;
+
+/// Lint a rule set.  With a [`StatsCache`] the linter also checks orphans
+/// against the corpus and looks for row evidence when judging conflicting
+/// owners; without one, corpus-dependent checks are skipped or downgraded.
+pub fn lint_rules(rules: &RuleSet, cache: Option<&StatsCache>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let all: Vec<&Rule> = rules.rules().iter().collect();
+
+    for (i, rule) in all.iter().enumerate() {
+        let earlier = &all[..i];
+
+        // EC032: exact duplicate (same pair, same relation).
+        if earlier
+            .iter()
+            .any(|p| p.relation == rule.relation && p.a == rule.a && p.b == rule.b)
+        {
+            diags.push(
+                Diagnostic::new(
+                    Code::DuplicateRule,
+                    format!(
+                        "rule `{} {} {}` appears more than once",
+                        rule.a, rule.relation, rule.b
+                    ),
+                )
+                .with_context(rule.render()),
+            );
+            continue; // further findings would duplicate the first copy's
+        }
+
+        // EC020: contradictory strict ordering.
+        if matches!(rule.relation, Relation::LessNum | Relation::LessSize) {
+            if let Some(rev) = earlier
+                .iter()
+                .find(|p| p.relation == rule.relation && p.a == rule.b && p.b == rule.a)
+            {
+                diags.push(
+                    Diagnostic::new(
+                        Code::ContradictoryOrdering,
+                        format!(
+                            "`{} < {}` contradicts the earlier `{} < {}`: no system \
+                             can satisfy both",
+                            rule.a, rule.b, rev.a, rev.b
+                        ),
+                    )
+                    .with_context(rule.render()),
+                );
+            }
+        }
+
+        // EC030: symmetric duplicate of the commutative ==.
+        if rule.relation == Relation::Equal {
+            if let Some(rev) = earlier
+                .iter()
+                .find(|p| p.relation == Relation::Equal && p.a == rule.b && p.b == rule.a)
+            {
+                diags.push(
+                    Diagnostic::new(
+                        Code::SymmetricEqualDuplicate,
+                        format!(
+                            "`{} == {}` restates the earlier `{} == {}`: equality is \
+                             symmetric",
+                            rule.a, rule.b, rev.a, rev.b
+                        ),
+                    )
+                    .with_context(rule.render()),
+                );
+            }
+        }
+
+        // EC022: equality alongside a strict ordering on the same pair.
+        if matches!(rule.relation, Relation::LessNum | Relation::LessSize) {
+            if let Some(eq) = earlier
+                .iter()
+                .find(|p| p.relation == Relation::Equal && same_pair_unordered(p, &rule.a, &rule.b))
+            {
+                diags.push(equal_vs_ordering(rule, eq).with_context(rule.render()));
+            }
+        }
+        if rule.relation == Relation::Equal {
+            if let Some(ord) = earlier.iter().find(|p| {
+                matches!(p.relation, Relation::LessNum | Relation::LessSize)
+                    && same_pair_unordered(rule, &p.a, &p.b)
+            }) {
+                diags.push(equal_vs_ordering(ord, rule).with_context(rule.render()));
+            }
+        }
+
+        // EC031: substring subsumed by equality on the same pair.
+        if rule.relation == Relation::SubstringOf {
+            if let Some(eq) = earlier
+                .iter()
+                .find(|p| p.relation == Relation::Equal && same_pair_unordered(p, &rule.a, &rule.b))
+            {
+                diags.push(
+                    Diagnostic::new(
+                        Code::SubstringSubsumedByEqual,
+                        format!(
+                            "`{} substring-of {}` is implied by the equality `{} == {}`",
+                            rule.a, rule.b, eq.a, eq.b
+                        ),
+                    )
+                    .with_context(rule.render()),
+                );
+            }
+        }
+
+        // EC021: one path claimed by two different owner entries.
+        if rule.relation == Relation::Owns {
+            if let Some(other) = earlier
+                .iter()
+                .find(|p| p.relation == Relation::Owns && p.a == rule.a && p.b != rule.b)
+            {
+                diags.push(conflicting_owners(rule, other, cache));
+            }
+        }
+
+        // EC040: orphan attributes.
+        if let Some(cache) = cache {
+            for attr in [&rule.a, &rule.b] {
+                if !cache.has_attribute(attr) {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::OrphanRule,
+                            format!("rule references `{attr}`, which no training system has"),
+                        )
+                        .with_context(rule.render()),
+                    );
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// Whether `rule` relates exactly the unordered pair `{a, b}`.
+fn same_pair_unordered(rule: &Rule, a: &AttrName, b: &AttrName) -> bool {
+    (rule.a == *a && rule.b == *b) || (rule.a == *b && rule.b == *a)
+}
+
+fn equal_vs_ordering(ordering: &Rule, eq: &Rule) -> Diagnostic {
+    Diagnostic::new(
+        Code::EqualContradictsOrdering,
+        format!(
+            "`{} == {}` contradicts the strict ordering `{} < {}`",
+            eq.a, eq.b, ordering.a, ordering.b
+        ),
+    )
+}
+
+/// Two `Owns` rules claim the same path for different user entries.  That is
+/// only a real contradiction if the two user entries can hold *different*
+/// values — if they always agree (aliased entries), it is merely redundant.
+/// With a corpus we look for a row where the values differ; found ⇒ Error,
+/// not found (or no corpus) ⇒ Warning.
+fn conflicting_owners(rule: &Rule, other: &Rule, cache: Option<&StatsCache>) -> Diagnostic {
+    let evidence = cache.and_then(|cache| {
+        cache.dataset().rows().iter().find_map(|row| {
+            let (va, vb) = (row.get(&rule.b)?, row.get(&other.b)?);
+            (va.render() != vb.render()).then(|| {
+                format!(
+                    "system `{}` has {}={} but {}={}",
+                    row.id(),
+                    rule.b,
+                    va.render(),
+                    other.b,
+                    vb.render()
+                )
+            })
+        })
+    });
+    let base = format!(
+        "`{}` is claimed by both `{}` and `{}` as owner",
+        rule.a, rule.b, other.b
+    );
+    match evidence {
+        Some(ev) => Diagnostic::new(Code::ConflictingOwners, format!("{base}; {ev}"))
+            .with_context(rule.render()),
+        None => Diagnostic::new(
+            Code::ConflictingOwners,
+            format!("{base}; no training row shows them differing, so this may be an alias"),
+        )
+        .with_severity(Severity::Warning)
+        .with_context(rule.render()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(a: &str, relation: Relation, b: &str) -> Rule {
+        Rule::new(AttrName::entry(a), relation, AttrName::entry(b), 10, 1.0)
+    }
+
+    #[test]
+    fn clean_set_is_clean() {
+        let set: RuleSet = vec![
+            rule("datadir", Relation::Owns, "user"),
+            rule("min_size", Relation::LessSize, "max_size"),
+        ]
+        .into_iter()
+        .collect();
+        assert!(lint_rules(&set, None).is_empty());
+    }
+
+    #[test]
+    fn contradictory_ordering_gets_ec020() {
+        let set: RuleSet = vec![
+            rule("a", Relation::LessNum, "b"),
+            rule("b", Relation::LessNum, "a"),
+        ]
+        .into_iter()
+        .collect();
+        let diags = lint_rules(&set, None);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::ContradictoryOrdering);
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn equal_vs_ordering_gets_ec022_both_orders() {
+        for rules in [
+            vec![
+                rule("a", Relation::Equal, "b"),
+                rule("b", Relation::LessSize, "a"),
+            ],
+            vec![
+                rule("a", Relation::LessNum, "b"),
+                rule("b", Relation::Equal, "a"),
+            ],
+        ] {
+            let set: RuleSet = rules.into_iter().collect();
+            let diags = lint_rules(&set, None);
+            assert_eq!(diags.len(), 1, "{diags:?}");
+            assert_eq!(diags[0].code, Code::EqualContradictsOrdering);
+        }
+    }
+
+    #[test]
+    fn symmetric_equal_gets_ec030_and_duplicate_gets_ec032() {
+        let set: RuleSet = vec![
+            rule("a", Relation::Equal, "b"),
+            rule("b", Relation::Equal, "a"),
+            rule("a", Relation::Equal, "b"),
+        ]
+        .into_iter()
+        .collect();
+        let diags = lint_rules(&set, None);
+        let codes: Vec<Code> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            vec![Code::SymmetricEqualDuplicate, Code::DuplicateRule],
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn substring_subsumed_gets_ec031() {
+        let set: RuleSet = vec![
+            rule("a", Relation::Equal, "b"),
+            rule("a", Relation::SubstringOf, "b"),
+        ]
+        .into_iter()
+        .collect();
+        let diags = lint_rules(&set, None);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::SubstringSubsumedByEqual);
+    }
+
+    #[test]
+    fn conflicting_owners_without_corpus_is_warning() {
+        let set: RuleSet = vec![
+            rule("datadir", Relation::Owns, "user"),
+            rule("datadir", Relation::Owns, "backup_user"),
+        ]
+        .into_iter()
+        .collect();
+        let diags = lint_rules(&set, None);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::ConflictingOwners);
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+}

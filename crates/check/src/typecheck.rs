@@ -1,0 +1,82 @@
+//! Template type-checking: every template is validated against its
+//! relation's [`RelationSignature`](encore::RelationSignature) before any
+//! corpus work happens.
+
+use crate::diag::{Code, Diagnostic};
+use encore::{Template, TemplateTypeError};
+
+/// Type-check a template list.
+///
+/// Produces `EC002` for signature violations, `EC003` for out-of-range
+/// confidence overrides, and `EC004` for templates appearing more than once
+/// (the duplicate instantiates the same rules twice, doubling work and
+/// double-counting candidates in the inference statistics).
+pub fn check_templates(templates: &[Template]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for template in templates {
+        match template.validate() {
+            Ok(()) => {}
+            Err(e @ TemplateTypeError::IllTyped { .. }) => {
+                diags.push(
+                    Diagnostic::new(Code::IllTypedTemplate, e.to_string())
+                        .with_context(template.to_string()),
+                );
+            }
+            Err(e @ TemplateTypeError::BadConfidence { .. }) => {
+                diags.push(
+                    Diagnostic::new(Code::BadTemplateConfidence, e.to_string())
+                        .with_context(template.to_string()),
+                );
+            }
+        }
+    }
+    for (i, template) in templates.iter().enumerate() {
+        if templates[..i].contains(template) {
+            diags.push(
+                Diagnostic::new(
+                    Code::DuplicateTemplate,
+                    format!("template `{template}` appears more than once"),
+                )
+                .with_context(template.to_string()),
+            );
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore::Relation;
+    use encore_model::SemType;
+
+    #[test]
+    fn predefined_templates_are_clean() {
+        assert!(check_templates(&Template::predefined()).is_empty());
+    }
+
+    #[test]
+    fn ill_typed_template_gets_ec002() {
+        let bad = Template::new(SemType::Size, Relation::Owns, SemType::UserName);
+        let diags = check_templates(&[bad]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::IllTypedTemplate);
+    }
+
+    #[test]
+    fn bad_confidence_gets_ec003() {
+        let bad = Template::new(SemType::Size, Relation::LessSize, SemType::Size)
+            .with_min_confidence(1.5);
+        let diags = check_templates(&[bad]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::BadTemplateConfidence);
+    }
+
+    #[test]
+    fn duplicate_template_gets_ec004() {
+        let t = Template::new(SemType::Size, Relation::LessSize, SemType::Size);
+        let diags = check_templates(&[t.clone(), t]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::DuplicateTemplate);
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end tests for the `encore-lint` binary: exit statuses, stable
+//! diagnostic codes, and both output formats.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn encore_lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_encore-lint"))
+        .args(args)
+        .output()
+        .expect("failed to spawn encore-lint")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+/// Write a fixture file under the target temp dir, named per test.
+fn fixture(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("encore-lint-test-{name}"));
+    std::fs::write(&path, contents).expect("write fixture");
+    path
+}
+
+#[test]
+fn clean_defaults_exit_zero() {
+    // Predefined templates + rules learned from the generated corpus must
+    // produce zero error-severity diagnostics (dead templates on a small
+    // corpus are warnings, which do not fail the run).
+    let out = encore_lint(&["--app", "mysql", "--images", "12", "--seed", "7"]);
+    let text = stdout(&out);
+    assert!(out.status.success(), "stdout:\n{text}");
+    assert!(text.contains("0 error(s)"), "stdout:\n{text}");
+}
+
+#[test]
+fn template_defects_fail_with_stable_codes() {
+    // `=>` resolves to Owns regardless of slot types, so the first line is
+    // syntactically fine but ill-typed; the second is unparseable.
+    let templates = fixture(
+        "bad-templates",
+        "[A:Size] => [B:GroupName]\nnot a template\n",
+    );
+    let out = encore_lint(&[
+        "--app",
+        "mysql",
+        "--images",
+        "8",
+        "--templates",
+        templates.to_str().unwrap(),
+    ]);
+    let text = stdout(&out);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{text}");
+    assert!(text.contains("error[EC002]"), "stdout:\n{text}");
+    assert!(text.contains("error[EC001]"), "stdout:\n{text}");
+}
+
+#[test]
+fn dead_template_is_a_warning_denied_by_flag() {
+    // Url-typed entries don't exist in the MySQL corpus, so the (well-typed)
+    // template is dead: warning by default, error under --deny-warnings.
+    let templates = fixture("dead-template", "[A:Url] == [B:Url]\n");
+    let base = [
+        "--app",
+        "mysql",
+        "--images",
+        "8",
+        "--templates",
+        templates.to_str().unwrap(),
+    ];
+    let out = encore_lint(&base);
+    let text = stdout(&out);
+    assert!(out.status.success(), "stdout:\n{text}");
+    assert!(text.contains("warning[EC010]"), "stdout:\n{text}");
+
+    let mut denied = base.to_vec();
+    denied.push("--deny-warnings");
+    let out = encore_lint(&denied);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{}", stdout(&out));
+}
+
+#[test]
+fn rule_file_defects_fail_with_stable_codes() {
+    let rules = fixture(
+        "bad-rules",
+        "# contradictory ordering, then an orphan\n\
+         max_connections < table_open_cache [LessNum] sup=10 conf=1.000\n\
+         table_open_cache < max_connections [LessNum] sup=10 conf=1.000\n\
+         no_such_attr == also_missing [Equal] sup=10 conf=1.000\n",
+    );
+    let out = encore_lint(&[
+        "--app",
+        "mysql",
+        "--images",
+        "8",
+        "--rules",
+        rules.to_str().unwrap(),
+    ]);
+    let text = stdout(&out);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{text}");
+    assert!(text.contains("error[EC020]"), "stdout:\n{text}");
+    assert!(text.contains("error[EC040]"), "stdout:\n{text}");
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let out = encore_lint(&["--app", "mysql", "--images", "8", "--json"]);
+    let text = stdout(&out);
+    assert!(out.status.success(), "stdout:\n{text}");
+    assert!(text.starts_with("{\"diagnostics\":["), "stdout:\n{text}");
+    assert!(text.contains("\"errors\":0"), "stdout:\n{text}");
+}
+
+#[test]
+fn invalid_thresholds_get_ec050() {
+    let out = encore_lint(&["--app", "mysql", "--images", "8", "--min-confidence", "1.5"]);
+    let text = stdout(&out);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{text}");
+    assert!(text.contains("error[EC050]"), "stdout:\n{text}");
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = encore_lint(&["--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+}

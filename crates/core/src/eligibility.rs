@@ -1,0 +1,255 @@
+//! Template eligibility analysis over a corpus.
+//!
+//! EnCore's search is *type-directed* (Finding 3, §5.1): a template slot
+//! only accepts attributes of a matching [`SemType`].  This module is the
+//! single source of truth for what "eligible" means — which attributes fit
+//! each slot, and which `(a, b)` pairs a template would actually evaluate —
+//! shared by the inference engine ([`crate::infer`]) and the `encore-check`
+//! corpus analyzer, so the two can never drift.
+//!
+//! On top of the type restriction, the [`StatsCache`] presence bitsets give
+//! a cheap *liveness* test: a pair whose attributes never co-occur in any
+//! training row can never be applicable, so work spent evaluating it is
+//! dead.  [`analyze_templates`] reports per-template liveness (the
+//! `encore-lint` dead-template diagnostics), and the inference engine uses
+//! the same masks to skip dead `(template, a-chunk)` units before they
+//! reach the worker pool.
+
+use crate::stats::StatsCache;
+use crate::template::{Relation, Template};
+use encore_model::{AttrName, SemType};
+
+/// Attributes eligible for a slot type.
+///
+/// `Str` slots accept only genuinely string-typed attributes — allowing
+/// every attribute in `Str` slots would reintroduce the quadratic blow-up
+/// the type restriction exists to avoid.
+pub(crate) fn eligible<'a>(
+    attrs: &'a [AttrName],
+    cache: &StatsCache,
+    slot_ty: SemType,
+) -> Vec<&'a AttrName> {
+    attrs
+        .iter()
+        .filter(|a| {
+            let ty = cache.type_of(a);
+            match slot_ty {
+                // Plain numbers and ports compare; sizes have their own
+                // template (comparing seconds against bytes is never a
+                // correlation).
+                SemType::Number => matches!(ty, SemType::Number | SemType::PortNumber),
+                other => ty == other,
+            }
+        })
+        .collect()
+}
+
+/// Whether a template is *same-type generic*: the paper's `==` and `=~`
+/// templates read "an entry should equal another entry *of the same type*",
+/// so a `[A:Str] == [B:Str]` spelling instantiates over every type, with the
+/// pair constrained to matching types.
+pub(crate) fn is_same_type_generic(template: &Template) -> bool {
+    template.relation.signature().same_type_generic
+        && template.a.ty == SemType::Str
+        && template.b.ty == SemType::Str
+}
+
+/// Whether the instantiation loop would evaluate the pair `(a, b)` for this
+/// template at all — the structural filters applied before any row is
+/// touched.  Shared by [`crate::infer`] and the eligibility analysis.
+pub(crate) fn pair_considered(
+    template: &Template,
+    generic: bool,
+    cache: &StatsCache,
+    a: &AttrName,
+    b: &AttrName,
+) -> bool {
+    if a == b {
+        return false;
+    }
+    // Rules must anchor on at least one original configuration entry.
+    // Augmented attributes of ownership-coupled paths form large
+    // equivalence cliques (X.owner == Y.owner == ... for every pair); the
+    // original-entry rules (X.owner == user, X => user) already capture
+    // that structure without the quadratic echo.
+    if !a.is_original() && !b.is_original() {
+        return false;
+    }
+    // Ownership/accessibility rules bind the *user entry* itself (the
+    // paper's `DataDir => user`); letting the user slot range over
+    // augmented `.owner` mirrors re-derives each ownership clique
+    // transitively.
+    if matches!(template.relation, Relation::Owns | Relation::NotAccessible) && !b.is_original() {
+        return false;
+    }
+    if generic {
+        let (ta, tb) = (cache.type_of(a), cache.type_of(b));
+        // Same-type restriction, and equality over booleans/enums is
+        // vacuous co-occurrence rather than correlation — skip it,
+        // matching the spirit of the paper's type-based selection.
+        if ta != tb || matches!(ta, SemType::Boolean | SemType::Enum) {
+            return false;
+        }
+        // Equality is symmetric: keep the canonical ordering only.
+        if template.relation == Relation::Equal && a > b {
+            return false;
+        }
+        // `=~` quantifies over an entry *family* (occurrence-indexed
+        // attributes like `LoadModule#n/arg1` or `Directory#n/section`);
+        // a singleton B degenerates to `==`, so require a family.
+        if template.relation == Relation::MemberEq && !b.base().contains('#') {
+            return false;
+        }
+    }
+    // Owner relations between an entry and its own augmented attribute are
+    // tautologies (datadir.owner always owns datadir); skip same-base pairs
+    // for env-backed relations.
+    if a.base() == b.base()
+        && matches!(
+            template.relation,
+            Relation::Owns | Relation::Equal | Relation::MemberEq
+        )
+    {
+        return false;
+    }
+    true
+}
+
+/// Per-template eligibility under one corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EligibilityReport {
+    /// The analyzed template.
+    pub template: Template,
+    /// Attributes eligible for slot A.
+    pub eligible_a: usize,
+    /// Attributes eligible for slot B.
+    pub eligible_b: usize,
+    /// Pairs surviving the structural filters (types, anchoring, symmetry).
+    pub considered_pairs: usize,
+    /// Considered pairs whose attributes co-occur in at least one row —
+    /// the pairs that can possibly produce a candidate rule.
+    pub live_pairs: usize,
+}
+
+impl EligibilityReport {
+    /// A *dead* template instantiates nothing under this corpus: the full
+    /// O(pairs × rows) pass is wasted work and the template deserves a
+    /// diagnostic.
+    pub fn is_dead(&self) -> bool {
+        self.live_pairs == 0
+    }
+}
+
+/// Analyze each template's eligibility under the corpus captured by
+/// `cache`.  The pair accounting matches the inference engine exactly —
+/// both sides call the same slot and pair predicates.
+pub fn analyze_templates(templates: &[Template], cache: &StatsCache) -> Vec<EligibilityReport> {
+    templates
+        .iter()
+        .map(|template| {
+            let generic = is_same_type_generic(template);
+            let (eligible_a, eligible_b) = if generic {
+                let all: Vec<&AttrName> = cache.attributes().iter().collect();
+                (all.clone(), all)
+            } else {
+                (
+                    eligible(cache.attributes(), cache, template.a.ty),
+                    eligible(cache.attributes(), cache, template.b.ty),
+                )
+            };
+            let mut considered = 0usize;
+            let mut live = 0usize;
+            for &a in &eligible_a {
+                for &b in &eligible_b {
+                    if !pair_considered(template, generic, cache, a, b) {
+                        continue;
+                    }
+                    considered += 1;
+                    if cache.co_occurs(a, b) {
+                        live += 1;
+                    }
+                }
+            }
+            EligibilityReport {
+                template: template.clone(),
+                eligible_a: eligible_a.len(),
+                eligible_b: eligible_b.len(),
+                considered_pairs: considered,
+                live_pairs: live,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::TrainingSet;
+    use encore_model::AppKind;
+    use encore_sysimage::SystemImage;
+
+    fn fleet(n: usize) -> Vec<SystemImage> {
+        (0..n)
+            .map(|i| {
+                let datadir = format!("/var/lib/mysql{i}");
+                SystemImage::builder(format!("img-{i}"))
+                    .user("mysql", 27, &["mysql"])
+                    .dir(&datadir, "mysql", "mysql", 0o700)
+                    .file(
+                        "/etc/mysql/my.cnf",
+                        "root",
+                        "root",
+                        0o644,
+                        &format!("[mysqld]\nuser = mysql\ndatadir = {datadir}\n"),
+                    )
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ownership_template_is_live_on_mysql_fleet() {
+        let ts = TrainingSet::assemble(AppKind::Mysql, &fleet(8)).unwrap();
+        let cache = ts.stats_cache();
+        let templates = vec![Template::new(
+            SemType::FilePath,
+            Relation::Owns,
+            SemType::UserName,
+        )];
+        let reports = analyze_templates(&templates, &cache);
+        assert_eq!(reports.len(), 1);
+        assert!(!reports[0].is_dead(), "{:?}", reports[0]);
+        assert!(reports[0].live_pairs > 0);
+        assert!(reports[0].live_pairs <= reports[0].considered_pairs);
+    }
+
+    #[test]
+    fn type_starved_template_is_dead() {
+        let ts = TrainingSet::assemble(AppKind::Mysql, &fleet(8)).unwrap();
+        let cache = ts.stats_cache();
+        // The MySQL corpus has no URL-typed attributes.
+        let templates = vec![Template::new(SemType::Url, Relation::Equal, SemType::Url)];
+        let reports = analyze_templates(&templates, &cache);
+        assert!(reports[0].is_dead(), "{:?}", reports[0]);
+        assert_eq!(reports[0].eligible_a, 0);
+    }
+
+    #[test]
+    fn pair_filters_reject_self_and_augmented_pairs() {
+        let ts = TrainingSet::assemble(AppKind::Mysql, &fleet(4)).unwrap();
+        let cache = ts.stats_cache();
+        let t = Template::new(SemType::FilePath, Relation::Owns, SemType::UserName);
+        let a = AttrName::entry("datadir");
+        assert!(!pair_considered(&t, false, &cache, &a, &a));
+        // Owns must bind an original user entry, not an augmented mirror.
+        let aug = AttrName::entry("pid_file").augmented("owner");
+        assert!(!pair_considered(&t, false, &cache, &a, &aug));
+        assert!(pair_considered(
+            &t,
+            false,
+            &cache,
+            &a,
+            &AttrName::entry("user")
+        ));
+    }
+}

@@ -54,6 +54,41 @@ impl FilterThresholds {
         self.use_entropy = false;
         self
     }
+
+    /// Sanity-check the thresholds — a support fraction or confidence
+    /// outside `[0, 1]`, or a negative/non-finite entropy threshold, silently
+    /// admits everything or nothing.  `encore-lint` surfaces violations as
+    /// diagnostics before a run is wasted on them.
+    ///
+    /// # Errors
+    ///
+    /// Returns one message per out-of-range field.
+    pub fn validate(&self) -> Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        if !(0.0..=1.0).contains(&self.min_support_fraction) {
+            problems.push(format!(
+                "min_support_fraction {} outside [0, 1]",
+                self.min_support_fraction
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.min_confidence) {
+            problems.push(format!(
+                "min_confidence {} outside [0, 1]",
+                self.min_confidence
+            ));
+        }
+        if !self.entropy_threshold.is_finite() || self.entropy_threshold < 0.0 {
+            problems.push(format!(
+                "entropy_threshold {} is not a finite non-negative value",
+                self.entropy_threshold
+            ));
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
 }
 
 /// Why a candidate rule was rejected.
@@ -235,6 +270,19 @@ mod tests {
             ),
             Verdict::Accept
         );
+    }
+
+    #[test]
+    fn threshold_validation_flags_out_of_range_fields() {
+        assert!(FilterThresholds::default().validate().is_ok());
+        let bad = FilterThresholds {
+            min_support_fraction: 1.5,
+            min_confidence: -0.1,
+            entropy_threshold: f64::NAN,
+            use_entropy: true,
+        };
+        let problems = bad.validate().unwrap_err();
+        assert_eq!(problems.len(), 3, "{problems:?}");
     }
 
     #[test]

@@ -17,14 +17,15 @@
 //! many workers steal.  Per-attribute statistics (semantic types, value
 //! entropies) are resolved once per run in a shared [`StatsCache`].
 
+use crate::eligibility::{eligible, is_same_type_generic, pair_considered};
 use crate::filter::{judge, FilterThresholds, RejectReason, Verdict};
 use crate::pool::{self, PoolError};
 use crate::relation::{evaluate, Applicability, SystemView};
 use crate::rules::{Rule, RuleSet};
 use crate::stats::StatsCache;
-use crate::template::{Relation, Template};
+use crate::template::Template;
 use crate::train::TrainingSet;
-use encore_model::{AttrName, SemType};
+use encore_model::AttrName;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::ops::Range;
@@ -84,12 +85,27 @@ impl From<PoolError> for InferError {
 }
 
 /// Tuning knobs for one inference run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct InferOptions {
     /// Worker threads for template instantiation; `None` uses
     /// [`std::thread::available_parallelism`].  `Some(1)` is the sequential
     /// reference the parallel path must reproduce byte-identically.
     pub workers: Option<usize>,
+    /// Skip `(template, a-chunk)` work units that can instantiate nothing —
+    /// decided via the [`StatsCache`] presence bitsets before pool
+    /// dispatch.  Pruning is semantics-preserving (a dead unit contributes
+    /// no candidates either way); disable it only to measure its effect or
+    /// to cross-check determinism.
+    pub prune_dead_units: bool,
+}
+
+impl Default for InferOptions {
+    fn default() -> Self {
+        InferOptions {
+            workers: None,
+            prune_dead_units: true,
+        }
+    }
 }
 
 impl InferOptions {
@@ -97,7 +113,15 @@ impl InferOptions {
     pub fn with_workers(workers: usize) -> InferOptions {
         InferOptions {
             workers: Some(workers),
+            ..InferOptions::default()
         }
+    }
+
+    /// Disable dead-unit pruning (the unpruned reference the pruned path
+    /// must reproduce byte-identically).
+    pub fn without_pruning(mut self) -> InferOptions {
+        self.prune_dead_units = false;
+        self
     }
 
     fn resolved_workers(&self) -> usize {
@@ -267,6 +291,7 @@ impl RuleInference {
                     a_range: chunk * A_CHUNK..((chunk + 1) * A_CHUNK).min(len),
                 })
             })
+            .filter(|unit| !options.prune_dead_units || unit.is_live(cache))
             .collect();
         let workers = options.resolved_workers();
         let chunks = pool::run_units(&units, workers, |unit| run_unit(unit, training, cache))?;
@@ -285,6 +310,10 @@ struct TemplateWork<'a> {
     generic: bool,
     eligible_a: Vec<&'a AttrName>,
     eligible_b: Vec<&'a AttrName>,
+    /// Union of the row-presence bitsets of every eligible-B attribute: a
+    /// chunk of A attributes none of which is ever present alongside *any*
+    /// eligible B cannot instantiate anything.
+    b_presence: Vec<u64>,
 }
 
 impl<'a> TemplateWork<'a> {
@@ -299,11 +328,20 @@ impl<'a> TemplateWork<'a> {
                 eligible(attrs, cache, template.b.ty),
             )
         };
+        let mut b_presence = vec![0u64; cache.num_rows().div_ceil(64)];
+        for &b in &eligible_b {
+            if let Some(mask) = cache.presence_mask(b) {
+                for (acc, word) in b_presence.iter_mut().zip(mask) {
+                    *acc |= word;
+                }
+            }
+        }
         TemplateWork {
             template,
             generic,
             eligible_a,
             eligible_b,
+            b_presence,
         }
     }
 }
@@ -312,6 +350,23 @@ impl<'a> TemplateWork<'a> {
 struct WorkUnit<'a, 'w> {
     work: &'w TemplateWork<'a>,
     a_range: Range<usize>,
+}
+
+impl WorkUnit<'_, '_> {
+    /// Whether any attribute in this unit's A-chunk ever co-occurs with any
+    /// eligible B — a necessary condition for the unit to produce a
+    /// candidate.  Dead units are dropped before pool dispatch; liveness is
+    /// conservative (a live verdict may still instantiate nothing), so
+    /// pruning never changes the learned rule set.
+    fn is_live(&self, cache: &StatsCache) -> bool {
+        self.work.eligible_a[self.a_range.clone()].iter().any(|a| {
+            cache.presence_mask(a).is_some_and(|mask| {
+                mask.iter()
+                    .zip(&self.work.b_presence)
+                    .any(|(x, y)| x & y != 0)
+            })
+        })
+    }
 }
 
 /// Result of the staged entropy-filter analysis.
@@ -391,37 +446,6 @@ fn judge_candidates(
     (rules, stats)
 }
 
-/// Attributes eligible for a slot type.
-///
-/// `Str` slots accept only genuinely string-typed attributes — allowing
-/// every attribute in `Str` slots would reintroduce the quadratic blow-up
-/// the type restriction exists to avoid.
-fn eligible<'a>(attrs: &'a [AttrName], cache: &StatsCache, slot_ty: SemType) -> Vec<&'a AttrName> {
-    attrs
-        .iter()
-        .filter(|a| {
-            let ty = cache.type_of(a);
-            match slot_ty {
-                // Plain numbers and ports compare; sizes have their own
-                // template (comparing seconds against bytes is never a
-                // correlation).
-                SemType::Number => matches!(ty, SemType::Number | SemType::PortNumber),
-                other => ty == other,
-            }
-        })
-        .collect()
-}
-
-/// Whether a template is *same-type generic*: the paper's `==` and `=~`
-/// templates read "an entry should equal another entry *of the same type*",
-/// so a `[A:Str] == [B:Str]` spelling instantiates over every type, with the
-/// pair constrained to matching types.
-fn is_same_type_generic(template: &Template) -> bool {
-    matches!(template.relation, Relation::Equal | Relation::MemberEq)
-        && template.a.ty == SemType::Str
-        && template.b.ty == SemType::Str
-}
-
 fn instantiate_unit(
     unit: &WorkUnit<'_, '_>,
     training: &TrainingSet,
@@ -432,54 +456,10 @@ fn instantiate_unit(
     let mut out = Vec::new();
     for &a in &work.eligible_a[unit.a_range.clone()] {
         for &b in &work.eligible_b {
-            if a == b {
-                continue;
-            }
-            // Rules must anchor on at least one original configuration
-            // entry.  Augmented attributes of ownership-coupled paths form
-            // large equivalence cliques (X.owner == Y.owner == ... for every
-            // pair); the original-entry rules (X.owner == user, X => user)
-            // already capture that structure without the quadratic echo.
-            if !a.is_original() && !b.is_original() {
-                continue;
-            }
-            // Ownership/accessibility rules bind the *user entry* itself
-            // (the paper's `DataDir => user`); letting the user slot range
-            // over augmented `.owner` mirrors re-derives each ownership
-            // clique transitively.
-            if matches!(template.relation, Relation::Owns | Relation::NotAccessible)
-                && !b.is_original()
-            {
-                continue;
-            }
-            if work.generic {
-                let (ta, tb) = (cache.type_of(a), cache.type_of(b));
-                // Same-type restriction, and equality over booleans/enums is
-                // vacuous co-occurrence rather than correlation — skip it,
-                // matching the spirit of the paper's type-based selection.
-                if ta != tb || matches!(ta, SemType::Boolean | SemType::Enum) {
-                    continue;
-                }
-                // Equality is symmetric: keep the canonical ordering only.
-                if template.relation == Relation::Equal && a > b {
-                    continue;
-                }
-                // `=~` quantifies over an entry *family* (occurrence-indexed
-                // attributes like `LoadModule#n/arg1` or `Directory#n/section`);
-                // a singleton B degenerates to `==`, so require a family.
-                if template.relation == Relation::MemberEq && !b.base().contains('#') {
-                    continue;
-                }
-            }
-            // Owner relations between an entry and its own augmented
-            // attribute are tautologies (datadir.owner always owns datadir);
-            // skip same-base pairs for env-backed relations.
-            if a.base() == b.base()
-                && matches!(
-                    template.relation,
-                    Relation::Owns | Relation::Equal | Relation::MemberEq
-                )
-            {
+            // Structural filters (self-pairs, original-entry anchoring,
+            // generic same-type restriction, symmetry canonicalization) —
+            // shared with the eligibility analyzer in [`crate::eligibility`].
+            if !pair_considered(template, work.generic, cache, a, b) {
                 continue;
             }
             let mut holds = 0usize;
@@ -516,6 +496,7 @@ fn instantiate_unit(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::template::Relation;
     use encore_model::AppKind;
     use encore_sysimage::SystemImage;
 
@@ -645,6 +626,29 @@ mod tests {
         // The process (and this test) survived: the error is recoverable,
         // and a subsequent well-formed run still succeeds.
         assert!(engine.try_infer(&ts, &FilterThresholds::default()).is_ok());
+    }
+
+    #[test]
+    fn dead_unit_pruning_is_invisible_in_output() {
+        let images = fleet(10);
+        let ts = TrainingSet::assemble(AppKind::Mysql, &images).unwrap();
+        let engine = RuleInference::predefined();
+        let thresholds = FilterThresholds::default().without_entropy();
+        let (unpruned, unpruned_stats) = engine
+            .try_infer_with(
+                &ts,
+                &thresholds,
+                &InferOptions::with_workers(1).without_pruning(),
+            )
+            .unwrap();
+        for workers in [1, 2, 4] {
+            let (pruned, stats) = engine
+                .try_infer_with(&ts, &thresholds, &InferOptions::with_workers(workers))
+                .unwrap();
+            assert_eq!(pruned, unpruned, "workers={workers}");
+            assert_eq!(pruned.render(), unpruned.render(), "workers={workers}");
+            assert_eq!(stats, unpruned_stats, "workers={workers}");
+        }
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub mod baseline;
 pub mod cross;
 pub mod customize;
 pub mod detect;
+pub mod eligibility;
 pub mod filter;
 pub mod infer;
 pub mod pool;
@@ -77,11 +78,12 @@ pub mod train;
 pub mod types;
 
 pub use detect::{AnomalyDetector, Report, Warning, WarningKind};
+pub use eligibility::{analyze_templates, EligibilityReport};
 pub use filter::FilterThresholds;
 pub use infer::{InferError, InferOptions, InferenceStats, RuleInference};
 pub use rules::{Rule, RuleSet};
 pub use stats::StatsCache;
-pub use template::{Relation, Slot, Template};
+pub use template::{Relation, RelationSignature, Slot, Template, TemplateTypeError};
 pub use train::TrainingSet;
 pub use types::TypeMap;
 
@@ -156,6 +158,7 @@ impl EnCore {
         let inference = RuleInference::new(options.templates.clone());
         let infer_options = InferOptions {
             workers: options.workers,
+            ..InferOptions::default()
         };
         let (rules, stats) =
             inference.try_infer_with(training, &options.thresholds, &infer_options)?;

@@ -582,4 +582,65 @@ mod tests {
         assert_eq!(strip_occurrence("LoadModule#3/arg2"), "LoadModule/arg2");
         assert_eq!(strip_occurrence("Plain"), "Plain");
     }
+
+    /// Well-typed, applicable sample values for each relation (no augmented
+    /// attributes, so `Owns` cannot take its row-only fallback).
+    fn sample_values(relation: Relation) -> (ConfigValue, ConfigValue) {
+        use crate::template::Relation as R;
+        match relation {
+            R::Equal | R::MemberEq => (ConfigValue::str("v"), ConfigValue::str("v")),
+            R::ExtBoolImplies => (ConfigValue::boolean(true), ConfigValue::boolean(true)),
+            R::SubnetOf => (
+                ConfigValue::str("10.0.0.5"),
+                ConfigValue::str("10.0.0.0/24"),
+            ),
+            R::ConcatPath => (
+                ConfigValue::path("/etc/httpd"),
+                ConfigValue::str("modules/mod_mime.so"),
+            ),
+            R::SubstringOf => (ConfigValue::str("ab"), ConfigValue::str("abc")),
+            R::InGroup => (ConfigValue::str("mysql"), ConfigValue::str("mysql")),
+            R::NotAccessible | R::Owns => (
+                ConfigValue::path("/var/lib/mysql"),
+                ConfigValue::str("mysql"),
+            ),
+            R::LessNum => (ConfigValue::number(1.0), ConfigValue::number(2.0)),
+            R::LessSize => (
+                ConfigValue::size(1, SizeUnit::M),
+                ConfigValue::size(2, SizeUnit::M),
+            ),
+        }
+    }
+
+    /// Exhaustiveness pin: a relation's declared environment dependence must
+    /// match its validator.  With both entries present and well-typed but no
+    /// system image, env-dependent validators must abstain (NotApplicable)
+    /// while row-level validators must decide (Holds/Violated).  If a new
+    /// relation variant is added without updating `Relation::signature`,
+    /// `sample_values` fails to compile first.
+    #[test]
+    fn signature_env_dependence_matches_validators() {
+        for relation in Relation::ALL {
+            let (va, vb) = sample_values(relation);
+            let mut r = Row::new("pin");
+            let a = AttrName::entry("alpha");
+            let b = AttrName::entry("beta");
+            r.set(a.clone(), va);
+            r.set(b.clone(), vb);
+            let outcome = evaluate(relation, &a, &b, SystemView::row_only(&r));
+            if relation.signature().env_dependent {
+                assert_eq!(
+                    outcome,
+                    Applicability::NotApplicable,
+                    "{relation:?} declared env-dependent but decided without an image"
+                );
+            } else {
+                assert_ne!(
+                    outcome,
+                    Applicability::NotApplicable,
+                    "{relation:?} declared row-level but abstained on present values"
+                );
+            }
+        }
+    }
 }

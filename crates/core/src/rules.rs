@@ -61,6 +61,48 @@ impl Rule {
             self.confidence
         )
     }
+
+    /// Parse one rendered rule line (the inverse of [`Rule::render`]).
+    ///
+    /// The operator symbol is ambiguous (`<` serves three relations), so
+    /// parsing is anchored on the bracketed relation name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem with the line.
+    pub fn parse(line: &str) -> Result<Rule, String> {
+        let line = line.trim();
+        let open = line.find('[').ok_or("missing `[Relation]` marker")?;
+        let close = line[open..]
+            .find(']')
+            .map(|i| open + i)
+            .ok_or("unclosed `[Relation]` marker")?;
+        let relation = Relation::parse_name(&line[open + 1..close])
+            .ok_or_else(|| format!("unknown relation `{}`", &line[open + 1..close]))?;
+        let head = line[..open].trim();
+        let symbol = relation.symbol();
+        let (a_text, b_text) = head
+            .split_once(&format!(" {symbol} "))
+            .ok_or_else(|| format!("expected `A {symbol} B` before the relation marker"))?;
+        let a = AttrName::parse(a_text).map_err(|e| e.to_string())?;
+        let b = AttrName::parse(b_text).map_err(|e| e.to_string())?;
+        let mut support = None;
+        let mut confidence = None;
+        for token in line[close + 1..].split_whitespace() {
+            if let Some(v) = token.strip_prefix("sup=") {
+                support = Some(v.parse::<usize>().map_err(|e| format!("bad sup: {e}"))?);
+            } else if let Some(v) = token.strip_prefix("conf=") {
+                confidence = Some(v.parse::<f64>().map_err(|e| format!("bad conf: {e}"))?);
+            }
+        }
+        Ok(Rule {
+            a,
+            b,
+            relation,
+            support: support.ok_or("missing `sup=`")?,
+            confidence: confidence.ok_or("missing `conf=`")?,
+        })
+    }
 }
 
 impl fmt::Display for Rule {
@@ -115,6 +157,26 @@ impl RuleSet {
         }
         out
     }
+
+    /// Parse a rendered rule file (the inverse of [`RuleSet::render`]).
+    /// Blank lines and `#` comments are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns the 1-based line number and description of the first
+    /// malformed line.
+    pub fn parse(text: &str) -> Result<RuleSet, String> {
+        let mut rules = RuleSet::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let rule = Rule::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            rules.push(rule);
+        }
+        Ok(rules)
+    }
 }
 
 impl FromIterator<Rule> for RuleSet {
@@ -161,6 +223,46 @@ mod tests {
         assert!(s.contains("user"));
         assert!(s.contains("Owns"));
         assert!(s.contains("sup=187"));
+    }
+
+    #[test]
+    fn parse_round_trips_render() {
+        let rules: Vec<Rule> = vec![
+            rule(),
+            Rule::new(
+                AttrName::entry("upload_max_filesize"),
+                Relation::LessSize,
+                AttrName::entry("post_max_size"),
+                42,
+                0.955,
+            ),
+            Rule::new(
+                AttrName::entry("datadir").augmented("owner"),
+                Relation::Equal,
+                AttrName::entry("user"),
+                10,
+                1.0,
+            ),
+        ];
+        for r in &rules {
+            let back = Rule::parse(&r.render()).unwrap_or_else(|e| panic!("{e}: {}", r.render()));
+            assert_eq!(back.a, r.a);
+            assert_eq!(back.b, r.b);
+            assert_eq!(back.relation, r.relation);
+            assert_eq!(back.support, r.support);
+            assert!((back.confidence - r.confidence).abs() < 1e-3);
+        }
+        let set: RuleSet = rules.into_iter().collect();
+        let reparsed = RuleSet::parse(&format!("# learned rules\n\n{}", set.render())).unwrap();
+        assert_eq!(reparsed.len(), set.len());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(Rule::parse("datadir => user").is_err());
+        assert!(Rule::parse("datadir => user [NotARel] sup=1 conf=1.0").is_err());
+        assert!(Rule::parse("datadir => user [Owns] conf=1.0").is_err());
+        assert!(RuleSet::parse("datadir => user [Owns] sup=x conf=1.0").is_err());
     }
 
     #[test]

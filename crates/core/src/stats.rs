@@ -1,6 +1,6 @@
 //! Shared read-only statistics for one inference run.
 //!
-//! Rule inference consults two per-attribute statistics over and over:
+//! Rule inference consults three per-attribute statistics over and over:
 //!
 //! * the **semantic type** of each attribute, when gathering eligible slot
 //!   bindings — previously re-derived through [`TypeMap::type_of`] for every
@@ -8,45 +8,69 @@
 //! * the **Shannon entropy** of each attribute's value distribution, when
 //!   the entropy filter judges a candidate — previously recomputed from a
 //!   fresh value histogram for every candidate, O(candidates × rows) of
-//!   redundant work since many candidates share attributes.
+//!   redundant work since many candidates share attributes;
+//! * the **row-presence bitset** of each attribute, which lets the
+//!   eligibility analysis decide in O(rows/64) words whether two attributes
+//!   ever co-occur — the precondition for any candidate rule between them.
 //!
-//! [`StatsCache`] resolves every type once up front and memoizes entropies
-//! on first use.  The cache is immutable after construction apart from the
-//! entropy memo (guarded by a mutex), so it can be shared read-only across
-//! the inference worker pool.
+//! [`StatsCache`] resolves types and presence masks once up front and
+//! memoizes entropies on first use.  The entropy memo is sharded 16 ways by
+//! attribute hash so that concurrent readers (eligibility precomputation,
+//! any future in-worker judging) do not contend on a single lock; everything
+//! else is immutable after construction, so the cache can be shared
+//! read-only across the inference worker pool.
 
 use crate::types::TypeMap;
 use encore_mining::metrics::entropy;
 use encore_model::{AttrName, Dataset, SemType};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
 
-/// Per-run cache of attribute statistics: resolved types and memoized
-/// entropies over one training dataset.
+/// Number of entropy-memo shards.  A small power of two: enough to make
+/// same-shard collisions rare across a worker pool, cheap enough to build
+/// per run.
+const ENTROPY_SHARDS: usize = 16;
+
+/// Per-run cache of attribute statistics: resolved types, presence bitsets,
+/// and memoized entropies over one training dataset.
 #[derive(Debug)]
 pub struct StatsCache {
     dataset: Dataset,
     attributes: Vec<AttrName>,
     types: BTreeMap<AttrName, SemType>,
+    presence: BTreeMap<AttrName, Vec<u64>>,
     type_map: TypeMap,
-    entropies: Mutex<BTreeMap<AttrName, f64>>,
+    entropies: [Mutex<BTreeMap<AttrName, f64>>; ENTROPY_SHARDS],
+}
+
+fn shard_of(attr: &AttrName) -> usize {
+    let mut h = DefaultHasher::new();
+    attr.hash(&mut h);
+    (h.finish() as usize) % ENTROPY_SHARDS
 }
 
 impl StatsCache {
-    /// Build a cache over a dataset, resolving the type of every attribute
-    /// once through `types`.
+    /// Build a cache over a dataset, resolving the type and presence mask of
+    /// every attribute once through `types` and the dataset rows.
     pub fn new(dataset: Dataset, types: &TypeMap) -> StatsCache {
         let attributes: Vec<AttrName> = dataset.attributes().into_iter().collect();
         let resolved = attributes
             .iter()
             .map(|a| (a.clone(), types.type_of(a)))
             .collect();
+        let presence = attributes
+            .iter()
+            .map(|a| (a.clone(), dataset.presence_mask(a)))
+            .collect();
         StatsCache {
             dataset,
             attributes,
             types: resolved,
+            presence,
             type_map: types.clone(),
-            entropies: Mutex::new(BTreeMap::new()),
+            entropies: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
         }
     }
 
@@ -65,6 +89,11 @@ impl StatsCache {
         &self.attributes
     }
 
+    /// Whether the dataset contains the attribute at all.
+    pub fn has_attribute(&self, attr: &AttrName) -> bool {
+        self.types.contains_key(attr)
+    }
+
     /// The resolved semantic type of an attribute (falling back to the
     /// source [`TypeMap`] for attributes outside the dataset).
     pub fn type_of(&self, attr: &AttrName) -> SemType {
@@ -74,10 +103,30 @@ impl StatsCache {
         }
     }
 
+    /// The row-presence bitset of an attribute: bit `i` set iff row `i` has
+    /// a present value.  `None` for attributes outside the dataset.
+    pub fn presence_mask(&self, attr: &AttrName) -> Option<&[u64]> {
+        self.presence.get(attr).map(Vec::as_slice)
+    }
+
+    /// Whether two attributes are both present in at least one row — a
+    /// necessary condition for *any* relation between them to be applicable
+    /// anywhere, and therefore for any candidate rule to exist.
+    pub fn co_occurs(&self, a: &AttrName, b: &AttrName) -> bool {
+        match (self.presence.get(a), self.presence.get(b)) {
+            (Some(ma), Some(mb)) => ma.iter().zip(mb).any(|(x, y)| x & y != 0),
+            _ => false,
+        }
+    }
+
     /// Shannon entropy of the attribute's value distribution, computed at
-    /// most once per attribute per run.
+    /// most once per attribute per run.  The memo is sharded by attribute
+    /// hash, so concurrent lookups of different attributes rarely share a
+    /// lock.
     pub fn entropy(&self, attr: &AttrName) -> f64 {
-        let mut memo = self.entropies.lock().expect("entropy memo poisoned");
+        let mut memo = self.entropies[shard_of(attr)]
+            .lock()
+            .expect("entropy memo poisoned");
         if let Some(&h) = memo.get(attr) {
             return h;
         }
@@ -103,6 +152,11 @@ mod tests {
                 AttrName::entry("thirds"),
                 ConfigValue::str(format!("t{}", i % 3)),
             );
+            if i < 6 {
+                r.set(AttrName::entry("early"), ConfigValue::str("e"));
+            } else {
+                r.set(AttrName::entry("late"), ConfigValue::str("l"));
+            }
             ds.push_row(r);
         }
         ds
@@ -119,6 +173,23 @@ mod tests {
             assert_eq!(cache.entropy(&attr), direct, "{name}");
             assert_eq!(cache.entropy(&attr), direct, "{name} (memoized)");
         }
+    }
+
+    #[test]
+    fn sharded_memo_is_consistent_under_concurrent_readers() {
+        let ds = dataset();
+        let cache = StatsCache::new(ds.clone(), &TypeMap::new());
+        let names = ["varied", "fixed", "thirds", "early", "late"];
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for name in names {
+                        let attr = AttrName::entry(name);
+                        assert_eq!(cache.entropy(&attr), attribute_entropy(&ds, &attr));
+                    }
+                });
+            }
+        });
     }
 
     #[test]
@@ -142,6 +213,24 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort();
         assert_eq!(names, sorted);
-        assert_eq!(names.len(), 3);
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn co_occurrence_follows_presence() {
+        let cache = StatsCache::new(dataset(), &TypeMap::new());
+        let (varied, early, late) = (
+            AttrName::entry("varied"),
+            AttrName::entry("early"),
+            AttrName::entry("late"),
+        );
+        assert!(cache.co_occurs(&varied, &early));
+        assert!(cache.co_occurs(&varied, &late));
+        // `early` fills rows 0..6, `late` rows 6..12 — never together.
+        assert!(!cache.co_occurs(&early, &late));
+        assert!(!cache.co_occurs(&varied, &AttrName::entry("absent")));
+        assert!(cache.has_attribute(&varied));
+        assert!(!cache.has_attribute(&AttrName::entry("absent")));
+        assert_eq!(cache.presence_mask(&varied).map(<[u64]>::len), Some(1));
     }
 }

@@ -50,7 +50,88 @@ pub enum Relation {
     LessSize,
 }
 
+/// The static type signature of a [`Relation`] — which slot-type pairs it
+/// admits, whether it is commutative, and whether its validator needs the
+/// system environment.
+///
+/// Signatures make templates *checkable*: an ill-typed template used to be
+/// discovered only implicitly, by silently instantiating nothing after a
+/// full pass over every attribute pair.  [`Template::validate`] rejects it
+/// up front, and the `encore-check` analyzers turn violations into stable
+/// diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelationSignature {
+    /// The relation this signature describes.
+    pub relation: Relation,
+    /// Whether `rel(a, b)` and `rel(b, a)` are equivalent (only `Equal`).
+    pub commutative: bool,
+    /// Whether the validator consults the [`encore_sysimage::SystemImage`]
+    /// (path existence, account membership, ownership, accessibility).
+    pub env_dependent: bool,
+    /// Whether a `[A:Str] op [B:Str]` spelling quantifies over *every* type
+    /// with the pair constrained to matching types (`==` / `=~`, the
+    /// paper's "an entry should equal another entry of the same type").
+    pub same_type_generic: bool,
+}
+
+impl RelationSignature {
+    /// Whether the relation admits slots typed `(a, b)`.
+    pub fn admits(&self, a: SemType, b: SemType) -> bool {
+        match self.relation {
+            // Same-type equality over any type; the Str/Str spelling is the
+            // generic quantifier (checked in `same_type_generic`).
+            Relation::Equal | Relation::MemberEq => a == b,
+            Relation::ExtBoolImplies => a == SemType::Boolean && b == SemType::Boolean,
+            Relation::SubnetOf => a == SemType::IpAddress && b == SemType::IpAddress,
+            Relation::ConcatPath => a == SemType::FilePath && b == SemType::PartialFilePath,
+            Relation::SubstringOf => a == SemType::Str && b == SemType::Str,
+            Relation::InGroup => a == SemType::UserName && b == SemType::GroupName,
+            Relation::NotAccessible | Relation::Owns => {
+                a == SemType::FilePath && b == SemType::UserName
+            }
+            // Plain numbers and ports compare; sizes have their own
+            // template (comparing seconds against bytes is never a
+            // correlation) — mirrors `infer::eligible`.
+            Relation::LessNum => {
+                matches!(a, SemType::Number | SemType::PortNumber)
+                    && matches!(b, SemType::Number | SemType::PortNumber)
+            }
+            Relation::LessSize => a == SemType::Size && b == SemType::Size,
+        }
+    }
+
+    /// Every `(a, b)` type pair the relation admits, in
+    /// [`SemType::PRIORITY`] order.
+    pub fn allowed_pairs(&self) -> Vec<(SemType, SemType)> {
+        let mut out = Vec::new();
+        for a in SemType::PRIORITY {
+            for b in SemType::PRIORITY {
+                if self.admits(a, b) {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+}
+
 impl Relation {
+    /// Every relation variant, in Table 6 order.  Kept in sync with the
+    /// enum by the exhaustiveness test below.
+    pub const ALL: [Relation; 11] = [
+        Relation::Equal,
+        Relation::MemberEq,
+        Relation::ExtBoolImplies,
+        Relation::SubnetOf,
+        Relation::ConcatPath,
+        Relation::SubstringOf,
+        Relation::InGroup,
+        Relation::NotAccessible,
+        Relation::Owns,
+        Relation::LessNum,
+        Relation::LessSize,
+    ];
+
     /// Operator symbol used in the template grammar.
     pub fn symbol(self) -> &'static str {
         match self {
@@ -82,6 +163,28 @@ impl Relation {
             Relation::Owns => "user name entry is the owner of the file path entry",
             Relation::LessNum => "number in one entry is less than that of the other",
             Relation::LessSize => "size in one entry is smaller than that of the other",
+        }
+    }
+
+    /// Parse the stable relation name used in rule files and reports
+    /// (the `Debug`/`Display` rendering, e.g. `Owns`, `LessSize`).
+    pub fn parse_name(s: &str) -> Option<Relation> {
+        let canon = s.trim();
+        Relation::ALL
+            .into_iter()
+            .find(|r| format!("{r:?}").eq_ignore_ascii_case(canon))
+    }
+
+    /// The static type signature of this relation.
+    pub fn signature(self) -> RelationSignature {
+        RelationSignature {
+            relation: self,
+            commutative: self == Relation::Equal,
+            env_dependent: matches!(
+                self,
+                Relation::ConcatPath | Relation::InGroup | Relation::NotAccessible | Relation::Owns
+            ),
+            same_type_generic: matches!(self, Relation::Equal | Relation::MemberEq),
         }
     }
 
@@ -123,6 +226,72 @@ pub struct Slot {
     pub ty: SemType,
 }
 
+/// A template failed static type-checking against its relation signature.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemplateTypeError {
+    /// The slot types are not admitted by the relation's signature.
+    IllTyped {
+        /// The offending template, rendered.
+        template: String,
+        /// The relation whose signature rejected the slots.
+        relation: Relation,
+        /// The offending slot types.
+        slots: (SemType, SemType),
+    },
+    /// The per-template confidence override is outside `(0, 1]`.
+    BadConfidence {
+        /// The offending template, rendered.
+        template: String,
+        /// The out-of-range confidence.
+        confidence: f64,
+    },
+}
+
+impl fmt::Display for TemplateTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateTypeError::IllTyped {
+                template,
+                relation,
+                slots,
+            } => write!(
+                f,
+                "template `{template}` is ill-typed: {relation} does not relate {}/{} \
+                 (allowed: {})",
+                slots.0,
+                slots.1,
+                render_allowed(relation.signature())
+            ),
+            TemplateTypeError::BadConfidence {
+                template,
+                confidence,
+            } => write!(
+                f,
+                "template `{template}` has confidence {confidence} outside (0, 1]"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TemplateTypeError {}
+
+/// Compact rendering of a signature's allowed pairs for error messages.
+fn render_allowed(sig: RelationSignature) -> String {
+    if sig.same_type_generic {
+        return "T/T for any type T".to_string();
+    }
+    let pairs = sig.allowed_pairs();
+    let mut shown: Vec<String> = pairs
+        .iter()
+        .take(4)
+        .map(|(a, b)| format!("{a}/{b}"))
+        .collect();
+    if pairs.len() > 4 {
+        shown.push("...".to_string());
+    }
+    shown.join(", ")
+}
+
 /// A rule template: two typed slots and a relation.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Template {
@@ -152,6 +321,35 @@ impl Template {
     pub fn with_min_confidence(mut self, c: f64) -> Template {
         self.min_confidence = Some(c);
         self
+    }
+
+    /// Statically type-check this template against its relation signature.
+    ///
+    /// `Template::new` stays infallible for API compatibility (and so the
+    /// `encore-check` analyzers can construct known-bad templates to
+    /// diagnose); [`Template::parse`] and the checking layer call this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TemplateTypeError`] when the slot types are not admitted
+    /// by the relation or the confidence override is out of range.
+    pub fn validate(&self) -> Result<(), TemplateTypeError> {
+        if !self.relation.signature().admits(self.a.ty, self.b.ty) {
+            return Err(TemplateTypeError::IllTyped {
+                template: self.to_string(),
+                relation: self.relation,
+                slots: (self.a.ty, self.b.ty),
+            });
+        }
+        if let Some(c) = self.min_confidence {
+            if !(c > 0.0 && c <= 1.0) {
+                return Err(TemplateTypeError::BadConfidence {
+                    template: self.to_string(),
+                    confidence: c,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The 11 predefined templates of Table 6.
@@ -191,12 +389,27 @@ impl Template {
     }
 
     /// Parse the template grammar: `[A:Type] op [B:Type]` with an optional
-    /// trailing `-- NN%` confidence.
+    /// trailing `-- NN%` confidence, then type-check the result against the
+    /// relation signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax or type problem.  Use
+    /// [`Template::parse_syntax`] to obtain the template without the type
+    /// check (the `encore-check` linter does, so it can attach a stable
+    /// diagnostic code instead of a hard error).
+    pub fn parse(text: &str) -> Result<Template, String> {
+        let t = Template::parse_syntax(text)?;
+        t.validate().map_err(|e| e.to_string())?;
+        Ok(t)
+    }
+
+    /// Parse the template grammar without the signature type check.
     ///
     /// # Errors
     ///
     /// Returns a description of the first syntax problem.
-    pub fn parse(text: &str) -> Result<Template, String> {
+    pub fn parse_syntax(text: &str) -> Result<Template, String> {
         let (body, conf) = match text.split_once("--") {
             Some((b, c)) => {
                 let pct = c.trim().trim_end_matches('%');
@@ -342,5 +555,97 @@ mod tests {
             assert_eq!(back.a.ty, t.a.ty);
             assert_eq!(back.b.ty, t.b.ty);
         }
+    }
+
+    #[test]
+    fn all_lists_every_relation_once() {
+        let mut seen = std::collections::HashSet::new();
+        for r in Relation::ALL {
+            assert!(seen.insert(r), "duplicate {r:?}");
+        }
+        // Exhaustiveness pin: resolving every operator over every type pair
+        // must never produce a relation missing from ALL.
+        for op in ["==", "=~", "->", "in", "!=", "=>", "+", "<"] {
+            for a in SemType::PRIORITY {
+                for b in SemType::PRIORITY {
+                    if let Some(r) = Relation::resolve(op, a, b) {
+                        assert!(seen.contains(&r), "{r:?} missing from Relation::ALL");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relation_names_round_trip() {
+        for r in Relation::ALL {
+            assert_eq!(Relation::parse_name(&format!("{r:?}")), Some(r));
+            assert_eq!(Relation::parse_name(&r.to_string()), Some(r));
+        }
+        assert_eq!(Relation::parse_name("NotARelation"), None);
+    }
+
+    #[test]
+    fn signatures_agree_with_operator_resolution() {
+        // Every admitted slot-type pair must resolve — through the paper's
+        // operator overloading — back to the same relation, so the
+        // signature table and `resolve` cannot drift apart.
+        for r in Relation::ALL {
+            let sig = r.signature();
+            let pairs = sig.allowed_pairs();
+            assert!(!pairs.is_empty(), "{r:?} admits no pairs");
+            for (a, b) in pairs {
+                assert_eq!(
+                    Relation::resolve(r.symbol(), a, b),
+                    Some(r),
+                    "{r:?} admits {a}/{b} but `{}` does not resolve to it",
+                    r.symbol()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn commutative_signatures_admit_symmetrically() {
+        for r in Relation::ALL {
+            let sig = r.signature();
+            if sig.commutative {
+                for (a, b) in sig.allowed_pairs() {
+                    assert!(sig.admits(b, a), "{r:?} commutative but {b}/{a} rejected");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predefined_templates_all_validate() {
+        for t in Template::predefined() {
+            t.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn ill_typed_templates_rejected_at_parse() {
+        // `==` resolves for any types, but the signature demands same-type.
+        let err = Template::parse("[A:Number] == [B:FilePath]").unwrap_err();
+        assert!(err.contains("ill-typed"), "{err}");
+        // `<` resolves Size/Number to LessNum, but the signature separates
+        // sizes from plain numbers.
+        assert!(Template::parse("[A:Size] < [B:Number]").is_err());
+        // The syntax-only parser accepts both so linters can diagnose them.
+        let t = Template::parse_syntax("[A:Number] == [B:FilePath]").unwrap();
+        assert_eq!(t.relation, Relation::Equal);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn out_of_range_confidence_rejected() {
+        let t = Template::new(SemType::Size, Relation::LessSize, SemType::Size)
+            .with_min_confidence(1.5);
+        assert!(matches!(
+            t.validate(),
+            Err(TemplateTypeError::BadConfidence { .. })
+        ));
+        assert!(Template::parse("[A:Size] < [B:Size] -- 150%").is_err());
     }
 }

@@ -7,7 +7,7 @@
 //! To reproduce that finding (Tables 2 and 3) we implement both algorithms
 //! from scratch, plus:
 //!
-//! * [`discretize`] — the nominal→binomial conversion that inflates the
+//! * [`mod@discretize`] — the nominal→binomial conversion that inflates the
 //!   attribute count (Table 2's third row),
 //! * [`metrics`] — support, confidence, and Shannon entropy (§5.2),
 //! * a configurable resource guard standing in for the paper's

@@ -147,6 +147,25 @@ impl Dataset {
         }
         hist
     }
+
+    /// Whether `attr` is present (non-absent) in at least one row.
+    pub fn has_attribute(&self, attr: &AttrName) -> bool {
+        self.rows.iter().any(|r| r.has(attr))
+    }
+
+    /// Row-presence bitset of `attr`: bit `i` of the returned words is set
+    /// iff `rows[i]` has a present value for `attr`.  Two attributes can
+    /// co-occur in some system iff their masks intersect — the basis of the
+    /// eligibility analysis that prunes dead template work.
+    pub fn presence_mask(&self, attr: &AttrName) -> Vec<u64> {
+        let mut mask = vec![0u64; self.rows.len().div_ceil(64)];
+        for (i, row) in self.rows.iter().enumerate() {
+            if row.has(attr) {
+                mask[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        mask
+    }
 }
 
 impl FromIterator<Row> for Dataset {
@@ -220,5 +239,38 @@ mod tests {
     fn occurrences_count_cells() {
         let ds = sample();
         assert_eq!(ds.num_occurrences(), 6);
+    }
+
+    #[test]
+    fn presence_masks_track_row_membership() {
+        let mut ds = sample();
+        let mut sparse = Row::new("sys-3");
+        sparse.set(AttrName::entry("user"), ConfigValue::str("mysql"));
+        ds.push_row(sparse);
+        let user = ds.presence_mask(&AttrName::entry("user"));
+        let datadir = ds.presence_mask(&AttrName::entry("datadir"));
+        assert_eq!(user, vec![0b1111]);
+        assert_eq!(datadir, vec![0b0111]);
+        assert_eq!(ds.presence_mask(&AttrName::entry("missing")), vec![0]);
+        assert!(ds.has_attribute(&AttrName::entry("user")));
+        assert!(!ds.has_attribute(&AttrName::entry("missing")));
+    }
+
+    #[test]
+    fn presence_mask_spans_word_boundaries() {
+        let mut ds = Dataset::new();
+        for i in 0..70 {
+            let mut r = Row::new(format!("s{i}"));
+            if i % 2 == 0 {
+                r.set(AttrName::entry("even"), ConfigValue::str("x"));
+            }
+            ds.push_row(r);
+        }
+        let mask = ds.presence_mask(&AttrName::entry("even"));
+        assert_eq!(mask.len(), 2);
+        for i in 0..70 {
+            let set = mask[i / 64] & (1u64 << (i % 64)) != 0;
+            assert_eq!(set, i % 2 == 0, "row {i}");
+        }
     }
 }

@@ -7,9 +7,13 @@
 //! [`proptest!`]/[`prop_assert!`] macro family.
 //!
 //! Semantics are simplified: cases are generated from a fixed deterministic
-//! seed sequence, there is **no shrinking**, and a failing case panics with
-//! its case number.  That is enough to exercise the invariants; swap the
-//! real proptest back in when a crates registry is available.
+//! seed sequence, and a failing case panics with its case number.  Shrinking
+//! is *minimal* rather than tree-based: the failing case is regenerated at
+//! increasing shrink levels (integer/float spans halved toward the range
+//! start, collections truncated), and the smallest still-failing input is
+//! reported before the original panic propagates.  That is enough to
+//! exercise the invariants and debug failures; swap the real proptest back
+//! in when a crates registry is available.
 
 #![forbid(unsafe_code)]
 
@@ -47,6 +51,19 @@ pub mod collection {
             };
             (0..n).map(|_| self.element.generate(rng)).collect()
         }
+
+        fn generate_shrunk(&self, rng: &mut StdRng, level: u32) -> Vec<S::Value> {
+            let n = if self.size.start + 1 == self.size.end {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            // Truncate the length toward the minimum, and shrink elements.
+            let n = self.size.start + ((n - self.size.start) >> level.min(usize::BITS - 1));
+            (0..n)
+                .map(|_| self.element.generate_shrunk(rng, level))
+                .collect()
+        }
     }
 }
 
@@ -76,6 +93,14 @@ pub mod option {
                 Some(self.inner.generate(rng))
             }
         }
+
+        fn generate_shrunk(&self, rng: &mut StdRng, level: u32) -> Option<S::Value> {
+            if rng.gen_range(0u8..2) == 0 {
+                None
+            } else {
+                Some(self.inner.generate_shrunk(rng, level))
+            }
+        }
     }
 }
 
@@ -101,6 +126,12 @@ pub mod sample {
 
         fn generate(&self, rng: &mut StdRng) -> T {
             self.items[rng.gen_range(0..self.items.len())].clone()
+        }
+
+        fn generate_shrunk(&self, rng: &mut StdRng, level: u32) -> T {
+            // "Smaller" for a selection is an earlier item.
+            let n = std::cmp::max(1, self.items.len() >> level.min(usize::BITS - 1));
+            self.items[rng.gen_range(0..n)].clone()
         }
     }
 }
@@ -212,5 +243,47 @@ mod tests {
             prop_assert!((2..6).contains(&xs.len()));
             prop_assert!(xs.iter().all(|&x| x < 5));
         }
+    }
+
+    #[test]
+    fn shrunk_ranges_collapse_toward_start() {
+        let mut rng = crate::test_runner::case_rng(9);
+        for _ in 0..50 {
+            let x = (0usize..1000).generate_shrunk(&mut rng, 6);
+            assert!(x < 16, "{x}");
+            let y = (10u64..=1010).generate_shrunk(&mut rng, 6);
+            assert!((10..=25).contains(&y), "{y}");
+            let f = (0.0f64..64.0).generate_shrunk(&mut rng, 6);
+            assert!((0.0..1.0).contains(&f), "{f}");
+        }
+    }
+
+    #[test]
+    fn shrunk_collections_truncate_and_shrink_elements() {
+        let mut rng = crate::test_runner::case_rng(11);
+        for _ in 0..50 {
+            let v = crate::collection::vec(0u8..100, 0..9).generate_shrunk(&mut rng, 6);
+            assert!(v.len() <= 1, "{v:?}");
+            assert!(v.iter().all(|&e| e < 2), "{v:?}");
+            let s = crate::strategy::Strategy::generate_shrunk(&"[a-z]{2,66}", &mut rng, 6);
+            assert!((2..=3).contains(&s.len()), "{s}");
+        }
+    }
+
+    #[test]
+    fn shrink_level_zero_matches_generate() {
+        let strategy = (0usize..1000, "[a-z]{0,10}");
+        let a = strategy.generate(&mut crate::test_runner::case_rng(5));
+        let b = strategy.generate_shrunk(&mut crate::test_runner::case_rng(5), 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn failing_property_still_panics_after_shrinking() {
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(16));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            runner.run(&(0usize..1000,), |(x,)| assert!(x < 2, "too big: {x}"));
+        }));
+        assert!(result.is_err());
     }
 }

@@ -6,14 +6,28 @@ use std::ops::{Range, RangeInclusive};
 
 /// A recipe for generating values of one type.
 ///
-/// Unlike real proptest there is no value tree and no shrinking; `generate`
-/// produces a value directly from the RNG.
+/// Unlike real proptest there is no value tree; `generate` produces a value
+/// directly from the RNG.  Shrinking is approximated by
+/// [`Strategy::generate_shrunk`]: regenerating the same case at increasing
+/// *shrink levels*, where each level halves integer/float spans toward the
+/// range start and truncates collections — the runner keeps the deepest
+/// level that still fails and reports that value as the smallest failure.
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
     /// Generate one value.
     fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Generate a *shrunk* value: the same recipe with every range span
+    /// halved `level` times (minimum width 1) and collection sizes
+    /// truncated likewise.  Level 0 must behave exactly like
+    /// [`Strategy::generate`].  The default keeps full size — strategies
+    /// without a natural "smaller" (patterns, selections) may keep it.
+    fn generate_shrunk(&self, rng: &mut StdRng, level: u32) -> Self::Value {
+        let _ = level;
+        self.generate(rng)
+    }
 
     /// Transform generated values with `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -41,6 +55,10 @@ where
     fn generate(&self, rng: &mut StdRng) -> O {
         (self.f)(self.inner.generate(rng))
     }
+
+    fn generate_shrunk(&self, rng: &mut StdRng, level: u32) -> O {
+        (self.f)(self.inner.generate_shrunk(rng, level))
+    }
 }
 
 macro_rules! impl_int_range_strategy {
@@ -50,11 +68,34 @@ macro_rules! impl_int_range_strategy {
             fn generate(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
             }
+            fn generate_shrunk(&self, rng: &mut StdRng, level: u32) -> $t {
+                let shift = level.min(<$t>::BITS - 1);
+                // Halve the span toward the start, keeping width ≥ 1; a
+                // range too wide for the subtraction (spanning the whole
+                // signed domain) is left unshrunk.
+                match self.end.checked_sub(self.start) {
+                    Some(span) if span > 0 => {
+                        let width = std::cmp::max(1, span >> shift);
+                        rng.gen_range(self.start..self.start + width)
+                    }
+                    _ => rng.gen_range(self.clone()),
+                }
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+            fn generate_shrunk(&self, rng: &mut StdRng, level: u32) -> $t {
+                let shift = level.min(<$t>::BITS - 1);
+                match self.end().checked_sub(*self.start()) {
+                    Some(span) => {
+                        let width = span >> shift;
+                        rng.gen_range(*self.start()..=*self.start() + width)
+                    }
+                    None => rng.gen_range(self.clone()),
+                }
             }
         }
     )*};
@@ -70,6 +111,12 @@ impl Strategy for Range<f64> {
         let unit = (rng.gen_range(0u64..(1u64 << 53))) as f64 / (1u64 << 53) as f64;
         self.start + unit * (self.end - self.start)
     }
+
+    fn generate_shrunk(&self, rng: &mut StdRng, level: u32) -> f64 {
+        let unit = (rng.gen_range(0u64..(1u64 << 53))) as f64 / (1u64 << 53) as f64;
+        let span = (self.end - self.start) / (1u64 << level.min(52)) as f64;
+        self.start + unit * span
+    }
 }
 
 /// `&str` patterns: a tiny subset of regex — sequences of literal characters
@@ -78,7 +125,11 @@ impl Strategy for &str {
     type Value = String;
 
     fn generate(&self, rng: &mut StdRng) -> String {
-        generate_pattern(self, rng)
+        generate_pattern(self, rng, 0)
+    }
+
+    fn generate_shrunk(&self, rng: &mut StdRng, level: u32) -> String {
+        generate_pattern(self, rng, level)
     }
 }
 
@@ -88,6 +139,10 @@ impl<A: Strategy> Strategy for (A,) {
     fn generate(&self, rng: &mut StdRng) -> Self::Value {
         (self.0.generate(rng),)
     }
+
+    fn generate_shrunk(&self, rng: &mut StdRng, level: u32) -> Self::Value {
+        (self.0.generate_shrunk(rng, level),)
+    }
 }
 
 impl<A: Strategy, B: Strategy> Strategy for (A, B) {
@@ -95,6 +150,13 @@ impl<A: Strategy, B: Strategy> Strategy for (A, B) {
 
     fn generate(&self, rng: &mut StdRng) -> Self::Value {
         (self.0.generate(rng), self.1.generate(rng))
+    }
+
+    fn generate_shrunk(&self, rng: &mut StdRng, level: u32) -> Self::Value {
+        (
+            self.0.generate_shrunk(rng, level),
+            self.1.generate_shrunk(rng, level),
+        )
     }
 }
 
@@ -106,6 +168,14 @@ impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
             self.0.generate(rng),
             self.1.generate(rng),
             self.2.generate(rng),
+        )
+    }
+
+    fn generate_shrunk(&self, rng: &mut StdRng, level: u32) -> Self::Value {
+        (
+            self.0.generate_shrunk(rng, level),
+            self.1.generate_shrunk(rng, level),
+            self.2.generate_shrunk(rng, level),
         )
     }
 }
@@ -121,9 +191,18 @@ impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, 
             self.3.generate(rng),
         )
     }
+
+    fn generate_shrunk(&self, rng: &mut StdRng, level: u32) -> Self::Value {
+        (
+            self.0.generate_shrunk(rng, level),
+            self.1.generate_shrunk(rng, level),
+            self.2.generate_shrunk(rng, level),
+            self.3.generate_shrunk(rng, level),
+        )
+    }
 }
 
-fn generate_pattern(pattern: &str, rng: &mut StdRng) -> String {
+fn generate_pattern(pattern: &str, rng: &mut StdRng, level: u32) -> String {
     let chars: Vec<char> = pattern.chars().collect();
     let mut out = String::new();
     let mut i = 0;
@@ -165,7 +244,13 @@ fn generate_pattern(pattern: &str, rng: &mut StdRng) -> String {
         } else {
             (1, 1)
         };
-        let count = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+        // Shrinking halves the quantifier span toward its minimum.
+        let span = (hi - lo) >> level.min(usize::BITS - 1);
+        let count = if span == 0 {
+            lo
+        } else {
+            rng.gen_range(lo..=lo + span)
+        };
         for _ in 0..count {
             out.push(alphabet[rng.gen_range(0..alphabet.len())]);
         }

@@ -34,6 +34,10 @@ pub fn case_rng(case: u64) -> StdRng {
     StdRng::seed_from_u64(0x70_72_6f_70_74_65_73_74u64 ^ (case.wrapping_mul(0x9E37_79B9)))
 }
 
+/// Deepest shrink level tried after a failure.  Each level halves range
+/// spans and collection sizes, so level 6 already reduces spans 64×.
+const MAX_SHRINK_LEVEL: u32 = 6;
+
 /// Generates and executes cases for one property.
 pub struct TestRunner {
     config: Config,
@@ -47,15 +51,32 @@ impl TestRunner {
 
     /// Run `test` against `config.cases` generated values; panics on the
     /// first failing case, labelled with its case number.
-    pub fn run<S: Strategy>(&mut self, strategy: &S, test: impl Fn(S::Value)) {
+    ///
+    /// On failure the case is *shrunk*: regenerated at increasing shrink
+    /// levels (halved ranges, truncated collections) from the same
+    /// deterministic seed, and the smallest input that still fails is
+    /// reported before the original panic propagates.
+    pub fn run<S: Strategy>(&mut self, strategy: &S, test: impl Fn(S::Value))
+    where
+        S::Value: std::fmt::Debug,
+    {
         for case in 0..u64::from(self.config.cases) {
             let mut rng = case_rng(case);
             let value = strategy.generate(&mut rng);
+            let mut smallest = format!("{value:?}");
             if let Err(panic) = catch_unwind(AssertUnwindSafe(|| test(value))) {
+                for level in 1..=MAX_SHRINK_LEVEL {
+                    let shrunk = strategy.generate_shrunk(&mut case_rng(case), level);
+                    let rendered = format!("{shrunk:?}");
+                    if catch_unwind(AssertUnwindSafe(|| test(shrunk))).is_err() {
+                        smallest = rendered;
+                    }
+                }
                 eprintln!(
                     "proptest shim: case {case}/{} failed (deterministic; rerun reproduces it)",
                     self.config.cases
                 );
+                eprintln!("proptest shim: smallest failing input: {smallest}");
                 resume_unwind(panic);
             }
         }

@@ -10,6 +10,7 @@ use encore::infer::{InferOptions, RuleInference};
 use encore::prelude::*;
 use encore_corpus::genimage::{Population, PopulationOptions};
 use encore_model::AppKind;
+use proptest::prelude::*;
 
 #[test]
 fn work_stealing_ruleset_is_identical_to_sequential() {
@@ -59,4 +60,42 @@ fn learn_is_deterministic_across_worker_counts() {
         "EnCore::learn must not depend on the worker count"
     );
     assert_eq!(sequential.stats(), parallel.stats());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Dead-unit pruning consults the presence bitsets to skip
+    /// `(template, a-chunk)` units that cannot instantiate anything; the
+    /// learned rules, their rendering, and the inference statistics must be
+    /// byte-identical to the unpruned reference at every worker count, for
+    /// any generated fleet.
+    #[test]
+    fn mask_pruned_inference_matches_unpruned(
+        seed in 0u64..1_000,
+        images in 12usize..40,
+        app_idx in 0usize..3,
+    ) {
+        let app = [AppKind::Mysql, AppKind::Apache, AppKind::Php][app_idx];
+        let pop = Population::training(app, &PopulationOptions::new(images, seed));
+        let training = TrainingSet::assemble(app, pop.images()).expect("training assembles");
+        let thresholds = FilterThresholds::default();
+        let engine = RuleInference::predefined();
+        let (unpruned, unpruned_stats) = engine
+            .try_infer_with(
+                &training,
+                &thresholds,
+                &InferOptions::with_workers(1).without_pruning(),
+            )
+            .expect("unpruned inference");
+        for workers in [1usize, 2, 4] {
+            let (pruned, stats) = engine
+                .try_infer_with(&training, &thresholds, &InferOptions::with_workers(workers))
+                .expect("pruned inference");
+            let ctx = format!("app={app:?} seed={seed} images={images} workers={workers}");
+            prop_assert_eq!(&pruned, &unpruned, "{}", ctx);
+            prop_assert_eq!(pruned.render(), unpruned.render(), "{}", ctx);
+            prop_assert_eq!(&stats, &unpruned_stats, "{}", ctx);
+        }
+    }
 }
