@@ -154,14 +154,21 @@ impl TypeInference {
         let v = value.trim();
         for c in &self.custom {
             if c.accepts(v, image) {
+                crate::obs::TYPES_CUSTOM.incr();
                 return c.maps_to;
             }
         }
         for ty in syntactic::candidates(v) {
             if self.verify(ty, v, image) {
+                if needs_semantic_verification(ty) {
+                    crate::obs::TYPES_SEMANTIC.incr();
+                } else {
+                    crate::obs::TYPES_SYNTACTIC.incr();
+                }
                 return ty;
             }
         }
+        crate::obs::TYPES_TRIVIAL.incr();
         SemType::Str
     }
 
@@ -171,6 +178,7 @@ impl TypeInference {
         let v = value.trim();
         for c in &self.custom {
             if c.accepts(v, image) {
+                crate::obs::TYPES_CUSTOM.incr();
                 return (c.maps_to, Some(c.name.as_str()));
             }
         }
@@ -214,6 +222,24 @@ impl TypeInference {
             _ => true,
         }
     }
+}
+
+/// Whether winning as this type required step-two semantic verification
+/// against the environment (the `N/A` column of Table 4 marks the types
+/// that do not).  Mirrors the arms of [`TypeInference::verify`].
+fn needs_semantic_verification(ty: SemType) -> bool {
+    matches!(
+        ty,
+        SemType::FilePath
+            | SemType::PartialFilePath
+            | SemType::FileName
+            | SemType::UserName
+            | SemType::GroupName
+            | SemType::PortNumber
+            | SemType::MimeType
+            | SemType::Charset
+            | SemType::Language
+    )
 }
 
 /// Coerce a raw string into a typed [`ConfigValue`] according to the

@@ -45,6 +45,7 @@
 pub mod augment;
 pub mod csv;
 pub mod infer;
+pub mod obs;
 pub mod syntactic;
 
 pub use infer::{CustomType, TypeInference};
@@ -198,6 +199,7 @@ impl Assembler {
     /// Assemble from already-parsed pairs (used by tests and by callers with
     /// non-standard config locations).
     pub fn assemble_pairs(&self, pairs: &[KeyValue], image: &SystemImage) -> AssembledSystem {
+        let _span = obs::ASSEMBLE_TIME.span();
         let mut row = Row::new(image.id());
         let mut types = BTreeMap::new();
         for kv in pairs {
@@ -208,14 +210,22 @@ impl Assembler {
             let ty = self.inference.infer(&kv.value, image);
             let value = infer::coerce(&kv.value, ty);
             if self.augment_env {
+                // Augmentation only ever inserts fresh `attr.suffix` cells,
+                // so the row-size delta is exactly the attributes added.
+                let before = row.len();
                 augment::augment_entry(&mut row, &attr, &kv.value, ty, image);
+                obs::AUGMENTED_ATTRS.add((row.len() - before) as u64);
             }
+            obs::ENTRIES_TYPED.incr();
             types.insert(attr.clone(), ty);
             row.set(attr, value);
         }
         if self.augment_env {
+            let before = row.len();
             augment::augment_system_wide(&mut row, image);
+            obs::AUGMENTED_ATTRS.add((row.len() - before) as u64);
         }
+        obs::ROWS_ASSEMBLED.incr();
         AssembledSystem { row, types }
     }
 

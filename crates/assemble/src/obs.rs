@@ -1,0 +1,54 @@
+//! Assembly-phase metrics: rows assembled, how each entry's type was
+//! resolved (custom, semantically verified, purely syntactic, or trivial
+//! fallback), and how many augmented attributes the environment
+//! integration added.
+//!
+//! All counters here are pure work counts — assembly is single-threaded
+//! per system, so the totals are deterministic for a given corpus.
+
+use encore_obs::{Counter, PhaseReport, Timer};
+
+/// Systems assembled into dataset rows.
+pub static ROWS_ASSEMBLED: Counter = Counter::new("assemble.rows.assembled");
+/// Configuration entries that received a type and a cell.
+pub static ENTRIES_TYPED: Counter = Counter::new("assemble.entries.typed");
+/// Entries typed by a user-registered custom type (§5.3).
+pub static TYPES_CUSTOM: Counter = Counter::new("assemble.types.custom");
+/// Entries whose winning type needed semantic verification against the
+/// environment (§4.2 step two).
+pub static TYPES_SEMANTIC: Counter = Counter::new("assemble.types.semantic");
+/// Entries resolved by syntactic matching alone (no environment lookup).
+pub static TYPES_SYNTACTIC: Counter = Counter::new("assemble.types.syntactic");
+/// Entries that fell through every candidate to the trivial `Str` type.
+pub static TYPES_TRIVIAL: Counter = Counter::new("assemble.types.trivial");
+/// Augmented attributes added by environment integration (§4.3).
+pub static AUGMENTED_ATTRS: Counter = Counter::new("assemble.augment.attrs");
+/// Wall time assembling rows (parsing excluded — see
+/// `assemble.parse.time`).
+pub static ASSEMBLE_TIME: Timer = Timer::new("assemble.rows.time");
+
+/// Snapshot of the assembler's half of the assembly phase (the parser
+/// contributes the other half).
+pub fn phase_report() -> PhaseReport {
+    PhaseReport::new("assemble")
+        .counter(&ROWS_ASSEMBLED)
+        .counter(&ENTRIES_TYPED)
+        .counter(&TYPES_CUSTOM)
+        .counter(&TYPES_SEMANTIC)
+        .counter(&TYPES_SYNTACTIC)
+        .counter(&TYPES_TRIVIAL)
+        .counter(&AUGMENTED_ATTRS)
+        .timer(&ASSEMBLE_TIME)
+}
+
+/// Reset every assembler instrument.
+pub fn reset() {
+    ROWS_ASSEMBLED.reset();
+    ENTRIES_TYPED.reset();
+    TYPES_CUSTOM.reset();
+    TYPES_SEMANTIC.reset();
+    TYPES_SYNTACTIC.reset();
+    TYPES_TRIVIAL.reset();
+    AUGMENTED_ATTRS.reset();
+    ASSEMBLE_TIME.reset();
+}

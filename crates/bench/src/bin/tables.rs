@@ -1,48 +1,87 @@
 //! Regenerate the paper's evaluation tables.
 //!
 //! ```text
-//! tables                # every table, full paper-scale corpora
-//! tables 8 9            # only Tables 8 and 9
-//! tables --scale 0.25   # shrink populations (faster)
+//! tables                       # every table, full paper-scale corpora
+//! tables 8 9                   # only Tables 8 and 9
+//! tables --scale 0.25          # shrink populations (faster)
+//! tables 13 --report out.json  # also write a pipeline report (JSON)
+//! ENCORE_TRACE=1 tables 13     # print the pipeline report to stderr
 //! ```
+//!
+//! Setting `ENCORE_TRACE` (or passing `--report`) enables the observability
+//! sink for the run; the per-phase [`encore::obs::pipeline_report`] is
+//! printed to stderr under `ENCORE_TRACE` and written as JSON to the
+//! `--report` path when given.
 
 use encore_bench::experiments::{self, ExperimentConfig};
 
-fn main() {
-    let mut tables: Vec<u32> = Vec::new();
-    let mut scale: f64 = 1.0;
+const USAGE: &str = "usage: tables [TABLE_NUMBER ...] [--scale F] [--report FILE]";
+
+/// Print a diagnostic plus the usage line to stderr and exit 2.  All
+/// argument-handling failures funnel through here so the binary has exactly
+/// one error shape.
+fn usage(problem: &str) -> ! {
+    eprintln!("tables: {problem}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+struct Args {
+    tables: Vec<u32>,
+    scale: f64,
+    report: Option<String>,
+}
+
+fn parse_args() -> Option<Args> {
+    let mut parsed = Args {
+        tables: Vec::new(),
+        scale: 1.0,
+        report: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--scale" => {
-                scale = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--scale requires a number");
-                    std::process::exit(2);
-                });
-            }
+            "--scale" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(scale)) => parsed.scale = scale,
+                Some(Err(_)) => usage("--scale requires a number"),
+                None => usage("--scale requires a number"),
+            },
+            "--report" => match args.next() {
+                Some(path) => parsed.report = Some(path),
+                None => usage("--report requires a file path"),
+            },
             "--help" | "-h" => {
-                eprintln!("usage: tables [TABLE_NUMBER ...] [--scale F]");
-                return;
+                println!("{USAGE}");
+                return None;
             }
             n => match n.parse::<u32>() {
-                Ok(t) => tables.push(t),
-                Err(_) => {
-                    eprintln!("unknown argument `{n}`");
-                    std::process::exit(2);
-                }
+                Ok(t) => parsed.tables.push(t),
+                Err(_) => usage(&format!("unknown argument `{n}`")),
             },
         }
     }
-    if tables.is_empty() {
-        tables = experiments::ALL_TABLES.to_vec();
+    if parsed.tables.is_empty() {
+        parsed.tables = experiments::ALL_TABLES.to_vec();
     }
-    let config = if (scale - 1.0).abs() < f64::EPSILON {
+    Some(parsed)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Some(args) => args,
+        None => return,
+    };
+    let trace = encore::obs::enable_from_env();
+    if args.report.is_some() {
+        encore::obs::enable();
+    }
+    let config = if (args.scale - 1.0).abs() < f64::EPSILON {
         ExperimentConfig::default()
     } else {
-        ExperimentConfig::scaled(scale)
+        ExperimentConfig::scaled(args.scale)
     };
-    for t in tables {
-        match experiments::run_table(t, &config) {
+    for t in &args.tables {
+        match experiments::run_table(*t, &config) {
             Some(output) => {
                 println!("=== {}", output.title);
                 println!("{}", output.text);
@@ -51,6 +90,16 @@ fn main() {
                 "no experiment for table {t} (valid: {:?})",
                 experiments::ALL_TABLES
             ),
+        }
+    }
+    let report = encore::obs::pipeline_report();
+    if trace {
+        eprint!("{}", report.render_text());
+    }
+    if let Some(path) = &args.report {
+        if let Err(e) = std::fs::write(path, report.render_json()) {
+            eprintln!("tables: cannot write report to `{path}`: {e}");
+            std::process::exit(2);
         }
     }
 }

@@ -36,7 +36,11 @@ usage: encore-lint [options]
   --no-entropy              disable the entropy filter when learning
   --json                    emit JSON instead of text
   --deny-warnings           exit nonzero on warnings too
-  --help                    show this help";
+  --report FILE             write a pipeline observability report (JSON)
+  --help                    show this help
+
+environment:
+  ENCORE_TRACE=1            print the pipeline report to stderr";
 
 struct Options {
     app: AppKind,
@@ -47,6 +51,7 @@ struct Options {
     thresholds: FilterThresholds,
     json: bool,
     deny_warnings: bool,
+    report_file: Option<String>,
 }
 
 fn parse_app(name: &str) -> Result<AppKind, String> {
@@ -69,6 +74,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         thresholds: FilterThresholds::default(),
         json: false,
         deny_warnings: false,
+        report_file: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -108,6 +114,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--no-entropy" => options.thresholds.use_entropy = false,
             "--json" => options.json = true,
             "--deny-warnings" => options.deny_warnings = true,
+            "--report" => options.report_file = Some(value("--report")?.clone()),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
     }
@@ -206,7 +213,22 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match run(&options) {
+    let trace = encore::obs::enable_from_env();
+    if options.report_file.is_some() {
+        encore::obs::enable();
+    }
+    let outcome = run(&options);
+    let pipeline = encore::obs::pipeline_report();
+    if trace {
+        eprint!("{}", pipeline.render_text());
+    }
+    if let Some(path) = &options.report_file {
+        if let Err(e) = std::fs::write(path, pipeline.render_json()) {
+            eprintln!("encore-lint: cannot write report to `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    match outcome {
         Ok((report, deny_warnings)) => {
             if options.json {
                 println!("{}", report.render_json());

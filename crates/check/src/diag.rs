@@ -8,7 +8,8 @@
 //! * `EC01x` — corpus eligibility (dead templates),
 //! * `EC02x`/`EC03x`/`EC04x` — rule-set linting (contradictions,
 //!   redundancy, orphans),
-//! * `EC05x` — filter-threshold validation.
+//! * `EC05x` — filter-threshold validation,
+//! * `EC06x` — rule-graph analysis (transitive ordering cycles).
 
 use std::fmt;
 
@@ -64,6 +65,9 @@ pub enum Code {
     OrphanRule,
     /// `EC050` — filter thresholds out of range.
     InvalidThresholds,
+    /// `EC060` — a transitive cycle of strict ordering rules
+    /// (`A < B`, `B < C`, `C < A`).
+    OrderingCycle,
 }
 
 impl Code {
@@ -84,6 +88,7 @@ impl Code {
             Code::DuplicateRule => "EC032",
             Code::OrphanRule => "EC040",
             Code::InvalidThresholds => "EC050",
+            Code::OrderingCycle => "EC060",
         }
     }
 
@@ -99,7 +104,8 @@ impl Code {
             | Code::ConflictingOwners
             | Code::EqualContradictsOrdering
             | Code::OrphanRule
-            | Code::InvalidThresholds => Severity::Error,
+            | Code::InvalidThresholds
+            | Code::OrderingCycle => Severity::Error,
             Code::DuplicateTemplate
             | Code::DeadTemplateNoSlots
             | Code::DeadTemplateNoPairs
@@ -228,6 +234,7 @@ mod tests {
             Code::DuplicateRule,
             Code::OrphanRule,
             Code::InvalidThresholds,
+            Code::OrderingCycle,
         ];
         let mut seen = std::collections::BTreeSet::new();
         for c in all {

@@ -15,10 +15,15 @@
 //! * **Orphans** — rules referencing attributes the corpus does not contain
 //!   at all (`EC040`); such rules can never fire and usually indicate a
 //!   renamed entry or a stale customization file.
+//! * **Ordering cycles** — a *transitive* contradiction through three or
+//!   more strict ordering rules (`A < B`, `B < C`, `C < A`, `EC060`); each
+//!   pair is individually satisfiable, so the pairwise `EC020` check cannot
+//!   see it, but the set as a whole admits no assignment.
 
 use crate::diag::{Code, Diagnostic, Severity};
 use encore::{Relation, Rule, RuleSet, StatsCache};
 use encore_model::AttrName;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Lint a rule set.  With a [`StatsCache`] the linter also checks orphans
 /// against the corpus and looks for row evidence when judging conflicting
@@ -150,7 +155,120 @@ pub fn lint_rules(rules: &RuleSet, cache: Option<&StatsCache>) -> Vec<Diagnostic
             }
         }
     }
+    diags.extend(ordering_cycles(&all));
     diags
+}
+
+/// EC060: transitive cycles in the strict-ordering rule graph.
+///
+/// Each of `<num` and `<size` induces a directed graph over attributes; a
+/// cycle of length ≥ 3 means the rules are jointly unsatisfiable even
+/// though every pair passes the `EC020` check.  2-cycles are exactly what
+/// `EC020` already reports and are skipped here.  Cycles are deduplicated
+/// by canonical rotation (smallest attribute first), and each diagnostic
+/// carries the cycle-closing rule as context.
+fn ordering_cycles(all: &[&Rule]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for relation in [Relation::LessNum, Relation::LessSize] {
+        // Edge map a → (b, closing rule); first rule wins for duplicates
+        // (EC032 reports the copies).
+        let mut adjacency: BTreeMap<&AttrName, Vec<&AttrName>> = BTreeMap::new();
+        let mut edge_rule: BTreeMap<(&AttrName, &AttrName), &Rule> = BTreeMap::new();
+        for rule in all {
+            if rule.relation == relation {
+                adjacency.entry(&rule.a).or_default().push(&rule.b);
+                edge_rule.entry((&rule.a, &rule.b)).or_insert(rule);
+            }
+        }
+        let mut seen: BTreeSet<Vec<&AttrName>> = BTreeSet::new();
+        for cycle in find_cycles(&adjacency) {
+            if cycle.len() < 3 || !seen.insert(canonical_rotation(&cycle)) {
+                continue;
+            }
+            let chain = cycle
+                .iter()
+                .chain(std::iter::once(&cycle[0]))
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(" < ");
+            let closing = edge_rule[&(*cycle.last().expect("non-empty cycle"), cycle[0])];
+            diags.push(
+                Diagnostic::new(
+                    Code::OrderingCycle,
+                    format!(
+                        "ordering cycle `{chain}`: every pair is satisfiable, but the \
+                         {} rules together admit no assignment",
+                        cycle.len()
+                    ),
+                )
+                .with_context(closing.render()),
+            );
+        }
+    }
+    diags
+}
+
+/// Rotate a cycle so its smallest attribute comes first — the canonical
+/// form under which rotations of the same cycle compare equal.
+fn canonical_rotation<'a>(cycle: &[&'a AttrName]) -> Vec<&'a AttrName> {
+    let start = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, a)| **a)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let mut out = Vec::with_capacity(cycle.len());
+    out.extend_from_slice(&cycle[start..]);
+    out.extend_from_slice(&cycle[..start]);
+    out
+}
+
+/// Depth-first cycle search with the usual white/gray/black coloring: a
+/// back edge to a gray node closes a cycle, read off the path stack.
+/// Every component is visited, so disjoint cycles are all found; nodes are
+/// blackened after exploration, so the search stays linear in the graph.
+fn find_cycles<'a>(
+    adjacency: &BTreeMap<&'a AttrName, Vec<&'a AttrName>>,
+) -> Vec<Vec<&'a AttrName>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        Gray,
+        Black,
+    }
+    fn visit<'a>(
+        node: &'a AttrName,
+        adjacency: &BTreeMap<&'a AttrName, Vec<&'a AttrName>>,
+        color: &mut BTreeMap<&'a AttrName, Color>,
+        path: &mut Vec<&'a AttrName>,
+        cycles: &mut Vec<Vec<&'a AttrName>>,
+    ) {
+        color.insert(node, Color::Gray);
+        path.push(node);
+        for &next in adjacency.get(node).into_iter().flatten() {
+            match color.get(next) {
+                Some(Color::Gray) => {
+                    let start = path
+                        .iter()
+                        .position(|&n| n == next)
+                        .expect("gray node is on the path");
+                    cycles.push(path[start..].to_vec());
+                }
+                Some(Color::Black) => {}
+                None => visit(next, adjacency, color, path, cycles),
+            }
+        }
+        path.pop();
+        color.insert(node, Color::Black);
+    }
+
+    let mut color = BTreeMap::new();
+    let mut cycles = Vec::new();
+    for &node in adjacency.keys() {
+        if !color.contains_key(node) {
+            visit(node, adjacency, &mut color, &mut Vec::new(), &mut cycles);
+        }
+    }
+    cycles
 }
 
 /// Whether `rule` relates exactly the unordered pair `{a, b}`.
@@ -286,6 +404,81 @@ mod tests {
         let diags = lint_rules(&set, None);
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].code, Code::SubstringSubsumedByEqual);
+    }
+
+    #[test]
+    fn three_cycle_gets_one_ec060() {
+        let set: RuleSet = vec![
+            rule("a", Relation::LessNum, "b"),
+            rule("b", Relation::LessNum, "c"),
+            rule("c", Relation::LessNum, "a"),
+        ]
+        .into_iter()
+        .collect();
+        let diags = lint_rules(&set, None);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::OrderingCycle);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("a < b < c < a"), "{diags:?}");
+        // Context is the cycle-closing rule.
+        assert!(
+            diags[0].context.as_deref().unwrap_or("").contains('c'),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn acyclic_chain_has_no_ec060() {
+        let set: RuleSet = vec![
+            rule("a", Relation::LessNum, "b"),
+            rule("b", Relation::LessNum, "c"),
+            rule("a", Relation::LessNum, "c"),
+        ]
+        .into_iter()
+        .collect();
+        assert!(lint_rules(&set, None).is_empty());
+    }
+
+    #[test]
+    fn two_cycle_is_ec020_not_ec060() {
+        let set: RuleSet = vec![
+            rule("a", Relation::LessSize, "b"),
+            rule("b", Relation::LessSize, "a"),
+        ]
+        .into_iter()
+        .collect();
+        let codes: Vec<Code> = lint_rules(&set, None).iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::ContradictoryOrdering]);
+    }
+
+    #[test]
+    fn disjoint_cycles_each_get_ec060() {
+        let set: RuleSet = vec![
+            rule("a", Relation::LessNum, "b"),
+            rule("b", Relation::LessNum, "c"),
+            rule("c", Relation::LessNum, "a"),
+            rule("x", Relation::LessNum, "y"),
+            rule("y", Relation::LessNum, "z"),
+            rule("z", Relation::LessNum, "x"),
+        ]
+        .into_iter()
+        .collect();
+        let diags = lint_rules(&set, None);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.code == Code::OrderingCycle));
+    }
+
+    #[test]
+    fn mixed_relations_do_not_form_a_cycle() {
+        // a <num b <size c <num a: no single relation's graph is cyclic.
+        let set: RuleSet = vec![
+            rule("a", Relation::LessNum, "b"),
+            rule("b", Relation::LessSize, "c"),
+            rule("c", Relation::LessNum, "a"),
+        ]
+        .into_iter()
+        .collect();
+        assert!(lint_rules(&set, None).is_empty());
     }
 
     #[test]

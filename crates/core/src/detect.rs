@@ -256,11 +256,23 @@ impl AnomalyDetector {
     /// Check an already-assembled row (image optional; environment-backed
     /// rules are skipped without it).
     pub fn check(&self, row: &Row, image: Option<&SystemImage>) -> Report {
+        let _span = crate::obs::DETECT_TIME.span();
+        crate::obs::DETECT_SYSTEMS_CHECKED.incr();
         let mut report = Report::default();
         self.check_entry_names(row, &mut report);
         self.check_correlations(row, image, &mut report);
         self.check_types(row, image, &mut report);
         self.check_values(row, &mut report);
+        if crate::obs::enabled() {
+            for warning in &report.warnings {
+                match warning.kind {
+                    WarningKind::UnknownEntry => crate::obs::DETECT_UNKNOWN_ENTRY.incr(),
+                    WarningKind::CorrelationViolation => crate::obs::DETECT_CORRELATION.incr(),
+                    WarningKind::TypeViolation => crate::obs::DETECT_TYPE.incr(),
+                    WarningKind::SuspiciousValue => crate::obs::DETECT_SUSPICIOUS.incr(),
+                }
+            }
+        }
         report.finish()
     }
 

@@ -137,10 +137,12 @@ pub fn judge(
 ) -> Verdict {
     let min_support = (thresholds.min_support_fraction * stats.num_rows() as f64).ceil() as usize;
     if support < min_support.max(1) {
+        crate::obs::FILTER_REJECTED_SUPPORT.incr();
         return Verdict::Reject(RejectReason::LowSupport);
     }
     let min_conf = template_min_confidence.unwrap_or(thresholds.min_confidence);
     if confidence < min_conf {
+        crate::obs::FILTER_REJECTED_CONFIDENCE.incr();
         return Verdict::Reject(RejectReason::LowConfidence);
     }
     if thresholds.use_entropy {
@@ -148,10 +150,12 @@ pub fn judge(
         // included", i.e. each must have H > Ht (§5.2).
         for attr in [a, b] {
             if stats.entropy(attr) <= thresholds.entropy_threshold {
+                crate::obs::FILTER_REJECTED_ENTROPY.incr();
                 return Verdict::Reject(RejectReason::LowEntropy);
             }
         }
     }
+    crate::obs::FILTER_ACCEPTED.incr();
     Verdict::Accept
 }
 

@@ -19,6 +19,7 @@
 
 use crate::eligibility::{eligible, is_same_type_generic, pair_considered};
 use crate::filter::{judge, FilterThresholds, RejectReason, Verdict};
+use crate::obs;
 use crate::pool::{self, PoolError};
 use crate::relation::{evaluate, Applicability, SystemView};
 use crate::rules::{Rule, RuleSet};
@@ -276,13 +277,16 @@ impl RuleInference {
     where
         F: Fn(&WorkUnit<'_, '_>, &TrainingSet, &StatsCache) -> Vec<Candidate> + Sync,
     {
+        let _span = obs::INFER_TIME.span();
+        obs::INFER_TEMPLATES.add(self.templates.len() as u64);
         let attrs = cache.attributes();
         let works: Vec<TemplateWork<'_>> = self
             .templates
             .iter()
-            .map(|t| TemplateWork::new(t, attrs, cache))
+            .enumerate()
+            .map(|(index, t)| TemplateWork::new(index, t, attrs, cache))
             .collect();
-        let units: Vec<WorkUnit<'_, '_>> = works
+        let all_units: Vec<WorkUnit<'_, '_>> = works
             .iter()
             .flat_map(|work| {
                 let len = work.eligible_a.len();
@@ -291,10 +295,26 @@ impl RuleInference {
                     a_range: chunk * A_CHUNK..((chunk + 1) * A_CHUNK).min(len),
                 })
             })
+            .collect();
+        obs::INFER_UNITS_TOTAL.add(all_units.len() as u64);
+        let total_units = all_units.len();
+        let units: Vec<WorkUnit<'_, '_>> = all_units
+            .into_iter()
             .filter(|unit| !options.prune_dead_units || unit.is_live(cache))
             .collect();
+        obs::INFER_UNITS_PRUNED.add((total_units - units.len()) as u64);
         let workers = options.resolved_workers();
         let chunks = pool::run_units(&units, workers, |unit| run_unit(unit, training, cache))?;
+        if obs::enabled() {
+            // Attribute candidates to templates on the main thread, after
+            // the pool returns, so the tallies are scheduling-independent.
+            for (unit, chunk) in units.iter().zip(&chunks) {
+                obs::INFER_CANDIDATES.add(chunk.len() as u64);
+                for _ in chunk {
+                    obs::INFER_CANDIDATES_BY_TEMPLATE.observe(unit.work.index as u64);
+                }
+            }
+        }
         Ok(dedup_candidates(chunks.into_iter().flatten()))
     }
 }
@@ -306,6 +326,9 @@ const A_CHUNK: usize = 8;
 
 /// One template plus its eligible slot bindings, resolved once per run.
 struct TemplateWork<'a> {
+    /// Position in the run's template list (drives the per-template
+    /// candidate histogram).
+    index: usize,
     template: &'a Template,
     generic: bool,
     eligible_a: Vec<&'a AttrName>,
@@ -317,7 +340,12 @@ struct TemplateWork<'a> {
 }
 
 impl<'a> TemplateWork<'a> {
-    fn new(template: &'a Template, attrs: &'a [AttrName], cache: &StatsCache) -> TemplateWork<'a> {
+    fn new(
+        index: usize,
+        template: &'a Template,
+        attrs: &'a [AttrName],
+        cache: &StatsCache,
+    ) -> TemplateWork<'a> {
         let generic = is_same_type_generic(template);
         let (eligible_a, eligible_b) = if generic {
             let all: Vec<&AttrName> = attrs.iter().collect();
@@ -337,6 +365,7 @@ impl<'a> TemplateWork<'a> {
             }
         }
         TemplateWork {
+            index,
             template,
             generic,
             eligible_a,
@@ -400,6 +429,7 @@ struct Candidate {
 fn dedup_candidates(candidates: impl IntoIterator<Item = Candidate>) -> Vec<Candidate> {
     let mut seen: BTreeSet<(String, String, String)> = BTreeSet::new();
     let mut out = Vec::new();
+    let mut dropped = 0u64;
     for cand in candidates {
         let key = (
             cand.rule.a.to_string(),
@@ -408,8 +438,11 @@ fn dedup_candidates(candidates: impl IntoIterator<Item = Candidate>) -> Vec<Cand
         );
         if seen.insert(key) {
             out.push(cand);
+        } else {
+            dropped += 1;
         }
     }
+    obs::INFER_CANDIDATES_DEDUPED.add(dropped);
     out
 }
 
@@ -419,6 +452,7 @@ fn judge_candidates(
     thresholds: &FilterThresholds,
     cache: &StatsCache,
 ) -> (RuleSet, InferenceStats) {
+    let _span = obs::FILTER_TIME.span();
     let mut stats = InferenceStats {
         candidates: candidates.len(),
         ..InferenceStats::default()
@@ -454,6 +488,9 @@ fn instantiate_unit(
     let work = unit.work;
     let template = work.template;
     let mut out = Vec::new();
+    // Tallied locally and flushed once per unit: one atomic add per unit
+    // instead of one per pair across the worker pool.
+    let mut pairs_evaluated = 0u64;
     for &a in &work.eligible_a[unit.a_range.clone()] {
         for &b in &work.eligible_b {
             // Structural filters (self-pairs, original-entry anchoring,
@@ -462,6 +499,7 @@ fn instantiate_unit(
             if !pair_considered(template, work.generic, cache, a, b) {
                 continue;
             }
+            pairs_evaluated += 1;
             let mut holds = 0usize;
             let mut applicable = 0usize;
             for (row, image) in training.systems() {
@@ -490,6 +528,7 @@ fn instantiate_unit(
             });
         }
     }
+    obs::INFER_PAIRS_EVALUATED.add(pairs_evaluated);
     out
 }
 

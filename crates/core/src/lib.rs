@@ -69,6 +69,7 @@ pub mod detect;
 pub mod eligibility;
 pub mod filter;
 pub mod infer;
+pub mod obs;
 pub mod pool;
 pub mod relation;
 pub mod rules;

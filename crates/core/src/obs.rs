@@ -1,0 +1,231 @@
+//! Pipeline observability: the core crate's instruments plus the
+//! whole-pipeline roll-up.
+//!
+//! Metric statics for the four phases this crate owns — `infer`, `stats`,
+//! `filter`, `detect` — live here, referenced from the corresponding
+//! modules; [`pipeline_report`] stitches them together with the upstream
+//! crates' snapshots (`collect` from `encore-sysimage`, `assemble` from
+//! `encore-parser` + `encore-assemble`) into one [`PipelineReport`].  The
+//! report always carries all six phase sections, zero-valued when a phase
+//! did not run, so consumers can key on phase names unconditionally.
+//!
+//! Determinism discipline (see DESIGN.md §9): [`Counter`]s and
+//! [`Histogram`]s count *work*, which is identical across worker counts;
+//! anything scheduling-dependent — worker counts, per-worker load, wall
+//! time — is a [`Gauge`] or [`Timer`].  `tests/determinism.rs` enforces
+//! the split.
+
+pub use encore_obs::{
+    disable, enable, enable_from_env, enabled, Counter, Gauge, Histogram, PhaseReport,
+    PipelineReport, Timer,
+};
+
+use encore_obs::INDEX_BOUNDS;
+
+// ---- infer: template instantiation over the work-stealing pool ----
+
+/// Templates handed to an inference run.
+pub static INFER_TEMPLATES: Counter = Counter::new("infer.templates.instantiated");
+/// `(template, a-chunk)` work units before pruning.
+pub static INFER_UNITS_TOTAL: Counter = Counter::new("infer.units.total");
+/// Units dropped by the eligibility-bitset liveness check.
+pub static INFER_UNITS_PRUNED: Counter = Counter::new("infer.units.pruned");
+/// Slot pairs passing the structural `pair_considered` filters.
+pub static INFER_PAIRS_EVALUATED: Counter = Counter::new("infer.pairs.evaluated");
+/// Candidate rules emitted by instantiation (before dedup).
+pub static INFER_CANDIDATES: Counter = Counter::new("infer.candidates.emitted");
+/// Duplicate candidates dropped by first-seen dedup.
+pub static INFER_CANDIDATES_DEDUPED: Counter = Counter::new("infer.candidates.deduped");
+/// Candidates per template index (templates beyond 15 land in overflow).
+pub static INFER_CANDIDATES_BY_TEMPLATE: Histogram =
+    Histogram::new("infer.candidates.by_template", &INDEX_BOUNDS);
+/// Units the pool actually ran (total across workers).
+pub static POOL_UNITS_RUN: Counter = Counter::new("infer.pool.units_run");
+/// Worker threads of the last pool run (scheduling-dependent: gauge).
+pub static POOL_WORKERS: Gauge = Gauge::new("infer.pool.workers");
+/// Units run by the busiest worker of the last run.
+pub static POOL_BUSIEST_WORKER_UNITS: Gauge = Gauge::new("infer.pool.busiest_worker_units");
+/// Units run by the idlest worker of the last run.
+pub static POOL_IDLEST_WORKER_UNITS: Gauge = Gauge::new("infer.pool.idlest_worker_units");
+/// Units that landed on workers other than worker 0 in the last run — how
+/// much work the stealing actually spread.
+pub static POOL_STOLEN_UNITS: Gauge = Gauge::new("infer.pool.stolen_units");
+/// Per-worker busy time inside the pool loop.
+pub static POOL_WORKER_BUSY: Timer = Timer::new("infer.pool.worker_busy");
+/// Wall time of whole inference passes (candidate generation).
+pub static INFER_TIME: Timer = Timer::new("infer.time");
+
+// ---- stats: the sharded entropy memo ----
+
+/// Attributes resolved into a stats cache.
+pub static STATS_ATTRIBUTES: Counter = Counter::new("stats.cache.attributes");
+/// Entropy-memo hits, bucketed by shard index.
+pub static STATS_ENTROPY_HITS: Histogram = Histogram::new("stats.entropy.memo_hits", &INDEX_BOUNDS);
+/// Entropy-memo misses (fresh computations), bucketed by shard index.
+pub static STATS_ENTROPY_MISSES: Histogram =
+    Histogram::new("stats.entropy.memo_misses", &INDEX_BOUNDS);
+/// Wall time building stats caches.
+pub static STATS_BUILD_TIME: Timer = Timer::new("stats.cache.build");
+
+// ---- filter: §5.2 rule admission ----
+
+/// Candidates accepted into the rule set.
+pub static FILTER_ACCEPTED: Counter = Counter::new("filter.accepted");
+/// Candidates rejected for low support.
+pub static FILTER_REJECTED_SUPPORT: Counter = Counter::new("filter.rejected.support");
+/// Candidates rejected for low confidence.
+pub static FILTER_REJECTED_CONFIDENCE: Counter = Counter::new("filter.rejected.confidence");
+/// Candidates rejected for low entropy.
+pub static FILTER_REJECTED_ENTROPY: Counter = Counter::new("filter.rejected.entropy");
+/// Wall time judging candidate lists.
+pub static FILTER_TIME: Timer = Timer::new("filter.time");
+
+// ---- detect: the four warning classes of §6 ----
+
+/// Systems checked by the anomaly detector.
+pub static DETECT_SYSTEMS_CHECKED: Counter = Counter::new("detect.systems.checked");
+/// Unknown-entry warnings emitted.
+pub static DETECT_UNKNOWN_ENTRY: Counter = Counter::new("detect.warnings.unknown_entry");
+/// Correlation-violation warnings emitted.
+pub static DETECT_CORRELATION: Counter = Counter::new("detect.warnings.correlation");
+/// Type-violation warnings emitted.
+pub static DETECT_TYPE: Counter = Counter::new("detect.warnings.type");
+/// Suspicious-value warnings emitted.
+pub static DETECT_SUSPICIOUS: Counter = Counter::new("detect.warnings.suspicious_value");
+/// Wall time inside detector checks.
+pub static DETECT_TIME: Timer = Timer::new("detect.time");
+
+/// Snapshot of the `infer` phase.
+fn infer_phase() -> PhaseReport {
+    PhaseReport::new("infer")
+        .counter(&INFER_TEMPLATES)
+        .counter(&INFER_UNITS_TOTAL)
+        .counter(&INFER_UNITS_PRUNED)
+        .counter(&INFER_PAIRS_EVALUATED)
+        .counter(&INFER_CANDIDATES)
+        .counter(&INFER_CANDIDATES_DEDUPED)
+        .counter(&POOL_UNITS_RUN)
+        .gauge(&POOL_WORKERS)
+        .gauge(&POOL_BUSIEST_WORKER_UNITS)
+        .gauge(&POOL_IDLEST_WORKER_UNITS)
+        .gauge(&POOL_STOLEN_UNITS)
+        .timer(&POOL_WORKER_BUSY)
+        .timer(&INFER_TIME)
+        .histogram(&INFER_CANDIDATES_BY_TEMPLATE)
+}
+
+/// Snapshot of the `stats` phase.
+fn stats_phase() -> PhaseReport {
+    PhaseReport::new("stats")
+        .counter(&STATS_ATTRIBUTES)
+        .timer(&STATS_BUILD_TIME)
+        .histogram(&STATS_ENTROPY_HITS)
+        .histogram(&STATS_ENTROPY_MISSES)
+}
+
+/// Snapshot of the `filter` phase.
+fn filter_phase() -> PhaseReport {
+    PhaseReport::new("filter")
+        .counter(&FILTER_ACCEPTED)
+        .counter(&FILTER_REJECTED_SUPPORT)
+        .counter(&FILTER_REJECTED_CONFIDENCE)
+        .counter(&FILTER_REJECTED_ENTROPY)
+        .timer(&FILTER_TIME)
+}
+
+/// Snapshot of the `detect` phase.
+fn detect_phase() -> PhaseReport {
+    PhaseReport::new("detect")
+        .counter(&DETECT_SYSTEMS_CHECKED)
+        .counter(&DETECT_UNKNOWN_ENTRY)
+        .counter(&DETECT_CORRELATION)
+        .counter(&DETECT_TYPE)
+        .counter(&DETECT_SUSPICIOUS)
+        .timer(&DETECT_TIME)
+}
+
+/// Roll up the whole pipeline: all six phase sections, in pipeline order,
+/// present even when zero-valued.
+pub fn pipeline_report() -> PipelineReport {
+    PipelineReport {
+        phases: vec![
+            encore_sysimage::obs::phase_report(),
+            encore_parser::obs::phase_report().merge(encore_assemble::obs::phase_report()),
+            infer_phase(),
+            stats_phase(),
+            filter_phase(),
+            detect_phase(),
+        ],
+    }
+}
+
+/// Reset every pipeline instrument across all crates (the sink flag is
+/// left as-is).
+pub fn reset() {
+    encore_sysimage::obs::reset();
+    encore_parser::obs::reset();
+    encore_assemble::obs::reset();
+    for counter in [
+        &INFER_TEMPLATES,
+        &INFER_UNITS_TOTAL,
+        &INFER_UNITS_PRUNED,
+        &INFER_PAIRS_EVALUATED,
+        &INFER_CANDIDATES,
+        &INFER_CANDIDATES_DEDUPED,
+        &POOL_UNITS_RUN,
+        &STATS_ATTRIBUTES,
+        &FILTER_ACCEPTED,
+        &FILTER_REJECTED_SUPPORT,
+        &FILTER_REJECTED_CONFIDENCE,
+        &FILTER_REJECTED_ENTROPY,
+        &DETECT_SYSTEMS_CHECKED,
+        &DETECT_UNKNOWN_ENTRY,
+        &DETECT_CORRELATION,
+        &DETECT_TYPE,
+        &DETECT_SUSPICIOUS,
+    ] {
+        counter.reset();
+    }
+    for gauge in [
+        &POOL_WORKERS,
+        &POOL_BUSIEST_WORKER_UNITS,
+        &POOL_IDLEST_WORKER_UNITS,
+        &POOL_STOLEN_UNITS,
+    ] {
+        gauge.reset();
+    }
+    for timer in [
+        &POOL_WORKER_BUSY,
+        &INFER_TIME,
+        &STATS_BUILD_TIME,
+        &FILTER_TIME,
+        &DETECT_TIME,
+    ] {
+        timer.reset();
+    }
+    INFER_CANDIDATES_BY_TEMPLATE.reset();
+    STATS_ENTROPY_HITS.reset();
+    STATS_ENTROPY_MISSES.reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_always_carries_all_six_phases() {
+        let report = pipeline_report();
+        let names: Vec<&str> = report.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["collect", "assemble", "infer", "stats", "filter", "detect"]
+        );
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = pipeline_report();
+        let parsed = PipelineReport::parse_json(&report.render_json()).expect("parses");
+        assert_eq!(parsed, report);
+    }
+}

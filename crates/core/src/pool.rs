@@ -57,19 +57,26 @@ where
     F: Fn(&U) -> O + Sync,
 {
     let workers = workers.clamp(1, units.len().max(1));
+    crate::obs::POOL_UNITS_RUN.add(units.len() as u64);
+    crate::obs::POOL_WORKERS.set(workers as u64);
     let run_one = |index: usize| -> (usize, Result<O, String>) {
         let outcome = catch_unwind(AssertUnwindSafe(|| f(&units[index]))).map_err(panic_message);
         (index, outcome)
     };
 
     let mut tagged: Vec<(usize, Result<O, String>)> = if workers <= 1 {
+        crate::obs::POOL_BUSIEST_WORKER_UNITS.set(units.len() as u64);
+        crate::obs::POOL_IDLEST_WORKER_UNITS.set(units.len() as u64);
+        crate::obs::POOL_STOLEN_UNITS.set(0);
+        let _busy = crate::obs::POOL_WORKER_BUSY.span();
         (0..units.len()).map(run_one).collect()
     } else {
         let cursor = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
+        let per_worker: Vec<Vec<(usize, Result<O, String>)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
+                        let _busy = crate::obs::POOL_WORKER_BUSY.span();
                         let mut local = Vec::new();
                         loop {
                             let index = cursor.fetch_add(1, Ordering::Relaxed);
@@ -84,7 +91,7 @@ where
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| {
+                .map(|h| {
                     // Unit panics are caught inside run_one; a worker thread
                     // can only panic through harness bugs, which we surface
                     // as an empty contribution judged below by the
@@ -92,7 +99,16 @@ where
                     h.join().unwrap_or_default()
                 })
                 .collect()
-        })
+        });
+        if crate::obs::enabled() {
+            let loads: Vec<u64> = per_worker.iter().map(|w| w.len() as u64).collect();
+            crate::obs::POOL_BUSIEST_WORKER_UNITS.set(loads.iter().copied().max().unwrap_or(0));
+            crate::obs::POOL_IDLEST_WORKER_UNITS.set(loads.iter().copied().min().unwrap_or(0));
+            // Units that landed anywhere but worker 0 — what the stealing
+            // actually spread.  Scheduling-dependent, hence a gauge.
+            crate::obs::POOL_STOLEN_UNITS.set(loads.iter().skip(1).sum::<u64>());
+        }
+        per_worker.into_iter().flatten().collect()
     };
 
     tagged.sort_by_key(|(index, _)| *index);

@@ -55,7 +55,9 @@ impl StatsCache {
     /// Build a cache over a dataset, resolving the type and presence mask of
     /// every attribute once through `types` and the dataset rows.
     pub fn new(dataset: Dataset, types: &TypeMap) -> StatsCache {
+        let _span = crate::obs::STATS_BUILD_TIME.span();
         let attributes: Vec<AttrName> = dataset.attributes().into_iter().collect();
+        crate::obs::STATS_ATTRIBUTES.add(attributes.len() as u64);
         let resolved = attributes
             .iter()
             .map(|a| (a.clone(), types.type_of(a)))
@@ -124,12 +126,13 @@ impl StatsCache {
     /// hash, so concurrent lookups of different attributes rarely share a
     /// lock.
     pub fn entropy(&self, attr: &AttrName) -> f64 {
-        let mut memo = self.entropies[shard_of(attr)]
-            .lock()
-            .expect("entropy memo poisoned");
+        let shard = shard_of(attr);
+        let mut memo = self.entropies[shard].lock().expect("entropy memo poisoned");
         if let Some(&h) = memo.get(attr) {
+            crate::obs::STATS_ENTROPY_HITS.observe(shard as u64);
             return h;
         }
+        crate::obs::STATS_ENTROPY_MISSES.observe(shard as u64);
         let h = entropy(self.dataset.value_histogram(attr).into_values());
         memo.insert(attr.clone(), h);
         h

@@ -1,0 +1,406 @@
+//! Per-phase and whole-pipeline report types with text and JSON renderers.
+//!
+//! A [`PhaseReport`] is a point-in-time snapshot of one pipeline phase's
+//! instruments; a [`PipelineReport`] is the ordered roll-up across all six
+//! phases (`collect`, `assemble`, `infer`, `stats`, `filter`, `detect`).
+//! JSON rendering is hand-rolled over [`crate::json`] and `parse_json`
+//! inverts it exactly, so reports can be written by one process and
+//! validated by another (the CI pipeline-report step does exactly that).
+
+use crate::json::{self, Json, JsonError};
+use crate::{Counter, Gauge, Histogram, Timer};
+use std::collections::BTreeMap;
+
+/// A timer's accumulated state: total nanoseconds over how many spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct TimerSnapshot {
+    /// Total recorded wall time in nanoseconds.
+    pub nanos: u64,
+    /// Number of spans that contributed.
+    pub spans: u64,
+}
+
+/// Snapshot of one pipeline phase's instruments.  Entry order is the
+/// declaration order chosen by the phase, and is preserved through JSON.
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct PhaseReport {
+    /// Phase name (`collect`, `assemble`, `infer`, `stats`, `filter`,
+    /// `detect`).
+    pub name: String,
+    /// Counter name → total.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → value.
+    pub gauges: Vec<(String, u64)>,
+    /// Timer name → snapshot.
+    pub timers: Vec<(String, TimerSnapshot)>,
+    /// Histogram name → bucket counts (one per bound, plus overflow).
+    pub histograms: Vec<(String, Vec<u64>)>,
+}
+
+impl PhaseReport {
+    /// An empty report for the named phase.
+    pub fn new(name: &str) -> PhaseReport {
+        PhaseReport {
+            name: name.to_string(),
+            ..PhaseReport::default()
+        }
+    }
+
+    /// Record a counter's current total.
+    #[must_use]
+    pub fn counter(mut self, counter: &Counter) -> PhaseReport {
+        self.counters
+            .push((counter.name().to_string(), counter.get()));
+        self
+    }
+
+    /// Record a gauge's current value.
+    #[must_use]
+    pub fn gauge(mut self, gauge: &Gauge) -> PhaseReport {
+        self.gauges.push((gauge.name().to_string(), gauge.get()));
+        self
+    }
+
+    /// Record a timer's current snapshot.
+    #[must_use]
+    pub fn timer(mut self, timer: &Timer) -> PhaseReport {
+        self.timers
+            .push((timer.name().to_string(), timer.snapshot()));
+        self
+    }
+
+    /// Record a histogram's current bucket counts.
+    #[must_use]
+    pub fn histogram(mut self, histogram: &Histogram) -> PhaseReport {
+        self.histograms
+            .push((histogram.name().to_string(), histogram.counts()));
+        self
+    }
+
+    /// Fold another snapshot's entries into this one, keeping this phase's
+    /// name — used when two crates contribute to one phase (parser and
+    /// assembler both feed `assemble`).
+    #[must_use]
+    pub fn merge(mut self, other: PhaseReport) -> PhaseReport {
+        self.counters.extend(other.counters);
+        self.gauges.extend(other.gauges);
+        self.timers.extend(other.timers);
+        self.histograms.extend(other.histograms);
+        self
+    }
+
+    /// Look up a counter total by metric name.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    fn to_json(&self) -> Json {
+        let pairs = |entries: &[(String, u64)]| {
+            Json::Obj(
+                entries
+                    .iter()
+                    .map(|(name, value)| (name.clone(), Json::Num(*value)))
+                    .collect(),
+            )
+        };
+        Json::Obj(vec![
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("counters".to_string(), pairs(&self.counters)),
+            ("gauges".to_string(), pairs(&self.gauges)),
+            (
+                "timers".to_string(),
+                Json::Obj(
+                    self.timers
+                        .iter()
+                        .map(|(name, snap)| {
+                            (
+                                name.clone(),
+                                Json::Obj(vec![
+                                    ("nanos".to_string(), Json::Num(snap.nanos)),
+                                    ("spans".to_string(), Json::Num(snap.spans)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".to_string(),
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(name, counts)| {
+                            (
+                                name.clone(),
+                                Json::Arr(counts.iter().map(|&c| Json::Num(c)).collect()),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<PhaseReport, String> {
+        let name = value
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("phase is missing `name`")?
+            .to_string();
+        let pairs = |key: &str| -> Result<Vec<(String, u64)>, String> {
+            value
+                .get(key)
+                .and_then(Json::as_obj)
+                .ok_or(format!("phase `{name}` is missing `{key}`"))?
+                .iter()
+                .map(|(n, v)| {
+                    v.as_u64()
+                        .map(|v| (n.clone(), v))
+                        .ok_or(format!("`{n}` is not a number"))
+                })
+                .collect()
+        };
+        let counters = pairs("counters")?;
+        let gauges = pairs("gauges")?;
+        let timers = value
+            .get("timers")
+            .and_then(Json::as_obj)
+            .ok_or(format!("phase `{name}` is missing `timers`"))?
+            .iter()
+            .map(|(n, v)| {
+                let field = |f: &str| {
+                    v.get(f)
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("timer `{n}` is missing `{f}`"))
+                };
+                Ok((
+                    n.clone(),
+                    TimerSnapshot {
+                        nanos: field("nanos")?,
+                        spans: field("spans")?,
+                    },
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let histograms = value
+            .get("histograms")
+            .and_then(Json::as_obj)
+            .ok_or(format!("phase `{name}` is missing `histograms`"))?
+            .iter()
+            .map(|(n, v)| {
+                v.as_arr()
+                    .ok_or(format!("histogram `{n}` is not an array"))?
+                    .iter()
+                    .map(|c| {
+                        c.as_u64()
+                            .ok_or(format!("histogram `{n}` has a non-number"))
+                    })
+                    .collect::<Result<Vec<u64>, String>>()
+                    .map(|counts| (n.clone(), counts))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(PhaseReport {
+            name,
+            counters,
+            gauges,
+            timers,
+            histograms,
+        })
+    }
+}
+
+/// The whole-pipeline roll-up: one [`PhaseReport`] per phase, in pipeline
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct PipelineReport {
+    /// Per-phase snapshots, in pipeline order.
+    pub phases: Vec<PhaseReport>,
+}
+
+impl PipelineReport {
+    /// Look up a phase by name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseReport> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// All counters across phases, flattened to `name → total`.  Counter
+    /// names are globally unique (they embed their phase), so this is
+    /// lossless; it is what the determinism tests compare across worker
+    /// counts.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.phases
+            .iter()
+            .flat_map(|p| p.counters.iter().cloned())
+            .collect()
+    }
+
+    /// All histograms across phases, flattened to `name → bucket counts`.
+    /// Histogram totals are deterministic for the same input, like
+    /// counters.
+    pub fn histograms(&self) -> BTreeMap<String, Vec<u64>> {
+        self.phases
+            .iter()
+            .flat_map(|p| p.histograms.iter().cloned())
+            .collect()
+    }
+
+    /// Render as indented human-readable text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::from("== pipeline report ==\n");
+        for phase in &self.phases {
+            out.push_str(&format!("phase {}\n", phase.name));
+            for (name, value) in &phase.counters {
+                out.push_str(&format!("  counter   {name} = {value}\n"));
+            }
+            for (name, value) in &phase.gauges {
+                out.push_str(&format!("  gauge     {name} = {value}\n"));
+            }
+            for (name, snap) in &phase.timers {
+                out.push_str(&format!(
+                    "  timer     {name} = {} over {} span(s)\n",
+                    render_duration(snap.nanos),
+                    snap.spans
+                ));
+            }
+            for (name, counts) in &phase.histograms {
+                let rendered: Vec<String> = counts.iter().map(u64::to_string).collect();
+                out.push_str(&format!("  histogram {name} = [{}]\n", rendered.join(", ")));
+            }
+        }
+        out
+    }
+
+    /// Render as compact JSON: `{"phases":[...]}`.
+    pub fn render_json(&self) -> String {
+        Json::Obj(vec![(
+            "phases".to_string(),
+            Json::Arr(self.phases.iter().map(PhaseReport::to_json).collect()),
+        )])
+        .render()
+    }
+
+    /// Parse the output of [`PipelineReport::render_json`] back into a
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`JsonError`] for malformed JSON; schema
+    /// mismatches (missing keys, wrong types) are reported at offset 0.
+    pub fn parse_json(text: &str) -> Result<PipelineReport, JsonError> {
+        let value = json::parse(text)?;
+        let schema = |message: String| JsonError { at: 0, message };
+        let phases = value
+            .get("phases")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| schema("report is missing `phases`".to_string()))?
+            .iter()
+            .map(PhaseReport::from_json)
+            .collect::<Result<Vec<_>, String>>()
+            .map_err(schema)?;
+        Ok(PipelineReport { phases })
+    }
+}
+
+/// Human-readable duration: picks the largest unit that keeps the value
+/// above one.
+fn render_duration(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.3}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3}µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PipelineReport {
+        PipelineReport {
+            phases: vec![
+                PhaseReport {
+                    name: "collect".to_string(),
+                    counters: vec![("collect.images.built".to_string(), 12)],
+                    gauges: vec![("collect.depth".to_string(), 3)],
+                    timers: vec![(
+                        "collect.build".to_string(),
+                        TimerSnapshot {
+                            nanos: 1_500_000,
+                            spans: 12,
+                        },
+                    )],
+                    histograms: vec![("collect.sizes".to_string(), vec![1, 0, 2])],
+                },
+                PhaseReport::new("detect"),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let report = sample();
+        let json = report.render_json();
+        let back = PipelineReport::parse_json(&json).expect("parses");
+        assert_eq!(back, report);
+        assert_eq!(back.render_json(), json);
+    }
+
+    #[test]
+    fn text_rendering_shows_every_instrument() {
+        let text = sample().render_text();
+        assert!(text.contains("phase collect"));
+        assert!(text.contains("counter   collect.images.built = 12"));
+        assert!(text.contains("gauge     collect.depth = 3"));
+        assert!(text.contains("timer     collect.build = 1.500ms over 12 span(s)"));
+        assert!(text.contains("histogram collect.sizes = [1, 0, 2]"));
+        assert!(text.contains("phase detect"));
+    }
+
+    #[test]
+    fn lookups_and_flattening() {
+        let report = sample();
+        assert!(report.phase("collect").is_some());
+        assert!(report.phase("missing").is_none());
+        assert_eq!(
+            report
+                .phase("collect")
+                .unwrap()
+                .counter_value("collect.images.built"),
+            Some(12)
+        );
+        assert_eq!(report.counters()["collect.images.built"], 12);
+        assert_eq!(report.histograms()["collect.sizes"], vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn merge_keeps_name_and_appends_entries() {
+        static EXTRA: Counter = Counter::new("assemble.extra");
+        let merged = PhaseReport::new("assemble").merge(PhaseReport::new("parser").counter(&EXTRA));
+        assert_eq!(merged.name, "assemble");
+        assert_eq!(merged.counter_value("assemble.extra"), Some(0));
+    }
+
+    #[test]
+    fn parse_rejects_schema_mismatches() {
+        assert!(PipelineReport::parse_json("{}").is_err());
+        assert!(PipelineReport::parse_json("{\"phases\":[{}]}").is_err());
+        assert!(PipelineReport::parse_json("not json").is_err());
+        let missing_timers = "{\"phases\":[{\"name\":\"x\",\"counters\":{},\"gauges\":{}}]}";
+        assert!(PipelineReport::parse_json(missing_timers).is_err());
+    }
+
+    #[test]
+    fn durations_render_in_sensible_units() {
+        assert_eq!(render_duration(12), "12ns");
+        assert_eq!(render_duration(1_200), "1.200µs");
+        assert_eq!(render_duration(2_500_000), "2.500ms");
+        assert_eq!(render_duration(3_000_000_000), "3.000s");
+    }
+}

@@ -1,0 +1,78 @@
+//! The disabled sink must be free: an instrumented empty span, counter
+//! bump, gauge write, or histogram observation allocates nothing.  A
+//! counting wrapper around the system allocator pins that down — the
+//! instruments are pure stack-and-atomic code on both the disabled and
+//! enabled paths, so the allocation delta over the hot loop must be zero.
+
+use encore_obs::{Counter, Gauge, Histogram, Timer};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+static TIMER: Timer = Timer::new("test.noop.timer");
+static COUNTER: Counter = Counter::new("test.noop.counter");
+static GAUGE: Gauge = Gauge::new("test.noop.gauge");
+static HISTOGRAM: Histogram = Histogram::new("test.noop.histogram", &[10, 100]);
+
+fn hot_loop() {
+    for i in 0..1_000u64 {
+        let _span = TIMER.span();
+        COUNTER.incr();
+        COUNTER.add(i);
+        GAUGE.set(i);
+        GAUGE.set_max(i);
+        HISTOGRAM.observe(i);
+    }
+}
+
+// One test function (and one test in this binary overall, so no harness
+// thread allocates concurrently with the measured window): both sink
+// states must show a zero allocation delta.
+#[test]
+fn instruments_do_not_allocate_in_either_sink_state() {
+    encore_obs::disable();
+    let before_disabled = ALLOCATIONS.load(Ordering::SeqCst);
+    hot_loop();
+    let disabled_delta = ALLOCATIONS.load(Ordering::SeqCst) - before_disabled;
+    assert_eq!(disabled_delta, 0, "disabled instruments allocated");
+
+    encore_obs::enable();
+    let before_enabled = ALLOCATIONS.load(Ordering::SeqCst);
+    hot_loop();
+    let enabled_delta = ALLOCATIONS.load(Ordering::SeqCst) - before_enabled;
+    encore_obs::disable();
+    assert_eq!(enabled_delta, 0, "enabled instruments allocated");
+
+    // The enabled pass really recorded (the loop ran hot, not dead-code
+    // eliminated).
+    assert_eq!(TIMER.spans(), 1_000);
+    assert_eq!(COUNTER.get(), 1_000 + (0..1_000).sum::<u64>());
+    assert_eq!(HISTOGRAM.total(), 1_000);
+}

@@ -30,6 +30,7 @@
 
 pub mod apache;
 pub mod ini;
+pub mod obs;
 pub mod registry;
 pub mod sshd;
 

@@ -64,10 +64,17 @@ impl LensRegistry {
     /// [`ParseError::NoLens`] if no lens is registered, otherwise whatever
     /// the lens reports.
     pub fn parse(&self, app: &str, text: &str) -> Result<Vec<KeyValue>, ParseError> {
-        match self.lens(app) {
+        let _span = crate::obs::PARSE_TIME.span();
+        crate::obs::PARSE_CALLS.incr();
+        let result = match self.lens(app) {
             Some(l) => l.parse(text),
             None => Err(ParseError::NoLens(app.to_string())),
+        };
+        match &result {
+            Ok(pairs) => crate::obs::PARSE_ENTRIES.add(pairs.len() as u64),
+            Err(_) => crate::obs::PARSE_ERRORS.incr(),
         }
+        result
     }
 
     /// Registered application names, sorted.

@@ -28,6 +28,7 @@
 
 pub mod accounts;
 pub mod hardware;
+pub mod obs;
 pub mod security;
 pub mod services;
 pub mod vfs;
@@ -252,6 +253,17 @@ impl SystemImageBuilder {
 
     /// Finish building.
     pub fn build(self) -> SystemImage {
+        // Gate on the sink so the disabled path skips even the O(users)
+        // account walk.
+        if encore_obs::enabled() {
+            let _span = obs::BUILD_TIME.span();
+            obs::IMAGES_BUILT.incr();
+            obs::VFS_NODES.add(self.image.vfs.len() as u64);
+            obs::USERS.add(self.image.accounts.user_list().count() as u64);
+            obs::GROUPS.add(self.image.accounts.group_list().count() as u64);
+            obs::SERVICES.add(self.image.services.len() as u64);
+            obs::ENV_VARS.add(self.image.env_vars.len() as u64);
+        }
         self.image
     }
 }

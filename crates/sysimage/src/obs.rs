@@ -1,0 +1,47 @@
+//! Collection-phase metrics: what the crawler (here: the builder-based
+//! corpus generator) gathered per system image.
+//!
+//! All metrics are [`Counter`]s or a build-time [`Timer`]; counts are taken
+//! from the finished image at [`build`](crate::SystemImageBuilder::build),
+//! so they are deterministic for a given corpus regardless of builder call
+//! order.
+
+use encore_obs::{Counter, PhaseReport, Timer};
+
+/// Images finished via `SystemImageBuilder::build`.
+pub static IMAGES_BUILT: Counter = Counter::new("collect.images.built");
+/// VFS nodes (directories, files, symlinks) across built images.
+pub static VFS_NODES: Counter = Counter::new("collect.vfs.nodes");
+/// User accounts across built images.
+pub static USERS: Counter = Counter::new("collect.accounts.users");
+/// Groups across built images.
+pub static GROUPS: Counter = Counter::new("collect.accounts.groups");
+/// Registered service ports across built images.
+pub static SERVICES: Counter = Counter::new("collect.services.registered");
+/// Environment variables across built (running) images.
+pub static ENV_VARS: Counter = Counter::new("collect.env.vars");
+/// Wall time spent in `build` finalization.
+pub static BUILD_TIME: Timer = Timer::new("collect.build.time");
+
+/// Snapshot of the collection phase.
+pub fn phase_report() -> PhaseReport {
+    PhaseReport::new("collect")
+        .counter(&IMAGES_BUILT)
+        .counter(&VFS_NODES)
+        .counter(&USERS)
+        .counter(&GROUPS)
+        .counter(&SERVICES)
+        .counter(&ENV_VARS)
+        .timer(&BUILD_TIME)
+}
+
+/// Reset every collection-phase instrument.
+pub fn reset() {
+    IMAGES_BUILT.reset();
+    VFS_NODES.reset();
+    USERS.reset();
+    GROUPS.reset();
+    SERVICES.reset();
+    ENV_VARS.reset();
+    BUILD_TIME.reset();
+}

@@ -77,6 +77,12 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Accepted for source compatibility; this shim times a fixed number of
+    /// samples rather than a wall-clock budget.
+    pub fn measurement_time(&mut self, _budget: std::time::Duration) -> &mut Self {
+        self
+    }
+
     /// Run one benchmark.
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
     where

@@ -11,9 +11,20 @@ use encore::prelude::*;
 use encore_corpus::genimage::{Population, PopulationOptions};
 use encore_model::AppKind;
 use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+/// The observability sink and its metric statics are process-global; tests
+/// here toggle and read them, so every test in this binary serializes on
+/// this gate (the harness runs tests on parallel threads).
+static GATE: Mutex<()> = Mutex::new(());
+
+fn gate() -> MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 #[test]
 fn work_stealing_ruleset_is_identical_to_sequential() {
+    let _gate = gate();
     let engine = RuleInference::predefined();
     for app in [AppKind::Mysql, AppKind::Apache] {
         for seed in [11u64, 47] {
@@ -38,6 +49,7 @@ fn work_stealing_ruleset_is_identical_to_sequential() {
 
 #[test]
 fn learn_is_deterministic_across_worker_counts() {
+    let _gate = gate();
     let pop = Population::training(AppKind::Mysql, &PopulationOptions::new(30, 5));
     let training = TrainingSet::assemble(AppKind::Mysql, pop.images()).expect("training assembles");
     let sequential = EnCore::learn(
@@ -62,6 +74,67 @@ fn learn_is_deterministic_across_worker_counts() {
     assert_eq!(sequential.stats(), parallel.stats());
 }
 
+#[test]
+fn sink_enabled_output_is_byte_identical_to_disabled() {
+    let _gate = gate();
+    let pop = Population::training(AppKind::Mysql, &PopulationOptions::new(25, 9));
+    let training = TrainingSet::assemble(AppKind::Mysql, pop.images()).expect("training assembles");
+    let engine = RuleInference::predefined();
+    let thresholds = FilterThresholds::default();
+    encore::obs::disable();
+    let (off_rules, off_stats) = engine
+        .try_infer_with(&training, &thresholds, &InferOptions::with_workers(2))
+        .expect("inference with sink off");
+    encore::obs::enable();
+    let (on_rules, on_stats) = engine
+        .try_infer_with(&training, &thresholds, &InferOptions::with_workers(2))
+        .expect("inference with sink on");
+    encore::obs::disable();
+    assert_eq!(
+        on_rules, off_rules,
+        "instrumentation must not perturb rules"
+    );
+    assert_eq!(
+        on_rules.render(),
+        off_rules.render(),
+        "rendering must be byte-identical with the sink on"
+    );
+    assert_eq!(on_stats, off_stats);
+}
+
+#[test]
+fn counter_totals_identical_across_worker_counts() {
+    let _gate = gate();
+    let pop = Population::training(AppKind::Mysql, &PopulationOptions::new(25, 9));
+    let training = TrainingSet::assemble(AppKind::Mysql, pop.images()).expect("training assembles");
+    let engine = RuleInference::predefined();
+    let thresholds = FilterThresholds::default();
+    // Counters and histograms count *work*, which is scheduling-independent;
+    // gauges and timers (worker load, wall time) are exempt by design.
+    let mut reference = None;
+    for workers in [1usize, 2, 4] {
+        encore::obs::reset();
+        encore::obs::enable();
+        engine
+            .try_infer_with(&training, &thresholds, &InferOptions::with_workers(workers))
+            .expect("inference");
+        let report = encore::obs::pipeline_report();
+        encore::obs::disable();
+        let totals = (report.counters(), report.histograms());
+        assert!(
+            totals.0.values().any(|&v| v > 0),
+            "workers={workers}: instrumentation recorded no work"
+        );
+        match &reference {
+            None => reference = Some(totals),
+            Some(first) => {
+                assert_eq!(&totals.0, &first.0, "counter totals, workers={workers}");
+                assert_eq!(&totals.1, &first.1, "histogram counts, workers={workers}");
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -76,6 +149,7 @@ proptest! {
         images in 12usize..40,
         app_idx in 0usize..3,
     ) {
+        let _gate = gate();
         let app = [AppKind::Mysql, AppKind::Apache, AppKind::Php][app_idx];
         let pop = Population::training(app, &PopulationOptions::new(images, seed));
         let training = TrainingSet::assemble(app, pop.images()).expect("training assembles");

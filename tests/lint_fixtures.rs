@@ -81,6 +81,54 @@ fn seeded_defects_are_flagged_with_stable_codes() {
 }
 
 #[test]
+fn seeded_transitive_ordering_cycle_is_flagged_ec060() {
+    // Three ordering rules over real corpus attributes forming A < B < C < A:
+    // every pair is individually satisfiable (so EC020 stays quiet), but the
+    // set admits no assignment — the transitive cycle check must flag it.
+    let training = mysql_training();
+    let cache = training.stats_cache();
+    let numeric: Vec<AttrName> = cache
+        .attributes()
+        .iter()
+        .filter(|a| {
+            matches!(
+                cache.type_of(a),
+                SemType::Number | SemType::PortNumber | SemType::Size
+            )
+        })
+        .take(3)
+        .cloned()
+        .collect();
+    assert!(numeric.len() >= 3, "corpus has three numeric attributes");
+    let mut rules = RuleSet::new();
+    for (a, b) in [(0, 1), (1, 2), (2, 0)] {
+        rules.push(Rule::new(
+            numeric[a].clone(),
+            Relation::LessNum,
+            numeric[b].clone(),
+            10,
+            1.0,
+        ));
+    }
+
+    let report = check_all(
+        &Template::predefined(),
+        &FilterThresholds::default(),
+        &cache,
+        Some(&rules),
+    );
+    let cycles: Vec<_> = report.with_code(Code::OrderingCycle).collect();
+    assert_eq!(cycles.len(), 1, "{}", report.render_text());
+    assert_eq!(cycles[0].severity, Severity::Error);
+    assert!(
+        report.with_code(Code::ContradictoryOrdering).count() == 0,
+        "no pairwise contradiction was seeded:\n{}",
+        report.render_text()
+    );
+    assert_eq!(report.exit_code(false), 1);
+}
+
+#[test]
 fn conflicting_owners_with_row_evidence_is_an_error() {
     // Hand-built corpus where two user-typed entries genuinely differ, so
     // two Owns rules claiming the same path for each are contradictory.

@@ -83,7 +83,7 @@ proptest! {
     /// Entropy is maximal for uniform distributions.
     #[test]
     fn entropy_uniform_is_max(n in 2usize..20, c in 1usize..50) {
-        let uniform = entropy(std::iter::repeat(c).take(n));
+        let uniform = entropy(std::iter::repeat_n(c, n));
         prop_assert!((uniform - (n as f64).ln()).abs() < 1e-9);
     }
 
