@@ -1,7 +1,7 @@
 //! Criterion bench: anomaly detection throughput (checks per target image),
 //! comparing EnCore with the two baselines of Table 8.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use encore::baseline::{Baseline, BaselineEnv};
 use encore::prelude::*;
 use encore_corpus::genimage::{Population, PopulationOptions};
@@ -29,5 +29,28 @@ fn bench_detect(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_detect);
+fn bench_fleet(c: &mut Criterion) {
+    let app = AppKind::Mysql;
+    let pop = Population::training(app, &PopulationOptions::new(40, 1));
+    let training = TrainingSet::assemble(app, pop.images()).expect("assembles");
+    let engine = EnCore::learn(&training, &LearnOptions::default());
+    let fleet = Population::training(
+        app,
+        &PopulationOptions::new(32, 77).with_misconfig_percent(21),
+    );
+
+    let mut group = c.benchmark_group("fleet");
+    for workers in [1usize, 2, 4] {
+        group.bench_function(
+            BenchmarkId::new("check_fleet", format!("{workers}w")),
+            |b| {
+                let options = FleetOptions::with_workers(workers);
+                b.iter(|| engine.check_fleet(app, fleet.images(), &options))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detect, bench_fleet);
 criterion_main!(benches);

@@ -1,0 +1,227 @@
+//! Fleet-scale detection driver: train once, detect many.
+//!
+//! ```text
+//! encore-detect --app mysql --train 40 --targets 20      # train + check
+//! encore-detect --save-detector det.txt --targets 0      # train + persist
+//! encore-detect --load-detector det.txt --targets 20     # serve from snapshot
+//! encore-detect --targets 20 --workers 4                 # parallel checking
+//! ```
+//!
+//! The target reports are printed to stdout in fleet order, one
+//! `== system <id>` block per image, rendered with the exact-score
+//! [`encore::Report::render`] form — byte-identical for every worker count
+//! and for a trained-vs-reloaded detector, which is what the CI snapshot
+//! round-trip job diffs.
+//!
+//! Setting `ENCORE_TRACE` (or passing `--report`) enables the observability
+//! sink; the per-phase pipeline report goes to stderr under `ENCORE_TRACE`
+//! and to the `--report` path as JSON when given.
+
+use encore::prelude::*;
+use encore_corpus::genimage::{Population, PopulationOptions};
+use encore_model::AppKind;
+
+const USAGE: &str = "usage: encore-detect [--app NAME] [--train N] [--seed N] \
+[--targets N] [--target-seed N] [--misconfig-percent P] [--workers N] \
+[--save-detector FILE] [--load-detector FILE] [--no-entropy] [--report FILE]";
+
+/// Print a diagnostic plus the usage line to stderr and exit 2.  All
+/// argument-handling failures funnel through here so the binary has exactly
+/// one error shape.
+fn usage(problem: &str) -> ! {
+    eprintln!("encore-detect: {problem}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+struct Args {
+    app: AppKind,
+    train: usize,
+    seed: u64,
+    targets: usize,
+    target_seed: u64,
+    misconfig_percent: u32,
+    workers: Option<usize>,
+    save_detector: Option<String>,
+    load_detector: Option<String>,
+    no_entropy: bool,
+    report: Option<String>,
+}
+
+fn parse_args() -> Option<Args> {
+    let mut parsed = Args {
+        app: AppKind::Mysql,
+        train: 40,
+        seed: 1,
+        targets: 20,
+        target_seed: 77,
+        misconfig_percent: 21,
+        workers: None,
+        save_detector: None,
+        load_detector: None,
+        no_entropy: false,
+        report: None,
+    };
+    let mut args = std::env::args().skip(1);
+    // One shape for every `--flag VALUE` pair: take the value or die with
+    // the flag name in the diagnostic.
+    let value = |flag: &str, next: Option<String>| -> String {
+        match next {
+            Some(v) => v,
+            None => usage(&format!("{flag} requires a value")),
+        }
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--app" => {
+                let v = value("--app", args.next());
+                parsed.app = v
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("unknown app `{v}`")));
+            }
+            "--train" => {
+                let v = value("--train", args.next());
+                parsed.train = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--train requires a count"));
+            }
+            "--seed" => {
+                let v = value("--seed", args.next());
+                parsed.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed requires a number"));
+            }
+            "--targets" => {
+                let v = value("--targets", args.next());
+                parsed.targets = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--targets requires a count"));
+            }
+            "--target-seed" => {
+                let v = value("--target-seed", args.next());
+                parsed.target_seed = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--target-seed requires a number"));
+            }
+            "--misconfig-percent" => {
+                let v = value("--misconfig-percent", args.next());
+                parsed.misconfig_percent = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--misconfig-percent requires 0..=100"));
+            }
+            "--workers" => {
+                let v = value("--workers", args.next());
+                let n: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--workers requires a count"));
+                if n == 0 {
+                    usage("--workers must be at least 1");
+                }
+                parsed.workers = Some(n);
+            }
+            "--save-detector" => parsed.save_detector = Some(value("--save-detector", args.next())),
+            "--load-detector" => parsed.load_detector = Some(value("--load-detector", args.next())),
+            "--no-entropy" => parsed.no_entropy = true,
+            "--report" => parsed.report = Some(value("--report", args.next())),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return None;
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    Some(parsed)
+}
+
+/// Train a fresh detector, or reconstruct one from `--load-detector`.
+fn build_detector(args: &Args) -> AnomalyDetector {
+    if let Some(path) = &args.load_detector {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| usage(&format!("cannot read detector `{path}`: {e}")));
+        let snapshot = DetectorSnapshot::parse(&text)
+            .unwrap_or_else(|e| usage(&format!("bad detector `{path}`: {e}")));
+        return AnomalyDetector::from_snapshot(snapshot);
+    }
+    let pop = Population::training(args.app, &PopulationOptions::new(args.train, args.seed));
+    let training = TrainingSet::assemble(args.app, pop.images())
+        .unwrap_or_else(|e| usage(&format!("training corpus does not assemble: {e}")));
+    let thresholds = if args.no_entropy {
+        FilterThresholds::default().without_entropy()
+    } else {
+        FilterThresholds::default()
+    };
+    let options = encore::LearnOptions {
+        thresholds,
+        ..encore::LearnOptions::default()
+    };
+    EnCore::learn(&training, &options).into_detector()
+}
+
+fn main() {
+    let args = match parse_args() {
+        Some(args) => args,
+        None => return,
+    };
+    if args.load_detector.is_some() && args.save_detector.is_some() {
+        usage("--load-detector and --save-detector are mutually exclusive");
+    }
+    let trace = encore::obs::enable_from_env();
+    if args.report.is_some() {
+        encore::obs::enable();
+    }
+
+    let detector = build_detector(&args);
+    eprintln!(
+        "encore-detect: {} rules, {} known entries, trained on {} systems",
+        detector.rules().len(),
+        detector.training_stats().known_entries().len(),
+        detector.training_systems(),
+    );
+    if let Some(path) = &args.save_detector {
+        let text = detector.snapshot().render();
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("encore-detect: cannot write detector to `{path}`: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("encore-detect: detector saved to `{path}`");
+    }
+
+    let fleet = Population::training(
+        args.app,
+        &PopulationOptions::new(args.targets, args.target_seed)
+            .with_misconfig_percent(args.misconfig_percent),
+    );
+    let options = FleetOptions {
+        workers: args.workers,
+    };
+    let results = detector.check_fleet(args.app, fleet.images(), &options);
+    let mut with_warnings = 0usize;
+    for (image, result) in fleet.images().iter().zip(&results) {
+        println!("== system {}", image.id());
+        match result {
+            Ok(report) => {
+                if !report.is_empty() {
+                    with_warnings += 1;
+                }
+                print!("{}", report.render());
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    println!(
+        "== summary: {} systems checked, {} with warnings",
+        results.len(),
+        with_warnings
+    );
+
+    let report = encore::obs::pipeline_report();
+    if trace {
+        eprint!("{}", report.render_text());
+    }
+    if let Some(path) = &args.report {
+        if let Err(e) = std::fs::write(path, report.render_json()) {
+            eprintln!("encore-detect: cannot write report to `{path}`: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! encore-lint [--app mysql|apache|php|sshd] [--images N] [--seed N]
-//!             [--templates FILE] [--rules FILE]
+//!             [--templates FILE] [--rules FILE] [--detector FILE]
 //!             [--min-confidence X] [--min-support-fraction X]
 //!             [--entropy-threshold X]
 //!             [--json] [--deny-warnings]
@@ -30,6 +30,8 @@ usage: encore-lint [options]
                             11 predefined templates)
   --rules FILE              rule file to lint (default: lint rules learned
                             from the corpus)
+  --detector FILE           detector snapshot whose rule set to lint
+                            (mutually exclusive with --rules)
   --min-confidence X        confidence threshold (default 0.90)
   --min-support-fraction X  support threshold as a fraction (default 0.10)
   --entropy-threshold X     entropy threshold (default 0.325)
@@ -48,6 +50,7 @@ struct Options {
     seed: u64,
     templates_file: Option<String>,
     rules_file: Option<String>,
+    detector_file: Option<String>,
     thresholds: FilterThresholds,
     json: bool,
     deny_warnings: bool,
@@ -71,6 +74,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         seed: 7,
         templates_file: None,
         rules_file: None,
+        detector_file: None,
         thresholds: FilterThresholds::default(),
         json: false,
         deny_warnings: false,
@@ -96,6 +100,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             }
             "--templates" => options.templates_file = Some(value("--templates")?.clone()),
             "--rules" => options.rules_file = Some(value("--rules")?.clone()),
+            "--detector" => options.detector_file = Some(value("--detector")?.clone()),
             "--min-confidence" => {
                 options.thresholds.min_confidence = value("--min-confidence")?
                     .parse()
@@ -117,6 +122,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--report" => options.report_file = Some(value("--report")?.clone()),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
+    }
+    if options.rules_file.is_some() && options.detector_file.is_some() {
+        return Err("--rules and --detector are mutually exclusive".to_string());
     }
     Ok(Some(options))
 }
@@ -165,13 +173,20 @@ fn run(options: &Options) -> Result<(LintReport, bool), String> {
         .map_err(|e| format!("corpus assembly failed: {e}"))?;
     let cache = training.stats_cache();
 
-    let rules: Option<RuleSet> = match &options.rules_file {
-        Some(path) => {
+    let rules: Option<RuleSet> = match (&options.rules_file, &options.detector_file) {
+        (Some(path), _) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read rules file `{path}`: {e}"))?;
             Some(RuleSet::parse(&text).map_err(|e| format!("rules file `{path}`: {e}"))?)
         }
-        None if options.thresholds.validate().is_ok() => {
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read detector file `{path}`: {e}"))?;
+            let snapshot = encore::DetectorSnapshot::parse(&text)
+                .map_err(|e| format!("detector file `{path}`: {e}"))?;
+            Some(snapshot.rules().clone())
+        }
+        (None, None) if options.thresholds.validate().is_ok() => {
             // Lint the rules this corpus actually teaches.  Learning only
             // accepts well-typed templates; the type errors are reported by
             // check_all below either way.
@@ -192,7 +207,7 @@ fn run(options: &Options) -> Result<(LintReport, bool), String> {
         }
         // Thresholds are invalid: check_all reports EC050; don't learn
         // with them.
-        None => None,
+        (None, None) => None,
     };
 
     let all = check_all(&templates, &options.thresholds, &cache, rules.as_ref());

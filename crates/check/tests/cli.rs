@@ -103,6 +103,50 @@ fn rule_file_defects_fail_with_stable_codes() {
 }
 
 #[test]
+fn detector_snapshot_rules_are_linted() {
+    // A detector snapshot carrying a contradictory ordering pair: the lint
+    // must surface EC020 from the snapshot's embedded rule set.
+    let detector = fixture(
+        "bad-detector",
+        "encore-detector-snapshot v1\n\
+         [meta]\n\
+         systems=8\n\
+         [rules]\n\
+         O:max_connections\tLessNum\tO:table_open_cache\t10\t1.0\n\
+         O:table_open_cache\tLessNum\tO:max_connections\t10\t1.0\n\
+         [types]\n\
+         [entries]\n\
+         max_connections\n\
+         table_open_cache\n\
+         [values]\n",
+    );
+    let out = encore_lint(&[
+        "--app",
+        "mysql",
+        "--images",
+        "8",
+        "--detector",
+        detector.to_str().unwrap(),
+    ]);
+    let text = stdout(&out);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{text}");
+    assert!(text.contains("error[EC020]"), "stdout:\n{text}");
+}
+
+#[test]
+fn rules_and_detector_are_mutually_exclusive() {
+    let rules = fixture("excl-rules", "");
+    let detector = fixture("excl-detector", "");
+    let out = encore_lint(&[
+        "--rules",
+        rules.to_str().unwrap(),
+        "--detector",
+        detector.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn json_output_is_machine_readable() {
     let out = encore_lint(&["--app", "mysql", "--images", "8", "--json"]);
     let text = stdout(&out);

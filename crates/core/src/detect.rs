@@ -14,8 +14,10 @@
 //!    Inverse Change Frequency heuristic (citation 42): entries with *less* diverse
 //!    training values rank higher.
 
+use crate::pool::{self, PoolError};
 use crate::relation::{Applicability, SystemView};
 use crate::rules::{Rule, RuleSet};
+use crate::snapshot::DetectorSnapshot;
 use crate::train::TrainingSet;
 use crate::types::TypeMap;
 use encore_assemble::{AssembleError, Assembler};
@@ -164,11 +166,39 @@ impl Report {
         self.rank_of(entry).is_some()
     }
 
+    /// Render the ranked list, one line per warning, in rank order.
+    ///
+    /// Scores use the exact (`{:?}`) representation, so two reports render
+    /// byte-identically iff they are equal — the property the fleet
+    /// determinism and snapshot round-trip tests compare on.
+    pub fn render(&self) -> String {
+        if self.warnings.is_empty() {
+            return "clean\n".to_string();
+        }
+        let mut out = String::new();
+        for (i, w) in self.warnings.iter().enumerate() {
+            out.push_str(&format!(
+                "{}. [{}] {} (score={:?}): {}\n",
+                i + 1,
+                w.kind,
+                w.attr,
+                w.score,
+                w.detail
+            ));
+        }
+        out
+    }
+
     fn finish(mut self) -> Report {
+        // `f64::total_cmp`, not `partial_cmp(..).unwrap_or(Equal)`: a NaN
+        // score (e.g. a NaN confidence in a hand-edited loaded rule) would
+        // make the latter comparator non-transitive, and the ranking —
+        // which callers and fleet byte-identity depend on — nondeterministic.
+        // Under the IEEE 754 total order, NaN sorts above +inf, so a
+        // NaN-scored warning ranks first, deterministically.
         self.warnings.sort_by(|x, y| {
             y.score
-                .partial_cmp(&x.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&x.score)
                 .then_with(|| x.attr.cmp(&y.attr))
         });
         self
@@ -176,29 +206,25 @@ impl Report {
 }
 
 /// Per-attribute training statistics used by the value checks.
-#[derive(Debug, Clone, Default)]
-struct TrainingStats {
-    /// Entry names (bases, occurrence-stripped) seen in training.
+///
+/// Together with the learned [`RuleSet`] and merged [`TypeMap`], this is
+/// everything a detector needs — a [`DetectorSnapshot`] bundles the three so
+/// detection can run without the training corpus ("train once, detect
+/// many", §6).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrainingStats {
+    /// Entry names (canonical bases, occurrence-stripped) seen in training.
     known_entries: BTreeSet<String>,
-    /// Known (attr → value set) histograms.
+    /// Known (attr → value → occurrence count) histograms.
     values: BTreeMap<AttrName, BTreeMap<String, usize>>,
     /// Number of training systems (exposed through
     /// [`AnomalyDetector::training_systems`]).
     systems: usize,
 }
 
-/// The anomaly detector: rules + types + training statistics.
-#[derive(Debug)]
-pub struct AnomalyDetector {
-    rules: RuleSet,
-    types: TypeMap,
-    stats: TrainingStats,
-    assembler: Assembler,
-}
-
-impl AnomalyDetector {
-    /// Build a detector from a training set and learned rules.
-    pub fn new(training: &TrainingSet, rules: RuleSet) -> AnomalyDetector {
+impl TrainingStats {
+    /// Gather the statistics from an assembled training set.
+    pub fn from_training(training: &TrainingSet) -> TrainingStats {
         let mut stats = TrainingStats {
             systems: training.len(),
             ..TrainingStats::default()
@@ -220,12 +246,148 @@ impl AnomalyDetector {
                 }
             }
         }
+        stats
+    }
+
+    /// Reassemble statistics from persisted parts (snapshot loading).
+    pub fn from_parts(
+        systems: usize,
+        known_entries: BTreeSet<String>,
+        values: BTreeMap<AttrName, BTreeMap<String, usize>>,
+    ) -> TrainingStats {
+        TrainingStats {
+            known_entries,
+            values,
+            systems,
+        }
+    }
+
+    /// Number of training systems.
+    pub fn systems(&self) -> usize {
+        self.systems
+    }
+
+    /// Canonical entry names seen in training.
+    pub fn known_entries(&self) -> &BTreeSet<String> {
+        &self.known_entries
+    }
+
+    /// Per-attribute value histograms (value → occurrence count).
+    pub fn values(&self) -> &BTreeMap<AttrName, BTreeMap<String, usize>> {
+        &self.values
+    }
+}
+
+/// Rule indices partitioned by the attribute bound to the `A` slot.
+///
+/// Every relation validator needs both slot values present on the target
+/// (absent entries make a rule [`Applicability::NotApplicable`], §6), so
+/// [`AnomalyDetector::check`] only has to evaluate the buckets of
+/// attributes the target row actually carries instead of scanning the full
+/// rule list per system.  Candidate buckets are merged in ascending rule
+/// index, keeping warnings byte-identical to the full sequential scan.
+#[derive(Debug, Default)]
+struct DetectorIndex {
+    by_a: BTreeMap<AttrName, Vec<usize>>,
+    rules: usize,
+}
+
+impl DetectorIndex {
+    fn build(rules: &RuleSet) -> DetectorIndex {
+        let mut by_a: BTreeMap<AttrName, Vec<usize>> = BTreeMap::new();
+        for (i, rule) in rules.rules().iter().enumerate() {
+            by_a.entry(rule.a.clone()).or_default().push(i);
+        }
+        DetectorIndex {
+            by_a,
+            rules: rules.len(),
+        }
+    }
+
+    /// Indices of rules whose `A` slot is present (non-absent) on the row,
+    /// in ascending rule order.
+    fn candidates(&self, row: &Row) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (attr, value) in row.iter() {
+            if value.is_absent() {
+                continue;
+            }
+            if let Some(bucket) = self.by_a.get(attr) {
+                out.extend_from_slice(bucket);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Options for batch fleet checking.
+#[derive(Debug, Clone, Default)]
+pub struct FleetOptions {
+    /// Worker threads; `None` uses all available parallelism.  The reports
+    /// are identical for every worker count.
+    pub workers: Option<usize>,
+}
+
+impl FleetOptions {
+    /// Options pinning the worker count.
+    pub fn with_workers(workers: usize) -> FleetOptions {
+        FleetOptions {
+            workers: Some(workers),
+        }
+    }
+
+    fn resolved_workers(&self) -> usize {
+        self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    }
+}
+
+/// The anomaly detector: rules + types + training statistics.
+#[derive(Debug)]
+pub struct AnomalyDetector {
+    rules: RuleSet,
+    types: TypeMap,
+    stats: TrainingStats,
+    index: DetectorIndex,
+    assembler: Assembler,
+}
+
+impl AnomalyDetector {
+    /// Build a detector from a training set and learned rules.
+    pub fn new(training: &TrainingSet, rules: RuleSet) -> AnomalyDetector {
+        AnomalyDetector::from_parts(
+            rules,
+            training.types().clone(),
+            TrainingStats::from_training(training),
+        )
+    }
+
+    /// Build a detector from its three learned artifacts directly, without
+    /// the training corpus.
+    pub fn from_parts(rules: RuleSet, types: TypeMap, stats: TrainingStats) -> AnomalyDetector {
+        let index = DetectorIndex::build(&rules);
         AnomalyDetector {
             rules,
-            types: training.types().clone(),
+            types,
             stats,
+            index,
             assembler: Assembler::new(),
         }
+    }
+
+    /// Reconstruct a detector from a persisted snapshot.
+    pub fn from_snapshot(snapshot: DetectorSnapshot) -> AnomalyDetector {
+        let (rules, types, stats) = snapshot.into_parts();
+        AnomalyDetector::from_parts(rules, types, stats)
+    }
+
+    /// Capture the detector's learned state as a persistable snapshot.
+    pub fn snapshot(&self) -> DetectorSnapshot {
+        DetectorSnapshot::new(self.rules.clone(), self.types.clone(), self.stats.clone())
     }
 
     /// The learned rules.
@@ -236,6 +398,12 @@ impl AnomalyDetector {
     /// The merged type map.
     pub fn types(&self) -> &TypeMap {
         &self.types
+    }
+
+    /// The training statistics (known entries, value histograms, corpus
+    /// size).
+    pub fn training_stats(&self) -> &TrainingStats {
+        &self.stats
     }
 
     /// Number of systems the detector was trained on.
@@ -251,6 +419,48 @@ impl AnomalyDetector {
     pub fn check_image(&self, app: AppKind, image: &SystemImage) -> Result<Report, AssembleError> {
         let row = self.assembler.assemble_image(app, image)?;
         Ok(self.check(&row, Some(image)))
+    }
+
+    /// Check a whole target fleet in one batch over the work-stealing pool.
+    ///
+    /// Per-image assembly failures stay per-image results (a fleet crawl
+    /// must tolerate broken images); the returned vector is index-aligned
+    /// with `images` and byte-identical to a sequential
+    /// [`AnomalyDetector::check_image`] loop for every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a detection worker panics; [`AnomalyDetector::try_check_fleet`]
+    /// surfaces that recoverably instead.
+    pub fn check_fleet(
+        &self,
+        app: AppKind,
+        images: &[SystemImage],
+        options: &FleetOptions,
+    ) -> Vec<Result<Report, AssembleError>> {
+        self.try_check_fleet(app, images, options)
+            .expect("detection worker panicked")
+    }
+
+    /// Check a whole target fleet, surfacing detection-worker panics as a
+    /// recoverable [`PoolError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (lowest-index) [`PoolError`] if checking an image
+    /// panics.
+    pub fn try_check_fleet(
+        &self,
+        app: AppKind,
+        images: &[SystemImage],
+        options: &FleetOptions,
+    ) -> Result<Vec<Result<Report, AssembleError>>, PoolError> {
+        crate::obs::DETECT_FLEET_BATCHES.incr();
+        crate::obs::DETECT_FLEET_SYSTEMS.add(images.len() as u64);
+        let workers = options.resolved_workers();
+        pool::run_units_observed(images, workers, &crate::obs::DETECT_POOL_METRICS, |image| {
+            self.check_image(app, image)
+        })
     }
 
     /// Check an already-assembled row (image optional; environment-backed
@@ -272,18 +482,25 @@ impl AnomalyDetector {
                     WarningKind::SuspiciousValue => crate::obs::DETECT_SUSPICIOUS.incr(),
                 }
             }
+            crate::obs::DETECT_WARNINGS_PER_SYSTEM.observe(report.warnings.len() as u64);
         }
         report.finish()
     }
 
     /// Check 1: unknown entry names (likely misspellings, [31]).
+    ///
+    /// Warnings are deduplicated by canonical base name: a misspelled entry
+    /// repeated on the target (`dataadir#1`, `dataadir#2`, or the same
+    /// unknown directive under several Apache section scopes) is one
+    /// anomaly, not one warning per occurrence flooding the ranked list.
     fn check_entry_names(&self, row: &Row, report: &mut Report) {
+        let mut reported: BTreeSet<String> = BTreeSet::new();
         for (attr, _) in row.iter() {
             if !attr.is_original() {
                 continue;
             }
             let base = crate::relation::canonical_entry_name(attr.base());
-            if !self.stats.known_entries.contains(&base) {
+            if !self.stats.known_entries.contains(&base) && reported.insert(base.clone()) {
                 report.warnings.push(Warning {
                     kind: WarningKind::UnknownEntry,
                     attr: attr.clone(),
@@ -296,7 +513,45 @@ impl AnomalyDetector {
     }
 
     /// Check 2: correlation-rule violations.
+    ///
+    /// Only the [`DetectorIndex`] candidates — rules whose `A`-slot
+    /// attribute the target actually carries — are evaluated; the skipped
+    /// rules would all be [`Applicability::NotApplicable`], so the warnings
+    /// are byte-identical to a full scan of the rule list.
     fn check_correlations(&self, row: &Row, image: Option<&SystemImage>, report: &mut Report) {
+        let view = match image {
+            Some(img) => SystemView::new(row, img),
+            None => SystemView::row_only(row),
+        };
+        let candidates = self.index.candidates(row);
+        if crate::obs::enabled() {
+            crate::obs::DETECT_INDEX_RULES_EVALUATED.add(candidates.len() as u64);
+            crate::obs::DETECT_INDEX_RULES_SKIPPED
+                .add((self.index.rules - candidates.len()) as u64);
+        }
+        for i in candidates {
+            let rule = &self.rules.rules()[i];
+            if let Applicability::Violated = rule.evaluate(view) {
+                report.warnings.push(Warning {
+                    kind: WarningKind::CorrelationViolation,
+                    attr: rule.a.clone(),
+                    detail: format!("rule violated: {rule}"),
+                    score: 100.0 + rule.confidence * 10.0,
+                    rule: Some(rule.clone()),
+                });
+            }
+        }
+    }
+
+    /// Reference full scan of the rule list (what `check_correlations`
+    /// replaced); kept for the index-equivalence regression tests.
+    #[cfg(test)]
+    fn check_correlations_unindexed(
+        &self,
+        row: &Row,
+        image: Option<&SystemImage>,
+        report: &mut Report,
+    ) {
         let view = match image {
             Some(img) => SystemView::new(row, img),
             None => SystemView::row_only(row),
@@ -378,16 +633,25 @@ impl AnomalyDetector {
             if attr.is_original() && ty == SemType::FilePath {
                 continue;
             }
-            // ICF: fewer distinct training values → higher rank.
+            // ICF: fewer distinct training values → higher rank, weighted
+            // by the modal value's dominance so the per-value counts the
+            // histogram tracks actually matter.  An entry where 9 of 10
+            // training systems agree on one value (dominance 0.9) changed
+            // rarely — a deviation is a strong signal; an entry whose
+            // values are spread evenly changed often, which is exactly what
+            // the Inverse *Change Frequency* heuristic down-ranks.
+            let total: usize = hist.values().sum();
+            let modal = hist.values().copied().max().unwrap_or(1);
+            let dominance = modal as f64 / total.max(1) as f64;
             let icf = 1.0 / hist.len() as f64;
             report.warnings.push(Warning {
                 kind: WarningKind::SuspiciousValue,
                 attr: attr.clone(),
                 detail: format!(
-                    "value `{rendered}` never seen in training ({} known values)",
+                    "value `{rendered}` never seen in training ({} known values, modal share {modal}/{total})",
                     hist.len()
                 ),
-                score: 40.0 * icf,
+                score: 40.0 * icf * dominance,
                 rule: None,
             });
         }
@@ -563,5 +827,176 @@ mod tests {
             .warnings()
             .iter()
             .all(|w| w.kind() != WarningKind::TypeViolation));
+    }
+
+    #[test]
+    fn nan_confidence_rule_ranks_deterministically() {
+        // A NaN score used to make the `partial_cmp(..).unwrap_or(Equal)`
+        // comparator non-transitive and the ranking order dependent on the
+        // incoming warning order; `total_cmp` ranks NaN first, always.
+        use crate::template::Relation;
+        let nan_rule = Rule::new(
+            AttrName::entry("datadir"),
+            Relation::Owns,
+            AttrName::entry("user"),
+            10,
+            f64::NAN,
+        );
+        let mut warnings = Vec::new();
+        for (name, score) in [("alpha", 50.0), ("omega", f64::NAN), ("beta", 90.0)] {
+            warnings.push(Warning {
+                kind: WarningKind::CorrelationViolation,
+                attr: AttrName::entry(name),
+                detail: format!("rule violated: {nan_rule}"),
+                score,
+                rule: Some(nan_rule.clone()),
+            });
+        }
+        let order = |r: &Report| -> Vec<String> {
+            r.warnings()
+                .iter()
+                .map(|w| w.attr().base().to_string())
+                .collect()
+        };
+        let forward = Report::from_warnings(warnings.clone());
+        warnings.reverse();
+        let reversed = Report::from_warnings(warnings);
+        // NaN != NaN, so compare the ranking order, not the reports.
+        assert_eq!(
+            order(&forward),
+            order(&reversed),
+            "ranking must not depend on input order"
+        );
+        assert!(forward.warnings()[0].score().is_nan(), "NaN ranks first");
+        assert_eq!(order(&forward), ["omega", "beta", "alpha"]);
+    }
+
+    #[test]
+    fn repeated_unknown_entry_warns_once() {
+        let det = engine();
+        // The same misspelled entry flattened into two occurrence-marked
+        // attributes must yield ONE warning, not flood the ranked list.
+        let mut row = Row::new("target");
+        row.set(AttrName::entry("dataadir#1"), ConfigValue::str("/tmp/a"));
+        row.set(AttrName::entry("dataadir#2"), ConfigValue::str("/tmp/b"));
+        row.set(AttrName::entry("user"), ConfigValue::str("mysql"));
+        let report = det.check(&row, None);
+        let unknown: Vec<_> = report
+            .warnings()
+            .iter()
+            .filter(|w| w.kind() == WarningKind::UnknownEntry)
+            .collect();
+        assert_eq!(
+            unknown.len(),
+            1,
+            "one warning per canonical base name: {report:?}"
+        );
+        assert!(unknown[0].detail().contains("dataadir"));
+    }
+
+    #[test]
+    fn icf_ranking_is_count_aware() {
+        // Two entries, both with 2 distinct training values: `stable` is
+        // 9-vs-1 dominated by one value, `churny` an even 5-vs-5 split.
+        // Pure distinct-value ICF scored them identically; the count-aware
+        // score must rank the deviation on the rarely-changing entry first.
+        let mut values = BTreeMap::new();
+        let mut stable = BTreeMap::new();
+        stable.insert("on".to_string(), 9usize);
+        stable.insert("off".to_string(), 1usize);
+        values.insert(AttrName::entry("stable"), stable);
+        let mut churny = BTreeMap::new();
+        churny.insert("alpha".to_string(), 5usize);
+        churny.insert("beta".to_string(), 5usize);
+        values.insert(AttrName::entry("churny"), churny);
+        let mut entries = BTreeSet::new();
+        entries.insert("stable".to_string());
+        entries.insert("churny".to_string());
+        let det = AnomalyDetector::from_parts(
+            RuleSet::new(),
+            TypeMap::new(),
+            TrainingStats::from_parts(10, entries, values),
+        );
+        let mut row = Row::new("target");
+        row.set(AttrName::entry("stable"), ConfigValue::str("weird"));
+        row.set(AttrName::entry("churny"), ConfigValue::str("weird"));
+        let report = det.check(&row, None);
+        let score_of = |name: &str| {
+            report
+                .warnings()
+                .iter()
+                .find(|w| w.kind() == WarningKind::SuspiciousValue && w.attr().base() == name)
+                .unwrap_or_else(|| panic!("no suspicious-value warning for {name}: {report:?}"))
+                .score()
+        };
+        assert!(
+            score_of("stable") > score_of("churny"),
+            "modal dominance must outrank an even split: {report:?}"
+        );
+        // Pinned: 40 * (1/len) * (modal/total).
+        assert_eq!(score_of("stable"), 40.0 * 0.5 * 0.9);
+        assert_eq!(score_of("churny"), 40.0 * 0.5 * 0.5);
+        assert_eq!(report.rank_of("stable"), Some(1));
+    }
+
+    #[test]
+    fn indexed_correlation_check_matches_full_scan() {
+        let det = engine();
+        let targets = [broken_owner_image(), fleet(1).remove(0)];
+        for image in &targets {
+            let row = det
+                .assembler
+                .assemble_image(AppKind::Mysql, image)
+                .expect("assembles");
+            let mut indexed = Report::default();
+            det.check_correlations(&row, Some(image), &mut indexed);
+            let mut full = Report::default();
+            det.check_correlations_unindexed(&row, Some(image), &mut full);
+            assert_eq!(indexed, full, "index must be invisible in the warnings");
+        }
+    }
+
+    #[test]
+    fn check_fleet_matches_sequential_loop() {
+        let det = engine();
+        let mut targets = fleet(6);
+        targets.push(broken_owner_image());
+        let sequential: Vec<String> = targets
+            .iter()
+            .map(|img| {
+                det.check_image(AppKind::Mysql, img)
+                    .expect("check")
+                    .render()
+            })
+            .collect();
+        for workers in [1usize, 2, 4] {
+            let batch = det.check_fleet(
+                AppKind::Mysql,
+                &targets,
+                &FleetOptions::with_workers(workers),
+            );
+            let rendered: Vec<String> = batch
+                .into_iter()
+                .map(|r| r.expect("fleet image checks").render())
+                .collect();
+            assert_eq!(rendered, sequential, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_reconstructs_the_detector() {
+        let det = engine();
+        let text = det.snapshot().render();
+        let loaded = AnomalyDetector::from_snapshot(
+            crate::snapshot::DetectorSnapshot::parse(&text).expect("snapshot parses"),
+        );
+        assert_eq!(loaded.rules(), det.rules());
+        assert_eq!(loaded.types(), det.types());
+        assert_eq!(loaded.training_stats(), det.training_stats());
+        let target = broken_owner_image();
+        let a = det.check_image(AppKind::Mysql, &target).unwrap();
+        let b = loaded.check_image(AppKind::Mysql, &target).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
     }
 }

@@ -73,16 +73,18 @@ pub mod obs;
 pub mod pool;
 pub mod relation;
 pub mod rules;
+pub mod snapshot;
 pub mod stats;
 pub mod template;
 pub mod train;
 pub mod types;
 
-pub use detect::{AnomalyDetector, Report, Warning, WarningKind};
+pub use detect::{AnomalyDetector, FleetOptions, Report, TrainingStats, Warning, WarningKind};
 pub use eligibility::{analyze_templates, EligibilityReport};
 pub use filter::FilterThresholds;
 pub use infer::{InferError, InferOptions, InferenceStats, RuleInference};
 pub use rules::{Rule, RuleSet};
+pub use snapshot::DetectorSnapshot;
 pub use stats::StatsCache;
 pub use template::{Relation, RelationSignature, Slot, Template, TemplateTypeError};
 pub use train::TrainingSet;
@@ -91,9 +93,10 @@ pub use types::TypeMap;
 /// Convenience re-exports for downstream users.
 pub mod prelude {
     pub use crate::baseline::{Baseline, BaselineEnv};
-    pub use crate::detect::{AnomalyDetector, Report, Warning, WarningKind};
+    pub use crate::detect::{AnomalyDetector, FleetOptions, Report, Warning, WarningKind};
     pub use crate::filter::FilterThresholds;
     pub use crate::rules::{Rule, RuleSet};
+    pub use crate::snapshot::DetectorSnapshot;
     pub use crate::template::{Relation, Template};
     pub use crate::train::TrainingSet;
     pub use crate::{EnCore, LearnOptions};
@@ -185,6 +188,19 @@ impl EnCore {
         &self.detector
     }
 
+    /// Consume the engine, keeping only the detector (serving hosts don't
+    /// need the inference statistics).
+    pub fn into_detector(self) -> AnomalyDetector {
+        self.detector
+    }
+
+    /// Capture the learned state as a persistable [`DetectorSnapshot`]
+    /// ("train once, detect many": the snapshot reconstructs an
+    /// [`AnomalyDetector`] without the training corpus).
+    pub fn snapshot(&self) -> DetectorSnapshot {
+        self.detector.snapshot()
+    }
+
     /// Check a target image: assemble it, then run all four anomaly checks.
     ///
     /// # Errors
@@ -196,5 +212,21 @@ impl EnCore {
         image: &SystemImage,
     ) -> Result<Report, encore_assemble::AssembleError> {
         self.detector.check_image(app, image)
+    }
+
+    /// Check a whole target fleet in one batch (see
+    /// [`AnomalyDetector::check_fleet`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a detection worker panics;
+    /// [`AnomalyDetector::try_check_fleet`] surfaces that recoverably.
+    pub fn check_fleet(
+        &self,
+        app: AppKind,
+        images: &[SystemImage],
+        options: &FleetOptions,
+    ) -> Vec<Result<Report, encore_assemble::AssembleError>> {
+        self.detector.check_fleet(app, images, options)
     }
 }

@@ -55,6 +55,17 @@ pub static POOL_WORKER_BUSY: Timer = Timer::new("infer.pool.worker_busy");
 /// Wall time of whole inference passes (candidate generation).
 pub static INFER_TIME: Timer = Timer::new("infer.time");
 
+/// The pool instrument bundle for the `infer` phase (the pool's historical
+/// default caller).
+pub static INFER_POOL_METRICS: crate::pool::PoolMetrics = crate::pool::PoolMetrics {
+    units_run: &POOL_UNITS_RUN,
+    workers: &POOL_WORKERS,
+    busiest_worker_units: &POOL_BUSIEST_WORKER_UNITS,
+    idlest_worker_units: &POOL_IDLEST_WORKER_UNITS,
+    stolen_units: &POOL_STOLEN_UNITS,
+    worker_busy: &POOL_WORKER_BUSY,
+};
+
 // ---- stats: the sharded entropy memo ----
 
 /// Attributes resolved into a stats cache.
@@ -92,8 +103,44 @@ pub static DETECT_CORRELATION: Counter = Counter::new("detect.warnings.correlati
 pub static DETECT_TYPE: Counter = Counter::new("detect.warnings.type");
 /// Suspicious-value warnings emitted.
 pub static DETECT_SUSPICIOUS: Counter = Counter::new("detect.warnings.suspicious_value");
-/// Wall time inside detector checks.
+/// Wall time inside detector checks.  Systems/sec for a batch is
+/// `detect.systems.checked / detect.time` in the rolled-up report.
 pub static DETECT_TIME: Timer = Timer::new("detect.time");
+/// Correlation rules actually evaluated after the attribute-presence index
+/// pruned the candidate list.
+pub static DETECT_INDEX_RULES_EVALUATED: Counter = Counter::new("detect.index.rules_evaluated");
+/// Correlation rules the index skipped (some slot attribute absent from the
+/// target row — a full scan would have evaluated them to `NotApplicable`).
+pub static DETECT_INDEX_RULES_SKIPPED: Counter = Counter::new("detect.index.rules_skipped");
+/// Warnings per checked system (counts work: scheduling-independent).
+pub static DETECT_WARNINGS_PER_SYSTEM: Histogram =
+    Histogram::new("detect.warnings.per_system", &INDEX_BOUNDS);
+/// Target systems handed to `check_fleet` batches.
+pub static DETECT_FLEET_SYSTEMS: Counter = Counter::new("detect.fleet.systems");
+/// `check_fleet` batches run.
+pub static DETECT_FLEET_BATCHES: Counter = Counter::new("detect.fleet.batches");
+/// Fleet-batch units handed to the detect pool.
+pub static DETECT_POOL_UNITS_RUN: Counter = Counter::new("detect.pool.units_run");
+/// Worker threads of the last fleet batch (scheduling-dependent: gauge).
+pub static DETECT_POOL_WORKERS: Gauge = Gauge::new("detect.pool.workers");
+/// Systems checked by the busiest worker of the last fleet batch.
+pub static DETECT_POOL_BUSIEST_WORKER_UNITS: Gauge = Gauge::new("detect.pool.busiest_worker_units");
+/// Systems checked by the idlest worker of the last fleet batch.
+pub static DETECT_POOL_IDLEST_WORKER_UNITS: Gauge = Gauge::new("detect.pool.idlest_worker_units");
+/// Systems that landed on workers other than worker 0 in the last batch.
+pub static DETECT_POOL_STOLEN_UNITS: Gauge = Gauge::new("detect.pool.stolen_units");
+/// Per-worker busy time inside fleet batches.
+pub static DETECT_POOL_WORKER_BUSY: Timer = Timer::new("detect.pool.worker_busy");
+
+/// The pool instrument bundle for `detect`-phase fleet batches.
+pub static DETECT_POOL_METRICS: crate::pool::PoolMetrics = crate::pool::PoolMetrics {
+    units_run: &DETECT_POOL_UNITS_RUN,
+    workers: &DETECT_POOL_WORKERS,
+    busiest_worker_units: &DETECT_POOL_BUSIEST_WORKER_UNITS,
+    idlest_worker_units: &DETECT_POOL_IDLEST_WORKER_UNITS,
+    stolen_units: &DETECT_POOL_STOLEN_UNITS,
+    worker_busy: &DETECT_POOL_WORKER_BUSY,
+};
 
 /// Snapshot of the `infer` phase.
 fn infer_phase() -> PhaseReport {
@@ -141,7 +188,18 @@ fn detect_phase() -> PhaseReport {
         .counter(&DETECT_CORRELATION)
         .counter(&DETECT_TYPE)
         .counter(&DETECT_SUSPICIOUS)
+        .counter(&DETECT_INDEX_RULES_EVALUATED)
+        .counter(&DETECT_INDEX_RULES_SKIPPED)
+        .counter(&DETECT_FLEET_SYSTEMS)
+        .counter(&DETECT_FLEET_BATCHES)
+        .counter(&DETECT_POOL_UNITS_RUN)
+        .gauge(&DETECT_POOL_WORKERS)
+        .gauge(&DETECT_POOL_BUSIEST_WORKER_UNITS)
+        .gauge(&DETECT_POOL_IDLEST_WORKER_UNITS)
+        .gauge(&DETECT_POOL_STOLEN_UNITS)
+        .timer(&DETECT_POOL_WORKER_BUSY)
         .timer(&DETECT_TIME)
+        .histogram(&DETECT_WARNINGS_PER_SYSTEM)
 }
 
 /// Roll up the whole pipeline: all six phase sections, in pipeline order,
@@ -183,6 +241,11 @@ pub fn reset() {
         &DETECT_CORRELATION,
         &DETECT_TYPE,
         &DETECT_SUSPICIOUS,
+        &DETECT_INDEX_RULES_EVALUATED,
+        &DETECT_INDEX_RULES_SKIPPED,
+        &DETECT_FLEET_SYSTEMS,
+        &DETECT_FLEET_BATCHES,
+        &DETECT_POOL_UNITS_RUN,
     ] {
         counter.reset();
     }
@@ -191,6 +254,10 @@ pub fn reset() {
         &POOL_BUSIEST_WORKER_UNITS,
         &POOL_IDLEST_WORKER_UNITS,
         &POOL_STOLEN_UNITS,
+        &DETECT_POOL_WORKERS,
+        &DETECT_POOL_BUSIEST_WORKER_UNITS,
+        &DETECT_POOL_IDLEST_WORKER_UNITS,
+        &DETECT_POOL_STOLEN_UNITS,
     ] {
         gauge.reset();
     }
@@ -200,12 +267,14 @@ pub fn reset() {
         &STATS_BUILD_TIME,
         &FILTER_TIME,
         &DETECT_TIME,
+        &DETECT_POOL_WORKER_BUSY,
     ] {
         timer.reset();
     }
     INFER_CANDIDATES_BY_TEMPLATE.reset();
     STATS_ENTROPY_HITS.reset();
     STATS_ENTROPY_MISSES.reset();
+    DETECT_WARNINGS_PER_SYSTEM.reset();
 }
 
 #[cfg(test)]

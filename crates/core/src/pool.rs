@@ -13,8 +13,31 @@
 //! A panicking unit is caught and surfaced as a [`PoolError`] instead of
 //! poisoning the process.
 
+use crate::obs::{Counter, Gauge, Timer};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The instruments a pool run reports into.
+///
+/// The pool is shared by the `infer` phase (template instantiation) and the
+/// `detect` phase (fleet checking); each caller hands the pool its own
+/// phase's statics so the two workloads stay separate in the
+/// [`crate::obs::pipeline_report`] roll-up.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolMetrics {
+    /// Units handed to the pool (counter: scheduling-independent work).
+    pub units_run: &'static Counter,
+    /// Worker threads of the last run (gauge: scheduling-dependent).
+    pub workers: &'static Gauge,
+    /// Units run by the busiest worker of the last run.
+    pub busiest_worker_units: &'static Gauge,
+    /// Units run by the idlest worker of the last run.
+    pub idlest_worker_units: &'static Gauge,
+    /// Units that landed on workers other than worker 0 in the last run.
+    pub stolen_units: &'static Gauge,
+    /// Per-worker busy time inside the pool loop.
+    pub worker_busy: &'static Timer,
+}
 
 /// A worker panicked while processing a unit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,8 +66,8 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Run `f` over every unit on up to `workers` threads, returning the
-/// results in unit order.
+/// Run `f` over every unit on up to `workers` threads, reporting into the
+/// `infer` phase's pool instruments (the historical default).
 ///
 /// # Errors
 ///
@@ -56,19 +79,40 @@ where
     O: Send,
     F: Fn(&U) -> O + Sync,
 {
+    run_units_observed(units, workers, &crate::obs::INFER_POOL_METRICS, f)
+}
+
+/// Run `f` over every unit on up to `workers` threads, returning the
+/// results in unit order and reporting into the given instruments.
+///
+/// # Errors
+///
+/// Returns the first (lowest-index) [`PoolError`] if any unit panics; the
+/// remaining units still run to completion.
+pub fn run_units_observed<U, O, F>(
+    units: &[U],
+    workers: usize,
+    metrics: &PoolMetrics,
+    f: F,
+) -> Result<Vec<O>, PoolError>
+where
+    U: Sync,
+    O: Send,
+    F: Fn(&U) -> O + Sync,
+{
     let workers = workers.clamp(1, units.len().max(1));
-    crate::obs::POOL_UNITS_RUN.add(units.len() as u64);
-    crate::obs::POOL_WORKERS.set(workers as u64);
+    metrics.units_run.add(units.len() as u64);
+    metrics.workers.set(workers as u64);
     let run_one = |index: usize| -> (usize, Result<O, String>) {
         let outcome = catch_unwind(AssertUnwindSafe(|| f(&units[index]))).map_err(panic_message);
         (index, outcome)
     };
 
     let mut tagged: Vec<(usize, Result<O, String>)> = if workers <= 1 {
-        crate::obs::POOL_BUSIEST_WORKER_UNITS.set(units.len() as u64);
-        crate::obs::POOL_IDLEST_WORKER_UNITS.set(units.len() as u64);
-        crate::obs::POOL_STOLEN_UNITS.set(0);
-        let _busy = crate::obs::POOL_WORKER_BUSY.span();
+        metrics.busiest_worker_units.set(units.len() as u64);
+        metrics.idlest_worker_units.set(units.len() as u64);
+        metrics.stolen_units.set(0);
+        let _busy = metrics.worker_busy.span();
         (0..units.len()).map(run_one).collect()
     } else {
         let cursor = AtomicUsize::new(0);
@@ -76,7 +120,7 @@ where
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
-                        let _busy = crate::obs::POOL_WORKER_BUSY.span();
+                        let _busy = metrics.worker_busy.span();
                         let mut local = Vec::new();
                         loop {
                             let index = cursor.fetch_add(1, Ordering::Relaxed);
@@ -102,11 +146,15 @@ where
         });
         if crate::obs::enabled() {
             let loads: Vec<u64> = per_worker.iter().map(|w| w.len() as u64).collect();
-            crate::obs::POOL_BUSIEST_WORKER_UNITS.set(loads.iter().copied().max().unwrap_or(0));
-            crate::obs::POOL_IDLEST_WORKER_UNITS.set(loads.iter().copied().min().unwrap_or(0));
+            metrics
+                .busiest_worker_units
+                .set(loads.iter().copied().max().unwrap_or(0));
+            metrics
+                .idlest_worker_units
+                .set(loads.iter().copied().min().unwrap_or(0));
             // Units that landed anywhere but worker 0 — what the stealing
             // actually spread.  Scheduling-dependent, hence a gauge.
-            crate::obs::POOL_STOLEN_UNITS.set(loads.iter().skip(1).sum::<u64>());
+            metrics.stolen_units.set(loads.iter().skip(1).sum::<u64>());
         }
         per_worker.into_iter().flatten().collect()
     };

@@ -50,9 +50,15 @@ impl Rule {
     }
 
     /// One-line render: `datadir => user [Owns] sup=187 conf=0.99`.
+    ///
+    /// Confidence is rendered with the shortest representation that parses
+    /// back to the identical `f64` (`{:?}`), so render→parse is lossless —
+    /// a requirement once rule sets round-trip through detector snapshots
+    /// on disk.  [`Rule::parse`] still accepts the historical fixed-width
+    /// `conf=0.990` form.
     pub fn render(&self) -> String {
         format!(
-            "{} {} {} [{}] sup={} conf={:.3}",
+            "{} {} {} [{}] sup={} conf={:?}",
             self.a,
             self.relation.symbol(),
             self.b,
@@ -60,6 +66,55 @@ impl Rule {
             self.support,
             self.confidence
         )
+    }
+
+    /// Render the unambiguous tab-separated form used by detector
+    /// snapshots: `<a-tagged>\t<Relation>\t<b-tagged>\t<sup>\t<conf>`.
+    ///
+    /// The readable [`Rule::render`] form prints attributes with their
+    /// display names, which cannot distinguish an original dotted entry
+    /// (php's `session.use_cookies`) from an augmented property; the tagged
+    /// form can, so snapshots reload every rule exactly.
+    pub fn render_tagged(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{:?}",
+            self.a.render_tagged(),
+            self.relation,
+            self.b.render_tagged(),
+            self.support,
+            self.confidence
+        )
+    }
+
+    /// Parse the tagged form produced by [`Rule::render_tagged`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem with the line.
+    pub fn parse_tagged(line: &str) -> Result<Rule, String> {
+        let mut fields = line.split('\t');
+        let mut next = |what: &str| fields.next().ok_or_else(|| format!("missing {what} field"));
+        let a = AttrName::parse_tagged(next("attribute A")?).map_err(|e| e.to_string())?;
+        let relation_name = next("relation")?;
+        let relation = Relation::parse_name(relation_name)
+            .ok_or_else(|| format!("unknown relation `{relation_name}`"))?;
+        let b = AttrName::parse_tagged(next("attribute B")?).map_err(|e| e.to_string())?;
+        let support = next("support")?
+            .parse::<usize>()
+            .map_err(|e| format!("bad support: {e}"))?;
+        let confidence = next("confidence")?
+            .parse::<f64>()
+            .map_err(|e| format!("bad confidence: {e}"))?;
+        if fields.next().is_some() {
+            return Err("trailing fields after confidence".to_string());
+        }
+        Ok(Rule {
+            a,
+            b,
+            relation,
+            support,
+            confidence,
+        })
     }
 
     /// Parse one rendered rule line (the inverse of [`Rule::render`]).
@@ -243,18 +298,62 @@ mod tests {
                 10,
                 1.0,
             ),
+            // Confidence values with no short decimal form must survive
+            // exactly: 0.8999 vs 0.900 flips a 0.90 threshold.
+            Rule::new(
+                AttrName::entry("max_connections"),
+                Relation::LessNum,
+                AttrName::entry("table_open_cache"),
+                187,
+                0.899_900_000_000_1,
+            ),
         ];
         for r in &rules {
             let back = Rule::parse(&r.render()).unwrap_or_else(|e| panic!("{e}: {}", r.render()));
-            assert_eq!(back.a, r.a);
-            assert_eq!(back.b, r.b);
-            assert_eq!(back.relation, r.relation);
-            assert_eq!(back.support, r.support);
-            assert!((back.confidence - r.confidence).abs() < 1e-3);
+            assert_eq!(&back, r, "render→parse must be exact: {}", r.render());
         }
         let set: RuleSet = rules.into_iter().collect();
         let reparsed = RuleSet::parse(&format!("# learned rules\n\n{}", set.render())).unwrap();
-        assert_eq!(reparsed.len(), set.len());
+        assert_eq!(reparsed, set);
+    }
+
+    #[test]
+    fn parse_accepts_fixed_width_confidence() {
+        // The historical `{:.3}` rendering must still load.
+        let r = Rule::parse("datadir => user [Owns] sup=187 conf=0.990").unwrap();
+        assert_eq!(r.confidence, 0.99);
+        assert_eq!(r.support, 187);
+    }
+
+    #[test]
+    fn tagged_form_round_trips_exactly() {
+        let rules = [
+            rule(),
+            // A dotted original entry: ambiguous in the display form,
+            // exact in the tagged form.
+            Rule::new(
+                AttrName::entry("session.use_cookies"),
+                Relation::Equal,
+                AttrName::entry("session.use_only_cookies"),
+                21,
+                0.912_345_678_9,
+            ),
+            Rule::new(
+                AttrName::entry("datadir").augmented("owner"),
+                Relation::Equal,
+                AttrName::entry("user"),
+                10,
+                1.0,
+            ),
+        ];
+        for r in &rules {
+            let back = Rule::parse_tagged(&r.render_tagged())
+                .unwrap_or_else(|e| panic!("{e}: {}", r.render_tagged()));
+            assert_eq!(&back, r, "{}", r.render_tagged());
+        }
+        assert!(Rule::parse_tagged("O:a\tOwns\tO:b\t1").is_err());
+        assert!(Rule::parse_tagged("O:a\tNotARel\tO:b\t1\t1.0").is_err());
+        assert!(Rule::parse_tagged("O:a\tOwns\tO:b\t1\t1.0\textra").is_err());
     }
 
     #[test]

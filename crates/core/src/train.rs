@@ -121,6 +121,13 @@ impl TrainingSet {
     pub fn stats_cache(&self) -> crate::stats::StatsCache {
         crate::stats::StatsCache::new(self.dataset(), &self.types)
     }
+
+    /// The detector-side training statistics (known entry names + value
+    /// histograms + system count) — the corpus-free remainder a
+    /// [`crate::snapshot::DetectorSnapshot`] persists.
+    pub fn training_stats(&self) -> crate::detect::TrainingStats {
+        crate::detect::TrainingStats::from_training(self)
+    }
 }
 
 #[cfg(test)]

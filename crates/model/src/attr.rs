@@ -107,6 +107,53 @@ impl AttrName {
         !self.is_original()
     }
 
+    /// Render an unambiguous tagged form for persistence.
+    ///
+    /// The human-readable [`fmt::Display`] form is lossy: an original entry
+    /// whose name contains a dot (php's `session.use_cookies`) renders
+    /// identically to an augmented property.  The tagged form prefixes the
+    /// augmentation kind so [`AttrName::parse_tagged`] is an exact inverse:
+    /// `O:session.use_cookies`, `E:datadir:owner`, `S:Sys.HostName`.
+    /// Suffixes never contain `:` (they are the fixed Table 5a tokens), so
+    /// the encoding splits on the *last* colon.
+    pub fn render_tagged(&self) -> String {
+        match self.augmentation {
+            Augmentation::Original => format!("O:{}", self.base),
+            Augmentation::EnvProperty => {
+                format!("E:{}:{}", self.base, self.suffix.as_deref().unwrap_or(""))
+            }
+            Augmentation::SystemWide => format!("S:{}", self.base),
+        }
+    }
+
+    /// Parse the tagged form produced by [`AttrName::render_tagged`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidAttrName`] for an unknown tag, a missing
+    /// suffix on an `E:` attribute, or an invalid base name.
+    pub fn parse_tagged(text: &str) -> Result<AttrName, ModelError> {
+        let err = || ModelError::InvalidAttrName(text.to_string());
+        let (tag, rest) = text.split_once(':').ok_or_else(err)?;
+        match tag {
+            "O" => AttrName::try_entry(rest),
+            "E" => {
+                let (base, suffix) = rest.rsplit_once(':').ok_or_else(err)?;
+                if suffix.is_empty() {
+                    return Err(err());
+                }
+                Ok(AttrName::try_entry(base)?.augmented(suffix))
+            }
+            "S" => {
+                if rest.is_empty() {
+                    return Err(err());
+                }
+                Ok(AttrName::system(rest))
+            }
+            _ => Err(err()),
+        }
+    }
+
     /// Parse the rendered form back into an `AttrName`.
     ///
     /// `Sys.*`/`OS.*`/`HW.*`/`CPU.*`/`MemSize`/`HDD.*` prefixes parse as
@@ -176,6 +223,37 @@ mod tests {
     fn empty_names_rejected() {
         assert!(AttrName::try_entry("").is_err());
         assert!(AttrName::parse("  ").is_err());
+    }
+
+    #[test]
+    fn tagged_form_round_trips_dotted_entries() {
+        // `Display` is ambiguous for these; the tagged form must not be.
+        let cases = [
+            AttrName::entry("session.use_cookies"),
+            AttrName::entry("datadir"),
+            AttrName::entry("datadir").augmented("owner"),
+            AttrName::entry("session.save_path").augmented("type"),
+            AttrName::system("Sys.HostName"),
+            AttrName::system("MemSize"),
+        ];
+        for attr in &cases {
+            let back = AttrName::parse_tagged(&attr.render_tagged()).unwrap();
+            assert_eq!(&back, attr, "{}", attr.render_tagged());
+        }
+        // The dotted original does NOT round-trip through the display form —
+        // exactly why the tagged form exists.
+        let dotted = AttrName::entry("session.use_cookies");
+        assert_ne!(AttrName::parse(&dotted.to_string()).unwrap(), dotted);
+    }
+
+    #[test]
+    fn tagged_form_rejects_malformed_input() {
+        assert!(AttrName::parse_tagged("session.use_cookies").is_err());
+        assert!(AttrName::parse_tagged("X:whatever").is_err());
+        assert!(AttrName::parse_tagged("E:no_suffix").is_err());
+        assert!(AttrName::parse_tagged("E:base:").is_err());
+        assert!(AttrName::parse_tagged("O:").is_err());
+        assert!(AttrName::parse_tagged("S:").is_err());
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Regression: fleet-scale detection must be invisible in the output.
+//!
+//! Two serving-layer properties the paper's "train once, detect many"
+//! separation (§3, §6) depends on:
+//!
+//! 1. `check_fleet` may schedule target images on any number of pool
+//!    workers; the per-system reports must be byte-identical to a
+//!    sequential `check_image` loop.
+//! 2. A detector reconstructed from a rendered-and-reparsed
+//!    `DetectorSnapshot` must produce byte-identical reports to the
+//!    detector that trained on the corpus — the artifact carries the whole
+//!    learned state, losslessly.
+
+use encore::prelude::*;
+use encore_corpus::genimage::{Population, PopulationOptions};
+use encore_model::AppKind;
+use encore_sysimage::SystemImage;
+
+fn learn(app: AppKind, images: usize, seed: u64) -> EnCore {
+    let pop = Population::training(app, &PopulationOptions::new(images, seed));
+    let training = TrainingSet::assemble(app, pop.images()).expect("training assembles");
+    EnCore::learn(&training, &LearnOptions::default())
+}
+
+fn target_fleet(app: AppKind, n: usize, seed: u64) -> Vec<SystemImage> {
+    Population::training(
+        app,
+        &PopulationOptions::new(n, seed).with_misconfig_percent(21),
+    )
+    .images()
+    .to_vec()
+}
+
+/// Render a whole fleet result as one string (per-image assembly errors
+/// included), so comparisons catch ordering and content drift alike.
+fn render_fleet(results: &[Result<Report, encore_assemble::AssembleError>]) -> String {
+    let mut out = String::new();
+    for (i, result) in results.iter().enumerate() {
+        out.push_str(&format!("== {i}\n"));
+        match result {
+            Ok(report) => out.push_str(&report.render()),
+            Err(e) => out.push_str(&format!("error: {e}\n")),
+        }
+    }
+    out
+}
+
+#[test]
+fn check_fleet_is_identical_to_sequential_for_every_worker_count() {
+    for app in [AppKind::Mysql, AppKind::Apache] {
+        let engine = learn(app, 30, 5);
+        let targets = target_fleet(app, 20, 77);
+        let sequential: String = render_fleet(
+            &targets
+                .iter()
+                .map(|img| engine.check_image(app, img))
+                .collect::<Vec<_>>(),
+        );
+        for workers in [1usize, 2, 4] {
+            let batch = engine.check_fleet(app, &targets, &FleetOptions::with_workers(workers));
+            assert_eq!(
+                render_fleet(&batch),
+                sequential,
+                "app={app:?} workers={workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshot_save_load_produces_identical_reports() {
+    for app in [AppKind::Mysql, AppKind::Php] {
+        let engine = learn(app, 30, 5);
+        let text = engine.snapshot().render();
+        let snapshot = DetectorSnapshot::parse(&text).expect("snapshot parses");
+        // The artifact itself round-trips byte-identically...
+        assert_eq!(snapshot.render(), text, "app={app:?}");
+        let loaded = AnomalyDetector::from_snapshot(snapshot);
+        assert_eq!(loaded.rules(), engine.rules(), "app={app:?}");
+        // ...and so do the reports it produces on a misconfigured fleet.
+        let targets = target_fleet(app, 20, 77);
+        let original = engine.check_fleet(app, &targets, &FleetOptions::default());
+        let reloaded = loaded.check_fleet(app, &targets, &FleetOptions::default());
+        assert_eq!(
+            render_fleet(&reloaded),
+            render_fleet(&original),
+            "app={app:?}: a reloaded detector must serve identical reports"
+        );
+    }
+}
+
+#[test]
+fn fleet_results_stay_index_aligned_with_broken_images() {
+    let app = AppKind::Mysql;
+    let engine = learn(app, 20, 5);
+    let mut targets = target_fleet(app, 4, 77);
+    // An image with no configuration at all fails assembly; its error must
+    // stay at its own index instead of poisoning the batch.
+    targets.insert(2, SystemImage::builder("hollow").build());
+    let results = engine.check_fleet(app, &targets, &FleetOptions::with_workers(2));
+    assert_eq!(results.len(), targets.len());
+    assert!(results[2].is_err(), "broken image reports its own error");
+    for (i, result) in results.iter().enumerate() {
+        if i != 2 {
+            assert!(result.is_ok(), "image {i} checks");
+        }
+    }
+}
