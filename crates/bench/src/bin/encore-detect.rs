@@ -15,7 +15,26 @@
 //!
 //! Setting `ENCORE_TRACE` (or passing `--report`) enables the observability
 //! sink; the per-phase pipeline report goes to stderr under `ENCORE_TRACE`
-//! and to the `--report` path as JSON when given.
+//! and to the `--report` path as JSON when given.  `--bench-json FILE`
+//! additionally writes a compact perf record ([`encore_bench::perf`]) for
+//! baseline diffing with `encore-report`.
+//!
+//! # Watch mode
+//!
+//! ```text
+//! encore-detect --train 20 --watch DIR --interval-ms 500 \
+//!               --max-iterations 3 --report watch.jsonl
+//! ```
+//!
+//! `--watch DIR` switches from one-shot fleet checking to the long-running
+//! serve loop ([`encore::watch`]): each file in DIR is one target config
+//! file, polled by mtime/size every `--interval-ms`; only added/changed
+//! targets are re-checked, and the `--save-detector`/`--load-detector`
+//! snapshot file is hot-reloaded when it changes on disk.  With `--report`
+//! the loop appends one pipeline-report JSON line per cycle (JSONL).  The
+//! loop stops after `--max-iterations` cycles, or — when unbounded — as
+//! soon as stdin reaches end-of-file (close the pipe to stop the daemon;
+//! no signal handling needed).
 
 use encore::prelude::*;
 use encore_corpus::genimage::{Population, PopulationOptions};
@@ -23,7 +42,8 @@ use encore_model::AppKind;
 
 const USAGE: &str = "usage: encore-detect [--app NAME] [--train N] [--seed N] \
 [--targets N] [--target-seed N] [--misconfig-percent P] [--workers N] \
-[--save-detector FILE] [--load-detector FILE] [--no-entropy] [--report FILE]";
+[--save-detector FILE] [--load-detector FILE] [--no-entropy] [--report FILE] \
+[--bench-json FILE] [--watch DIR] [--interval-ms N] [--max-iterations K]";
 
 /// Print a diagnostic plus the usage line to stderr and exit 2.  All
 /// argument-handling failures funnel through here so the binary has exactly
@@ -46,6 +66,10 @@ struct Args {
     load_detector: Option<String>,
     no_entropy: bool,
     report: Option<String>,
+    bench_json: Option<String>,
+    watch: Option<String>,
+    interval_ms: u64,
+    max_iterations: Option<u64>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -61,6 +85,10 @@ fn parse_args() -> Option<Args> {
         load_detector: None,
         no_entropy: false,
         report: None,
+        bench_json: None,
+        watch: None,
+        interval_ms: 1_000,
+        max_iterations: None,
     };
     let mut args = std::env::args().skip(1);
     // One shape for every `--flag VALUE` pair: take the value or die with
@@ -123,6 +151,24 @@ fn parse_args() -> Option<Args> {
             "--load-detector" => parsed.load_detector = Some(value("--load-detector", args.next())),
             "--no-entropy" => parsed.no_entropy = true,
             "--report" => parsed.report = Some(value("--report", args.next())),
+            "--bench-json" => parsed.bench_json = Some(value("--bench-json", args.next())),
+            "--watch" => parsed.watch = Some(value("--watch", args.next())),
+            "--interval-ms" => {
+                let v = value("--interval-ms", args.next());
+                parsed.interval_ms = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--interval-ms requires milliseconds"));
+            }
+            "--max-iterations" => {
+                let v = value("--max-iterations", args.next());
+                let n: u64 = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--max-iterations requires a count"));
+                if n == 0 {
+                    usage("--max-iterations must be at least 1");
+                }
+                parsed.max_iterations = Some(n);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return None;
@@ -157,6 +203,76 @@ fn build_detector(args: &Args) -> AnomalyDetector {
     EnCore::learn(&training, &options).into_detector()
 }
 
+/// Run the serve loop over a directory of config files until
+/// `--max-iterations` cycles complete or — when unbounded — stdin closes.
+fn run_watch(args: &Args, detector: AnomalyDetector, dir: &str) {
+    let app = args.app;
+    let mut options = encore::WatchOptions::new(app, dir);
+    options.interval = std::time::Duration::from_millis(args.interval_ms);
+    options.max_iterations = args.max_iterations;
+    options.workers = args.workers;
+    options.detector_path = args
+        .save_detector
+        .as_ref()
+        .or(args.load_detector.as_ref())
+        .map(std::path::PathBuf::from);
+    options.report_path = args.report.as_ref().map(std::path::PathBuf::from);
+
+    // Unbounded runs stop on stdin end-of-file: whoever holds the pipe
+    // holds the daemon.  Bounded runs ignore stdin so closed-stdin CI can
+    // still count its cycles.
+    let stopped = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    if args.max_iterations.is_none() {
+        let stopped = std::sync::Arc::clone(&stopped);
+        std::thread::spawn(move || {
+            use std::io::Read;
+            let mut sink = [0u8; 256];
+            let mut stdin = std::io::stdin().lock();
+            while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+            stopped.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+    }
+
+    let mut watcher = encore::Watcher::new(detector, options);
+    let outcome = watcher.run(
+        || stopped.load(std::sync::atomic::Ordering::Relaxed),
+        |cycle| {
+            println!(
+                "== watch cycle {}: {} rechecked ({} added, {} changed, {} removed), \
+{} tracked{}",
+                cycle.cycle,
+                cycle.results.len(),
+                cycle.added,
+                cycle.changed,
+                cycle.removed,
+                cycle.tracked,
+                if cycle.reloaded_detector {
+                    ", detector reloaded"
+                } else {
+                    ""
+                },
+            );
+            if let Some(e) = &cycle.reload_error {
+                eprintln!("encore-detect: detector reload failed (serving old rules): {e}");
+            }
+            for (name, result) in &cycle.results {
+                println!("== system {name}");
+                match result {
+                    Ok(report) => print!("{}", report.render()),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+        },
+    );
+    match outcome {
+        Ok(cycles) => println!("== watch done: {cycles} cycle(s)"),
+        Err(e) => {
+            eprintln!("encore-detect: watch failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Some(args) => args,
@@ -165,8 +281,13 @@ fn main() {
     if args.load_detector.is_some() && args.save_detector.is_some() {
         usage("--load-detector and --save-detector are mutually exclusive");
     }
+    if args.watch.is_some() && args.bench_json.is_some() {
+        // Watch cycles reset the instruments each cycle, so there is no
+        // whole-run record to condense.
+        usage("--bench-json is a one-shot option, not available with --watch");
+    }
     let trace = encore::obs::enable_from_env();
-    if args.report.is_some() {
+    if args.report.is_some() || args.bench_json.is_some() {
         encore::obs::enable();
     }
 
@@ -184,6 +305,14 @@ fn main() {
             std::process::exit(2);
         }
         eprintln!("encore-detect: detector saved to `{path}`");
+    }
+
+    if let Some(dir) = &args.watch {
+        // Watch mode replaces one-shot fleet checking; each cycle's report
+        // goes to the `--report` JSONL file, so the one-shot report tail
+        // below does not apply.
+        run_watch(&args, detector, dir);
+        return;
     }
 
     let fleet = Population::training(
@@ -221,6 +350,13 @@ fn main() {
     if let Some(path) = &args.report {
         if let Err(e) = std::fs::write(path, report.render_json()) {
             eprintln!("encore-detect: cannot write report to `{path}`: {e}");
+            std::process::exit(2);
+        }
+    }
+    if let Some(path) = &args.bench_json {
+        let record = encore_bench::bench_record(&report, args.workers);
+        if let Err(e) = std::fs::write(path, record.render_json()) {
+            eprintln!("encore-detect: cannot write perf record to `{path}`: {e}");
             std::process::exit(2);
         }
     }

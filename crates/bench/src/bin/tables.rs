@@ -15,7 +15,8 @@
 
 use encore_bench::experiments::{self, ExperimentConfig};
 
-const USAGE: &str = "usage: tables [TABLE_NUMBER ...] [--scale F] [--report FILE]";
+const USAGE: &str =
+    "usage: tables [TABLE_NUMBER ...] [--scale F] [--report FILE] [--bench-json FILE]";
 
 /// Print a diagnostic plus the usage line to stderr and exit 2.  All
 /// argument-handling failures funnel through here so the binary has exactly
@@ -30,6 +31,7 @@ struct Args {
     tables: Vec<u32>,
     scale: f64,
     report: Option<String>,
+    bench_json: Option<String>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -37,6 +39,7 @@ fn parse_args() -> Option<Args> {
         tables: Vec::new(),
         scale: 1.0,
         report: None,
+        bench_json: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,6 +52,10 @@ fn parse_args() -> Option<Args> {
             "--report" => match args.next() {
                 Some(path) => parsed.report = Some(path),
                 None => usage("--report requires a file path"),
+            },
+            "--bench-json" => match args.next() {
+                Some(path) => parsed.bench_json = Some(path),
+                None => usage("--bench-json requires a file path"),
             },
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -72,7 +79,7 @@ fn main() {
         None => return,
     };
     let trace = encore::obs::enable_from_env();
-    if args.report.is_some() {
+    if args.report.is_some() || args.bench_json.is_some() {
         encore::obs::enable();
     }
     let config = if (args.scale - 1.0).abs() < f64::EPSILON {
@@ -99,6 +106,13 @@ fn main() {
     if let Some(path) = &args.report {
         if let Err(e) = std::fs::write(path, report.render_json()) {
             eprintln!("tables: cannot write report to `{path}`: {e}");
+            std::process::exit(2);
+        }
+    }
+    if let Some(path) = &args.bench_json {
+        let record = encore_bench::bench_record(&report, None);
+        if let Err(e) = std::fs::write(path, record.render_json()) {
+            eprintln!("tables: cannot write perf record to `{path}`: {e}");
             std::process::exit(2);
         }
     }

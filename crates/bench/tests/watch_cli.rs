@@ -1,0 +1,137 @@
+//! End-to-end tests for `encore-detect` watch mode and the one-shot
+//! `--bench-json` perf record.
+
+use encore::obs::PipelineReport;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+fn encore_detect(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_encore-detect"))
+        .args(args)
+        .stdin(Stdio::null())
+        .output()
+        .expect("failed to spawn encore-detect")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+/// A unique, pre-cleaned temp directory for one test.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("encore-detect-test-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn bounded_watch_emits_one_parseable_report_per_cycle() {
+    let dir = scratch_dir("watch");
+    std::fs::write(dir.join("a.cnf"), "[mysqld]\nport = 3306\n").unwrap();
+    std::fs::write(dir.join("b.cnf"), "[mysqld]\nport = 3307\n").unwrap();
+    let trace = dir.join(".trace.jsonl");
+
+    let out = encore_detect(&[
+        "--train",
+        "10",
+        "--watch",
+        dir.to_str().unwrap(),
+        "--interval-ms",
+        "25",
+        "--max-iterations",
+        "3",
+        "--report",
+        trace.to_str().unwrap(),
+    ]);
+    let text = stdout(&out);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{text}");
+    assert!(
+        text.contains("watch cycle 1: 2 rechecked (2 added, 0 changed, 0 removed)"),
+        "stdout:\n{text}"
+    );
+    assert!(
+        text.contains("watch cycle 3: 0 rechecked"),
+        "stdout:\n{text}"
+    );
+    assert!(text.contains("watch done: 3 cycle(s)"), "stdout:\n{text}");
+
+    let jsonl = std::fs::read_to_string(&trace).expect("trace written");
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), 3, "exactly one JSONL line per cycle");
+    let reports: Vec<PipelineReport> = lines
+        .iter()
+        .enumerate()
+        .map(|(i, line)| {
+            PipelineReport::parse_json(line).unwrap_or_else(|e| panic!("line {}: {e}", i + 1))
+        })
+        .collect();
+    assert_eq!(reports[0].counters()["detect.watch.targets_added"], 2);
+    assert_eq!(reports[0].counters()["detect.watch.targets_rechecked"], 2);
+    for report in &reports[1..] {
+        assert_eq!(report.counters()["detect.watch.targets_rechecked"], 0);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unbounded_watch_stops_on_stdin_close() {
+    let dir = scratch_dir("watch-eof");
+    std::fs::write(dir.join("a.cnf"), "[mysqld]\nport = 3306\n").unwrap();
+    // Stdin is closed from the start, so the EOF watcher fires during the
+    // first interval sleep; the run must terminate on its own.
+    let out = encore_detect(&[
+        "--train",
+        "8",
+        "--watch",
+        dir.to_str().unwrap(),
+        "--interval-ms",
+        "25",
+    ]);
+    let text = stdout(&out);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{text}");
+    assert!(text.contains("watch done:"), "stdout:\n{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_json_writes_a_parseable_perf_record() {
+    let path = std::env::temp_dir().join("encore-detect-test-bench.json");
+    let out = encore_detect(&[
+        "--train",
+        "10",
+        "--targets",
+        "4",
+        "--bench-json",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{}", stdout(&out));
+    let record =
+        PipelineReport::parse_json(std::fs::read_to_string(&path).unwrap().trim()).unwrap();
+    assert_eq!(record.phases.len(), 1);
+    assert_eq!(record.phases[0].name, "bench");
+    let counters = record.counters();
+    // Image collection covers both the training fleet and the targets.
+    assert_eq!(counters["bench.images.collected"], 14);
+    assert_eq!(counters["bench.targets.checked"], 4);
+    let gauges: std::collections::BTreeMap<_, _> = record.phases[0]
+        .gauges
+        .iter()
+        .map(|(name, value)| (name.as_str(), *value))
+        .collect();
+    assert!(gauges.contains_key("bench.profile.release"));
+    assert!(gauges.contains_key("bench.throughput.pairs_per_sec"));
+}
+
+#[test]
+fn watch_and_bench_json_are_mutually_exclusive() {
+    let dir = scratch_dir("watch-usage");
+    let out = encore_detect(&[
+        "--watch",
+        dir.to_str().unwrap(),
+        "--bench-json",
+        "/tmp/never-written.json",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -78,6 +78,7 @@ pub mod stats;
 pub mod template;
 pub mod train;
 pub mod types;
+pub mod watch;
 
 pub use detect::{AnomalyDetector, FleetOptions, Report, TrainingStats, Warning, WarningKind};
 pub use eligibility::{analyze_templates, EligibilityReport};
@@ -89,6 +90,7 @@ pub use stats::StatsCache;
 pub use template::{Relation, RelationSignature, Slot, Template, TemplateTypeError};
 pub use train::TrainingSet;
 pub use types::TypeMap;
+pub use watch::{CycleOutcome, WatchOptions, Watcher};
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {
@@ -99,6 +101,7 @@ pub mod prelude {
     pub use crate::snapshot::DetectorSnapshot;
     pub use crate::template::{Relation, Template};
     pub use crate::train::TrainingSet;
+    pub use crate::watch::{CycleOutcome, WatchOptions, Watcher};
     pub use crate::{EnCore, LearnOptions};
 }
 

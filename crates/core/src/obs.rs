@@ -15,9 +15,10 @@
 //! time — is a [`Gauge`] or [`Timer`].  `tests/determinism.rs` enforces
 //! the split.
 
+pub use encore_obs::delta::{DeltaPolicy, Gate, ReportDelta, Violation};
 pub use encore_obs::{
-    disable, enable, enable_from_env, enabled, Counter, Gauge, Histogram, PhaseReport,
-    PipelineReport, Timer,
+    delta, disable, enable, enable_from_env, enabled, json, Counter, Gauge, Histogram,
+    HistogramSnapshot, PhaseReport, PipelineReport, Timer, TimerSnapshot,
 };
 
 use encore_obs::INDEX_BOUNDS;
@@ -132,6 +133,24 @@ pub static DETECT_POOL_STOLEN_UNITS: Gauge = Gauge::new("detect.pool.stolen_unit
 /// Per-worker busy time inside fleet batches.
 pub static DETECT_POOL_WORKER_BUSY: Timer = Timer::new("detect.pool.worker_busy");
 
+// ---- detect.watch: the long-running serve loop (`encore::watch`) ----
+
+/// Watch cycles run (each poll of the watched directory is one cycle).
+pub static DETECT_WATCH_CYCLES: Counter = Counter::new("detect.watch.cycles");
+/// Targets that appeared in the watched directory.
+pub static DETECT_WATCH_TARGETS_ADDED: Counter = Counter::new("detect.watch.targets_added");
+/// Targets whose mtime/size signature changed between cycles.
+pub static DETECT_WATCH_TARGETS_CHANGED: Counter = Counter::new("detect.watch.targets_changed");
+/// Targets that disappeared from the watched directory.
+pub static DETECT_WATCH_TARGETS_REMOVED: Counter = Counter::new("detect.watch.targets_removed");
+/// Targets actually re-checked (changed/added, or all on a detector
+/// reload) — the watch loop's work metric.
+pub static DETECT_WATCH_TARGETS_RECHECKED: Counter = Counter::new("detect.watch.targets_rechecked");
+/// Detector snapshot hot-reloads performed.
+pub static DETECT_WATCH_DETECTOR_RELOADS: Counter = Counter::new("detect.watch.detector_reloads");
+/// Targets currently tracked by the watcher (a point-in-time size: gauge).
+pub static DETECT_WATCH_TARGETS_TRACKED: Gauge = Gauge::new("detect.watch.targets_tracked");
+
 /// The pool instrument bundle for `detect`-phase fleet batches.
 pub static DETECT_POOL_METRICS: crate::pool::PoolMetrics = crate::pool::PoolMetrics {
     units_run: &DETECT_POOL_UNITS_RUN,
@@ -193,6 +212,13 @@ fn detect_phase() -> PhaseReport {
         .counter(&DETECT_FLEET_SYSTEMS)
         .counter(&DETECT_FLEET_BATCHES)
         .counter(&DETECT_POOL_UNITS_RUN)
+        .counter(&DETECT_WATCH_CYCLES)
+        .counter(&DETECT_WATCH_TARGETS_ADDED)
+        .counter(&DETECT_WATCH_TARGETS_CHANGED)
+        .counter(&DETECT_WATCH_TARGETS_REMOVED)
+        .counter(&DETECT_WATCH_TARGETS_RECHECKED)
+        .counter(&DETECT_WATCH_DETECTOR_RELOADS)
+        .gauge(&DETECT_WATCH_TARGETS_TRACKED)
         .gauge(&DETECT_POOL_WORKERS)
         .gauge(&DETECT_POOL_BUSIEST_WORKER_UNITS)
         .gauge(&DETECT_POOL_IDLEST_WORKER_UNITS)
@@ -246,6 +272,12 @@ pub fn reset() {
         &DETECT_FLEET_SYSTEMS,
         &DETECT_FLEET_BATCHES,
         &DETECT_POOL_UNITS_RUN,
+        &DETECT_WATCH_CYCLES,
+        &DETECT_WATCH_TARGETS_ADDED,
+        &DETECT_WATCH_TARGETS_CHANGED,
+        &DETECT_WATCH_TARGETS_REMOVED,
+        &DETECT_WATCH_TARGETS_RECHECKED,
+        &DETECT_WATCH_DETECTOR_RELOADS,
     ] {
         counter.reset();
     }
@@ -258,6 +290,7 @@ pub fn reset() {
         &DETECT_POOL_BUSIEST_WORKER_UNITS,
         &DETECT_POOL_IDLEST_WORKER_UNITS,
         &DETECT_POOL_STOLEN_UNITS,
+        &DETECT_WATCH_TARGETS_TRACKED,
     ] {
         gauge.reset();
     }
@@ -275,6 +308,24 @@ pub fn reset() {
     STATS_ENTROPY_HITS.reset();
     STATS_ENTROPY_MISSES.reset();
     DETECT_WARNINGS_PER_SYSTEM.reset();
+}
+
+/// Capture the pipeline report and zero every instrument in one step.
+///
+/// The watch loop (`encore::watch`) calls this at the end of every cycle
+/// so each emitted report covers exactly one cycle's work.  Snapshotting
+/// and resetting together matters: a plain [`reset`] between runs keeps
+/// *nothing*, but a run that snapshots late (or skips re-setting a gauge)
+/// would otherwise leak prior-cycle gauge values — e.g. pool worker gauges
+/// from a busy cycle surviving into a cycle that checked zero targets.
+/// The pairing is atomic with respect to the caller's own thread;
+/// instruments recorded concurrently by *other* threads between the two
+/// steps can be lost, so callers must quiesce pipeline work first (the
+/// watch loop is sequential, so this holds by construction).
+pub fn snapshot_and_reset() -> PipelineReport {
+    let report = pipeline_report();
+    reset();
+    report
 }
 
 #[cfg(test)]

@@ -1,0 +1,346 @@
+//! Watch-mode detection serving: a long-running poll loop over a
+//! directory of target configuration files.
+//!
+//! ConfEx frames configuration analysis as a continuously running service
+//! over a *changing* image population; this module is that serving shape
+//! for EnCore.  A [`Watcher`] holds a trained [`AnomalyDetector`] and a
+//! directory of target files; each [`Watcher::cycle`] polls the directory
+//! (mtime + size signatures — no inotify, no extra dependencies), re-runs
+//! [`AnomalyDetector::check_fleet`] over only the added/changed targets,
+//! and hot-reloads the detector when its snapshot file changes on disk
+//! (a reload re-checks *every* tracked target, since the rules changed
+//! out from under them).  A malformed snapshot keeps the old detector
+//! serving — a bad deploy must not take the watcher down.
+//!
+//! Each watched file is one target: its contents become the app's config
+//! file in a minimal [`SystemImage`] ([`target_image`]).  Such targets
+//! carry no accounts, services, or filesystem beyond the config itself,
+//! so environment-backed rules evaluate to not-applicable; the watcher
+//! covers the config-content checks (unknown entries, type violations,
+//! suspicious values, and config-only correlations), which is exactly
+//! what a config-file drop box can support.
+//!
+//! Observability: cycles, adds/changes/removes, re-checks, and reloads
+//! count under `detect.watch.*`; at the end of every cycle the watcher
+//! calls [`crate::obs::snapshot_and_reset`] and (when a report path is
+//! set) appends the cycle's [`PipelineReport`] as one JSON line — a JSONL
+//! trace of the run that `encore-report` can diff cycle against cycle.
+
+use crate::detect::{AnomalyDetector, FleetOptions, Report};
+use crate::snapshot::DetectorSnapshot;
+use encore_assemble::AssembleError;
+use encore_model::AppKind;
+use encore_obs::PipelineReport;
+use encore_sysimage::SystemImage;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
+
+/// A file's last observed state.  Polling compares signatures instead of
+/// hashing contents: cheap, dependency-free, and good enough at poll
+/// granularity (an in-place rewrite with identical length within the
+/// filesystem's mtime resolution can be missed — the next real change
+/// catches up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FileSig {
+    mtime: SystemTime,
+    size: u64,
+}
+
+/// Read a regular file's signature; `None` for directories, dangling
+/// entries, or races where the file vanished mid-poll.
+fn sig_of(path: &Path) -> Option<FileSig> {
+    let meta = std::fs::metadata(path).ok()?;
+    if !meta.is_file() {
+        return None;
+    }
+    Some(FileSig {
+        mtime: meta.modified().ok()?,
+        size: meta.len(),
+    })
+}
+
+/// Wrap one configuration file's contents into a minimal [`SystemImage`]
+/// whose only file is the app's canonical config path, owned by root.
+pub fn target_image(app: AppKind, id: &str, config: &str) -> SystemImage {
+    SystemImage::builder(id)
+        .file(app.config_path(), "root", "root", 0o644, config)
+        .build()
+}
+
+/// Configuration for a [`Watcher`].
+#[derive(Debug, Clone)]
+pub struct WatchOptions {
+    /// Which app's config files the watched directory holds.
+    pub app: AppKind,
+    /// The directory of target config files (one file = one target;
+    /// dotfiles and subdirectories are ignored).
+    pub dir: PathBuf,
+    /// Sleep between cycles in [`Watcher::run`].
+    pub interval: Duration,
+    /// Stop after this many cycles; `None` runs until the stop callback
+    /// fires.  This is the deterministic, testable shutdown path.
+    pub max_iterations: Option<u64>,
+    /// Worker threads for fleet checking; `None` uses all parallelism.
+    pub workers: Option<usize>,
+    /// A detector snapshot file to hot-reload when its signature changes.
+    pub detector_path: Option<PathBuf>,
+    /// Append one pipeline-report JSON line per cycle here (JSONL).
+    pub report_path: Option<PathBuf>,
+}
+
+impl WatchOptions {
+    /// Options for watching `dir` for `app` config files, with defaults:
+    /// 1s interval, unbounded iterations, default parallelism, no
+    /// detector reload, no report.
+    pub fn new(app: AppKind, dir: impl Into<PathBuf>) -> WatchOptions {
+        WatchOptions {
+            app,
+            dir: dir.into(),
+            interval: Duration::from_millis(1_000),
+            max_iterations: None,
+            workers: None,
+            detector_path: None,
+            report_path: None,
+        }
+    }
+}
+
+/// What one [`Watcher::cycle`] did.
+#[derive(Debug)]
+pub struct CycleOutcome {
+    /// 1-based cycle number within this watcher's lifetime.
+    pub cycle: u64,
+    /// Targets that appeared this cycle.
+    pub added: usize,
+    /// Targets whose signature changed this cycle.
+    pub changed: usize,
+    /// Targets that disappeared this cycle.
+    pub removed: usize,
+    /// Whether the detector snapshot was hot-reloaded this cycle.
+    pub reloaded_detector: bool,
+    /// A reload that was attempted but failed to parse (the old detector
+    /// keeps serving).
+    pub reload_error: Option<String>,
+    /// Per-target check results for every re-checked target, in target
+    /// name order.
+    pub results: Vec<(String, Result<Report, AssembleError>)>,
+    /// Targets tracked after this cycle.
+    pub tracked: usize,
+    /// The cycle's pipeline report (also appended to the report file,
+    /// when one is configured).
+    pub report: PipelineReport,
+}
+
+/// The watch loop's state: the serving detector plus the last observed
+/// directory signatures.
+pub struct Watcher {
+    options: WatchOptions,
+    detector: AnomalyDetector,
+    targets: BTreeMap<String, FileSig>,
+    detector_sig: Option<FileSig>,
+    cycles: u64,
+}
+
+impl Watcher {
+    /// A watcher serving `detector` under `options`.
+    ///
+    /// Flushes the global instruments ([`crate::obs::snapshot_and_reset`],
+    /// snapshot discarded) so the first cycle's report covers only that
+    /// cycle's work, not the training run that preceded it.
+    pub fn new(detector: AnomalyDetector, options: WatchOptions) -> Watcher {
+        let detector_sig = options.detector_path.as_deref().and_then(sig_of);
+        crate::obs::snapshot_and_reset();
+        Watcher {
+            options,
+            detector,
+            targets: BTreeMap::new(),
+            detector_sig,
+            cycles: 0,
+        }
+    }
+
+    /// Cycles run so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The serving detector.
+    pub fn detector(&self) -> &AnomalyDetector {
+        &self.detector
+    }
+
+    /// Re-read the detector snapshot if its file signature changed.
+    /// Returns `(reloaded, parse error)`; on a parse error the old
+    /// detector keeps serving and the new signature is remembered (no
+    /// retry storm against the same bad file).
+    fn maybe_reload_detector(&mut self) -> (bool, Option<String>) {
+        let Some(path) = self.options.detector_path.as_deref() else {
+            return (false, None);
+        };
+        let sig = sig_of(path);
+        if sig.is_none() || sig == self.detector_sig {
+            return (false, None);
+        }
+        self.detector_sig = sig;
+        let parsed = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| DetectorSnapshot::parse(&text));
+        match parsed {
+            Ok(snapshot) => {
+                self.detector = AnomalyDetector::from_snapshot(snapshot);
+                crate::obs::DETECT_WATCH_DETECTOR_RELOADS.incr();
+                (true, None)
+            }
+            Err(e) => (false, Some(e)),
+        }
+    }
+
+    /// Run one cycle: poll the directory, re-check added/changed targets
+    /// (all targets after a detector reload), update `detect.watch.*`
+    /// metrics, and emit the cycle's report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-scan and report-append I/O failures.  Target
+    /// files that vanish between scan and read are skipped this cycle.
+    pub fn cycle(&mut self) -> std::io::Result<CycleOutcome> {
+        self.cycles += 1;
+        crate::obs::DETECT_WATCH_CYCLES.incr();
+        let (reloaded, reload_error) = self.maybe_reload_detector();
+
+        // Scan: current name → (path, signature) for regular non-dot files.
+        let mut seen: BTreeMap<String, (PathBuf, FileSig)> = BTreeMap::new();
+        for entry in std::fs::read_dir(&self.options.dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if name.starts_with('.') {
+                continue;
+            }
+            // The detector snapshot may live inside the watch dir; it is
+            // not a target.
+            if let Some(detector) = self.options.detector_path.as_deref() {
+                let same = std::fs::canonicalize(detector)
+                    .and_then(|d| std::fs::canonicalize(&path).map(|p| p == d))
+                    .unwrap_or(false);
+                if same {
+                    continue;
+                }
+            }
+            if let Some(sig) = sig_of(&path) {
+                seen.insert(name.to_string(), (path, sig));
+            }
+        }
+
+        // Classify against the previous cycle.
+        let mut added = 0usize;
+        let mut changed = 0usize;
+        let mut recheck: Vec<(String, PathBuf)> = Vec::new();
+        for (name, (path, sig)) in &seen {
+            match self.targets.get(name) {
+                None => {
+                    added += 1;
+                    recheck.push((name.clone(), path.clone()));
+                }
+                Some(old) if old != sig => {
+                    changed += 1;
+                    recheck.push((name.clone(), path.clone()));
+                }
+                // New rules invalidate every previous verdict.
+                Some(_) if reloaded => recheck.push((name.clone(), path.clone())),
+                Some(_) => {}
+            }
+        }
+        let removed = self
+            .targets
+            .keys()
+            .filter(|name| !seen.contains_key(*name))
+            .count();
+        self.targets = seen
+            .iter()
+            .map(|(name, &(_, sig))| (name.clone(), sig))
+            .collect();
+        crate::obs::DETECT_WATCH_TARGETS_ADDED.add(added as u64);
+        crate::obs::DETECT_WATCH_TARGETS_CHANGED.add(changed as u64);
+        crate::obs::DETECT_WATCH_TARGETS_REMOVED.add(removed as u64);
+        crate::obs::DETECT_WATCH_TARGETS_TRACKED.set(self.targets.len() as u64);
+
+        // Re-check: read → wrap → one fleet batch.
+        let mut names: Vec<String> = Vec::new();
+        let mut images: Vec<SystemImage> = Vec::new();
+        for (name, path) in recheck {
+            let Ok(contents) = std::fs::read_to_string(&path) else {
+                continue; // vanished or unreadable: next cycle's problem
+            };
+            images.push(target_image(self.options.app, &name, &contents));
+            names.push(name);
+        }
+        crate::obs::DETECT_WATCH_TARGETS_RECHECKED.add(images.len() as u64);
+        let results: Vec<(String, Result<Report, AssembleError>)> = if images.is_empty() {
+            Vec::new()
+        } else {
+            let options = FleetOptions {
+                workers: self.options.workers,
+            };
+            let checked = self
+                .detector
+                .check_fleet(self.options.app, &images, &options);
+            names.into_iter().zip(checked).collect()
+        };
+
+        let report = crate::obs::snapshot_and_reset();
+        if let Some(path) = &self.options.report_path {
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?;
+            writeln!(file, "{}", report.render_json())?;
+        }
+        Ok(CycleOutcome {
+            cycle: self.cycles,
+            added,
+            changed,
+            removed,
+            reloaded_detector: reloaded,
+            reload_error,
+            results,
+            tracked: self.targets.len(),
+            report,
+        })
+    }
+
+    /// Run cycles until `should_stop` returns true, `max_iterations` is
+    /// reached, or a cycle fails.  `on_cycle` observes every completed
+    /// cycle (print it, collect it, ...).  Returns the total cycles run —
+    /// exactly `max_iterations` when one is set and the stop callback
+    /// stays false.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing [`Watcher::cycle`].
+    pub fn run(
+        &mut self,
+        mut should_stop: impl FnMut() -> bool,
+        mut on_cycle: impl FnMut(&CycleOutcome),
+    ) -> std::io::Result<u64> {
+        loop {
+            if should_stop() {
+                return Ok(self.cycles);
+            }
+            let outcome = self.cycle()?;
+            on_cycle(&outcome);
+            if let Some(max) = self.options.max_iterations {
+                if self.cycles >= max {
+                    return Ok(self.cycles);
+                }
+            }
+            if should_stop() {
+                return Ok(self.cycles);
+            }
+            std::thread::sleep(self.options.interval);
+        }
+    }
+}

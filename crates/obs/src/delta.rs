@@ -1,0 +1,817 @@
+//! Report deltas: structural comparison of two [`PipelineReport`]s with a
+//! configurable gating policy.
+//!
+//! A pipeline report is a snapshot; regressions only become visible when
+//! two snapshots are *compared*.  [`ReportDelta::diff`] walks a base and a
+//! current report in parallel and records every metric whose value (or
+//! presence) differs — counters and gauges as scalar pairs, timers as
+//! nanosecond pairs, histograms bucket-wise.  Diffing a report against
+//! itself is empty by construction: an entry is recorded only when the two
+//! sides are unequal.
+//!
+//! Whether a difference is a *failure* is a separate, configurable
+//! question.  A [`DeltaPolicy`] assigns each metric class a [`Gate`] —
+//! exact, ratio-bounded, or informational — with per-metric overrides, and
+//! [`DeltaPolicy::violations`] evaluates a delta against it.  The defaults
+//! encode the workspace determinism discipline (DESIGN.md §9): counters
+//! and histograms count *work* and must match exactly; gauges and timers
+//! are scheduling-dependent and therefore informational unless a policy
+//! opts them in.  Policies parse from a small line-oriented text file so
+//! CI can pin one next to a committed baseline.
+
+use crate::json::Json;
+use crate::report::PipelineReport;
+
+/// The four instrument classes a delta entry can belong to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Deterministic work counts.
+    Counter,
+    /// Last-write-wins descriptive values (scheduling-dependent).
+    Gauge,
+    /// Accumulated wall time (scheduling-dependent).
+    Timer,
+    /// Deterministic bucketed work counts.
+    Histogram,
+}
+
+impl MetricClass {
+    /// The lowercase class name used in renderings and policy files.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricClass::Counter => "counter",
+            MetricClass::Gauge => "gauge",
+            MetricClass::Timer => "timer",
+            MetricClass::Histogram => "histogram",
+        }
+    }
+}
+
+/// One differing scalar metric (counter or gauge).  A `None` side means
+/// the metric is absent from that report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScalarDelta {
+    /// Phase the metric was reported under.
+    pub phase: String,
+    /// Metric name.
+    pub name: String,
+    /// Value in the base report, if present.
+    pub base: Option<u64>,
+    /// Value in the current report, if present.
+    pub current: Option<u64>,
+}
+
+impl ScalarDelta {
+    /// Signed absolute change `current - base` (0 when a side is absent).
+    pub fn abs_change(&self) -> i128 {
+        match (self.base, self.current) {
+            (Some(b), Some(c)) => i128::from(c) - i128::from(b),
+            _ => 0,
+        }
+    }
+
+    /// Relative change `(current - base) / base`; infinite when the base
+    /// is zero and the current is not, `None` when a side is absent.
+    pub fn rel_change(&self) -> Option<f64> {
+        let (base, current) = (self.base?, self.current?);
+        if base == 0 {
+            return Some(if current == 0 { 0.0 } else { f64::INFINITY });
+        }
+        Some((current as f64 - base as f64) / base as f64)
+    }
+}
+
+/// One differing timer, compared by total nanoseconds.  Timers are
+/// scheduling-dependent: two runs of identical work record different wall
+/// times, so timer deltas are informational unless a policy explicitly
+/// gates them (usually with a loose ratio and a minimum floor).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimerDelta {
+    /// Phase the timer was reported under.
+    pub phase: String,
+    /// Metric name.
+    pub name: String,
+    /// Total nanoseconds in the base report, if present.
+    pub base_nanos: Option<u64>,
+    /// Total nanoseconds in the current report, if present.
+    pub current_nanos: Option<u64>,
+}
+
+impl TimerDelta {
+    /// `current / base` as a ratio; `None` when a side is absent or the
+    /// base is zero.
+    pub fn ratio(&self) -> Option<f64> {
+        match (self.base_nanos?, self.current_nanos?) {
+            (0, _) => None,
+            (b, c) => Some(c as f64 / b as f64),
+        }
+    }
+}
+
+/// One differing histogram, compared bucket-wise on raw counts (the
+/// derived percentiles are a function of the counts, so they never differ
+/// independently).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramDelta {
+    /// Phase the histogram was reported under.
+    pub phase: String,
+    /// Metric name.
+    pub name: String,
+    /// Bucket counts in the base report, if present.
+    pub base: Option<Vec<u64>>,
+    /// Bucket counts in the current report, if present.
+    pub current: Option<Vec<u64>>,
+}
+
+impl HistogramDelta {
+    /// The differing buckets as `(index, base_count, current_count)`,
+    /// treating missing buckets (length mismatch) as zero.  Empty when a
+    /// whole side is absent.
+    pub fn changed_buckets(&self) -> Vec<(usize, u64, u64)> {
+        let (Some(base), Some(current)) = (&self.base, &self.current) else {
+            return Vec::new();
+        };
+        (0..base.len().max(current.len()))
+            .filter_map(|i| {
+                let b = base.get(i).copied().unwrap_or(0);
+                let c = current.get(i).copied().unwrap_or(0);
+                (b != c).then_some((i, b, c))
+            })
+            .collect()
+    }
+}
+
+/// The structural difference between two [`PipelineReport`]s: every metric
+/// whose value or presence differs, grouped by instrument class.  Entry
+/// order follows the base report's phase and declaration order, with
+/// current-only additions after.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReportDelta {
+    /// Differing counters.
+    pub counters: Vec<ScalarDelta>,
+    /// Differing gauges.
+    pub gauges: Vec<ScalarDelta>,
+    /// Differing timers.
+    pub timers: Vec<TimerDelta>,
+    /// Differing histograms.
+    pub histograms: Vec<HistogramDelta>,
+}
+
+/// Walk two name→value lists in base order plus current-only extras,
+/// yielding `(name, base, current)` for every name on either side.
+fn aligned<'a, T>(
+    base: &'a [(String, T)],
+    current: &'a [(String, T)],
+) -> impl Iterator<Item = (&'a str, Option<&'a T>, Option<&'a T>)> {
+    let lookup =
+        |side: &'a [(String, T)], name: &str| side.iter().find(|(n, _)| n == name).map(|(_, v)| v);
+    base.iter()
+        .map(move |(name, value)| (name.as_str(), Some(value), lookup(current, name)))
+        .chain(current.iter().filter_map(move |(name, value)| {
+            lookup(base, name)
+                .is_none()
+                .then_some((name.as_str(), None, Some(value)))
+        }))
+}
+
+impl ReportDelta {
+    /// Structurally compare two reports, recording only metrics whose
+    /// value or presence differs.  `diff(r, r)` is empty for every `r`.
+    pub fn diff(base: &PipelineReport, current: &PipelineReport) -> ReportDelta {
+        let mut delta = ReportDelta::default();
+        let empty = crate::PhaseReport::default();
+        let phase_names: Vec<&str> = base
+            .phases
+            .iter()
+            .map(|p| p.name.as_str())
+            .chain(
+                current
+                    .phases
+                    .iter()
+                    .filter(|p| base.phase(&p.name).is_none())
+                    .map(|p| p.name.as_str()),
+            )
+            .collect();
+        for phase in phase_names {
+            let b = base.phase(phase).unwrap_or(&empty);
+            let c = current.phase(phase).unwrap_or(&empty);
+            for (name, bv, cv) in aligned(&b.counters, &c.counters) {
+                if bv != cv {
+                    delta.counters.push(ScalarDelta {
+                        phase: phase.to_string(),
+                        name: name.to_string(),
+                        base: bv.copied(),
+                        current: cv.copied(),
+                    });
+                }
+            }
+            for (name, bv, cv) in aligned(&b.gauges, &c.gauges) {
+                if bv != cv {
+                    delta.gauges.push(ScalarDelta {
+                        phase: phase.to_string(),
+                        name: name.to_string(),
+                        base: bv.copied(),
+                        current: cv.copied(),
+                    });
+                }
+            }
+            for (name, bv, cv) in aligned(&b.timers, &c.timers) {
+                if bv != cv {
+                    delta.timers.push(TimerDelta {
+                        phase: phase.to_string(),
+                        name: name.to_string(),
+                        base_nanos: bv.map(|s| s.nanos),
+                        current_nanos: cv.map(|s| s.nanos),
+                    });
+                }
+            }
+            for (name, bv, cv) in aligned(&b.histograms, &c.histograms) {
+                if bv.map(|s| &s.counts) != cv.map(|s| &s.counts) {
+                    delta.histograms.push(HistogramDelta {
+                        phase: phase.to_string(),
+                        name: name.to_string(),
+                        base: bv.map(|s| s.counts.clone()),
+                        current: cv.map(|s| s.counts.clone()),
+                    });
+                }
+            }
+        }
+        delta
+    }
+
+    /// Whether nothing differed.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.timers.is_empty()
+            && self.histograms.is_empty()
+    }
+
+    /// Render as indented human-readable text.
+    pub fn render_text(&self) -> String {
+        if self.is_empty() {
+            return "== report delta: no differences ==\n".to_string();
+        }
+        let side = |v: Option<u64>| v.map_or("absent".to_string(), |v| v.to_string());
+        let mut out = String::from("== report delta ==\n");
+        for d in &self.counters {
+            let rel = match d.rel_change() {
+                Some(r) if r.is_finite() => format!(", {:+.2}%", r * 100.0),
+                Some(_) => ", from zero".to_string(),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "  counter   {} = {} -> {} ({:+}{rel})\n",
+                d.name,
+                side(d.base),
+                side(d.current),
+                d.abs_change(),
+            ));
+        }
+        for d in &self.gauges {
+            out.push_str(&format!(
+                "  gauge     {} = {} -> {} ({:+}) [scheduling-dependent]\n",
+                d.name,
+                side(d.base),
+                side(d.current),
+                d.abs_change(),
+            ));
+        }
+        let nanos = |v: Option<u64>| v.map_or("absent".to_string(), |v| format!("{v}ns"));
+        for d in &self.timers {
+            let ratio = d.ratio().map_or(String::new(), |r| format!(" (x{r:.2})"));
+            out.push_str(&format!(
+                "  timer     {} = {} -> {}{ratio} [scheduling-dependent]\n",
+                d.name,
+                nanos(d.base_nanos),
+                nanos(d.current_nanos),
+            ));
+        }
+        for d in &self.histograms {
+            if d.base.is_none() || d.current.is_none() {
+                out.push_str(&format!(
+                    "  histogram {} = {} -> {}\n",
+                    d.name,
+                    if d.base.is_some() {
+                        "present"
+                    } else {
+                        "absent"
+                    },
+                    if d.current.is_some() {
+                        "present"
+                    } else {
+                        "absent"
+                    },
+                ));
+                continue;
+            }
+            for (bucket, b, c) in d.changed_buckets() {
+                out.push_str(&format!(
+                    "  histogram {} bucket[{bucket}] = {b} -> {c}\n",
+                    d.name
+                ));
+            }
+        }
+        out
+    }
+
+    /// Render as compact JSON over [`crate::json`].
+    pub fn render_json(&self) -> String {
+        let scalar = |d: &ScalarDelta| {
+            Json::Obj(vec![
+                ("phase".to_string(), Json::Str(d.phase.clone())),
+                ("name".to_string(), Json::Str(d.name.clone())),
+                ("base".to_string(), num_or_null(d.base)),
+                ("current".to_string(), num_or_null(d.current)),
+            ])
+        };
+        Json::Obj(vec![
+            (
+                "counters".to_string(),
+                Json::Arr(self.counters.iter().map(scalar).collect()),
+            ),
+            (
+                "gauges".to_string(),
+                Json::Arr(self.gauges.iter().map(scalar).collect()),
+            ),
+            (
+                "timers".to_string(),
+                Json::Arr(
+                    self.timers
+                        .iter()
+                        .map(|d| {
+                            Json::Obj(vec![
+                                ("phase".to_string(), Json::Str(d.phase.clone())),
+                                ("name".to_string(), Json::Str(d.name.clone())),
+                                ("base_nanos".to_string(), num_or_null(d.base_nanos)),
+                                ("current_nanos".to_string(), num_or_null(d.current_nanos)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".to_string(),
+                Json::Arr(
+                    self.histograms
+                        .iter()
+                        .map(|d| {
+                            let counts = |side: &Option<Vec<u64>>| match side {
+                                Some(counts) => {
+                                    Json::Arr(counts.iter().map(|&c| Json::Num(c)).collect())
+                                }
+                                None => Json::Null,
+                            };
+                            Json::Obj(vec![
+                                ("phase".to_string(), Json::Str(d.phase.clone())),
+                                ("name".to_string(), Json::Str(d.name.clone())),
+                                ("base".to_string(), counts(&d.base)),
+                                ("current".to_string(), counts(&d.current)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .render()
+    }
+}
+
+fn num_or_null(v: Option<u64>) -> Json {
+    v.map_or(Json::Null, Json::Num)
+}
+
+/// How one metric class (or one overridden metric) is gated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Any difference, including presence on only one side, is a
+    /// violation.
+    Exact,
+    /// The larger side may exceed the smaller by at most `max` (a factor,
+    /// e.g. `2.0`); differences where both sides are below `min_value` are
+    /// ignored (for timers: a noise floor in nanoseconds, so microsecond
+    /// jitter never gates).  A metric present on only one side violates.
+    Ratio {
+        /// Largest allowed `max(side) / min(side)` factor.
+        max: f64,
+        /// Ignore differences where both sides are below this value.
+        min_value: u64,
+    },
+    /// Reported in the delta but never a violation.
+    Informational,
+}
+
+impl Gate {
+    fn describe(self) -> String {
+        match self {
+            Gate::Exact => "exact".to_string(),
+            Gate::Ratio { max, min_value } if min_value > 0 => {
+                format!("ratio {max} min {min_value}")
+            }
+            Gate::Ratio { max, .. } => format!("ratio {max}"),
+            Gate::Informational => "informational".to_string(),
+        }
+    }
+
+    /// Whether a scalar pair violates this gate.  `None` means absent.
+    fn scalar_violates(self, base: Option<u64>, current: Option<u64>) -> bool {
+        match self {
+            Gate::Informational => false,
+            Gate::Exact => base != current,
+            Gate::Ratio { max, min_value } => {
+                let (Some(b), Some(c)) = (base, current) else {
+                    // Can't form a ratio against an absent side.
+                    return true;
+                };
+                let (lo, hi) = (b.min(c), b.max(c));
+                if hi < min_value {
+                    return false;
+                }
+                lo == 0 || hi as f64 / lo as f64 > max
+            }
+        }
+    }
+}
+
+/// A gated metric that exceeded its threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Instrument class of the offending metric.
+    pub class: MetricClass,
+    /// Metric name.
+    pub name: String,
+    /// Human-readable description naming the metric and its gate.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}: {}", self.class.name(), self.name, self.detail)
+    }
+}
+
+/// Per-class gates with per-metric overrides, the unit CI pins in a policy
+/// file next to a committed baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaPolicy {
+    /// Gate for counters (default: [`Gate::Exact`] — counters count work).
+    pub counters: Gate,
+    /// Gate for gauges (default: [`Gate::Informational`] —
+    /// scheduling-dependent).
+    pub gauges: Gate,
+    /// Gate for timers (default: [`Gate::Informational`] — wall time).
+    pub timers: Gate,
+    /// Gate for histograms (default: [`Gate::Exact`] — bucketed work).
+    pub histograms: Gate,
+    /// Per-metric overrides, first match wins.  A pattern is an exact
+    /// metric name or a `prefix.*` wildcard.
+    pub overrides: Vec<(String, Gate)>,
+}
+
+impl Default for DeltaPolicy {
+    fn default() -> DeltaPolicy {
+        DeltaPolicy {
+            counters: Gate::Exact,
+            gauges: Gate::Informational,
+            timers: Gate::Informational,
+            histograms: Gate::Exact,
+            overrides: Vec::new(),
+        }
+    }
+}
+
+impl DeltaPolicy {
+    /// The gate in force for one metric: the first matching override, else
+    /// the class default.
+    pub fn gate_for(&self, class: MetricClass, name: &str) -> Gate {
+        for (pattern, gate) in &self.overrides {
+            let matched = match pattern.strip_suffix(".*") {
+                Some(prefix) => name
+                    .strip_prefix(prefix)
+                    .is_some_and(|rest| rest.starts_with('.')),
+                None => name == pattern,
+            };
+            if matched {
+                return *gate;
+            }
+        }
+        match class {
+            MetricClass::Counter => self.counters,
+            MetricClass::Gauge => self.gauges,
+            MetricClass::Timer => self.timers,
+            MetricClass::Histogram => self.histograms,
+        }
+    }
+
+    /// Evaluate a delta, returning one [`Violation`] per gated metric that
+    /// exceeds its threshold, in delta order.
+    pub fn violations(&self, delta: &ReportDelta) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let scalar_side = |v: Option<u64>| v.map_or("absent".to_string(), |v| v.to_string());
+        for (class, scalars) in [
+            (MetricClass::Counter, &delta.counters),
+            (MetricClass::Gauge, &delta.gauges),
+        ] {
+            for d in scalars {
+                let gate = self.gate_for(class, &d.name);
+                if gate.scalar_violates(d.base, d.current) {
+                    out.push(Violation {
+                        class,
+                        name: d.name.clone(),
+                        detail: format!(
+                            "{} -> {} exceeds gate `{}`",
+                            scalar_side(d.base),
+                            scalar_side(d.current),
+                            gate.describe()
+                        ),
+                    });
+                }
+            }
+        }
+        let nanos = |v: Option<u64>| v.map_or("absent".to_string(), |v| format!("{v}ns"));
+        for d in &delta.timers {
+            let gate = self.gate_for(MetricClass::Timer, &d.name);
+            if gate.scalar_violates(d.base_nanos, d.current_nanos) {
+                out.push(Violation {
+                    class: MetricClass::Timer,
+                    name: d.name.clone(),
+                    detail: format!(
+                        "{} -> {} exceeds gate `{}`",
+                        nanos(d.base_nanos),
+                        nanos(d.current_nanos),
+                        gate.describe()
+                    ),
+                });
+            }
+        }
+        for d in &delta.histograms {
+            let gate = self.gate_for(MetricClass::Histogram, &d.name);
+            if matches!(gate, Gate::Informational) {
+                continue;
+            }
+            let violates = match (&d.base, &d.current) {
+                (Some(_), Some(_)) => d
+                    .changed_buckets()
+                    .iter()
+                    .any(|&(_, b, c)| gate.scalar_violates(Some(b), Some(c))),
+                _ => true,
+            };
+            if violates {
+                out.push(Violation {
+                    class: MetricClass::Histogram,
+                    name: d.name.clone(),
+                    detail: format!("bucket counts differ, exceeding gate `{}`", gate.describe()),
+                });
+            }
+        }
+        out
+    }
+
+    /// Parse a line-oriented policy file.  Blank lines and `#` comments
+    /// are ignored; each remaining line is either a class default or a
+    /// per-metric override:
+    ///
+    /// ```text
+    /// counters exact
+    /// gauges info
+    /// timers ratio 2.0 min 50000000
+    /// histograms exact
+    /// metric bench.profile.release exact
+    /// metric detect.watch.* info
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns the 1-based line number and a description of the first
+    /// malformed line.
+    pub fn parse(text: &str) -> Result<DeltaPolicy, String> {
+        let mut policy = DeltaPolicy::default();
+        for (i, raw) in text.lines().enumerate() {
+            let at = |e: String| format!("line {}: {e}", i + 1);
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut tokens = line.split_whitespace();
+            let subject = tokens.next().expect("non-blank line has a first token");
+            let (target, gate_tokens): (&str, Vec<&str>) = if subject == "metric" {
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| at("`metric` requires a name".to_string()))?;
+                (name, tokens.collect())
+            } else {
+                (subject, tokens.collect())
+            };
+            let gate = parse_gate(&gate_tokens).map_err(at)?;
+            if subject == "metric" {
+                policy.overrides.push((target.to_string(), gate));
+                continue;
+            }
+            match target {
+                "counters" => policy.counters = gate,
+                "gauges" => policy.gauges = gate,
+                "timers" => policy.timers = gate,
+                "histograms" => policy.histograms = gate,
+                other => return Err(at(format!("unknown metric class `{other}`"))),
+            }
+        }
+        Ok(policy)
+    }
+}
+
+/// Parse the gate tokens of one policy line: `exact`, `info`, or
+/// `ratio F [min N]`.
+fn parse_gate(tokens: &[&str]) -> Result<Gate, String> {
+    match tokens {
+        ["exact"] => Ok(Gate::Exact),
+        ["info"] | ["informational"] => Ok(Gate::Informational),
+        ["ratio", max, rest @ ..] => {
+            let max: f64 = max
+                .parse()
+                .map_err(|_| format!("bad ratio factor `{max}`"))?;
+            if !max.is_finite() || max < 1.0 {
+                return Err(format!("ratio factor must be >= 1.0, got `{max}`"));
+            }
+            let min_value = match rest {
+                [] => 0,
+                ["min", n] => n.parse().map_err(|_| format!("bad min value `{n}`"))?,
+                _ => return Err(format!("unexpected tokens after ratio: {rest:?}")),
+            };
+            Ok(Gate::Ratio { max, min_value })
+        }
+        [] => Err("missing gate (expected `exact`, `info`, or `ratio F [min N]`)".to_string()),
+        other => Err(format!("unknown gate `{}`", other.join(" "))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{HistogramSnapshot, PhaseReport, TimerSnapshot};
+
+    fn report(counter: u64, timer_nanos: u64, bucket0: u64) -> PipelineReport {
+        PipelineReport {
+            phases: vec![PhaseReport {
+                name: "infer".to_string(),
+                counters: vec![("infer.pairs.evaluated".to_string(), counter)],
+                gauges: vec![("infer.pool.workers".to_string(), 2)],
+                timers: vec![(
+                    "infer.time".to_string(),
+                    TimerSnapshot {
+                        nanos: timer_nanos,
+                        spans: 1,
+                    },
+                )],
+                histograms: vec![(
+                    "infer.candidates.by_template".to_string(),
+                    HistogramSnapshot::from_counts(&[0, 1], vec![bucket0, 2, 0]),
+                )],
+            }],
+        }
+    }
+
+    #[test]
+    fn self_diff_is_empty() {
+        let r = report(100, 5_000, 3);
+        let delta = ReportDelta::diff(&r, &r);
+        assert!(delta.is_empty());
+        assert!(DeltaPolicy::default().violations(&delta).is_empty());
+        assert_eq!(delta.render_text(), "== report delta: no differences ==\n");
+    }
+
+    #[test]
+    fn diff_records_each_changed_class() {
+        let base = report(100, 5_000, 3);
+        let current = report(101, 20_000, 4);
+        let delta = ReportDelta::diff(&base, &current);
+        assert_eq!(delta.counters.len(), 1);
+        assert_eq!(delta.counters[0].abs_change(), 1);
+        assert_eq!(delta.counters[0].rel_change(), Some(0.01));
+        assert!(delta.gauges.is_empty()); // equal on both sides
+        assert_eq!(delta.timers.len(), 1);
+        assert_eq!(delta.timers[0].ratio(), Some(4.0));
+        assert_eq!(delta.histograms.len(), 1);
+        assert_eq!(delta.histograms[0].changed_buckets(), vec![(0, 3, 4)]);
+    }
+
+    #[test]
+    fn default_policy_gates_counters_and_histograms_only() {
+        let delta = ReportDelta::diff(&report(100, 5_000, 3), &report(101, 20_000, 4));
+        let violations = DeltaPolicy::default().violations(&delta);
+        let names: Vec<&str> = violations.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["infer.pairs.evaluated", "infer.candidates.by_template"]
+        );
+        // The violation names the metric and the gate.
+        assert!(violations[0].detail.contains("exact"));
+        assert!(violations[0].to_string().contains("infer.pairs.evaluated"));
+    }
+
+    #[test]
+    fn missing_metrics_and_phases_are_structural_differences() {
+        let base = report(100, 5_000, 3);
+        let mut current = base.clone();
+        current.phases[0].counters.clear();
+        current.phases.push(PhaseReport::new("extra"));
+        let delta = ReportDelta::diff(&base, &current);
+        assert_eq!(delta.counters.len(), 1);
+        assert_eq!(delta.counters[0].base, Some(100));
+        assert_eq!(delta.counters[0].current, None);
+        assert!(!DeltaPolicy::default().violations(&delta).is_empty());
+        // The extra phase is empty, so it contributes no entries; a
+        // current-only *metric* does.
+        let mut with_new = base.clone();
+        with_new.phases[0]
+            .counters
+            .push(("infer.new.metric".to_string(), 7));
+        let delta = ReportDelta::diff(&base, &with_new);
+        assert_eq!(delta.counters.len(), 1);
+        assert_eq!(delta.counters[0].base, None);
+        assert_eq!(delta.counters[0].current, Some(7));
+    }
+
+    #[test]
+    fn ratio_gate_allows_within_factor_and_honors_the_floor() {
+        let gate = Gate::Ratio {
+            max: 2.0,
+            min_value: 1_000,
+        };
+        assert!(!gate.scalar_violates(Some(10_000), Some(19_999)));
+        assert!(gate.scalar_violates(Some(10_000), Some(20_001)));
+        assert!(gate.scalar_violates(Some(20_001), Some(10_000))); // symmetric
+        assert!(!gate.scalar_violates(Some(1), Some(999))); // both below floor
+        assert!(gate.scalar_violates(Some(0), Some(5_000))); // zero base
+        assert!(gate.scalar_violates(None, Some(5_000))); // absent side
+    }
+
+    #[test]
+    fn policy_file_parses_classes_overrides_and_wildcards() {
+        let text = "\
+# CI gate for BENCH_5.json
+counters exact
+gauges info
+timers ratio 2.0 min 50000000
+histograms exact
+metric bench.profile.release exact
+metric detect.watch.* info
+";
+        let policy = DeltaPolicy::parse(text).expect("parses");
+        assert_eq!(policy.counters, Gate::Exact);
+        assert_eq!(
+            policy.timers,
+            Gate::Ratio {
+                max: 2.0,
+                min_value: 50_000_000
+            }
+        );
+        assert_eq!(
+            policy.gate_for(MetricClass::Gauge, "bench.profile.release"),
+            Gate::Exact
+        );
+        assert_eq!(
+            policy.gate_for(MetricClass::Counter, "detect.watch.cycles"),
+            Gate::Informational
+        );
+        // The wildcard needs the dot: `detect.watchdog` does not match.
+        assert_eq!(
+            policy.gate_for(MetricClass::Counter, "detect.watchdog"),
+            Gate::Exact
+        );
+    }
+
+    #[test]
+    fn policy_file_rejects_malformed_lines() {
+        for bad in [
+            "counters",
+            "counters maybe",
+            "widgets exact",
+            "metric exact",
+            "timers ratio nope",
+            "timers ratio 0.5",
+            "timers ratio 2.0 min x",
+            "timers ratio 2.0 extra stuff",
+        ] {
+            let err = DeltaPolicy::parse(bad).expect_err(bad);
+            assert!(err.starts_with("line 1:"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn json_rendering_is_valid_and_structured() {
+        let delta = ReportDelta::diff(&report(100, 5_000, 3), &report(101, 20_000, 4));
+        let json = crate::json::parse(&delta.render_json()).expect("valid JSON");
+        let counters = json.get("counters").and_then(Json::as_arr).unwrap();
+        assert_eq!(counters.len(), 1);
+        assert_eq!(
+            counters[0].get("name").and_then(Json::as_str),
+            Some("infer.pairs.evaluated")
+        );
+        assert_eq!(counters[0].get("base").and_then(Json::as_u64), Some(100));
+        // Text rendering names every changed metric.
+        let text = delta.render_text();
+        assert!(text.contains("counter   infer.pairs.evaluated = 100 -> 101 (+1, +1.00%)"));
+        assert!(text.contains("timer     infer.time"));
+        assert!(text.contains("histogram infer.candidates.by_template bucket[0] = 3 -> 4"));
+    }
+}

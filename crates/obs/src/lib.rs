@@ -31,10 +31,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod json;
 mod report;
 
-pub use report::{PhaseReport, PipelineReport, TimerSnapshot};
+pub use report::{HistogramSnapshot, PhaseReport, PipelineReport, TimerSnapshot};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
@@ -340,6 +341,50 @@ impl Histogram {
             .collect()
     }
 
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) of the recorded
+    /// distribution.  See [`Histogram::quantile_from`] for the estimation
+    /// semantics (linear interpolation within the fixed buckets, an
+    /// upper-bound estimate).
+    pub fn quantile(&self, q: f64) -> f64 {
+        Self::quantile_from(self.bounds, &self.counts(), q)
+    }
+
+    /// Estimate a quantile from bucket `counts` over inclusive upper
+    /// `bounds` (the [`Histogram::counts`] layout: one count per bound plus
+    /// the trailing overflow bucket).
+    ///
+    /// The rank `q * total` is located in the cumulative counts and
+    /// linearly interpolated between the containing bucket's edges, so the
+    /// estimate is an **upper bound**: every observation in bucket `i` is
+    /// at most `bounds[i]`, and the interpolation reaches that bound only
+    /// when the rank is the bucket's last observation.  Ranks landing in
+    /// the overflow bucket clamp to the largest finite bound (there the
+    /// estimate is a *lower* bound, and is reported as such).  An empty
+    /// distribution estimates 0.
+    pub fn quantile_from(bounds: &[u64], counts: &[u64], q: f64) -> f64 {
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * total as f64;
+        let mut below = 0.0;
+        for (i, &count) in counts.iter().enumerate() {
+            let through = below + count as f64;
+            if count > 0 && through >= rank {
+                let Some(&hi) = bounds.get(i) else {
+                    // Overflow bucket: no finite upper edge to interpolate
+                    // toward; clamp to the largest finite bound.
+                    return bounds.last().copied().unwrap_or(0) as f64;
+                };
+                let lo = if i == 0 { 0 } else { bounds[i - 1] };
+                let frac = ((rank - below) / count as f64).clamp(0.0, 1.0);
+                return lo as f64 + (hi - lo) as f64 * frac;
+            }
+            below = through;
+        }
+        bounds.last().copied().unwrap_or(0) as f64
+    }
+
     /// Total observations across all buckets.
     pub fn total(&self) -> u64 {
         self.counts().iter().sum()
@@ -447,6 +492,49 @@ mod tests {
         assert_eq!(Histogram::bucket_index(&bounds, 2), 2);
         assert_eq!(Histogram::bucket_index(&bounds, 3), 3); // overflow
         assert_eq!(Histogram::bucket_index(&[], 0), 0); // all-overflow
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // 20 observations: 10 in (0, 10], 10 in (20, 30].
+        let bounds = [10, 20, 30];
+        let counts = [10, 0, 10, 0];
+        // Rank 10 is the last observation of the first bucket: its upper
+        // bound exactly.
+        assert_eq!(Histogram::quantile_from(&bounds, &counts, 0.5), 10.0);
+        // Rank 15 is halfway through the third bucket (20..30].
+        assert_eq!(Histogram::quantile_from(&bounds, &counts, 0.75), 25.0);
+        // Rank 20 is that bucket's last observation.
+        assert_eq!(Histogram::quantile_from(&bounds, &counts, 1.0), 30.0);
+        // q=0 lands at the first nonempty bucket's lower edge.
+        assert_eq!(Histogram::quantile_from(&bounds, &counts, 0.0), 0.0);
+    }
+
+    #[test]
+    fn quantiles_clamp_in_the_overflow_bucket() {
+        // 1 observation ≤ 10, 3 in the overflow bucket (> 10).
+        let bounds = [10];
+        let counts = [1, 3];
+        assert_eq!(Histogram::quantile_from(&bounds, &counts, 0.99), 10.0);
+        // Everything in overflow with no finite bound at all: estimate 0.
+        assert_eq!(Histogram::quantile_from(&[], &[5], 0.5), 0.0);
+        // Empty distribution.
+        assert_eq!(Histogram::quantile_from(&bounds, &[0, 0], 0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_reads_the_live_instrument() {
+        let _gate = gate();
+        static H: Histogram = Histogram::new("test.hist.quantile", &[1, 10, 100]);
+        enable();
+        for v in [0, 1, 5, 50] {
+            H.observe(v);
+        }
+        disable();
+        // Rank 2 of 4 closes the (0, 1] bucket.
+        assert_eq!(H.quantile(0.5), 1.0);
+        H.reset();
+        assert_eq!(H.quantile(0.5), 0.0);
     }
 
     #[test]

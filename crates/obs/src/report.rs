@@ -20,6 +20,37 @@ pub struct TimerSnapshot {
     pub spans: u64,
 }
 
+/// A histogram's accumulated state: bucket counts plus interpolated
+/// percentile estimates (see [`Histogram::quantile_from`] — upper-bound
+/// estimates, rounded to whole units).  The percentiles are derived from
+/// the counts and the instrument's bounds at snapshot time; they ride
+/// along because the bounds are not part of the report.
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct HistogramSnapshot {
+    /// Bucket counts, one per bound plus the trailing overflow bucket.
+    pub counts: Vec<u64>,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 95th percentile.
+    pub p95: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Build a snapshot from raw bucket counts over the given bounds,
+    /// computing the percentile estimates.
+    pub fn from_counts(bounds: &[u64], counts: Vec<u64>) -> HistogramSnapshot {
+        let p = |q: f64| Histogram::quantile_from(bounds, &counts, q).round() as u64;
+        HistogramSnapshot {
+            p50: p(0.50),
+            p95: p(0.95),
+            p99: p(0.99),
+            counts,
+        }
+    }
+}
+
 /// Snapshot of one pipeline phase's instruments.  Entry order is the
 /// declaration order chosen by the phase, and is preserved through JSON.
 #[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
@@ -33,8 +64,8 @@ pub struct PhaseReport {
     pub gauges: Vec<(String, u64)>,
     /// Timer name → snapshot.
     pub timers: Vec<(String, TimerSnapshot)>,
-    /// Histogram name → bucket counts (one per bound, plus overflow).
-    pub histograms: Vec<(String, Vec<u64>)>,
+    /// Histogram name → snapshot (bucket counts + percentile estimates).
+    pub histograms: Vec<(String, HistogramSnapshot)>,
 }
 
 impl PhaseReport {
@@ -69,11 +100,14 @@ impl PhaseReport {
         self
     }
 
-    /// Record a histogram's current bucket counts.
+    /// Record a histogram's current bucket counts and percentile
+    /// estimates.
     #[must_use]
     pub fn histogram(mut self, histogram: &Histogram) -> PhaseReport {
-        self.histograms
-            .push((histogram.name().to_string(), histogram.counts()));
+        self.histograms.push((
+            histogram.name().to_string(),
+            HistogramSnapshot::from_counts(histogram.bounds(), histogram.counts()),
+        ));
         self
     }
 
@@ -132,10 +166,20 @@ impl PhaseReport {
                 Json::Obj(
                     self.histograms
                         .iter()
-                        .map(|(name, counts)| {
+                        .map(|(name, snap)| {
                             (
                                 name.clone(),
-                                Json::Arr(counts.iter().map(|&c| Json::Num(c)).collect()),
+                                Json::Obj(vec![
+                                    (
+                                        "counts".to_string(),
+                                        Json::Arr(
+                                            snap.counts.iter().map(|&c| Json::Num(c)).collect(),
+                                        ),
+                                    ),
+                                    ("p50".to_string(), Json::Num(snap.p50)),
+                                    ("p95".to_string(), Json::Num(snap.p95)),
+                                    ("p99".to_string(), Json::Num(snap.p99)),
+                                ]),
                             )
                         })
                         .collect(),
@@ -191,15 +235,30 @@ impl PhaseReport {
             .ok_or(format!("phase `{name}` is missing `histograms`"))?
             .iter()
             .map(|(n, v)| {
-                v.as_arr()
-                    .ok_or(format!("histogram `{n}` is not an array"))?
+                let counts = v
+                    .get("counts")
+                    .and_then(Json::as_arr)
+                    .ok_or(format!("histogram `{n}` is missing `counts`"))?
                     .iter()
                     .map(|c| {
                         c.as_u64()
                             .ok_or(format!("histogram `{n}` has a non-number"))
                     })
-                    .collect::<Result<Vec<u64>, String>>()
-                    .map(|counts| (n.clone(), counts))
+                    .collect::<Result<Vec<u64>, String>>()?;
+                let field = |f: &str| {
+                    v.get(f)
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("histogram `{n}` is missing `{f}`"))
+                };
+                Ok((
+                    n.clone(),
+                    HistogramSnapshot {
+                        counts,
+                        p50: field("p50")?,
+                        p95: field("p95")?,
+                        p99: field("p99")?,
+                    },
+                ))
             })
             .collect::<Result<Vec<_>, String>>()?;
         Ok(PhaseReport {
@@ -239,11 +298,13 @@ impl PipelineReport {
 
     /// All histograms across phases, flattened to `name → bucket counts`.
     /// Histogram totals are deterministic for the same input, like
-    /// counters.
+    /// counters (the derived percentiles are a pure function of the
+    /// counts, so they need no separate determinism treatment).
     pub fn histograms(&self) -> BTreeMap<String, Vec<u64>> {
         self.phases
             .iter()
-            .flat_map(|p| p.histograms.iter().cloned())
+            .flat_map(|p| p.histograms.iter())
+            .map(|(name, snap)| (name.clone(), snap.counts.clone()))
             .collect()
     }
 
@@ -265,9 +326,15 @@ impl PipelineReport {
                     snap.spans
                 ));
             }
-            for (name, counts) in &phase.histograms {
-                let rendered: Vec<String> = counts.iter().map(u64::to_string).collect();
-                out.push_str(&format!("  histogram {name} = [{}]\n", rendered.join(", ")));
+            for (name, snap) in &phase.histograms {
+                let rendered: Vec<String> = snap.counts.iter().map(u64::to_string).collect();
+                out.push_str(&format!(
+                    "  histogram {name} = [{}] p50~{} p95~{} p99~{}\n",
+                    rendered.join(", "),
+                    snap.p50,
+                    snap.p95,
+                    snap.p99
+                ));
             }
         }
         out
@@ -336,7 +403,10 @@ mod tests {
                             spans: 12,
                         },
                     )],
-                    histograms: vec![("collect.sizes".to_string(), vec![1, 0, 2])],
+                    histograms: vec![(
+                        "collect.sizes".to_string(),
+                        HistogramSnapshot::from_counts(&[1, 2, 4], vec![1, 0, 2]),
+                    )],
                 },
                 PhaseReport::new("detect"),
             ],
@@ -359,7 +429,9 @@ mod tests {
         assert!(text.contains("counter   collect.images.built = 12"));
         assert!(text.contains("gauge     collect.depth = 3"));
         assert!(text.contains("timer     collect.build = 1.500ms over 12 span(s)"));
-        assert!(text.contains("histogram collect.sizes = [1, 0, 2]"));
+        // Counts [1, 0, 2] over bounds [1, 2, 4]: ranks 1.5 and beyond
+        // fall in the (2, 4] bucket.
+        assert!(text.contains("histogram collect.sizes = [1, 0, 2] p50~3 p95~4 p99~4"));
         assert!(text.contains("phase detect"));
     }
 

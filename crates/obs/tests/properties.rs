@@ -37,6 +37,27 @@ proptest! {
     }
 
     #[test]
+    fn quantile_is_monotone_in_q_and_bounded(
+        s0 in 1u64..1_000, s1 in 1u64..1_000, s2 in 1u64..1_000,
+        c0 in 0u64..50, c1 in 0u64..50, c2 in 0u64..50, c3 in 0u64..50,
+        qa in 0u32..=100, qb in 0u32..=100,
+    ) {
+        let bounds = bounds_from(vec![s0, s1, s2]);
+        let mut counts = vec![c0, c1, c2, c3];
+        counts.truncate(bounds.len() + 1);
+        let (lo_q, hi_q) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let lo = Histogram::quantile_from(&bounds, &counts, f64::from(lo_q) / 100.0);
+        let hi = Histogram::quantile_from(&bounds, &counts, f64::from(hi_q) / 100.0);
+        prop_assert!(
+            lo <= hi,
+            "quantile not monotone: q{lo_q}→{lo} vs q{hi_q}→{hi} over {bounds:?} {counts:?}"
+        );
+        // Estimates never exceed the largest finite bound.
+        let max_bound = bounds.last().copied().unwrap_or(0) as f64;
+        prop_assert!(hi <= max_bound);
+    }
+
+    #[test]
     fn bucket_index_brackets_the_value(
         s0 in 0u64..1_000, s1 in 0u64..1_000, s2 in 0u64..1_000,
         v in 0u64..2_000,

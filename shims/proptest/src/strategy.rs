@@ -133,73 +133,34 @@ impl Strategy for &str {
     }
 }
 
-impl<A: Strategy> Strategy for (A,) {
-    type Value = (A::Value,);
+/// Implement [`Strategy`] for tuples of strategies, one arity per line.
+macro_rules! tuple_strategy {
+    ($(($($name:ident $idx:tt),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
 
-    fn generate(&self, rng: &mut StdRng) -> Self::Value {
-        (self.0.generate(rng),)
-    }
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
 
-    fn generate_shrunk(&self, rng: &mut StdRng, level: u32) -> Self::Value {
-        (self.0.generate_shrunk(rng, level),)
-    }
+            fn generate_shrunk(&self, rng: &mut StdRng, level: u32) -> Self::Value {
+                ($(self.$idx.generate_shrunk(rng, level),)+)
+            }
+        }
+    )+};
 }
 
-impl<A: Strategy, B: Strategy> Strategy for (A, B) {
-    type Value = (A::Value, B::Value);
-
-    fn generate(&self, rng: &mut StdRng) -> Self::Value {
-        (self.0.generate(rng), self.1.generate(rng))
-    }
-
-    fn generate_shrunk(&self, rng: &mut StdRng, level: u32) -> Self::Value {
-        (
-            self.0.generate_shrunk(rng, level),
-            self.1.generate_shrunk(rng, level),
-        )
-    }
-}
-
-impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
-    type Value = (A::Value, B::Value, C::Value);
-
-    fn generate(&self, rng: &mut StdRng) -> Self::Value {
-        (
-            self.0.generate(rng),
-            self.1.generate(rng),
-            self.2.generate(rng),
-        )
-    }
-
-    fn generate_shrunk(&self, rng: &mut StdRng, level: u32) -> Self::Value {
-        (
-            self.0.generate_shrunk(rng, level),
-            self.1.generate_shrunk(rng, level),
-            self.2.generate_shrunk(rng, level),
-        )
-    }
-}
-
-impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
-    type Value = (A::Value, B::Value, C::Value, D::Value);
-
-    fn generate(&self, rng: &mut StdRng) -> Self::Value {
-        (
-            self.0.generate(rng),
-            self.1.generate(rng),
-            self.2.generate(rng),
-            self.3.generate(rng),
-        )
-    }
-
-    fn generate_shrunk(&self, rng: &mut StdRng, level: u32) -> Self::Value {
-        (
-            self.0.generate_shrunk(rng, level),
-            self.1.generate_shrunk(rng, level),
-            self.2.generate_shrunk(rng, level),
-            self.3.generate_shrunk(rng, level),
-        )
-    }
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9)
 }
 
 fn generate_pattern(pattern: &str, rng: &mut StdRng, level: u32) -> String {

@@ -1,0 +1,215 @@
+//! Report deltas and the watch loop, end to end: a report diffed against
+//! itself is empty, a perturbed counter trips the default policy with a
+//! violation naming the metric and its gate, counter/histogram sections
+//! never differ across worker counts, and [`Watcher`] cycles re-check only
+//! added/changed targets while appending one parseable report per cycle to
+//! the JSONL trace.
+
+use encore::obs;
+use encore::obs::{DeltaPolicy, PipelineReport, ReportDelta};
+use encore::prelude::*;
+use encore_corpus::genimage::{Population, PopulationOptions};
+use encore_model::AppKind;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+/// The observability sink and its metric statics are process-global;
+/// every test in this binary toggles or reads them, so they serialize on
+/// this gate (the harness runs tests on parallel threads).
+static GATE: Mutex<()> = Mutex::new(());
+
+fn gate() -> MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Train on a small MySQL fleet and re-check it, returning the full
+/// pipeline report for the run.  Callers hold the gate.
+fn instrumented_run(workers: usize) -> PipelineReport {
+    obs::reset();
+    obs::enable();
+    let pop = Population::training(AppKind::Mysql, &PopulationOptions::new(15, 3));
+    let training = TrainingSet::assemble(AppKind::Mysql, pop.images()).expect("training assembles");
+    let detector = EnCore::learn(
+        &training,
+        &LearnOptions {
+            workers: Some(workers),
+            ..LearnOptions::default()
+        },
+    )
+    .into_detector();
+    let _ = detector.check_fleet(
+        AppKind::Mysql,
+        pop.images(),
+        &FleetOptions {
+            workers: Some(workers),
+        },
+    );
+    let report = obs::pipeline_report();
+    obs::disable();
+    report
+}
+
+/// A unique, cleaned-up temp directory for one test.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("encore-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn self_diff_is_empty_and_passes_the_default_policy() {
+    let _gate = gate();
+    let report = instrumented_run(2);
+    assert!(
+        report.counters().values().any(|&v| v > 0),
+        "the run recorded work"
+    );
+    let delta = ReportDelta::diff(&report, &report);
+    assert!(delta.is_empty(), "self-diff: {}", delta.render_text());
+    assert_eq!(delta.render_text(), "== report delta: no differences ==\n");
+    assert!(DeltaPolicy::default().violations(&delta).is_empty());
+}
+
+#[test]
+fn perturbed_counter_violation_names_the_metric_and_gate() {
+    let _gate = gate();
+    let base = instrumented_run(2);
+    let mut current = base.clone();
+    let (name, value) = {
+        let phase = &mut current.phases[2]; // infer
+        let counter = phase
+            .counters
+            .iter_mut()
+            .find(|(name, _)| name == "infer.pairs.evaluated")
+            .expect("infer.pairs.evaluated present");
+        counter.1 += 1;
+        counter.clone()
+    };
+    let delta = ReportDelta::diff(&base, &current);
+    assert_eq!(delta.counters.len(), 1, "{}", delta.render_text());
+    assert_eq!(delta.counters[0].name, name);
+    assert_eq!(delta.counters[0].current, Some(value));
+
+    let violations = DeltaPolicy::default().violations(&delta);
+    assert_eq!(violations.len(), 1, "exact gate trips on the counter");
+    let rendered = violations[0].to_string();
+    assert!(rendered.contains(&name), "{rendered}");
+    assert!(rendered.contains("exact"), "{rendered}");
+}
+
+#[test]
+fn worker_count_never_changes_counters_or_histograms() {
+    let _gate = gate();
+    let reference = instrumented_run(1);
+    for workers in [2usize, 4] {
+        let report = instrumented_run(workers);
+        let delta = ReportDelta::diff(&reference, &report);
+        assert!(
+            delta.counters.is_empty(),
+            "workers={workers}: counter deltas\n{}",
+            delta.render_text()
+        );
+        assert!(
+            delta.histograms.is_empty(),
+            "workers={workers}: histogram deltas\n{}",
+            delta.render_text()
+        );
+        // Gauges and timers (worker load, wall time) may differ; the
+        // default policy treats them as informational.
+        assert!(DeltaPolicy::default().violations(&delta).is_empty());
+    }
+}
+
+/// Build a small trained detector for the watch tests.
+fn small_detector() -> AnomalyDetector {
+    let pop = Population::training(AppKind::Mysql, &PopulationOptions::new(12, 7));
+    let training = TrainingSet::assemble(AppKind::Mysql, pop.images()).expect("training assembles");
+    EnCore::learn(&training, &LearnOptions::default()).into_detector()
+}
+
+#[test]
+fn watch_cycles_recheck_only_changed_targets_and_emit_jsonl() {
+    let _gate = gate();
+    let detector = small_detector();
+    let dir = scratch_dir("watch-jsonl");
+    let report_path = dir.join(".trace.jsonl"); // dotfile: not a target
+    std::fs::write(dir.join("a.cnf"), "[mysqld]\nport = 3306\n").unwrap();
+    std::fs::write(
+        dir.join("b.cnf"),
+        "[mysqld]\nport = 3307\nskip-networking\n",
+    )
+    .unwrap();
+
+    obs::enable();
+    let mut options = WatchOptions::new(AppKind::Mysql, &dir);
+    options.report_path = Some(report_path.clone());
+    let mut watcher = Watcher::new(detector, options);
+
+    let first = watcher.cycle().expect("cycle 1");
+    assert_eq!((first.added, first.changed, first.removed), (2, 0, 0));
+    assert_eq!(first.results.len(), 2, "both new targets re-checked");
+    assert_eq!(first.tracked, 2);
+    let counters = first.report.counters();
+    assert_eq!(counters["detect.watch.cycles"], 1);
+    assert_eq!(counters["detect.watch.targets_added"], 2);
+    assert_eq!(counters["detect.watch.targets_rechecked"], 2);
+
+    // Grow the file so the size component of the signature changes even
+    // on filesystems with coarse mtime granularity.
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    std::fs::write(
+        dir.join("b.cnf"),
+        "[mysqld]\nport = 3307\nskip-networking\nmax_connections = 100\n",
+    )
+    .unwrap();
+    let second = watcher.cycle().expect("cycle 2");
+    assert_eq!((second.added, second.changed, second.removed), (0, 1, 0));
+    assert_eq!(second.results.len(), 1, "only the changed target re-checks");
+    assert_eq!(second.results[0].0, "b.cnf");
+
+    let third = watcher.cycle().expect("cycle 3");
+    assert_eq!((third.added, third.changed, third.removed), (0, 0, 0));
+    assert!(third.results.is_empty(), "quiet cycle re-checks nothing");
+    assert_eq!(third.tracked, 2);
+    obs::disable();
+
+    let trace = std::fs::read_to_string(&report_path).expect("trace written");
+    let lines: Vec<&str> = trace.lines().collect();
+    assert_eq!(lines.len(), 3, "one JSONL line per cycle");
+    for (i, line) in lines.iter().enumerate() {
+        obs::json::parse(line).unwrap_or_else(|e| panic!("line {}: {e:?}", i + 1));
+        let parsed =
+            PipelineReport::parse_json(line).unwrap_or_else(|e| panic!("line {}: {e}", i + 1));
+        assert_eq!(parsed.counters()["detect.watch.cycles"], 1);
+    }
+    let first_line = PipelineReport::parse_json(lines[0]).unwrap();
+    assert_eq!(first_line.counters()["detect.watch.targets_added"], 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn identical_quiet_cycles_produce_identical_counter_sections() {
+    let _gate = gate();
+    let detector = small_detector();
+    let dir = scratch_dir("watch-quiet");
+    std::fs::write(dir.join("only.cnf"), "[mysqld]\nport = 3306\n").unwrap();
+
+    obs::enable();
+    let mut watcher = Watcher::new(detector, WatchOptions::new(AppKind::Mysql, &dir));
+    let _warmup = watcher.cycle().expect("cycle 1");
+    let quiet_a = watcher.cycle().expect("cycle 2");
+    let quiet_b = watcher.cycle().expect("cycle 3");
+    obs::disable();
+
+    // Regression: each cycle's report must cover only that cycle.  Were
+    // the snapshot not paired atomically with a reset, counters would
+    // accumulate and the second quiet cycle would read higher than the
+    // first.
+    assert_eq!(quiet_a.report.counters(), quiet_b.report.counters());
+    assert_eq!(quiet_a.report.counters()["detect.watch.cycles"], 1);
+    let delta = ReportDelta::diff(&quiet_a.report, &quiet_b.report);
+    assert!(delta.counters.is_empty(), "{}", delta.render_text());
+    assert!(delta.histograms.is_empty(), "{}", delta.render_text());
+    let _ = std::fs::remove_dir_all(&dir);
+}
