@@ -23,9 +23,15 @@ pub static TYPES_SYNTACTIC: Counter = Counter::new("assemble.types.syntactic");
 pub static TYPES_TRIVIAL: Counter = Counter::new("assemble.types.trivial");
 /// Augmented attributes added by environment integration (§4.3).
 pub static AUGMENTED_ATTRS: Counter = Counter::new("assemble.augment.attrs");
+/// Attribute columns pivoted into the columnar store.
+pub static COLUMNS_BUILT: Counter = Counter::new("assemble.columns.built");
+/// Distinct values interned while building the columnar store.
+pub static VALUES_INTERNED: Counter = Counter::new("assemble.values.interned");
 /// Wall time assembling rows (parsing excluded — see
 /// `assemble.parse.time`).
 pub static ASSEMBLE_TIME: Timer = Timer::new("assemble.rows.time");
+/// Wall time pivoting the dataset into the columnar store.
+pub static COLUMNS_TIME: Timer = Timer::new("assemble.columns.time");
 
 /// Snapshot of the assembler's half of the assembly phase (the parser
 /// contributes the other half).
@@ -38,7 +44,10 @@ pub fn phase_report() -> PhaseReport {
         .counter(&TYPES_SYNTACTIC)
         .counter(&TYPES_TRIVIAL)
         .counter(&AUGMENTED_ATTRS)
+        .counter(&COLUMNS_BUILT)
+        .counter(&VALUES_INTERNED)
         .timer(&ASSEMBLE_TIME)
+        .timer(&COLUMNS_TIME)
 }
 
 /// Reset every assembler instrument.
@@ -50,5 +59,8 @@ pub fn reset() {
     TYPES_SYNTACTIC.reset();
     TYPES_TRIVIAL.reset();
     AUGMENTED_ATTRS.reset();
+    COLUMNS_BUILT.reset();
+    VALUES_INTERNED.reset();
     ASSEMBLE_TIME.reset();
+    COLUMNS_TIME.reset();
 }

@@ -11,7 +11,7 @@
 //! default gates counters and histograms exactly and treats gauges and
 //! timers as informational; `--policy FILE` pins a different one, which is
 //! how CI gates a regenerated perf record against the committed
-//! `BENCH_5.json`).  Exit codes: 0 — no gated metric exceeded its
+//! `BENCH_6.json`).  Exit codes: 0 — no gated metric exceeded its
 //! threshold (the delta itself may be nonempty); 1 — at least one gated
 //! violation, each printed with the metric name and its gate; 2 — usage
 //! or I/O errors.

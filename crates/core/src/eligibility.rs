@@ -19,29 +19,74 @@ use crate::stats::StatsCache;
 use crate::template::{Relation, Template};
 use encore_model::{AttrName, SemType};
 
-/// Attributes eligible for a slot type.
+/// Sorted attribute indices eligible for a slot type, served from the
+/// per-type buckets the [`StatsCache`] inverts out of its resolved types —
+/// a bucket lookup instead of a type test over every attribute.
 ///
 /// `Str` slots accept only genuinely string-typed attributes — allowing
 /// every attribute in `Str` slots would reintroduce the quadratic blow-up
 /// the type restriction exists to avoid.
-pub(crate) fn eligible<'a>(
-    attrs: &'a [AttrName],
-    cache: &StatsCache,
-    slot_ty: SemType,
-) -> Vec<&'a AttrName> {
-    attrs
-        .iter()
-        .filter(|a| {
-            let ty = cache.type_of(a);
-            match slot_ty {
-                // Plain numbers and ports compare; sizes have their own
-                // template (comparing seconds against bytes is never a
-                // correlation).
-                SemType::Number => matches!(ty, SemType::Number | SemType::PortNumber),
-                other => ty == other,
+pub(crate) fn eligible_indices(cache: &StatsCache, slot_ty: SemType) -> Vec<usize> {
+    match slot_ty {
+        // Plain numbers and ports compare; sizes have their own template
+        // (comparing seconds against bytes is never a correlation).  The
+        // merge keeps indices ascending, so the binding order matches the
+        // sorted-attribute filter this replaced.
+        SemType::Number => {
+            let (nums, ports) = (
+                cache.type_bucket(SemType::Number),
+                cache.type_bucket(SemType::PortNumber),
+            );
+            let mut merged = Vec::with_capacity(nums.len() + ports.len());
+            let (mut i, mut j) = (0, 0);
+            while i < nums.len() || j < ports.len() {
+                match (nums.get(i), ports.get(j)) {
+                    (Some(&n), Some(&p)) if n < p => {
+                        merged.push(n);
+                        i += 1;
+                    }
+                    (Some(_), Some(&p)) => {
+                        merged.push(p);
+                        j += 1;
+                    }
+                    (Some(&n), None) => {
+                        merged.push(n);
+                        i += 1;
+                    }
+                    (None, Some(&p)) => {
+                        merged.push(p);
+                        j += 1;
+                    }
+                    (None, None) => unreachable!("loop guard"),
+                }
             }
-        })
-        .collect()
+            merged
+        }
+        other => cache.type_bucket(other).to_vec(),
+    }
+}
+
+/// The b-side attribute indices the instantiation loop enumerates for the
+/// a-side attribute at `a_index` — shared by [`crate::infer`] and
+/// [`analyze_templates`] so the two enumerations can never drift.
+///
+/// For a same-type generic template this is the type-bucket join: only b's
+/// of `a`'s own type, since [`pair_considered`] rejects every cross-type
+/// pair anyway.  The bucket is an ascending sub-sequence of the full
+/// eligible-B list, so the surviving pair order (and every pair count) is
+/// identical to filtering the cross product.  [`pair_considered`] remains
+/// the authority on each enumerated pair.
+pub(crate) fn partner_indices<'c>(
+    cache: &'c StatsCache,
+    generic: bool,
+    eligible_b: &'c [usize],
+    a_index: usize,
+) -> &'c [usize] {
+    if generic {
+        cache.type_bucket(cache.type_at(a_index))
+    } else {
+        eligible_b
+    }
 }
 
 /// Whether a template is *same-type generic*: the paper's `==` and `=~`
@@ -147,20 +192,22 @@ pub fn analyze_templates(templates: &[Template], cache: &StatsCache) -> Vec<Elig
     templates
         .iter()
         .map(|template| {
+            let attrs = cache.attributes();
             let generic = is_same_type_generic(template);
-            let (eligible_a, eligible_b) = if generic {
-                let all: Vec<&AttrName> = cache.attributes().iter().collect();
-                (all.clone(), all)
+            let (eligible_a, eligible_b): (Vec<usize>, Vec<usize>) = if generic {
+                ((0..attrs.len()).collect(), (0..attrs.len()).collect())
             } else {
                 (
-                    eligible(cache.attributes(), cache, template.a.ty),
-                    eligible(cache.attributes(), cache, template.b.ty),
+                    eligible_indices(cache, template.a.ty),
+                    eligible_indices(cache, template.b.ty),
                 )
             };
             let mut considered = 0usize;
             let mut live = 0usize;
-            for &a in &eligible_a {
-                for &b in &eligible_b {
+            for &ai in &eligible_a {
+                let a = &attrs[ai];
+                for &bi in partner_indices(cache, generic, &eligible_b, ai) {
+                    let b = &attrs[bi];
                     if !pair_considered(template, generic, cache, a, b) {
                         continue;
                     }
@@ -232,6 +279,58 @@ mod tests {
         let reports = analyze_templates(&templates, &cache);
         assert!(reports[0].is_dead(), "{:?}", reports[0]);
         assert_eq!(reports[0].eligible_a, 0);
+    }
+
+    #[test]
+    fn bucket_eligibility_matches_filter_reference() {
+        let ts = TrainingSet::assemble(AppKind::Mysql, &fleet(8)).unwrap();
+        let cache = ts.stats_cache();
+        for ty in SemType::PRIORITY {
+            let via_buckets = eligible_indices(&cache, ty);
+            let reference: Vec<usize> = cache
+                .attributes()
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| {
+                    let t = cache.type_of(a);
+                    match ty {
+                        SemType::Number => matches!(t, SemType::Number | SemType::PortNumber),
+                        other => t == other,
+                    }
+                })
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(via_buckets, reference, "{ty}");
+        }
+    }
+
+    #[test]
+    fn type_bucket_join_matches_filtered_cross_product() {
+        // For generic templates the bucket join must enumerate exactly the
+        // pairs surviving `pair_considered` over the full cross product, in
+        // the same order — the invariant that keeps the evaluated-pair
+        // stream (and `infer.pairs.evaluated`) byte-identical.
+        let ts = TrainingSet::assemble(AppKind::Mysql, &fleet(8)).unwrap();
+        let cache = ts.stats_cache();
+        let attrs = cache.attributes();
+        let all: Vec<usize> = (0..attrs.len()).collect();
+        for template in Template::predefined() {
+            if !is_same_type_generic(&template) {
+                continue;
+            }
+            for &ai in &all {
+                let survives = |&&bi: &&usize| {
+                    pair_considered(&template, true, &cache, &attrs[ai], &attrs[bi])
+                };
+                let joined: Vec<usize> = partner_indices(&cache, true, &all, ai)
+                    .iter()
+                    .filter(survives)
+                    .copied()
+                    .collect();
+                let crossed: Vec<usize> = all.iter().filter(survives).copied().collect();
+                assert_eq!(joined, crossed, "template {template:?} a={}", attrs[ai]);
+            }
+        }
     }
 
     #[test]

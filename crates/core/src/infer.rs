@@ -16,17 +16,27 @@
 //! learned [`RuleSet`] is byte-identical to a sequential run no matter how
 //! many workers steal.  Per-attribute statistics (semantic types, value
 //! entropies) are resolved once per run in a shared [`StatsCache`].
+//!
+//! Slot bindings are *indices* into the cache's sorted attribute list, and
+//! the default evaluation path is *columnar*: each pair is tallied by a
+//! `relation::PairEvaluator` scanning the interned value-id
+//! columns of the [`StatsCache`]'s column store, with generic same-type
+//! templates drawing their B partners from per-type attribute buckets
+//! instead of filtering the full cross product.  The legacy row-major path
+//! is kept behind [`InferOptions::without_columnar`] as the byte-identity
+//! reference.
 
-use crate::eligibility::{eligible, is_same_type_generic, pair_considered};
+use crate::eligibility::{
+    eligible_indices, is_same_type_generic, pair_considered, partner_indices,
+};
 use crate::filter::{judge, FilterThresholds, RejectReason, Verdict};
 use crate::obs;
 use crate::pool::{self, PoolError};
-use crate::relation::{evaluate, Applicability, SystemView};
+use crate::relation::{evaluate, Applicability, PairEvaluator, SystemView};
 use crate::rules::{Rule, RuleSet};
 use crate::stats::StatsCache;
 use crate::template::Template;
 use crate::train::TrainingSet;
-use encore_model::AttrName;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::ops::Range;
@@ -98,6 +108,11 @@ pub struct InferOptions {
     /// no candidates either way); disable it only to measure its effect or
     /// to cross-check determinism.
     pub prune_dead_units: bool,
+    /// Evaluate pairs over the interned value-id columns (the default).
+    /// `false` falls back to the row-major [`evaluate`] loop — the
+    /// reference implementation the columnar path must reproduce
+    /// byte-identically.
+    pub columnar: bool,
 }
 
 impl Default for InferOptions {
@@ -105,6 +120,7 @@ impl Default for InferOptions {
         InferOptions {
             workers: None,
             prune_dead_units: true,
+            columnar: true,
         }
     }
 }
@@ -122,6 +138,13 @@ impl InferOptions {
     /// must reproduce byte-identically).
     pub fn without_pruning(mut self) -> InferOptions {
         self.prune_dead_units = false;
+        self
+    }
+
+    /// Disable the columnar evaluator and tally every pair with the
+    /// row-major reference loop.
+    pub fn without_columnar(mut self) -> InferOptions {
+        self.columnar = false;
         self
     }
 
@@ -261,12 +284,18 @@ impl RuleInference {
         cache: &StatsCache,
         options: &InferOptions,
     ) -> Result<Vec<Candidate>, InferError> {
-        self.collect_candidates_via(training, cache, options, instantiate_unit)
+        if options.columnar {
+            self.collect_candidates_via(training, cache, options, instantiate_unit_columnar)
+        } else {
+            self.collect_candidates_via(training, cache, options, instantiate_unit_rows)
+        }
     }
 
     /// Worker seam: `run_unit` processes one `(template, a-chunk)` unit.
-    /// Production passes [`instantiate_unit`]; tests substitute panicking
-    /// closures to exercise error propagation through the real pipeline.
+    /// Production passes [`instantiate_unit_columnar`] (or
+    /// [`instantiate_unit_rows`] when the columnar path is disabled); tests
+    /// substitute panicking closures to exercise error propagation through
+    /// the real pipeline.
     fn collect_candidates_via<F>(
         &self,
         training: &TrainingSet,
@@ -279,12 +308,11 @@ impl RuleInference {
     {
         let _span = obs::INFER_TIME.span();
         obs::INFER_TEMPLATES.add(self.templates.len() as u64);
-        let attrs = cache.attributes();
         let works: Vec<TemplateWork<'_>> = self
             .templates
             .iter()
             .enumerate()
-            .map(|(index, t)| TemplateWork::new(index, t, attrs, cache))
+            .map(|(index, t)| TemplateWork::new(index, t, cache))
             .collect();
         let all_units: Vec<WorkUnit<'_, '_>> = works
             .iter()
@@ -324,15 +352,16 @@ impl RuleInference {
 /// stays negligible next to the per-pair evaluation loop.
 const A_CHUNK: usize = 8;
 
-/// One template plus its eligible slot bindings, resolved once per run.
+/// One template plus its eligible slot bindings — *indices* into the
+/// cache's sorted attribute list — resolved once per run.
 struct TemplateWork<'a> {
     /// Position in the run's template list (drives the per-template
     /// candidate histogram).
     index: usize,
     template: &'a Template,
     generic: bool,
-    eligible_a: Vec<&'a AttrName>,
-    eligible_b: Vec<&'a AttrName>,
+    eligible_a: Vec<usize>,
+    eligible_b: Vec<usize>,
     /// Union of the row-presence bitsets of every eligible-B attribute: a
     /// chunk of A attributes none of which is ever present alongside *any*
     /// eligible B cannot instantiate anything.
@@ -340,28 +369,26 @@ struct TemplateWork<'a> {
 }
 
 impl<'a> TemplateWork<'a> {
-    fn new(
-        index: usize,
-        template: &'a Template,
-        attrs: &'a [AttrName],
-        cache: &StatsCache,
-    ) -> TemplateWork<'a> {
+    fn new(index: usize, template: &'a Template, cache: &StatsCache) -> TemplateWork<'a> {
         let generic = is_same_type_generic(template);
         let (eligible_a, eligible_b) = if generic {
-            let all: Vec<&AttrName> = attrs.iter().collect();
+            let all: Vec<usize> = (0..cache.attributes().len()).collect();
             (all.clone(), all)
         } else {
             (
-                eligible(attrs, cache, template.a.ty),
-                eligible(attrs, cache, template.b.ty),
+                eligible_indices(cache, template.a.ty),
+                eligible_indices(cache, template.b.ty),
             )
         };
+        // The union stays over the *full* eligible-B set even for generic
+        // templates (whose per-A partners narrow to a type bucket): liveness
+        // only needs to be conservative, and keeping it bucket-independent
+        // keeps pruning decisions identical to the pre-bucket enumeration.
+        let store = cache.columns();
         let mut b_presence = vec![0u64; cache.num_rows().div_ceil(64)];
-        for &b in &eligible_b {
-            if let Some(mask) = cache.presence_mask(b) {
-                for (acc, word) in b_presence.iter_mut().zip(mask) {
-                    *acc |= word;
-                }
+        for &bi in &eligible_b {
+            for (acc, word) in b_presence.iter_mut().zip(store.column(bi).presence()) {
+                *acc |= word;
             }
         }
         TemplateWork {
@@ -388,13 +415,17 @@ impl WorkUnit<'_, '_> {
     /// conservative (a live verdict may still instantiate nothing), so
     /// pruning never changes the learned rule set.
     fn is_live(&self, cache: &StatsCache) -> bool {
-        self.work.eligible_a[self.a_range.clone()].iter().any(|a| {
-            cache.presence_mask(a).is_some_and(|mask| {
-                mask.iter()
+        let store = cache.columns();
+        self.work.eligible_a[self.a_range.clone()]
+            .iter()
+            .any(|&ai| {
+                store
+                    .column(ai)
+                    .presence()
+                    .iter()
                     .zip(&self.work.b_presence)
                     .any(|(x, y)| x & y != 0)
             })
-        })
     }
 }
 
@@ -480,19 +511,25 @@ fn judge_candidates(
     (rules, stats)
 }
 
-fn instantiate_unit(
+/// Row-major reference evaluator: tally each considered pair by walking
+/// every training system through [`evaluate`].  Kept as the byte-identity
+/// reference for [`instantiate_unit_columnar`].
+fn instantiate_unit_rows(
     unit: &WorkUnit<'_, '_>,
     training: &TrainingSet,
     cache: &StatsCache,
 ) -> Vec<Candidate> {
     let work = unit.work;
     let template = work.template;
+    let attrs = cache.attributes();
     let mut out = Vec::new();
     // Tallied locally and flushed once per unit: one atomic add per unit
     // instead of one per pair across the worker pool.
     let mut pairs_evaluated = 0u64;
-    for &a in &work.eligible_a[unit.a_range.clone()] {
-        for &b in &work.eligible_b {
+    for &ai in &work.eligible_a[unit.a_range.clone()] {
+        let a = &attrs[ai];
+        for &bi in partner_indices(cache, work.generic, &work.eligible_b, ai) {
+            let b = &attrs[bi];
             // Structural filters (self-pairs, original-entry anchoring,
             // generic same-type restriction, symmetry canonicalization) —
             // shared with the eligibility analyzer in [`crate::eligibility`].
@@ -512,6 +549,51 @@ fn instantiate_unit(
                     Applicability::NotApplicable => {}
                 }
             }
+            if applicable == 0 {
+                continue;
+            }
+            let confidence = holds as f64 / applicable as f64;
+            out.push(Candidate {
+                rule: Rule::new(
+                    a.clone(),
+                    template.relation,
+                    b.clone(),
+                    applicable,
+                    confidence,
+                ),
+                template_min_confidence: template.min_confidence,
+            });
+        }
+    }
+    obs::INFER_PAIRS_EVALUATED.add(pairs_evaluated);
+    out
+}
+
+/// Columnar evaluator: the same pair enumeration as
+/// [`instantiate_unit_rows`], but each pair is tallied by a
+/// [`PairEvaluator`] over the interned value-id columns — presence gating
+/// becomes a bitset intersection and `Equal`/`=~` become integer compares.
+fn instantiate_unit_columnar(
+    unit: &WorkUnit<'_, '_>,
+    training: &TrainingSet,
+    cache: &StatsCache,
+) -> Vec<Candidate> {
+    let work = unit.work;
+    let template = work.template;
+    let attrs = cache.attributes();
+    let systems = training.systems();
+    let mut out = Vec::new();
+    let mut pairs_evaluated = 0u64;
+    for &ai in &work.eligible_a[unit.a_range.clone()] {
+        let a = &attrs[ai];
+        for &bi in partner_indices(cache, work.generic, &work.eligible_b, ai) {
+            let b = &attrs[bi];
+            if !pair_considered(template, work.generic, cache, a, b) {
+                continue;
+            }
+            pairs_evaluated += 1;
+            let (holds, applicable) =
+                PairEvaluator::new(template.relation, cache, ai, bi).tally(systems);
             if applicable == 0 {
                 continue;
             }
@@ -687,6 +769,34 @@ mod tests {
             assert_eq!(pruned, unpruned, "workers={workers}");
             assert_eq!(pruned.render(), unpruned.render(), "workers={workers}");
             assert_eq!(stats, unpruned_stats, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn columnar_path_matches_row_reference() {
+        let images = fleet(12);
+        let ts = TrainingSet::assemble(AppKind::Mysql, &images).unwrap();
+        let engine = RuleInference::predefined();
+        // Both filter settings, so entropy-sensitive f64s are compared too.
+        for thresholds in [
+            FilterThresholds::default(),
+            FilterThresholds::default().without_entropy(),
+        ] {
+            let (rows, row_stats) = engine
+                .try_infer_with(
+                    &ts,
+                    &thresholds,
+                    &InferOptions::with_workers(1).without_columnar(),
+                )
+                .unwrap();
+            for workers in [1, 2, 4] {
+                let (cols, col_stats) = engine
+                    .try_infer_with(&ts, &thresholds, &InferOptions::with_workers(workers))
+                    .unwrap();
+                assert_eq!(cols, rows, "workers={workers}");
+                assert_eq!(cols.render(), rows.render(), "workers={workers}");
+                assert_eq!(col_stats, row_stats, "workers={workers}");
+            }
         }
     }
 

@@ -7,8 +7,9 @@
 //! systems (an involved entry absent — the rule is skipped, §6) from actual
 //! validity.
 
+use crate::stats::StatsCache;
 use crate::template::Relation;
-use encore_model::{AttrName, ConfigValue, Row};
+use encore_model::{AttrName, Column, ColumnStore, ConfigValue, Row};
 use encore_sysimage::SystemImage;
 
 /// Evaluation of a relation instance on one system.
@@ -84,13 +85,13 @@ pub fn evaluate(
             _ => Applicability::NotApplicable,
         },
         Relation::SubnetOf => subnet_of(va, vb),
-        Relation::ConcatPath => concat_path(va, vb, view),
+        Relation::ConcatPath => concat_path(va, vb, view.image),
         Relation::SubstringOf => match (va.as_str(), vb.as_str()) {
             (Some(x), Some(y)) => Applicability::from_bool(!x.is_empty() && y.contains(x)),
             _ => Applicability::NotApplicable,
         },
-        Relation::InGroup => in_group(va, vb, view),
-        Relation::NotAccessible => not_accessible(va, vb, view),
+        Relation::InGroup => in_group(va, vb, view.image),
+        Relation::NotAccessible => not_accessible(va, vb, view.image),
         Relation::Owns => owns(a, va, vb, view),
         // `Relation` is non_exhaustive: future variants are inapplicable
         // until a validator is written, which the catch-all below encodes —
@@ -201,8 +202,8 @@ fn subnet_of(va: &ConfigValue, vb: &ConfigValue) -> Applicability {
     }
 }
 
-fn concat_path(va: &ConfigValue, vb: &ConfigValue, view: SystemView<'_>) -> Applicability {
-    let image = match view.image {
+fn concat_path(va: &ConfigValue, vb: &ConfigValue, image: Option<&SystemImage>) -> Applicability {
+    let image = match image {
         Some(i) => i,
         None => return Applicability::NotApplicable,
     };
@@ -218,8 +219,8 @@ fn concat_path(va: &ConfigValue, vb: &ConfigValue, view: SystemView<'_>) -> Appl
     Applicability::from_bool(image.vfs().exists(&full))
 }
 
-fn in_group(va: &ConfigValue, vb: &ConfigValue, view: SystemView<'_>) -> Applicability {
-    let image = match view.image {
+fn in_group(va: &ConfigValue, vb: &ConfigValue, image: Option<&SystemImage>) -> Applicability {
+    let image = match image {
         Some(i) => i,
         None => return Applicability::NotApplicable,
     };
@@ -231,8 +232,12 @@ fn in_group(va: &ConfigValue, vb: &ConfigValue, view: SystemView<'_>) -> Applica
     }
 }
 
-fn not_accessible(va: &ConfigValue, vb: &ConfigValue, view: SystemView<'_>) -> Applicability {
-    let image = match view.image {
+fn not_accessible(
+    va: &ConfigValue,
+    vb: &ConfigValue,
+    image: Option<&SystemImage>,
+) -> Applicability {
+    let image = match image {
         Some(i) => i,
         None => return Applicability::NotApplicable,
     };
@@ -272,6 +277,218 @@ fn owns(a: &AttrName, va: &ConfigValue, vb: &ConfigValue, view: SystemView<'_>) 
     match image.vfs().metadata(path) {
         Some(meta) => Applicability::from_bool(meta.owner == user),
         None => Applicability::NotApplicable,
+    }
+}
+
+/// Row-independent evaluation strategy of one `(a, relation, b)` pair over
+/// the columnar store — resolved once per pair instead of once per row.
+enum PairKind<'c> {
+    /// `Equal`: compare interned render classes (≡ comparing rendered
+    /// strings).
+    RenderEqual,
+    /// `MemberEq`: the b-entry family columns, resolved once — the per-row
+    /// scan over every row cell becomes a probe of just these columns.
+    MemberEq {
+        /// Columns whose attribute shares b's occurrence-stripped base and
+        /// suffix, in ascending attribute order.
+        family: Vec<&'c Column>,
+    },
+    /// `ExtBoolImplies`.
+    BoolImplies,
+    /// `SubnetOf`.
+    SubnetOf,
+    /// `ConcatPath` (environment-backed).
+    ConcatPath,
+    /// `SubstringOf`.
+    SubstringOf,
+    /// `InGroup` (environment-backed).
+    InGroup,
+    /// `NotAccessible` (environment-backed).
+    NotAccessible,
+    /// `Owns`: the `a.owner` augmented column, if the dataset has one.
+    Owns { owner: Option<&'c Column> },
+    /// `LessNum`/`LessSize`.
+    LessNumeric,
+    /// A relation without a columnar strategy — never applicable, matching
+    /// [`evaluate`]'s catch-all.
+    Unsupported,
+}
+
+/// Columnar validator for one attribute pair: scans the two value-id
+/// columns' presence intersection one 64-row word at a time, with all
+/// row-independent work (render classes, the `=~` family, the `.owner`
+/// column) hoisted out of the row loop.  For every row it reproduces
+/// [`evaluate`] exactly — same helpers, same gating, same tri-state — so
+/// the tallies are bit-identical to the row-major path.
+pub(crate) struct PairEvaluator<'c> {
+    store: &'c ColumnStore,
+    col_a: &'c Column,
+    col_b: &'c Column,
+    kind: PairKind<'c>,
+}
+
+impl<'c> PairEvaluator<'c> {
+    /// Resolve the evaluation strategy for the pair of attributes at sorted
+    /// indices `a_index` / `b_index` of `cache`.
+    pub(crate) fn new(
+        relation: Relation,
+        cache: &'c StatsCache,
+        a_index: usize,
+        b_index: usize,
+    ) -> PairEvaluator<'c> {
+        let store = cache.columns();
+        let attrs = cache.attributes();
+        let kind = match relation {
+            Relation::Equal => PairKind::RenderEqual,
+            Relation::MemberEq => {
+                let b = &attrs[b_index];
+                let family = (0..attrs.len())
+                    .filter(|&j| {
+                        cache.stripped_base(j) == cache.stripped_base(b_index)
+                            && attrs[j].suffix() == b.suffix()
+                    })
+                    .map(|j| store.column(j))
+                    .collect();
+                PairKind::MemberEq { family }
+            }
+            Relation::ExtBoolImplies => PairKind::BoolImplies,
+            Relation::SubnetOf => PairKind::SubnetOf,
+            Relation::ConcatPath => PairKind::ConcatPath,
+            Relation::SubstringOf => PairKind::SubstringOf,
+            Relation::InGroup => PairKind::InGroup,
+            Relation::NotAccessible => PairKind::NotAccessible,
+            Relation::Owns => PairKind::Owns {
+                owner: cache
+                    .attr_index(&attrs[a_index].augmented("owner"))
+                    .map(|j| store.column(j)),
+            },
+            #[allow(unreachable_patterns)]
+            Relation::LessNum | Relation::LessSize => PairKind::LessNumeric,
+            #[allow(unreachable_patterns)]
+            _ => PairKind::Unsupported,
+        };
+        PairEvaluator {
+            store,
+            col_a: store.column(a_index),
+            col_b: store.column(b_index),
+            kind,
+        }
+    }
+
+    /// Tally `(holds, applicable)` over every training system — the counts
+    /// [`crate::infer`] turns into a candidate's support and confidence.
+    pub(crate) fn tally(&self, systems: &[(Row, SystemImage)]) -> (usize, usize) {
+        let mut holds = 0usize;
+        let mut applicable = 0usize;
+        let words = self.col_a.presence().iter().zip(self.col_b.presence());
+        for (w, (wa, wb)) in words.enumerate() {
+            // Both slots must be present — the same gate `evaluate` applies
+            // before dispatching any relation.
+            let mut both = wa & wb;
+            while both != 0 {
+                let i = w * 64 + both.trailing_zeros() as usize;
+                both &= both - 1;
+                match self.eval_row(i, &systems[i].1) {
+                    Applicability::Holds => {
+                        holds += 1;
+                        applicable += 1;
+                    }
+                    Applicability::Violated => applicable += 1,
+                    Applicability::NotApplicable => {}
+                }
+            }
+        }
+        (holds, applicable)
+    }
+
+    /// Evaluate the pair on row `i` (whose presence bits are known set).
+    fn eval_row(&self, i: usize, image: &SystemImage) -> Applicability {
+        let interner = self.store.interner();
+        let va_id = self.col_a.value_id(i).expect("presence bit set for a");
+        let vb_id = self.col_b.value_id(i).expect("presence bit set for b");
+        match &self.kind {
+            PairKind::RenderEqual => Applicability::from_bool(
+                interner.render_class(va_id) == interner.render_class(vb_id),
+            ),
+            PairKind::MemberEq { family } => {
+                let target = interner.render_class(va_id);
+                let mut seen_any = false;
+                for column in family {
+                    if let Some(member) = column.value_id(i) {
+                        seen_any = true;
+                        if interner.render_class(member) == target {
+                            return Applicability::Holds;
+                        }
+                    }
+                }
+                if seen_any {
+                    Applicability::Violated
+                } else {
+                    Applicability::NotApplicable
+                }
+            }
+            PairKind::BoolImplies => {
+                match (
+                    interner.value(va_id).as_bool(),
+                    interner.value(vb_id).as_bool(),
+                ) {
+                    (Some(false), _) => Applicability::NotApplicable,
+                    (Some(true), Some(y)) => Applicability::from_bool(y),
+                    _ => Applicability::NotApplicable,
+                }
+            }
+            PairKind::SubnetOf => subnet_of(interner.value(va_id), interner.value(vb_id)),
+            PairKind::ConcatPath => {
+                concat_path(interner.value(va_id), interner.value(vb_id), Some(image))
+            }
+            PairKind::SubstringOf => {
+                match (
+                    interner.value(va_id).as_str(),
+                    interner.value(vb_id).as_str(),
+                ) {
+                    (Some(x), Some(y)) => Applicability::from_bool(!x.is_empty() && y.contains(x)),
+                    _ => Applicability::NotApplicable,
+                }
+            }
+            PairKind::InGroup => {
+                in_group(interner.value(va_id), interner.value(vb_id), Some(image))
+            }
+            PairKind::NotAccessible => {
+                not_accessible(interner.value(va_id), interner.value(vb_id), Some(image))
+            }
+            PairKind::Owns { owner } => {
+                let user = match interner.value(vb_id).as_str() {
+                    Some(u) => u,
+                    None => return Applicability::NotApplicable,
+                };
+                // Prefer the assembled `.owner` column; a present cell
+                // decides, an absent one falls through to the VFS — exactly
+                // the row path's `get().filter(!absent)` behavior.
+                if let Some(column) = owner {
+                    if let Some(owner_id) = column.value_id(i) {
+                        return Applicability::from_bool(interner.render_of(owner_id) == user);
+                    }
+                }
+                let path = match interner.value(va_id).as_str() {
+                    Some(p) => p,
+                    None => return Applicability::NotApplicable,
+                };
+                match image.vfs().metadata(path) {
+                    Some(meta) => Applicability::from_bool(meta.owner == user),
+                    None => Applicability::NotApplicable,
+                }
+            }
+            PairKind::LessNumeric => {
+                match (
+                    interner.value(va_id).as_number(),
+                    interner.value(vb_id).as_number(),
+                ) {
+                    (Some(x), Some(y)) => Applicability::from_bool(x < y),
+                    _ => Applicability::NotApplicable,
+                }
+            }
+            PairKind::Unsupported => Applicability::NotApplicable,
+        }
     }
 }
 

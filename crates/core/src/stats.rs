@@ -22,7 +22,7 @@
 
 use crate::types::TypeMap;
 use encore_mining::metrics::entropy;
-use encore_model::{AttrName, Dataset, SemType};
+use encore_model::{AttrName, ColumnStore, Dataset, SemType};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
@@ -33,14 +33,27 @@ use std::sync::Mutex;
 /// per run.
 const ENTROPY_SHARDS: usize = 16;
 
-/// Per-run cache of attribute statistics: resolved types, presence bitsets,
-/// and memoized entropies over one training dataset.
+/// Per-run cache of attribute statistics: resolved types, the columnar
+/// interned view of the dataset (value-id columns + presence bitsets),
+/// per-type attribute buckets, and memoized entropies over one training
+/// dataset.
 #[derive(Debug)]
 pub struct StatsCache {
     dataset: Dataset,
     attributes: Vec<AttrName>,
     types: BTreeMap<AttrName, SemType>,
-    presence: BTreeMap<AttrName, Vec<u64>>,
+    /// Resolved type of `attributes[i]` — the flat mirror of `types` the
+    /// per-pair loops index instead of chasing map nodes.
+    types_by_index: Vec<SemType>,
+    /// Attribute indices (into `attributes`) grouped by resolved semantic
+    /// type, each bucket ascending — the eligibility bitsets inverted into
+    /// the enumeration structure, so slot bindings come from a bucket
+    /// lookup instead of a filter over every attribute.
+    buckets: BTreeMap<SemType, Vec<usize>>,
+    /// `strip_occurrence(attributes[i].base())`, precomputed for the `=~`
+    /// family joins.
+    stripped_bases: Vec<String>,
+    columns: ColumnStore,
     type_map: TypeMap,
     entropies: [Mutex<BTreeMap<AttrName, f64>>; ENTROPY_SHARDS],
 }
@@ -58,19 +71,30 @@ impl StatsCache {
         let _span = crate::obs::STATS_BUILD_TIME.span();
         let attributes: Vec<AttrName> = dataset.attributes().into_iter().collect();
         crate::obs::STATS_ATTRIBUTES.add(attributes.len() as u64);
+        let types_by_index: Vec<SemType> = attributes.iter().map(|a| types.type_of(a)).collect();
         let resolved = attributes
             .iter()
-            .map(|a| (a.clone(), types.type_of(a)))
+            .cloned()
+            .zip(types_by_index.iter().copied())
             .collect();
-        let presence = attributes
+        let mut buckets: BTreeMap<SemType, Vec<usize>> = BTreeMap::new();
+        for (i, &ty) in types_by_index.iter().enumerate() {
+            buckets.entry(ty).or_default().push(i);
+        }
+        let stripped_bases = attributes
             .iter()
-            .map(|a| (a.clone(), dataset.presence_mask(a)))
+            .map(|a| crate::relation::strip_occurrence(a.base()))
             .collect();
+        let columns = encore_assemble::column_store(&dataset);
+        debug_assert_eq!(columns.num_columns(), attributes.len());
         StatsCache {
             dataset,
             attributes,
             types: resolved,
-            presence,
+            types_by_index,
+            buckets,
+            stripped_bases,
+            columns,
             type_map: types.clone(),
             entropies: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
         }
@@ -105,17 +129,48 @@ impl StatsCache {
         }
     }
 
+    /// The columnar interned view of the dataset: one value-id column per
+    /// attribute (same sorted order as [`StatsCache::attributes`]) plus
+    /// per-attribute presence bitsets.
+    pub fn columns(&self) -> &ColumnStore {
+        &self.columns
+    }
+
+    /// The index of an attribute in [`StatsCache::attributes`] (equally:
+    /// its column index), if the dataset contains it.
+    pub fn attr_index(&self, attr: &AttrName) -> Option<usize> {
+        self.columns.interner().attr_id(attr).map(|id| id.index())
+    }
+
+    /// The resolved semantic type of the attribute at sorted index `index`.
+    pub(crate) fn type_at(&self, index: usize) -> SemType {
+        self.types_by_index[index]
+    }
+
+    /// The ascending attribute indices whose resolved type is exactly `ty`
+    /// — empty when no attribute has that type.
+    pub(crate) fn type_bucket(&self, ty: SemType) -> &[usize] {
+        self.buckets.get(&ty).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// `strip_occurrence` of the base name of the attribute at `index`,
+    /// precomputed for `=~` family joins.
+    pub(crate) fn stripped_base(&self, index: usize) -> &str {
+        &self.stripped_bases[index]
+    }
+
     /// The row-presence bitset of an attribute: bit `i` set iff row `i` has
     /// a present value.  `None` for attributes outside the dataset.
     pub fn presence_mask(&self, attr: &AttrName) -> Option<&[u64]> {
-        self.presence.get(attr).map(Vec::as_slice)
+        self.attr_index(attr)
+            .map(|i| self.columns.column(i).presence())
     }
 
     /// Whether two attributes are both present in at least one row — a
     /// necessary condition for *any* relation between them to be applicable
     /// anywhere, and therefore for any candidate rule to exist.
     pub fn co_occurs(&self, a: &AttrName, b: &AttrName) -> bool {
-        match (self.presence.get(a), self.presence.get(b)) {
+        match (self.presence_mask(a), self.presence_mask(b)) {
             (Some(ma), Some(mb)) => ma.iter().zip(mb).any(|(x, y)| x & y != 0),
             _ => false,
         }
@@ -133,7 +188,14 @@ impl StatsCache {
             return h;
         }
         crate::obs::STATS_ENTROPY_MISSES.observe(shard as u64);
-        let h = entropy(self.dataset.value_histogram(attr).into_values());
+        // Histograms come from the interned columns: the render strings and
+        // their counts are identical to `Dataset::value_histogram`, and both
+        // maps iterate in sorted-render order, so the f64 summation order —
+        // and therefore the entropy, bit for bit — is unchanged.
+        let h = match self.attr_index(attr) {
+            Some(i) => entropy(self.columns.value_histogram(i).into_values()),
+            None => entropy(self.dataset.value_histogram(attr).into_values()),
+        };
         memo.insert(attr.clone(), h);
         h
     }
@@ -217,6 +279,42 @@ mod tests {
         sorted.sort();
         assert_eq!(names, sorted);
         assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn type_buckets_partition_sorted_attributes() {
+        let mut tm = TypeMap::new();
+        tm.set(AttrName::entry("varied"), SemType::FilePath);
+        let cache = StatsCache::new(dataset(), &tm);
+        let mut seen = vec![false; cache.attributes().len()];
+        for ty in SemType::PRIORITY {
+            let bucket = cache.type_bucket(ty);
+            assert!(
+                bucket.windows(2).all(|w| w[0] < w[1]),
+                "{ty}: not ascending"
+            );
+            for &i in bucket {
+                assert_eq!(cache.type_at(i), ty);
+                assert_eq!(cache.type_of(&cache.attributes()[i]), ty);
+                assert!(!seen[i], "attribute {i} in two buckets");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every attribute lands in a bucket");
+    }
+
+    #[test]
+    fn columnar_presence_matches_dataset_masks() {
+        let ds = dataset();
+        let cache = StatsCache::new(ds.clone(), &TypeMap::new());
+        for attr in cache.attributes() {
+            assert_eq!(
+                cache.presence_mask(attr),
+                Some(ds.presence_mask(attr).as_slice()),
+                "{attr}"
+            );
+        }
+        assert_eq!(cache.presence_mask(&AttrName::entry("absent")), None);
     }
 
     #[test]

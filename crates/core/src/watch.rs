@@ -5,7 +5,8 @@
 //! over a *changing* image population; this module is that serving shape
 //! for EnCore.  A [`Watcher`] holds a trained [`AnomalyDetector`] and a
 //! directory of target files; each [`Watcher::cycle`] polls the directory
-//! (mtime + size signatures — no inotify, no extra dependencies), re-runs
+//! (mtime + size + content-fingerprint signatures — no inotify, no extra
+//! dependencies), re-runs
 //! [`AnomalyDetector::check_fleet`] over only the added/changed targets,
 //! and hot-reloads the detector when its snapshot file changes on disk
 //! (a reload re-checks *every* tracked target, since the rules changed
@@ -37,15 +38,30 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, SystemTime};
 
-/// A file's last observed state.  Polling compares signatures instead of
-/// hashing contents: cheap, dependency-free, and good enough at poll
-/// granularity (an in-place rewrite with identical length within the
-/// filesystem's mtime resolution can be missed — the next real change
-/// catches up).
+/// A file's last observed state: metadata plus a content fingerprint.
+///
+/// Metadata alone is not a change key — an in-place rewrite with identical
+/// length inside the filesystem's mtime resolution produces the same
+/// `(mtime, size)` pair, and such a target would silently never be
+/// re-checked.  Folding an FNV-1a hash of the contents into the signature
+/// closes that hole; the files are small configs already read every
+/// re-check, so hashing them each poll is cheap and dependency-free.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct FileSig {
     mtime: SystemTime,
     size: u64,
+    fingerprint: u64,
+}
+
+/// 64-bit FNV-1a over the file contents — not cryptographic, just a
+/// stable, dependency-free discriminator for same-size rewrites.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// Read a regular file's signature; `None` for directories, dangling
@@ -55,9 +71,11 @@ fn sig_of(path: &Path) -> Option<FileSig> {
     if !meta.is_file() {
         return None;
     }
+    let contents = std::fs::read(path).ok()?;
     Some(FileSig {
         mtime: meta.modified().ok()?,
         size: meta.len(),
+        fingerprint: fnv1a(&contents),
     })
 }
 
@@ -342,5 +360,60 @@ impl Watcher {
             }
             std::thread::sleep(self.options.interval);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("encore-sig-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn signature_distinguishes_same_size_rewrite_with_preserved_mtime() {
+        let dir = scratch("same-size");
+        let path = dir.join("target.cnf");
+        std::fs::write(&path, "[mysqld]\nport = 3306\n").unwrap();
+        let before = sig_of(&path).expect("signature");
+
+        // Rewrite with different contents of the *same length*, then put
+        // the original mtime back — metadata is now indistinguishable.
+        std::fs::write(&path, "[mysqld]\nport = 3307\n").unwrap();
+        std::fs::File::options()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_modified(before.mtime)
+            .unwrap();
+        let after = sig_of(&path).expect("signature");
+
+        assert_eq!(after.mtime, before.mtime, "mtime restored");
+        assert_eq!(after.size, before.size, "same length");
+        assert_ne!(after, before, "fingerprint catches the rewrite");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn signature_is_stable_for_unchanged_contents() {
+        let dir = scratch("stable");
+        let path = dir.join("target.cnf");
+        std::fs::write(&path, "[mysqld]\nport = 3306\n").unwrap();
+        assert_eq!(sig_of(&path), sig_of(&path));
+        assert!(sig_of(&dir).is_none(), "directories have no signature");
+        assert!(sig_of(&dir.join("missing")).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
     }
 }

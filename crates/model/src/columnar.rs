@@ -1,0 +1,241 @@
+//! Columnar view of a [`Dataset`]: one contiguous value-id column per
+//! attribute plus a per-attribute row-presence bitset.
+//!
+//! The assembled [`Dataset`] is row-major — each [`crate::dataset::Row`] is
+//! a `BTreeMap` from attribute to value, which is the right shape for
+//! assembly but the wrong one for inference: validating one `(a, b)`
+//! attribute pair against every training system walks two map lookups per
+//! row.  A [`ColumnStore`] is built once after assembly and pivots the
+//! table: column `i` holds the interned [`ValueId`] of attribute `i` for
+//! every row in a flat `Vec<u32>`, and a presence bitset (bit `r` set iff
+//! row `r` has a present, non-absent value) lets pair loops intersect two
+//! columns one 64-row word at a time.
+//!
+//! Attribute ids follow sorted attribute order —
+//! [`crate::intern::AttrId`]`(i)` is the `i`-th attribute of
+//! [`Dataset::attributes`] — so any sorted attribute list over the same
+//! dataset indexes columns directly.
+
+use crate::attr::AttrName;
+use crate::dataset::Dataset;
+use crate::intern::{Interner, ValueId};
+use std::collections::BTreeMap;
+
+/// Sentinel stored in a column's id vector for an absent cell.
+const ABSENT: u32 = u32::MAX;
+
+/// One attribute's values across all rows: interned ids plus a presence
+/// bitset.
+#[derive(Debug, Clone)]
+pub struct Column {
+    ids: Vec<u32>,
+    presence: Vec<u64>,
+}
+
+impl Column {
+    /// The interned value id at `row`, or `None` when the cell is absent.
+    pub fn value_id(&self, row: usize) -> Option<ValueId> {
+        match self.ids[row] {
+            ABSENT => None,
+            id => Some(ValueId(id)),
+        }
+    }
+
+    /// Whether `row` has a present (non-absent) value.
+    pub fn is_present(&self, row: usize) -> bool {
+        self.presence[row / 64] & (1u64 << (row % 64)) != 0
+    }
+
+    /// The row-presence bitset: bit `r` of the words is set iff row `r` has
+    /// a present value.  Identical to [`Dataset::presence_mask`] for the
+    /// same attribute.
+    pub fn presence(&self) -> &[u64] {
+        &self.presence
+    }
+
+    /// Number of rows with a present value (the attribute's support count).
+    pub fn support(&self) -> usize {
+        self.presence.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Columnar, interned view over one [`Dataset`].
+#[derive(Debug, Clone)]
+pub struct ColumnStore {
+    interner: Interner,
+    num_rows: usize,
+    columns: Vec<Column>,
+}
+
+impl ColumnStore {
+    /// Pivot a dataset into columns, interning every attribute and distinct
+    /// value.  Attributes are interned in sorted order; values in
+    /// column-major order — both deterministic for a given dataset.
+    pub fn build(dataset: &Dataset) -> ColumnStore {
+        let mut interner = Interner::new();
+        let num_rows = dataset.num_rows();
+        let words = num_rows.div_ceil(64);
+        let attributes: Vec<AttrName> = dataset.attributes().into_iter().collect();
+        let mut columns = Vec::with_capacity(attributes.len());
+        for attr in &attributes {
+            interner.intern_attr(attr);
+            let mut ids = vec![ABSENT; num_rows];
+            let mut presence = vec![0u64; words];
+            for (r, row) in dataset.rows().iter().enumerate() {
+                if let Some(value) = row.get(attr).filter(|v| !v.is_absent()) {
+                    ids[r] = interner.intern_value(value).0;
+                    presence[r / 64] |= 1u64 << (r % 64);
+                }
+            }
+            columns.push(Column { ids, presence });
+        }
+        ColumnStore {
+            interner,
+            num_rows,
+            columns,
+        }
+    }
+
+    /// The attribute/value interner.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Number of rows in the pivoted dataset.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of attribute columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The column of the attribute with sorted index `index`.
+    pub fn column(&self, index: usize) -> &Column {
+        &self.columns[index]
+    }
+
+    /// The column of an attribute, if the dataset contains it.
+    pub fn column_of(&self, attr: &AttrName) -> Option<&Column> {
+        self.interner
+            .attr_id(attr)
+            .map(|id| &self.columns[id.index()])
+    }
+
+    /// The exact original value behind an interned id.
+    pub fn value(&self, id: ValueId) -> &crate::value::ConfigValue {
+        self.interner.value(id)
+    }
+
+    /// Frequency of each rendered value in column `index`, keyed by the
+    /// interned render strings.  Iterating the map yields the same
+    /// (sorted-render) order and counts as [`Dataset::value_histogram`] on
+    /// the source dataset.
+    pub fn value_histogram(&self, index: usize) -> BTreeMap<&str, usize> {
+        let column = &self.columns[index];
+        let mut hist: BTreeMap<&str, usize> = BTreeMap::new();
+        for &raw in &column.ids {
+            if raw != ABSENT {
+                *hist
+                    .entry(self.interner.render_of(ValueId(raw)))
+                    .or_insert(0) += 1;
+            }
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Row;
+    use crate::value::ConfigValue;
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        for i in 0..70 {
+            let mut r = Row::new(format!("s{i}"));
+            r.set(AttrName::entry("user"), ConfigValue::str("mysql"));
+            if i % 2 == 0 {
+                r.set(
+                    AttrName::entry("datadir"),
+                    ConfigValue::path(format!("/var/lib/mysql{}", i % 3)),
+                );
+            }
+            if i == 5 {
+                r.set(AttrName::entry("port"), ConfigValue::Absent);
+            }
+            ds.push_row(r);
+        }
+        ds
+    }
+
+    #[test]
+    fn presence_matches_dataset_masks() {
+        let ds = dataset();
+        let store = ColumnStore::build(&ds);
+        assert_eq!(store.num_rows(), 70);
+        for (i, attr) in ds.attributes().iter().enumerate() {
+            assert_eq!(
+                store.column(i).presence(),
+                ds.presence_mask(attr).as_slice(),
+                "{attr}"
+            );
+            assert_eq!(store.column(i).support(), ds.support(attr), "{attr}");
+            assert!(std::ptr::eq(
+                store.column_of(attr).unwrap(),
+                store.column(i)
+            ));
+        }
+    }
+
+    #[test]
+    fn histograms_match_dataset_histograms() {
+        let ds = dataset();
+        let store = ColumnStore::build(&ds);
+        for (i, attr) in ds.attributes().iter().enumerate() {
+            let row_major = ds.value_histogram(attr);
+            let columnar = store.value_histogram(i);
+            let columnar_owned: Vec<(String, usize)> =
+                columnar.iter().map(|(k, &v)| (k.to_string(), v)).collect();
+            let row_major_vec: Vec<(String, usize)> = row_major.into_iter().collect();
+            assert_eq!(columnar_owned, row_major_vec, "{attr}");
+        }
+    }
+
+    #[test]
+    fn cells_round_trip_through_ids() {
+        let ds = dataset();
+        let store = ColumnStore::build(&ds);
+        for (i, attr) in ds.attributes().iter().enumerate() {
+            let column = store.column(i);
+            for (r, row) in ds.rows().iter().enumerate() {
+                match row.get(attr).filter(|v| !v.is_absent()) {
+                    Some(v) => {
+                        let id = column.value_id(r).expect("present cell has an id");
+                        assert!(column.is_present(r));
+                        assert_eq!(store.interner().value(id), v);
+                        assert_eq!(
+                            store.interner().value(id).render_tagged(),
+                            v.render_tagged()
+                        );
+                    }
+                    None => {
+                        assert_eq!(column.value_id(r), None);
+                        assert!(!column.is_present(r));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn absent_cells_are_not_interned_as_present() {
+        let ds = dataset();
+        let store = ColumnStore::build(&ds);
+        let port = store.column_of(&AttrName::entry("port")).expect("column");
+        assert_eq!(port.support(), 0);
+        assert_eq!(port.value_id(5), None);
+    }
+}

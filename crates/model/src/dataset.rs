@@ -69,6 +69,11 @@ impl Row {
 #[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct Dataset {
     rows: Vec<Row>,
+    /// Row indices sorted by system id, first insertion winning for
+    /// duplicate ids (matching the find-first semantics of the linear scan
+    /// this index replaced).  Maintained by every mutation path so
+    /// [`Dataset::row`] stays a binary search.
+    by_id: Vec<usize>,
 }
 
 impl Dataset {
@@ -79,7 +84,23 @@ impl Dataset {
 
     /// Append a system row.
     pub fn push_row(&mut self, row: Row) {
+        let index = self.rows.len();
         self.rows.push(row);
+        let id = self.rows[index].id();
+        let pos = self.by_id.partition_point(|&i| self.rows[i].id() < id);
+        if self.by_id.get(pos).map(|&i| self.rows[i].id()) != Some(id) {
+            self.by_id.insert(pos, index);
+        }
+    }
+
+    /// Rebuild the id index from scratch after a bulk row insertion.
+    fn rebuild_index(&mut self) {
+        let rows = &self.rows;
+        self.by_id = (0..rows.len()).collect();
+        self.by_id
+            .sort_by(|&x, &y| rows[x].id().cmp(rows[y].id()).then(x.cmp(&y)));
+        self.by_id
+            .dedup_by(|&mut later, &mut first| rows[first].id() == rows[later].id());
     }
 
     /// All rows, in insertion order.
@@ -92,16 +113,39 @@ impl Dataset {
         self.rows.len()
     }
 
-    /// Find a row by system id.
+    /// Find a row by system id via the sorted id index — O(log rows) id
+    /// comparisons, where the seed implementation scanned every row.
     ///
     /// # Errors
     ///
     /// Returns [`ModelError::NoSuchRow`] when the id is unknown.
     pub fn row(&self, id: &str) -> Result<&Row, ModelError> {
-        self.rows
-            .iter()
-            .find(|r| r.id() == id)
-            .ok_or_else(|| ModelError::NoSuchRow(id.to_string()))
+        match self.locate(id).0 {
+            Some(i) => Ok(&self.rows[i]),
+            None => Err(ModelError::NoSuchRow(id.to_string())),
+        }
+    }
+
+    /// Number of id comparisons [`Dataset::row`] performs looking up `id` —
+    /// instrumentation for the regression test pinning lookups to the
+    /// logarithmic bound of the index.
+    pub fn lookup_comparisons(&self, id: &str) -> usize {
+        self.locate(id).1
+    }
+
+    /// Binary-search the id index, counting comparisons.
+    fn locate(&self, id: &str) -> (Option<usize>, usize) {
+        let (mut lo, mut hi, mut comparisons) = (0usize, self.by_id.len(), 0usize);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            comparisons += 1;
+            match self.rows[self.by_id[mid]].id().cmp(id) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return (Some(self.by_id[mid]), comparisons),
+            }
+        }
+        (None, comparisons)
     }
 
     /// The set of all attribute names appearing in any row (the columns).
@@ -170,15 +214,19 @@ impl Dataset {
 
 impl FromIterator<Row> for Dataset {
     fn from_iter<T: IntoIterator<Item = Row>>(iter: T) -> Self {
-        Dataset {
+        let mut ds = Dataset {
             rows: iter.into_iter().collect(),
-        }
+            by_id: Vec::new(),
+        };
+        ds.rebuild_index();
+        ds
     }
 }
 
 impl Extend<Row> for Dataset {
     fn extend<T: IntoIterator<Item = Row>>(&mut self, iter: T) {
         self.rows.extend(iter);
+        self.rebuild_index();
     }
 }
 
@@ -233,6 +281,77 @@ mod tests {
         let ds = sample();
         assert!(ds.row("sys-1").is_ok());
         assert!(ds.row("nope").is_err());
+    }
+
+    #[test]
+    fn row_lookup_is_sublinear_on_large_datasets() {
+        // Regression: `row(id)` was an O(n) scan per lookup.  On 1k rows a
+        // binary search needs at most ceil(log2(1000)) = 10 id comparisons;
+        // allow slack, but stay far under the 500-comparison average (and
+        // 1000 worst case) of the linear scan.
+        let mut ds = Dataset::new();
+        for i in 0..1000 {
+            ds.push_row(Row::new(format!("row-{i:04}")));
+        }
+        for probe in ["row-0000", "row-0499", "row-0999", "no-such-row"] {
+            assert!(
+                ds.lookup_comparisons(probe) <= 16,
+                "{probe}: {} comparisons",
+                ds.lookup_comparisons(probe)
+            );
+        }
+        // The index must agree with the scan it replaced.
+        for i in (0..1000).step_by(97) {
+            let id = format!("row-{i:04}");
+            assert_eq!(ds.row(&id).unwrap().id(), id);
+        }
+        assert!(ds.row("row-1000").is_err());
+    }
+
+    #[test]
+    fn duplicate_ids_resolve_to_first_inserted_row() {
+        // The linear scan returned the first match; the index must too, on
+        // every construction path.
+        let make = |tag: &str| {
+            let mut r = Row::new("dup");
+            r.set(AttrName::entry("tag"), ConfigValue::str(tag));
+            r
+        };
+        let mut pushed = Dataset::new();
+        pushed.push_row(make("first"));
+        pushed.push_row(make("second"));
+        let collected: Dataset = [make("first"), make("second")].into_iter().collect();
+        let mut extended = Dataset::new();
+        extended.extend([make("first"), make("second")]);
+        for (name, ds) in [
+            ("push_row", &pushed),
+            ("collect", &collected),
+            ("extend", &extended),
+        ] {
+            let got = ds.row("dup").unwrap().get(&AttrName::entry("tag")).unwrap();
+            assert_eq!(got.render(), "first", "{name}");
+        }
+    }
+
+    #[test]
+    fn index_stays_consistent_across_construction_paths() {
+        let rows: Vec<Row> = (0..50).map(|i| Row::new(format!("s{i}"))).collect();
+        let collected: Dataset = rows.clone().into_iter().collect();
+        let mut pushed = Dataset::new();
+        for r in rows.clone() {
+            pushed.push_row(r);
+        }
+        let mut extended = Dataset::new();
+        extended.extend(rows);
+        for ds in [&collected, &pushed, &extended] {
+            for i in 0..50 {
+                let id = format!("s{i}");
+                assert_eq!(ds.row(&id).unwrap().id(), id);
+            }
+            assert!(ds.row("s50").is_err());
+        }
+        assert_eq!(collected, pushed);
+        assert_eq!(collected, extended);
     }
 
     #[test]

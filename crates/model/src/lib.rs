@@ -28,14 +28,18 @@
 #![warn(missing_docs)]
 
 pub mod attr;
+pub mod columnar;
 pub mod dataset;
 pub mod error;
+pub mod intern;
 pub mod semtype;
 pub mod value;
 
 pub use attr::{AttrName, Augmentation};
+pub use columnar::{Column, ColumnStore};
 pub use dataset::{Dataset, Row};
 pub use error::ModelError;
+pub use intern::{AttrId, Interner, ValueId};
 pub use semtype::SemType;
 pub use value::{ConfigValue, SizeUnit};
 

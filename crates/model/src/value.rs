@@ -228,6 +228,68 @@ impl ConfigValue {
         matches!(self, ConfigValue::Absent)
     }
 
+    /// Render an unambiguous *tagged* form for persistence and interning.
+    ///
+    /// [`ConfigValue::render`] is lossy across variants: `Str("10")`,
+    /// `Number(10.0)`, and `Size(10B)` all render `"10"`.  The tagged form
+    /// prefixes the variant (mirroring [`crate::attr::AttrName::render_tagged`])
+    /// so [`ConfigValue::parse_tagged`] is an exact inverse:
+    /// `s:text`, `n:10`, `z:64M`, `b:1`, `p:/var/lib`, `i4:10.0.0.1`,
+    /// `i6:fe80::1`, `a:`.  Numbers use `f64`'s shortest round-trip
+    /// rendering, so no precision is lost.
+    pub fn render_tagged(&self) -> String {
+        match self {
+            ConfigValue::Str(s) => format!("s:{s}"),
+            ConfigValue::Number(n) => format!("n:{n}"),
+            ConfigValue::Size { magnitude, unit } => format!("z:{magnitude}{}", unit.suffix()),
+            ConfigValue::Bool(b) => format!("b:{}", u8::from(*b)),
+            ConfigValue::Path(p) => format!("p:{p}"),
+            ConfigValue::Ip { text, v6 } => {
+                format!("{}:{text}", if *v6 { "i6" } else { "i4" })
+            }
+            ConfigValue::Absent => "a:".to_string(),
+        }
+    }
+
+    /// Parse the tagged form produced by [`ConfigValue::render_tagged`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ParseValue`] for an unknown tag or a malformed
+    /// payload (non-numeric `n:`, bad size magnitude/suffix, a `b:` payload
+    /// other than `0`/`1`, or a non-empty `a:` payload).
+    pub fn parse_tagged(text: &str) -> Result<ConfigValue, ModelError> {
+        let err = || ModelError::ParseValue {
+            expected: "tagged value",
+            input: text.to_string(),
+        };
+        let (tag, rest) = text.split_once(':').ok_or_else(err)?;
+        match tag {
+            "s" => Ok(ConfigValue::Str(rest.to_string())),
+            "n" => rest
+                .parse::<f64>()
+                .map(ConfigValue::Number)
+                .map_err(|_| err()),
+            "z" => ConfigValue::parse_size(rest).map_err(|_| err()),
+            "b" => match rest {
+                "1" => Ok(ConfigValue::Bool(true)),
+                "0" => Ok(ConfigValue::Bool(false)),
+                _ => Err(err()),
+            },
+            "p" => Ok(ConfigValue::Path(rest.to_string())),
+            "i4" => Ok(ConfigValue::Ip {
+                text: rest.to_string(),
+                v6: false,
+            }),
+            "i6" => Ok(ConfigValue::Ip {
+                text: rest.to_string(),
+                v6: true,
+            }),
+            "a" if rest.is_empty() => Ok(ConfigValue::Absent),
+            _ => Err(err()),
+        }
+    }
+
     /// Canonical textual rendering used for value-equality comparison by the
     /// baselines and for CSV export.
     pub fn render(&self) -> String {
@@ -336,5 +398,49 @@ mod tests {
     fn number_view_of_sizes_is_bytes() {
         let v = ConfigValue::parse_size("1K").unwrap();
         assert_eq!(v.as_number(), Some(1024.0));
+    }
+
+    #[test]
+    fn tagged_form_round_trips_every_variant() {
+        let cases = [
+            ConfigValue::str("mysql"),
+            ConfigValue::str(""),
+            ConfigValue::str("10"), // renders like Number(10.0) untagged
+            ConfigValue::number(10.0),
+            ConfigValue::number(0.1),
+            ConfigValue::number(-3.5e300),
+            ConfigValue::size(64, SizeUnit::M),
+            ConfigValue::size(2048, SizeUnit::B),
+            ConfigValue::boolean(true),
+            ConfigValue::boolean(false),
+            ConfigValue::path("/var/lib/mysql"),
+            ConfigValue::parse_ip("10.0.1.1").unwrap(),
+            ConfigValue::parse_ip("fe80::1").unwrap(),
+            ConfigValue::Absent,
+        ];
+        for v in &cases {
+            let back = ConfigValue::parse_tagged(&v.render_tagged()).unwrap();
+            assert_eq!(&back, v, "{}", v.render_tagged());
+        }
+    }
+
+    #[test]
+    fn tagged_form_distinguishes_render_collisions() {
+        // All three render "10"; the tagged forms must differ.
+        let s = ConfigValue::str("10");
+        let n = ConfigValue::number(10.0);
+        let z = ConfigValue::size(10, SizeUnit::B);
+        assert_eq!(s.render(), n.render());
+        assert_eq!(n.render(), z.render());
+        assert_ne!(s.render_tagged(), n.render_tagged());
+        assert_ne!(n.render_tagged(), z.render_tagged());
+        assert_ne!(s.render_tagged(), z.render_tagged());
+    }
+
+    #[test]
+    fn tagged_form_rejects_malformed_input() {
+        for bad in ["", "nocolon", "x:1", "n:abc", "z:12Q", "b:2", "a:junk"] {
+            assert!(ConfigValue::parse_tagged(bad).is_err(), "{bad}");
+        }
     }
 }

@@ -369,14 +369,30 @@ impl Histogram {
         let rank = q.clamp(0.0, 1.0) * total as f64;
         let mut below = 0.0;
         for (i, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                // Empty buckets neither contain ranks nor move `below`.
+                continue;
+            }
             let through = below + count as f64;
-            if count > 0 && through >= rank {
+            if through >= rank {
                 let Some(&hi) = bounds.get(i) else {
                     // Overflow bucket: no finite upper edge to interpolate
                     // toward; clamp to the largest finite bound.
                     return bounds.last().copied().unwrap_or(0) as f64;
                 };
                 let lo = if i == 0 { 0 } else { bounds[i - 1] };
+                if rank <= below {
+                    // The rank sits on this bucket's lower boundary — only
+                    // reachable for `q = 0` (any earlier non-empty bucket
+                    // would have claimed the rank): the estimate is the
+                    // first non-empty bucket's lower edge, not a point
+                    // inside it.
+                    return lo as f64;
+                }
+                // A rank on the *upper* boundary (`rank == through`) is the
+                // bucket's last observation: `frac` reaches exactly 1.0 and
+                // the estimate is `hi` — the rank never skips into the next
+                // bucket.
                 let frac = ((rank - below) / count as f64).clamp(0.0, 1.0);
                 return lo as f64 + (hi - lo) as f64 * frac;
             }
@@ -508,6 +524,36 @@ mod tests {
         assert_eq!(Histogram::quantile_from(&bounds, &counts, 1.0), 30.0);
         // q=0 lands at the first nonempty bucket's lower edge.
         assert_eq!(Histogram::quantile_from(&bounds, &counts, 0.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_edge_cases_pin_the_bucket_boundaries() {
+        // q=0 with *leading empty buckets*: the estimate is the first
+        // non-empty bucket's lower edge (20, the previous bound) — not 0
+        // and not a point inside the bucket.
+        let bounds = [10, 20, 30];
+        assert_eq!(Histogram::quantile_from(&bounds, &[0, 0, 8, 0], 0.0), 20.0);
+        // A rank exactly on a bucket's upper boundary resolves inside that
+        // bucket (frac = 1.0 → its bound), never skipping into the next
+        // non-empty bucket: rank 10 of 16 is the first bucket's last
+        // observation, so the estimate is 10, not a point in (20, 30].
+        // (Total 16 keeps `q * total` exact in floating point.)
+        let counts = [10, 0, 6, 0];
+        assert_eq!(
+            Histogram::quantile_from(&bounds, &counts, 10.0 / 16.0),
+            10.0
+        );
+        // Just past the boundary the estimate moves into the next
+        // non-empty bucket, continuously from its lower edge.
+        let just_past = Histogram::quantile_from(&bounds, &counts, 10.5 / 16.0);
+        assert!(
+            (20.0..21.0).contains(&just_past),
+            "expected lower reach of (20, 30], got {just_past}"
+        );
+        // A single-observation histogram: every q > 0 estimates the
+        // observation's bucket bound; q = 0 its lower edge.
+        assert_eq!(Histogram::quantile_from(&bounds, &[0, 1, 0, 0], 1.0), 20.0);
+        assert_eq!(Histogram::quantile_from(&bounds, &[0, 1, 0, 0], 0.0), 10.0);
     }
 
     #[test]

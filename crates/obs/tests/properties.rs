@@ -58,6 +58,61 @@ proptest! {
     }
 
     #[test]
+    fn quantile_zero_is_the_first_nonempty_buckets_lower_edge(
+        s0 in 1u64..1_000, s1 in 1u64..1_000, s2 in 1u64..1_000,
+        c0 in 0u64..50, c1 in 0u64..50, c2 in 0u64..50, c3 in 0u64..50,
+    ) {
+        let bounds = bounds_from(vec![s0, s1, s2]);
+        let mut counts = vec![c0, c1, c2, c3];
+        counts.truncate(bounds.len() + 1);
+        let q0 = Histogram::quantile_from(&bounds, &counts, 0.0);
+        let first = counts.iter().position(|&c| c > 0);
+        let expected = match first {
+            None => 0.0, // empty distribution
+            Some(0) => 0.0,
+            // Lower edge of the first non-empty bucket; overflow clamps to
+            // the largest finite bound.
+            Some(i) if i < bounds.len() => bounds[i - 1] as f64,
+            Some(_) => bounds.last().copied().unwrap_or(0) as f64,
+        };
+        prop_assert_eq!(
+            q0, expected,
+            "q=0 over {:?} {:?}", bounds, counts
+        );
+    }
+
+    #[test]
+    fn boundary_ranks_stay_in_their_bucket(
+        s0 in 1u64..1_000, s1 in 1u64..1_000, s2 in 1u64..1_000,
+        c0 in 0u64..50, c1 in 0u64..50, c2 in 0u64..50, c3 in 0u64..50,
+        pick in 0usize..4,
+    ) {
+        let bounds = bounds_from(vec![s0, s1, s2]);
+        let mut counts = vec![c0, c1, c2, c3];
+        counts.truncate(bounds.len() + 1);
+        let total: u64 = counts.iter().sum();
+        let i = pick.min(counts.len() - 1);
+        if total == 0 || counts[i] == 0 || i >= bounds.len() {
+            return; // skip: no boundary to probe in this case
+        }
+        // q chosen so the rank is exactly the cumulative count through
+        // bucket `i` — the bucket's last observation.  The estimate must be
+        // that bucket's own upper bound, never a value beyond it.  Restrict
+        // to cases where `q * total` round-trips exactly, so the rank
+        // really does sit on the boundary the property is about.
+        let through: u64 = counts[..=i].iter().sum();
+        let q = through as f64 / total as f64;
+        if q * total as f64 != through as f64 {
+            return; // skip: q*total would not round-trip onto the boundary
+        }
+        let est = Histogram::quantile_from(&bounds, &counts, q);
+        prop_assert_eq!(
+            est, bounds[i] as f64,
+            "rank {} of {} over {:?} {:?}", through, total, bounds, counts
+        );
+    }
+
+    #[test]
     fn bucket_index_brackets_the_value(
         s0 in 0u64..1_000, s1 in 0u64..1_000, s2 in 0u64..1_000,
         v in 0u64..2_000,

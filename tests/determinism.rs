@@ -135,6 +135,60 @@ fn counter_totals_identical_across_worker_counts() {
     }
 }
 
+/// The columnar evaluator is the default inference path; on the seeded
+/// BENCH workload it must reproduce the legacy row-major path byte for
+/// byte — the learned `RuleSet`, every fleet report, and the
+/// `infer.pairs.evaluated` counter — at 1, 2, and 4 workers.
+#[test]
+fn columnar_path_is_byte_identical_on_the_bench_workload() {
+    let _gate = gate();
+    // The BENCH populations: mysql, 30 training images (seed 1) checked
+    // against 20 targets (seed 77, 21% misconfigured) — exactly what the
+    // perf baseline's `encore-detect --train 30 --bench-json` run uses.
+    let pop = Population::training(AppKind::Mysql, &PopulationOptions::new(30, 1));
+    let training = TrainingSet::assemble(AppKind::Mysql, pop.images()).expect("training assembles");
+    let targets = Population::training(
+        AppKind::Mysql,
+        &PopulationOptions::new(20, 77).with_misconfig_percent(21),
+    );
+    let engine = RuleInference::predefined();
+    let thresholds = FilterThresholds::default();
+
+    let run = |options: &InferOptions| {
+        encore::obs::reset();
+        encore::obs::enable();
+        let (rules, _) = engine
+            .try_infer_with(&training, &thresholds, options)
+            .expect("inference");
+        let report = encore::obs::pipeline_report();
+        encore::obs::disable();
+        let pairs = report.counters()["infer.pairs.evaluated"];
+        let detector = AnomalyDetector::new(&training, rules.clone());
+        let fleet_options = FleetOptions {
+            workers: options.workers,
+        };
+        let transcript: String = detector
+            .check_fleet(AppKind::Mysql, targets.images(), &fleet_options)
+            .into_iter()
+            .map(|result| match result {
+                Ok(report) => report.render(),
+                Err(e) => format!("error: {e}\n"),
+            })
+            .collect();
+        (rules.render(), pairs, transcript)
+    };
+
+    let (ref_rules, ref_pairs, ref_fleet) = run(&InferOptions::with_workers(1).without_columnar());
+    assert!(ref_pairs > 0, "the reference run evaluated pairs");
+    assert!(!ref_rules.is_empty(), "the reference run learned rules");
+    for workers in [1usize, 2, 4] {
+        let (rules, pairs, fleet) = run(&InferOptions::with_workers(workers));
+        assert_eq!(rules, ref_rules, "RuleSet render, workers={workers}");
+        assert_eq!(fleet, ref_fleet, "fleet transcript, workers={workers}");
+        assert_eq!(pairs, ref_pairs, "infer.pairs.evaluated, workers={workers}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

@@ -189,6 +189,43 @@ fn watch_cycles_recheck_only_changed_targets_and_emit_jsonl() {
 }
 
 #[test]
+fn watch_detects_same_size_rewrite_with_preserved_mtime() {
+    let _gate = gate();
+    let detector = small_detector();
+    let dir = scratch_dir("watch-same-size");
+    let target = dir.join("a.cnf");
+    std::fs::write(&target, "[mysqld]\nport = 3306\n").unwrap();
+
+    obs::enable();
+    let mut watcher = Watcher::new(detector, WatchOptions::new(AppKind::Mysql, &dir));
+    let first = watcher.cycle().expect("cycle 1");
+    assert_eq!((first.added, first.changed), (1, 0));
+    let mtime = std::fs::metadata(&target).unwrap().modified().unwrap();
+
+    // Same byte length, different contents, original mtime restored: the
+    // metadata signature is identical, so only the content fingerprint can
+    // flag the rewrite.  Regression for the watcher missing in-place
+    // same-size edits within the filesystem's mtime granularity.
+    std::fs::write(&target, "[mysqld]\nport = 3307\n").unwrap();
+    std::fs::File::options()
+        .write(true)
+        .open(&target)
+        .unwrap()
+        .set_modified(mtime)
+        .unwrap();
+    let second = watcher.cycle().expect("cycle 2");
+    assert_eq!((second.added, second.changed, second.removed), (0, 1, 0));
+    assert_eq!(second.results.len(), 1, "the rewritten target re-checks");
+    assert_eq!(second.results[0].0, "a.cnf");
+
+    let third = watcher.cycle().expect("cycle 3");
+    assert_eq!((third.added, third.changed, third.removed), (0, 0, 0));
+    assert!(third.results.is_empty());
+    obs::disable();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn identical_quiet_cycles_produce_identical_counter_sections() {
     let _gate = gate();
     let detector = small_detector();
