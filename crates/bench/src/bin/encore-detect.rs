@@ -19,6 +19,16 @@
 //! additionally writes a compact perf record ([`encore_bench::perf`]) for
 //! baseline diffing with `encore-report`.
 //!
+//! # CI/CD surface
+//!
+//! Warnings also flow through the unified finding model (stable `EW0xx`
+//! codes with content fingerprints): `--severity`/`--min-report-confidence`
+//! filter findings, `--sarif FILE` writes a SARIF v2.1.0 log, and
+//! `--write-baseline`/`--baseline FILE` record/diff accepted fingerprints so
+//! only *new* findings fail the build (exit 1).  `--quiet` suppresses
+//! stdout and turns any admitted finding into exit 1.  Flag-free
+//! invocations keep the historical stdout and exit-0 behavior exactly.
+//!
 //! # Watch mode
 //!
 //! ```text
@@ -37,13 +47,20 @@
 //! no signal handling needed).
 
 use encore::prelude::*;
+use encore_check::{
+    baseline::FindingBaseline,
+    finding::{self, Finding, FindingFilter},
+    sarif, Severity,
+};
 use encore_corpus::genimage::{Population, PopulationOptions};
 use encore_model::AppKind;
 
 const USAGE: &str = "usage: encore-detect [--app NAME] [--train N] [--seed N] \
 [--targets N] [--target-seed N] [--misconfig-percent P] [--workers N] \
 [--save-detector FILE] [--load-detector FILE] [--no-entropy] [--report FILE] \
-[--bench-json FILE] [--watch DIR] [--interval-ms N] [--max-iterations K]";
+[--bench-json FILE] [--watch DIR] [--interval-ms N] [--max-iterations K] \
+[--severity LEVEL] [--min-report-confidence X] [--quiet] [--sarif FILE] \
+[--baseline FILE | --write-baseline FILE]";
 
 /// Print a diagnostic plus the usage line to stderr and exit 2.  All
 /// argument-handling failures funnel through here so the binary has exactly
@@ -70,6 +87,11 @@ struct Args {
     watch: Option<String>,
     interval_ms: u64,
     max_iterations: Option<u64>,
+    filter: FindingFilter,
+    quiet: bool,
+    sarif: Option<String>,
+    baseline: Option<String>,
+    write_baseline: Option<String>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -89,6 +111,11 @@ fn parse_args() -> Option<Args> {
         watch: None,
         interval_ms: 1_000,
         max_iterations: None,
+        filter: FindingFilter::default(),
+        quiet: false,
+        sarif: None,
+        baseline: None,
+        write_baseline: None,
     };
     let mut args = std::env::args().skip(1);
     // One shape for every `--flag VALUE` pair: take the value or die with
@@ -168,6 +195,28 @@ fn parse_args() -> Option<Args> {
                     usage("--max-iterations must be at least 1");
                 }
                 parsed.max_iterations = Some(n);
+            }
+            "--severity" => {
+                let v = value("--severity", args.next());
+                parsed.filter.min_severity = Severity::parse_name(&v).unwrap_or_else(|| {
+                    usage(&format!("bad --severity `{v}` (error|warning|info)"))
+                });
+            }
+            "--min-report-confidence" => {
+                let v = value("--min-report-confidence", args.next());
+                let x: f64 = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--min-report-confidence requires a number"));
+                if !(0.0..=1.0).contains(&x) {
+                    usage("--min-report-confidence must be in [0, 1]");
+                }
+                parsed.filter.min_confidence = x;
+            }
+            "--quiet" | "-q" => parsed.quiet = true,
+            "--sarif" => parsed.sarif = Some(value("--sarif", args.next())),
+            "--baseline" => parsed.baseline = Some(value("--baseline", args.next())),
+            "--write-baseline" => {
+                parsed.write_baseline = Some(value("--write-baseline", args.next()));
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -286,6 +335,21 @@ fn main() {
         // whole-run record to condense.
         usage("--bench-json is a one-shot option, not available with --watch");
     }
+    if args.baseline.is_some() && args.write_baseline.is_some() {
+        usage("--baseline and --write-baseline are mutually exclusive");
+    }
+    if args.watch.is_some()
+        && (args.sarif.is_some()
+            || args.baseline.is_some()
+            || args.write_baseline.is_some()
+            || args.quiet
+            || !args.filter.is_pass_all())
+    {
+        // The findings surface is a one-shot artifact (one SARIF log, one
+        // baseline diff, one exit code); a long-running serve loop has none
+        // of those.
+        usage("--sarif/--baseline/--write-baseline/--quiet/--severity/--min-report-confidence are one-shot options, not available with --watch");
+    }
     let trace = encore::obs::enable_from_env();
     if args.report.is_some() || args.bench_json.is_some() {
         encore::obs::enable();
@@ -325,23 +389,39 @@ fn main() {
     };
     let results = detector.check_fleet(args.app, fleet.images(), &options);
     let mut with_warnings = 0usize;
+    // Findings accumulate in fleet order — deterministic for every worker
+    // count, because check_fleet returns results in image order.
+    let mut findings: Vec<Finding> = Vec::new();
     for (image, result) in fleet.images().iter().zip(&results) {
-        println!("== system {}", image.id());
+        if !args.quiet {
+            println!("== system {}", image.id());
+        }
         match result {
             Ok(report) => {
                 if !report.is_empty() {
                     with_warnings += 1;
                 }
-                print!("{}", report.render());
+                for w in report.warnings() {
+                    let f = Finding::from_warning(image.id(), w);
+                    if args.filter.admits(&f) {
+                        findings.push(f);
+                    }
+                }
+                if !args.quiet {
+                    print!("{}", report.render());
+                }
             }
+            Err(e) if args.quiet => eprintln!("encore-detect: system {}: {e}", image.id()),
             Err(e) => println!("error: {e}"),
         }
     }
-    println!(
-        "== summary: {} systems checked, {} with warnings",
-        results.len(),
-        with_warnings
-    );
+    if !args.quiet {
+        println!(
+            "== summary: {} systems checked, {} with warnings",
+            results.len(),
+            with_warnings
+        );
+    }
 
     let report = encore::obs::pipeline_report();
     if trace {
@@ -359,5 +439,56 @@ fn main() {
             eprintln!("encore-detect: cannot write perf record to `{path}`: {e}");
             std::process::exit(2);
         }
+    }
+
+    // The CI surface: SARIF log, baseline write/diff, and the findings
+    // exit code.  A flag-free invocation keeps the historical behavior —
+    // stdout reports, exit 0 — so the snapshot round-trip diff in CI and
+    // every existing consumer are unaffected.
+    if let Some(path) = &args.sarif {
+        let tool = sarif::SarifTool {
+            name: "encore-detect",
+            version: env!("CARGO_PKG_VERSION"),
+        };
+        if let Err(e) = std::fs::write(path, sarif::render(&tool, &findings)) {
+            eprintln!("encore-detect: cannot write SARIF to `{path}`: {e}");
+            std::process::exit(2);
+        }
+    }
+    if let Some(path) = &args.write_baseline {
+        let baseline = FindingBaseline::from_findings(&findings);
+        if let Err(e) = std::fs::write(path, baseline.render()) {
+            eprintln!("encore-detect: cannot write baseline to `{path}`: {e}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "encore-detect: wrote baseline `{path}` accepting {} finding(s)",
+            baseline.len()
+        );
+        return;
+    }
+    if let Some(path) = &args.baseline {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| usage(&format!("cannot read baseline `{path}`: {e}")));
+        let baseline = FindingBaseline::parse(&text)
+            .unwrap_or_else(|e| usage(&format!("baseline `{path}`: {e}")));
+        let diff = baseline.diff(&findings);
+        eprintln!(
+            "encore-detect: baseline `{path}`: {} fresh, {} suppressed, {} stale",
+            diff.fresh.len(),
+            diff.suppressed,
+            diff.stale.len()
+        );
+        for (fingerprint, annotation) in &diff.stale {
+            eprintln!("encore-detect: stale baseline entry {fingerprint}\t{annotation}");
+        }
+        // Detection findings are at most warning severity, so the gate
+        // denies warnings: any fresh (unbaselined) finding fails the build.
+        std::process::exit(finding::exit_code(&diff.fresh, true));
+    }
+    if args.quiet {
+        // Exit-code-only mode without a baseline: the presence of any
+        // admitted finding is the signal.
+        std::process::exit(finding::exit_code(&findings, true));
     }
 }

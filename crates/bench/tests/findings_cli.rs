@@ -1,0 +1,175 @@
+//! End-to-end tests for the `encore-detect` findings surface: SARIF
+//! emission, fingerprint stability across worker counts, baseline gating,
+//! and the quiet/severity filters.
+//!
+//! All runs share the small seeded fleet (`--train 12 --targets 6`), which
+//! produces a nonempty but fast finding set.
+
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+fn encore_detect(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_encore-detect"))
+        .args(args)
+        .stdin(Stdio::null())
+        .output()
+        .expect("failed to spawn encore-detect")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("encore-detect-findings-{name}"))
+}
+
+const FLEET: [&str; 4] = ["--train", "12", "--targets", "6"];
+
+#[test]
+fn sarif_is_byte_identical_across_worker_counts() {
+    let mut logs = Vec::new();
+    for workers in ["1", "2", "4"] {
+        let path = tmp(&format!("sarif-w{workers}.sarif"));
+        let mut args = FLEET.to_vec();
+        args.extend(["--workers", workers, "--sarif", path.to_str().unwrap()]);
+        let out = encore_detect(&args);
+        assert!(out.status.success(), "stderr:\n{}", stderr(&out));
+        logs.push(std::fs::read_to_string(&path).expect("SARIF written"));
+    }
+    assert_eq!(logs[0], logs[1], "workers must not affect fingerprints");
+    assert_eq!(logs[0], logs[2], "workers must not affect fingerprints");
+    let log = &logs[0];
+    assert!(log.contains("\"version\":\"2.1.0\""), "log:\n{log}");
+    assert!(log.contains("\"name\":\"encore-detect\""), "log:\n{log}");
+    // The registry advertises both lint and detection codes; the results
+    // carry detection codes with fingerprints and confidences.
+    assert!(log.contains("\"id\":\"EW002\""), "log:\n{log}");
+    assert!(log.contains("\"ruleId\":\"EW"), "log:\n{log}");
+    assert!(log.contains("\"encoreFinding/v1\":\""), "log:\n{log}");
+    assert!(log.contains("\"confidence\":"), "log:\n{log}");
+}
+
+#[test]
+fn baseline_round_trip_gates_only_fresh_findings() {
+    let baseline = tmp("baseline.txt");
+    // Record the seeded fleet's findings.
+    let mut write = FLEET.to_vec();
+    write.extend(["--write-baseline", baseline.to_str().unwrap()]);
+    let out = encore_detect(&write);
+    assert!(out.status.success(), "stderr:\n{}", stderr(&out));
+    let text = std::fs::read_to_string(&baseline).expect("baseline written");
+    assert!(text.starts_with("# encore findings baseline v1"), "{text}");
+
+    // Immediate re-run against the baseline: everything suppressed, exit 0.
+    let mut gated = FLEET.to_vec();
+    gated.extend(["--baseline", baseline.to_str().unwrap()]);
+    let out = encore_detect(&gated);
+    assert!(out.status.success(), "stderr:\n{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("0 fresh"),
+        "stderr:\n{}",
+        stderr(&out)
+    );
+
+    // A different target fleet produces findings the baseline has not
+    // accepted (fresh → exit 1) and no longer produces some accepted ones
+    // (reported as stale on stderr).
+    let mut drifted = FLEET.to_vec();
+    drifted.extend([
+        "--target-seed",
+        "99",
+        "--baseline",
+        baseline.to_str().unwrap(),
+    ]);
+    let out = encore_detect(&drifted);
+    assert_eq!(out.status.code(), Some(1), "stderr:\n{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("stale baseline entry"),
+        "stderr:\n{}",
+        stderr(&out)
+    );
+
+    // --baseline and --write-baseline together is a usage error.
+    let mut both = FLEET.to_vec();
+    both.extend([
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--write-baseline",
+        baseline.to_str().unwrap(),
+    ]);
+    assert_eq!(encore_detect(&both).status.code(), Some(2));
+}
+
+#[test]
+fn quiet_mode_is_exit_code_only() {
+    // The seeded fleet has warnings, so --quiet exits 1 with empty stdout.
+    let mut quiet = FLEET.to_vec();
+    quiet.push("--quiet");
+    let out = encore_detect(&quiet);
+    assert_eq!(out.status.code(), Some(1), "stderr:\n{}", stderr(&out));
+    assert!(stdout(&out).is_empty(), "stdout:\n{}", stdout(&out));
+
+    // Detection findings are at most warning severity, so an errors-only
+    // filter admits nothing: exit 0.
+    let mut filtered = quiet.clone();
+    filtered.extend(["--severity", "error"]);
+    let out = encore_detect(&filtered);
+    assert!(out.status.success(), "stderr:\n{}", stderr(&out));
+
+    // Without --quiet the same fleet still exits 0 (historical behavior).
+    let out = encore_detect(&FLEET);
+    assert!(out.status.success(), "stderr:\n{}", stderr(&out));
+    assert!(stdout(&out).contains("== summary:"), "missing summary");
+}
+
+#[test]
+fn severity_filter_narrows_the_sarif_log() {
+    // Info-level findings (EW004 suspicious values) are present by default
+    // and dropped by --severity warning.
+    let all_path = tmp("sev-all.sarif");
+    let mut all = FLEET.to_vec();
+    all.extend(["--sarif", all_path.to_str().unwrap()]);
+    let out = encore_detect(&all);
+    assert!(out.status.success(), "stderr:\n{}", stderr(&out));
+    let full = std::fs::read_to_string(&all_path).expect("SARIF written");
+
+    let warn_path = tmp("sev-warn.sarif");
+    let mut warn = FLEET.to_vec();
+    warn.extend([
+        "--severity",
+        "warning",
+        "--sarif",
+        warn_path.to_str().unwrap(),
+    ]);
+    let out = encore_detect(&warn);
+    assert!(out.status.success(), "stderr:\n{}", stderr(&out));
+    let narrowed = std::fs::read_to_string(&warn_path).expect("SARIF written");
+
+    assert!(full.contains("\"ruleId\":\"EW004\""), "log:\n{full}");
+    assert!(
+        !narrowed.contains("\"ruleId\":\"EW004\""),
+        "log:\n{narrowed}"
+    );
+    assert!(narrowed.len() < full.len());
+}
+
+#[test]
+fn findings_flags_are_rejected_in_watch_mode() {
+    for flag in [
+        vec!["--quiet"],
+        vec!["--severity", "error"],
+        vec!["--sarif", "x.sarif"],
+        vec!["--baseline", "x.txt"],
+        vec!["--write-baseline", "x.txt"],
+    ] {
+        let mut args = vec!["--watch", "some-dir", "--max-iterations", "1"];
+        args.extend(flag.iter());
+        let out = encore_detect(&args);
+        assert_eq!(out.status.code(), Some(2), "flag {flag:?} not rejected");
+    }
+}

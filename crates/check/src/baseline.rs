@@ -1,0 +1,208 @@
+//! Finding baselines: accepted-findings snapshots diffed on every run.
+//!
+//! A fleet detector that re-reports the same 121 known warnings every build
+//! is a detector nobody gates on.  A [`FindingBaseline`] is the reviewable
+//! text artifact of *accepted* finding fingerprints
+//! ([`Finding::fingerprint`]): `--write-baseline` records the current run,
+//! `--baseline FILE` diffs each subsequent run against it, and only
+//! findings **not** in the baseline affect the exit code — the
+//! `ReportDelta` gate philosophy (DESIGN.md §11) generalized from perf
+//! metrics to findings.
+//!
+//! The format is line-oriented and diff-friendly, sorted by fingerprint so
+//! a regenerated baseline is byte-stable:
+//!
+//! ```text
+//! # encore findings baseline v1
+//! # fingerprint\tcode\tlocation
+//! 1f6e35dbde1e8c09\tEC011\t[A:Url] == [B:Url]
+//! ```
+//!
+//! Only the leading fingerprint field is identity; the code and location
+//! columns are annotations for the human reviewing the baseline diff in
+//! code review.  [`FindingBaseline::diff`] also reports **stale** entries —
+//! baselined fingerprints the run no longer produces — so suppressions are
+//! cleaned up instead of accreting forever.
+
+use crate::finding::Finding;
+use std::collections::BTreeMap;
+
+const HEADER: &str = "# encore findings baseline v1";
+
+/// An accepted-findings snapshot: fingerprint → annotation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FindingBaseline {
+    entries: BTreeMap<String, String>,
+}
+
+/// The result of diffing a run's findings against a baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BaselineDiff {
+    /// Findings whose fingerprint is not in the baseline — the only ones
+    /// that affect the exit code.
+    pub fresh: Vec<Finding>,
+    /// Number of findings suppressed by the baseline.
+    pub suppressed: usize,
+    /// Baseline entries (fingerprint, annotation) the run no longer
+    /// produces — stale suppressions to prune.
+    pub stale: Vec<(String, String)>,
+}
+
+impl FindingBaseline {
+    /// An empty baseline.
+    pub fn new() -> FindingBaseline {
+        FindingBaseline::default()
+    }
+
+    /// A baseline accepting every given finding.
+    pub fn from_findings(findings: &[Finding]) -> FindingBaseline {
+        let mut entries = BTreeMap::new();
+        for f in findings {
+            entries
+                .entry(f.fingerprint().to_string())
+                .or_insert_with(|| format!("{}\t{}", f.code(), f.location()));
+        }
+        FindingBaseline { entries }
+    }
+
+    /// Number of accepted fingerprints.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the baseline accepts nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a fingerprint is accepted.
+    pub fn contains(&self, fingerprint: &str) -> bool {
+        self.entries.contains_key(fingerprint)
+    }
+
+    /// Render the reviewable text artifact (the inverse of
+    /// [`FindingBaseline::parse`]); entries sort by fingerprint, so
+    /// regeneration is byte-stable.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(64 + self.entries.len() * 48);
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str("# fingerprint\tcode\tlocation\n");
+        for (fingerprint, annotation) in &self.entries {
+            out.push_str(fingerprint);
+            if !annotation.is_empty() {
+                out.push('\t');
+                out.push_str(annotation);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a rendered baseline.  Blank lines and `#` comments are
+    /// skipped; each entry line is a 16-hex-digit fingerprint optionally
+    /// followed by tab-separated annotation columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the 1-based line number and a description of the first
+    /// malformed line.
+    pub fn parse(text: &str) -> Result<FindingBaseline, String> {
+        let mut entries = BTreeMap::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim_end_matches('\r');
+            if line.trim().is_empty() || line.trim_start().starts_with('#') {
+                continue;
+            }
+            let (fingerprint, annotation) = match line.split_once('\t') {
+                Some((f, rest)) => (f, rest.to_string()),
+                None => (line, String::new()),
+            };
+            let fingerprint = fingerprint.trim();
+            if fingerprint.len() != 16 || !fingerprint.chars().all(|c| c.is_ascii_hexdigit()) {
+                return Err(format!(
+                    "line {}: `{fingerprint}` is not a 16-hex-digit fingerprint",
+                    i + 1
+                ));
+            }
+            entries.insert(fingerprint.to_ascii_lowercase(), annotation);
+        }
+        Ok(FindingBaseline { entries })
+    }
+
+    /// Diff a run's findings against the baseline: what is fresh, how much
+    /// was suppressed, and which accepted fingerprints are now stale.
+    pub fn diff(&self, findings: &[Finding]) -> BaselineDiff {
+        let mut diff = BaselineDiff::default();
+        let mut produced: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        for f in findings {
+            produced.insert(f.fingerprint());
+            if self.contains(f.fingerprint()) {
+                diff.suppressed += 1;
+            } else {
+                diff.fresh.push(f.clone());
+            }
+        }
+        for (fingerprint, annotation) in &self.entries {
+            if !produced.contains(fingerprint.as_str()) {
+                diff.stale.push((fingerprint.clone(), annotation.clone()));
+            }
+        }
+        diff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn findings() -> Vec<Finding> {
+        vec![
+            Finding::new("EC032", Severity::Warning, 1.0, "a == b", "dup"),
+            Finding::new(
+                "EW002",
+                Severity::Warning,
+                0.97,
+                "system/img-1:O:datadir",
+                "violated",
+            ),
+            Finding::new("EW004", Severity::Info, 0.45, "system/img-2:O:port", "odd"),
+        ]
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let baseline = FindingBaseline::from_findings(&findings());
+        assert_eq!(baseline.len(), 3);
+        let text = baseline.render();
+        assert!(text.starts_with(HEADER));
+        let back = FindingBaseline::parse(&text).expect("parses");
+        assert_eq!(back, baseline);
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn bare_fingerprint_lines_parse() {
+        let base = FindingBaseline::parse("0123456789abcdef\n").expect("parses");
+        assert!(base.contains("0123456789abcdef"));
+        assert!(FindingBaseline::parse("not-a-fingerprint\n").is_err());
+        assert!(FindingBaseline::parse("0123\n").is_err());
+    }
+
+    #[test]
+    fn diff_partitions_fresh_suppressed_stale() {
+        let all = findings();
+        let baseline = FindingBaseline::from_findings(&all[..2]);
+        let diff = baseline.diff(&all[1..]);
+        assert_eq!(diff.suppressed, 1, "{diff:?}");
+        assert_eq!(diff.fresh.len(), 1);
+        assert_eq!(diff.fresh[0].code(), "EW004");
+        assert_eq!(diff.stale.len(), 1);
+        assert_eq!(diff.stale[0].0, all[0].fingerprint());
+        // A self-diff is clean by construction.
+        let self_diff = FindingBaseline::from_findings(&all).diff(&all);
+        assert!(self_diff.fresh.is_empty() && self_diff.stale.is_empty());
+        assert_eq!(self_diff.suppressed, 3);
+    }
+}

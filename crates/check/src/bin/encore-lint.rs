@@ -14,9 +14,24 @@
 //! over rules learned from the corpus when no file is given), then prints
 //! the diagnostics and exits `1` if any error-severity diagnostic is
 //! present (`--deny-warnings` promotes warnings).
+//!
+//! # CI/CD surface
+//!
+//! Diagnostics also flow through the unified [`Finding`] model:
+//! `--severity`/`--min-report-confidence` filter findings before any
+//! output or exit-code computation, `--sarif FILE` writes a SARIF v2.1.0
+//! log for code-scanning upload, and `--write-baseline`/`--baseline FILE`
+//! record/diff accepted-finding fingerprints so only *new* findings fail
+//! the build (stale suppressions are reported on stderr).  `--quiet`
+//! suppresses stdout entirely — the exit code is the only signal.
 
 use encore::{EnCore, FilterThresholds, LearnOptions, RuleSet, Template, TrainingSet};
-use encore_check::{check_all, Code, Diagnostic, LintReport};
+use encore_check::{
+    baseline::FindingBaseline,
+    check_all,
+    finding::{self, FindingFilter},
+    lint_snapshot, sarif, Code, Diagnostic, Finding, LintReport, Severity,
+};
 use encore_corpus::{Population, PopulationOptions};
 use encore_model::AppKind;
 use std::process::ExitCode;
@@ -38,6 +53,14 @@ usage: encore-lint [options]
   --no-entropy              disable the entropy filter when learning
   --json                    emit JSON instead of text
   --deny-warnings           exit nonzero on warnings too
+  --severity LEVEL          report only findings at or above error|warning|info
+  --min-report-confidence X report only findings with confidence >= X
+  --quiet                   exit-code-only: suppress stdout findings
+  --sarif FILE              write the findings as a SARIF v2.1.0 log
+  --baseline FILE           suppress baselined fingerprints; only new
+                            findings affect the exit code
+  --write-baseline FILE     accept the current findings as the baseline
+                            (mutually exclusive with --baseline) and exit 0
   --report FILE             write a pipeline observability report (JSON)
   --help                    show this help
 
@@ -54,6 +77,11 @@ struct Options {
     thresholds: FilterThresholds,
     json: bool,
     deny_warnings: bool,
+    filter: FindingFilter,
+    quiet: bool,
+    sarif_file: Option<String>,
+    baseline_file: Option<String>,
+    write_baseline_file: Option<String>,
     report_file: Option<String>,
 }
 
@@ -78,6 +106,11 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         thresholds: FilterThresholds::default(),
         json: false,
         deny_warnings: false,
+        filter: FindingFilter::default(),
+        quiet: false,
+        sarif_file: None,
+        baseline_file: None,
+        write_baseline_file: None,
         report_file: None,
     };
     let mut it = args.iter();
@@ -119,12 +152,34 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--no-entropy" => options.thresholds.use_entropy = false,
             "--json" => options.json = true,
             "--deny-warnings" => options.deny_warnings = true,
+            "--severity" => {
+                let name = value("--severity")?;
+                options.filter.min_severity = Severity::parse_name(name)
+                    .ok_or_else(|| format!("bad --severity `{name}` (error|warning|info)"))?;
+            }
+            "--min-report-confidence" => {
+                options.filter.min_confidence = value("--min-report-confidence")?
+                    .parse()
+                    .map_err(|e| format!("bad --min-report-confidence: {e}"))?;
+            }
+            "--quiet" | "-q" => options.quiet = true,
+            "--sarif" => options.sarif_file = Some(value("--sarif")?.clone()),
+            "--baseline" => options.baseline_file = Some(value("--baseline")?.clone()),
+            "--write-baseline" => {
+                options.write_baseline_file = Some(value("--write-baseline")?.clone());
+            }
             "--report" => options.report_file = Some(value("--report")?.clone()),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
     }
     if options.rules_file.is_some() && options.detector_file.is_some() {
         return Err("--rules and --detector are mutually exclusive".to_string());
+    }
+    if options.baseline_file.is_some() && options.write_baseline_file.is_some() {
+        return Err("--baseline and --write-baseline are mutually exclusive".to_string());
+    }
+    if !(0.0..=1.0).contains(&options.filter.min_confidence) {
+        return Err("--min-report-confidence must be in [0, 1]".to_string());
     }
     Ok(Some(options))
 }
@@ -182,9 +237,27 @@ fn run(options: &Options) -> Result<(LintReport, bool), String> {
         (None, Some(path)) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read detector file `{path}`: {e}"))?;
-            let snapshot = encore::DetectorSnapshot::parse(&text)
+            // Peek the version first: a snapshot from a *newer* encore is a
+            // diagnosable finding (EC070), not an opaque parse error.
+            let version = encore::DetectorSnapshot::peek_version(&text)
                 .map_err(|e| format!("detector file `{path}`: {e}"))?;
-            Some(snapshot.rules().clone())
+            if version > encore::snapshot::FORMAT_VERSION {
+                report.extend(vec![Diagnostic::new(
+                    Code::UnsupportedSnapshotVersion,
+                    format!(
+                        "detector snapshot `{path}` has format version v{version}, but this \
+                         build supports up to v{} — retrain, or lint with a newer encore-lint",
+                        encore::snapshot::FORMAT_VERSION
+                    ),
+                )
+                .with_context(path.clone())]);
+                None
+            } else {
+                let snapshot = encore::DetectorSnapshot::parse(&text)
+                    .map_err(|e| format!("detector file `{path}`: {e}"))?;
+                report.extend(lint_snapshot(&snapshot));
+                Some(snapshot.rules().clone())
+            }
         }
         (None, None) if options.thresholds.validate().is_ok() => {
             // Lint the rules this corpus actually teaches.  Learning only
@@ -215,6 +288,64 @@ fn run(options: &Options) -> Result<(LintReport, bool), String> {
     Ok((report, options.deny_warnings))
 }
 
+/// Everything after the analyzers: filter, render, SARIF, baseline, exit
+/// code.  Split from `main` so the policy is readable top to bottom.
+fn finish(options: &Options, report: &LintReport) -> Result<i32, String> {
+    let filtered = report.filtered(&options.filter);
+    let findings: Vec<Finding> = filtered.findings();
+
+    if !options.quiet {
+        if options.json {
+            println!("{}", filtered.render_json());
+        } else {
+            print!("{}", filtered.render_text());
+        }
+    }
+
+    // SARIF sees the full filtered findings: the baseline only decides the
+    // exit code, while code-scanning consumers do their own tracking via
+    // partialFingerprints.
+    if let Some(path) = &options.sarif_file {
+        let tool = sarif::SarifTool {
+            name: "encore-lint",
+            version: env!("CARGO_PKG_VERSION"),
+        };
+        std::fs::write(path, sarif::render(&tool, &findings))
+            .map_err(|e| format!("cannot write SARIF to `{path}`: {e}"))?;
+    }
+
+    if let Some(path) = &options.write_baseline_file {
+        let baseline = FindingBaseline::from_findings(&findings);
+        std::fs::write(path, baseline.render())
+            .map_err(|e| format!("cannot write baseline to `{path}`: {e}"))?;
+        eprintln!(
+            "encore-lint: wrote baseline `{path}` accepting {} finding(s)",
+            baseline.len()
+        );
+        return Ok(0);
+    }
+
+    if let Some(path) = &options.baseline_file {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline `{path}`: {e}"))?;
+        let baseline =
+            FindingBaseline::parse(&text).map_err(|e| format!("baseline `{path}`: {e}"))?;
+        let diff = baseline.diff(&findings);
+        eprintln!(
+            "encore-lint: baseline `{path}`: {} fresh, {} suppressed, {} stale",
+            diff.fresh.len(),
+            diff.suppressed,
+            diff.stale.len()
+        );
+        for (fingerprint, annotation) in &diff.stale {
+            eprintln!("encore-lint: stale baseline entry {fingerprint}\t{annotation}");
+        }
+        return Ok(finding::exit_code(&diff.fresh, options.deny_warnings));
+    }
+
+    Ok(filtered.exit_code(options.deny_warnings))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let options = match parse_args(&args) {
@@ -243,15 +374,8 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    match outcome {
-        Ok((report, deny_warnings)) => {
-            if options.json {
-                println!("{}", report.render_json());
-            } else {
-                print!("{}", report.render_text());
-            }
-            ExitCode::from(report.exit_code(deny_warnings) as u8)
-        }
+    match outcome.and_then(|(report, _)| finish(&options, &report)) {
+        Ok(code) => ExitCode::from(code as u8),
         Err(e) => {
             eprintln!("encore-lint: {e}");
             ExitCode::from(2)

@@ -24,6 +24,19 @@ pub enum Severity {
     Error,
 }
 
+impl Severity {
+    /// Parse the lowercase name rendered by `Display` (the `--severity`
+    /// flag's vocabulary).
+    pub fn parse_name(name: &str) -> Option<Severity> {
+        match name {
+            "info" => Some(Severity::Info),
+            "warning" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -68,9 +81,36 @@ pub enum Code {
     /// `EC060` — a transitive cycle of strict ordering rules
     /// (`A < B`, `B < C`, `C < A`).
     OrderingCycle,
+    /// `EC070` — a detector snapshot's format version is newer than this
+    /// build supports.
+    UnsupportedSnapshotVersion,
+    /// `EC071` — a snapshot `TypeMap` entry no rule in the bundled rule set
+    /// references (drift between retrains).
+    UnreferencedTypeEntry,
 }
 
 impl Code {
+    /// Every code, in `EC0xx` order (the SARIF rule registry iterates this).
+    pub const ALL: [Code; 17] = [
+        Code::TemplateSyntax,
+        Code::IllTypedTemplate,
+        Code::BadTemplateConfidence,
+        Code::DuplicateTemplate,
+        Code::DeadTemplateNoSlots,
+        Code::DeadTemplateNoPairs,
+        Code::ContradictoryOrdering,
+        Code::ConflictingOwners,
+        Code::EqualContradictsOrdering,
+        Code::SymmetricEqualDuplicate,
+        Code::SubstringSubsumedByEqual,
+        Code::DuplicateRule,
+        Code::OrphanRule,
+        Code::InvalidThresholds,
+        Code::OrderingCycle,
+        Code::UnsupportedSnapshotVersion,
+        Code::UnreferencedTypeEntry,
+    ];
+
     /// The stable `EC0xx` string.
     pub fn as_str(self) -> &'static str {
         match self {
@@ -89,6 +129,33 @@ impl Code {
             Code::OrphanRule => "EC040",
             Code::InvalidThresholds => "EC050",
             Code::OrderingCycle => "EC060",
+            Code::UnsupportedSnapshotVersion => "EC070",
+            Code::UnreferencedTypeEntry => "EC071",
+        }
+    }
+
+    /// One-line description of the defect class (SARIF rule metadata).
+    pub fn summary(self) -> &'static str {
+        match self {
+            Code::TemplateSyntax => "template line failed to parse",
+            Code::IllTypedTemplate => "template slot types not admitted by its relation",
+            Code::BadTemplateConfidence => "template confidence override outside (0, 1]",
+            Code::DuplicateTemplate => "the same template appears more than once",
+            Code::DeadTemplateNoSlots => "template has no eligible attributes for a slot",
+            Code::DeadTemplateNoPairs => "template has eligible slots but zero live pairs",
+            Code::ContradictoryOrdering => "contradictory ordering rules (A < B and B < A)",
+            Code::ConflictingOwners => "one path claimed by two different owner entries",
+            Code::EqualContradictsOrdering => "equality rule contradicts a strict ordering rule",
+            Code::SymmetricEqualDuplicate => "symmetric duplicate of an equality rule",
+            Code::SubstringSubsumedByEqual => "substring rule subsumed by an equality rule",
+            Code::DuplicateRule => "exact duplicate rule",
+            Code::OrphanRule => "rule references an attribute absent from the corpus",
+            Code::InvalidThresholds => "filter thresholds out of range",
+            Code::OrderingCycle => "transitive cycle of strict ordering rules",
+            Code::UnsupportedSnapshotVersion => {
+                "detector snapshot version newer than this build supports"
+            }
+            Code::UnreferencedTypeEntry => "snapshot type entry referenced by no rule",
         }
     }
 
@@ -105,13 +172,15 @@ impl Code {
             | Code::EqualContradictsOrdering
             | Code::OrphanRule
             | Code::InvalidThresholds
-            | Code::OrderingCycle => Severity::Error,
+            | Code::OrderingCycle
+            | Code::UnsupportedSnapshotVersion => Severity::Error,
             Code::DuplicateTemplate
             | Code::DeadTemplateNoSlots
             | Code::DeadTemplateNoPairs
             | Code::SymmetricEqualDuplicate
             | Code::SubstringSubsumedByEqual
-            | Code::DuplicateRule => Severity::Warning,
+            | Code::DuplicateRule
+            | Code::UnreferencedTypeEntry => Severity::Warning,
         }
     }
 }
@@ -219,29 +288,21 @@ mod tests {
 
     #[test]
     fn codes_are_stable_and_unique() {
-        let all = [
-            Code::TemplateSyntax,
-            Code::IllTypedTemplate,
-            Code::BadTemplateConfidence,
-            Code::DuplicateTemplate,
-            Code::DeadTemplateNoSlots,
-            Code::DeadTemplateNoPairs,
-            Code::ContradictoryOrdering,
-            Code::ConflictingOwners,
-            Code::EqualContradictsOrdering,
-            Code::SymmetricEqualDuplicate,
-            Code::SubstringSubsumedByEqual,
-            Code::DuplicateRule,
-            Code::OrphanRule,
-            Code::InvalidThresholds,
-            Code::OrderingCycle,
-        ];
         let mut seen = std::collections::BTreeSet::new();
-        for c in all {
+        for c in Code::ALL {
             assert!(c.as_str().starts_with("EC"));
             assert_eq!(c.as_str().len(), 5);
             assert!(seen.insert(c.as_str()), "duplicate code {c}");
+            assert!(!c.summary().is_empty());
         }
+    }
+
+    #[test]
+    fn severity_names_round_trip() {
+        for s in [Severity::Info, Severity::Warning, Severity::Error] {
+            assert_eq!(Severity::parse_name(&s.to_string()), Some(s));
+        }
+        assert_eq!(Severity::parse_name("fatal"), None);
     }
 
     #[test]

@@ -20,14 +20,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod corpus;
 pub mod diag;
+pub mod finding;
 pub mod rulelint;
+pub mod sarif;
 pub mod typecheck;
 
+pub use baseline::{BaselineDiff, FindingBaseline};
 pub use corpus::analyze_corpus;
 pub use diag::{Code, Diagnostic, Severity};
-pub use rulelint::lint_rules;
+pub use finding::{code_registry, Finding, FindingFilter};
+pub use rulelint::{lint_rules, lint_snapshot};
 pub use typecheck::check_templates;
 
 use encore::{FilterThresholds, RuleSet, StatsCache, Template};
@@ -95,11 +100,44 @@ impl LintReport {
     /// The process exit code `encore-lint` should return: `1` on errors
     /// (or on warnings when `deny_warnings`), `0` otherwise.
     pub fn exit_code(&self, deny_warnings: bool) -> i32 {
-        if self.has_errors() || (deny_warnings && self.warnings() > 0) {
+        self.exit_code_with(deny_warnings, &FindingFilter::default())
+    }
+
+    /// Filter-aware exit code: only diagnostics the filter admits count
+    /// toward the error/warning gate, so `--severity`/`--min-report-confidence`
+    /// apply consistently *before* exit-code computation.
+    pub fn exit_code_with(&self, deny_warnings: bool, filter: &FindingFilter) -> i32 {
+        let admitted = self.filtered(filter);
+        if admitted.has_errors() || (deny_warnings && admitted.warnings() > 0) {
             1
         } else {
             0
         }
+    }
+
+    /// The report restricted to diagnostics the filter admits (lint
+    /// diagnostics carry confidence `1.0`).
+    pub fn filtered(&self, filter: &FindingFilter) -> LintReport {
+        if filter.is_pass_all() {
+            return self.clone();
+        }
+        LintReport {
+            diagnostics: self
+                .diagnostics
+                .iter()
+                .filter(|d| filter.admits_diagnostic(d))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Every diagnostic mapped into the unified [`Finding`] model (with its
+    /// content fingerprint), in report order.
+    pub fn findings(&self) -> Vec<Finding> {
+        self.diagnostics
+            .iter()
+            .map(Finding::from_diagnostic)
+            .collect()
     }
 
     /// Text rendering: one block per diagnostic plus a summary line.
@@ -190,6 +228,35 @@ mod tests {
         let json = report.render_json();
         assert!(json.starts_with("{\"diagnostics\":["));
         assert!(json.contains("\"errors\":1,\"warnings\":1"));
+    }
+
+    #[test]
+    fn filtered_exit_code_ignores_filtered_out_severities() {
+        let mut report = LintReport::new();
+        report.extend(vec![
+            Diagnostic::new(Code::DuplicateRule, "dup"), // warning
+            Diagnostic::new(Code::OrphanRule, "orphan").with_severity(Severity::Info),
+        ]);
+        // Unfiltered: the warning trips --deny-warnings.
+        assert_eq!(report.exit_code(true), 1);
+        // Errors-only filter: nothing left to gate on.
+        let errors_only = FindingFilter {
+            min_severity: Severity::Error,
+            ..FindingFilter::default()
+        };
+        assert_eq!(report.exit_code_with(true, &errors_only), 0);
+        assert_eq!(report.filtered(&errors_only).diagnostics().len(), 0);
+        let warnings_up = FindingFilter {
+            min_severity: Severity::Warning,
+            ..FindingFilter::default()
+        };
+        assert_eq!(report.filtered(&warnings_up).diagnostics().len(), 1);
+        assert_eq!(report.exit_code_with(true, &warnings_up), 1);
+        // findings() maps one-to-one with stable fingerprints.
+        let findings = report.findings();
+        assert_eq!(findings.len(), 2);
+        assert_eq!(findings[0].code(), "EC032");
+        assert_ne!(findings[0].fingerprint(), findings[1].fingerprint());
     }
 
     #[test]

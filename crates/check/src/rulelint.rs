@@ -21,9 +21,47 @@
 //!   see it, but the set as a whole admits no assignment.
 
 use crate::diag::{Code, Diagnostic, Severity};
-use encore::{Relation, Rule, RuleSet, StatsCache};
+use encore::{DetectorSnapshot, Relation, Rule, RuleSet, StatsCache};
 use encore_model::AttrName;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Lint a detector snapshot's bundled artifacts against each other.
+///
+/// `EC071`: a [`encore::TypeMap`] entry that no rule in the bundled rule
+/// set references *and* that the bundled training statistics never
+/// observed.  Rules, types, and stats are retrained together, and every
+/// type the inference produces comes from an observed value — so a typed
+/// attribute with neither a referencing rule nor a value histogram means
+/// the type map comes from a *different* retrain than the rest of the
+/// snapshot (hand-stitched from two training runs, or edited after the
+/// fact) — drift worth flagging before the artifact serves a fleet.  The
+/// type still participates in check 3 (data-type violations), so this is a
+/// warning, not an error.
+pub fn lint_snapshot(snapshot: &DetectorSnapshot) -> Vec<Diagnostic> {
+    let referenced: BTreeSet<&AttrName> = snapshot
+        .rules()
+        .rules()
+        .iter()
+        .flat_map(|r| [&r.a, &r.b])
+        .collect();
+    let observed = snapshot.stats().values();
+    snapshot
+        .types()
+        .iter()
+        .filter(|(attr, _)| !referenced.contains(attr) && !observed.contains_key(attr))
+        .map(|(attr, ty)| {
+            Diagnostic::new(
+                Code::UnreferencedTypeEntry,
+                format!(
+                    "type entry `{attr}: {ty}` is referenced by no rule and was never \
+                     observed in the snapshot's training statistics (rules and types \
+                     from different retrains?)"
+                ),
+            )
+            .with_context(format!("{}\t{}", attr.render_tagged(), ty.name()))
+        })
+        .collect()
+}
 
 /// Lint a rule set.  With a [`StatsCache`] the linter also checks orphans
 /// against the corpus and looks for row evidence when judging conflicting
@@ -479,6 +517,55 @@ mod tests {
         .into_iter()
         .collect();
         assert!(lint_rules(&set, None).is_empty());
+    }
+
+    #[test]
+    fn unreferenced_type_entries_get_ec071() {
+        use encore::{TrainingStats, TypeMap};
+        use encore_model::SemType;
+        let rules: RuleSet = vec![rule("datadir", Relation::Owns, "user")]
+            .into_iter()
+            .collect();
+        let mut types = TypeMap::new();
+        types.set(AttrName::entry("datadir"), SemType::FilePath);
+        types.set(AttrName::entry("ghost_entry"), SemType::Number);
+        // `port` is unreferenced by the rules but *observed* in training —
+        // the normal case for value-check-only attributes — so it is clean.
+        types.set(AttrName::entry("port"), SemType::Number);
+        let observed: BTreeMap<_, _> = [(
+            AttrName::entry("port"),
+            [("3306".to_string(), 8usize)].into_iter().collect(),
+        )]
+        .into_iter()
+        .collect();
+        let snapshot = DetectorSnapshot::new(
+            rules,
+            types,
+            TrainingStats::from_parts(8, BTreeSet::new(), observed),
+        );
+        let diags = lint_snapshot(&snapshot);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::UnreferencedTypeEntry);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(diags[0].message.contains("ghost_entry"), "{diags:?}");
+    }
+
+    #[test]
+    fn fully_referenced_snapshot_types_are_clean() {
+        use encore::{TrainingStats, TypeMap};
+        use encore_model::SemType;
+        let rules: RuleSet = vec![rule("a", Relation::LessNum, "b")]
+            .into_iter()
+            .collect();
+        let mut types = TypeMap::new();
+        types.set(AttrName::entry("a"), SemType::Number);
+        types.set(AttrName::entry("b"), SemType::Number);
+        let snapshot = DetectorSnapshot::new(
+            rules,
+            types,
+            TrainingStats::from_parts(8, BTreeSet::new(), BTreeMap::new()),
+        );
+        assert!(lint_snapshot(&snapshot).is_empty());
     }
 
     #[test]

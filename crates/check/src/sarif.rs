@@ -1,0 +1,171 @@
+//! SARIF v2.1.0 emission — findings where code-review UIs expect them.
+//!
+//! Hand-rolled like every other JSON renderer in this workspace (the
+//! offline serde shim has no `serde_json`): one [`render`] call produces a
+//! complete, parseable SARIF v2.1.0 log with
+//!
+//! * `runs[].tool.driver.rules[]` — the shared stable-code registry
+//!   ([`crate::finding::code_registry`]), each rule carrying its summary
+//!   and default level,
+//! * `runs[].results[]` — one result per [`Finding`], `level` mapped from
+//!   [`Severity`] (`error`/`warning`/`note`), the canonical location as a
+//!   logical location, the confidence under `properties`, and the stable
+//!   content fingerprint under `partialFingerprints` (key
+//!   `encoreFinding/v1`), which is what lets a SARIF consumer track a
+//!   finding across runs exactly like the baseline layer does.
+//!
+//! Output is deterministic: rules in registry order, results in the order
+//! given (which both binaries keep deterministic), every number rendered
+//! via the lossless `{:?}` form.
+
+use crate::diag::Severity;
+use crate::finding::{code_registry, Finding};
+
+/// The emitting tool's identity, recorded under `tool.driver`.
+#[derive(Debug, Clone, Copy)]
+pub struct SarifTool<'a> {
+    /// Tool name (`encore-lint` / `encore-detect`).
+    pub name: &'a str,
+    /// Tool version (the crate version).
+    pub version: &'a str,
+}
+
+/// The SARIF `level` for a severity.
+pub fn level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Info => "note",
+    }
+}
+
+/// Render a complete SARIF v2.1.0 log for one run of `tool` over
+/// `findings`.
+pub fn render(tool: &SarifTool<'_>, findings: &[Finding]) -> String {
+    let registry = code_registry();
+    let rule_index = |id: &str| registry.iter().position(|info| info.id == id);
+
+    let mut out = String::with_capacity(4096 + findings.len() * 256);
+    out.push_str("{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",");
+    out.push_str("\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{");
+    out.push_str(&format!(
+        "\"name\":\"{}\",\"version\":\"{}\",\"informationUri\":\"https://example.invalid/encore\",",
+        escape(tool.name),
+        escape(tool.version)
+    ));
+    out.push_str("\"rules\":[");
+    for (i, info) in registry.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}},\
+             \"defaultConfiguration\":{{\"level\":\"{}\"}}}}",
+            escape(info.id),
+            escape(info.summary),
+            level(info.level)
+        ));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, finding) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"ruleId\":\"{}\"", escape(finding.code())));
+        if let Some(index) = rule_index(finding.code()) {
+            out.push_str(&format!(",\"ruleIndex\":{index}"));
+        }
+        out.push_str(&format!(
+            ",\"level\":\"{}\",\"message\":{{\"text\":\"{}\"}}",
+            level(finding.severity()),
+            escape(finding.message())
+        ));
+        if !finding.location().is_empty() {
+            out.push_str(&format!(
+                ",\"locations\":[{{\"logicalLocations\":[{{\"fullyQualifiedName\":\"{}\"}}]}}]",
+                escape(finding.location())
+            ));
+        }
+        out.push_str(&format!(
+            ",\"partialFingerprints\":{{\"encoreFinding/v1\":\"{}\"}},\
+             \"properties\":{{\"confidence\":{:?}}}}}",
+            finding.fingerprint(),
+            finding.confidence()
+        ));
+    }
+    out.push_str("]}]}");
+    out
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tool() -> SarifTool<'static> {
+        SarifTool {
+            name: "encore-lint",
+            version: "0.1.0",
+        }
+    }
+
+    #[test]
+    fn empty_run_is_still_a_complete_log() {
+        let log = render(&tool(), &[]);
+        assert!(log.contains("\"version\":\"2.1.0\""));
+        assert!(log.contains("\"name\":\"encore-lint\""));
+        assert!(log.contains("\"rules\":["));
+        assert!(log.contains("\"id\":\"EC001\""));
+        assert!(log.contains("\"id\":\"EW004\""));
+        assert!(log.ends_with("\"results\":[]}]}"));
+    }
+
+    #[test]
+    fn results_carry_level_location_and_fingerprint() {
+        let findings = vec![
+            Finding::new("EC040", Severity::Error, 1.0, "a == b", "orphan \"x\""),
+            Finding::new("EW004", Severity::Info, 0.45, "system/img-1:O:port", "odd"),
+        ];
+        let log = render(&tool(), &findings);
+        assert!(log.contains("\"ruleId\":\"EC040\""));
+        assert!(log.contains("\"level\":\"error\""));
+        assert!(log.contains("\"level\":\"note\""));
+        assert!(log.contains("orphan \\\"x\\\""));
+        assert!(log.contains("\"fullyQualifiedName\":\"system/img-1:O:port\""));
+        assert!(log.contains(&format!(
+            "\"encoreFinding/v1\":\"{}\"",
+            findings[0].fingerprint()
+        )));
+        assert!(log.contains("\"confidence\":0.45"));
+        // ruleIndex points into the registry.
+        assert!(log.contains("\"ruleIndex\":"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let findings = vec![Finding::new(
+            "EC032",
+            Severity::Warning,
+            1.0,
+            "a == b",
+            "dup",
+        )];
+        assert_eq!(render(&tool(), &findings), render(&tool(), &findings));
+    }
+}

@@ -168,3 +168,165 @@ fn unknown_flag_is_a_usage_error() {
     let out = encore_lint(&["--bogus"]);
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn newer_snapshot_version_is_ec070_not_a_usage_error() {
+    let detector = fixture(
+        "future-detector",
+        "# produced by a future encore\nencore-detector-snapshot v999\n[meta]\nsystems=4\n",
+    );
+    let out = encore_lint(&[
+        "--app",
+        "mysql",
+        "--images",
+        "8",
+        "--detector",
+        detector.to_str().unwrap(),
+    ]);
+    let text = stdout(&out);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{text}");
+    assert!(text.contains("error[EC070]"), "stdout:\n{text}");
+    assert!(text.contains("v999"), "stdout:\n{text}");
+    // A truly malformed snapshot (no header at all) stays a usage error.
+    let garbage = fixture("garbage-detector", "not a snapshot\n");
+    let out = encore_lint(&["--detector", garbage.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// A snapshot whose type map carries an attribute that no rule references
+/// and that the training statistics never observed — EC071 cross-retrain
+/// drift, a warning.
+const DRIFTED_SNAPSHOT: &str = "encore-detector-snapshot v1\n\
+     [meta]\n\
+     systems=8\n\
+     [rules]\n\
+     O:max_connections\tLessNum\tO:table_open_cache\t10\t1.0\n\
+     [types]\n\
+     O:max_connections\tNumber\n\
+     O:table_open_cache\tNumber\n\
+     O:ghost_entry\tNumber\n\
+     [entries]\n\
+     max_connections\n\
+     table_open_cache\n\
+     [values]\n";
+
+#[test]
+fn drifted_snapshot_types_get_ec071() {
+    let detector = fixture("drifted-detector", DRIFTED_SNAPSHOT);
+    let out = encore_lint(&[
+        "--app",
+        "mysql",
+        "--images",
+        "8",
+        "--detector",
+        detector.to_str().unwrap(),
+    ]);
+    let text = stdout(&out);
+    // EC071 is warning severity: reported, but exit 0 without --deny-warnings.
+    assert!(out.status.success(), "stdout:\n{text}");
+    assert!(text.contains("warning[EC071]"), "stdout:\n{text}");
+    assert!(text.contains("ghost_entry"), "stdout:\n{text}");
+}
+
+#[test]
+fn severity_filter_applies_before_output_and_exit_code() {
+    let detector = fixture("filter-detector", DRIFTED_SNAPSHOT);
+    let base = [
+        "--app",
+        "mysql",
+        "--images",
+        "8",
+        "--detector",
+        detector.to_str().unwrap(),
+    ];
+    // Unfiltered, --deny-warnings trips on EC071 (and small-corpus EC01x).
+    let mut denied = base.to_vec();
+    denied.push("--deny-warnings");
+    let out = encore_lint(&denied);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{}", stdout(&out));
+    // --severity error drops every warning: nothing to deny, nothing printed.
+    let mut errors_only = denied.clone();
+    errors_only.extend(["--severity", "error"]);
+    let out = encore_lint(&errors_only);
+    let text = stdout(&out);
+    assert!(out.status.success(), "stdout:\n{text}");
+    assert!(!text.contains("warning["), "stdout:\n{text}");
+    // --quiet suppresses stdout entirely but keeps the exit code.
+    let mut quiet = denied.clone();
+    quiet.push("--quiet");
+    let out = encore_lint(&quiet);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout(&out).is_empty(), "stdout:\n{}", stdout(&out));
+}
+
+#[test]
+fn sarif_log_carries_rules_results_and_fingerprints() {
+    let detector = fixture("sarif-detector", DRIFTED_SNAPSHOT);
+    let sarif = std::env::temp_dir().join("encore-lint-test-out.sarif");
+    let out = encore_lint(&[
+        "--app",
+        "mysql",
+        "--images",
+        "8",
+        "--detector",
+        detector.to_str().unwrap(),
+        "--sarif",
+        sarif.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stdout:\n{}", stdout(&out));
+    let log = std::fs::read_to_string(&sarif).expect("SARIF written");
+    assert!(log.contains("\"version\":\"2.1.0\""), "log:\n{log}");
+    assert!(log.contains("\"name\":\"encore-lint\""), "log:\n{log}");
+    assert!(log.contains("\"id\":\"EC071\""), "log:\n{log}");
+    assert!(log.contains("\"ruleId\":\"EC071\""), "log:\n{log}");
+    assert!(log.contains("\"encoreFinding/v1\":\""), "log:\n{log}");
+}
+
+#[test]
+fn baseline_round_trip_gates_only_fresh_findings() {
+    let detector = fixture("baseline-detector", DRIFTED_SNAPSHOT);
+    let baseline = std::env::temp_dir().join("encore-lint-test-baseline.txt");
+    let base = [
+        "--app",
+        "mysql",
+        "--images",
+        "8",
+        "--detector",
+        detector.to_str().unwrap(),
+        "--deny-warnings",
+    ];
+    // Record the current findings (EC071 + small-corpus dead templates).
+    let mut write = base.to_vec();
+    write.extend(["--write-baseline", baseline.to_str().unwrap()]);
+    let out = encore_lint(&write);
+    assert!(out.status.success(), "stdout:\n{}", stdout(&out));
+    let text = std::fs::read_to_string(&baseline).expect("baseline written");
+    assert!(text.starts_with("# encore findings baseline v1"), "{text}");
+    assert!(text.contains("EC071"), "{text}");
+    // Immediate re-run against the baseline: everything suppressed, exit 0
+    // even under --deny-warnings.
+    let mut gated = base.to_vec();
+    gated.extend(["--baseline", baseline.to_str().unwrap()]);
+    let out = encore_lint(&gated);
+    assert!(out.status.success(), "stdout:\n{}", stdout(&out));
+    // A baseline missing the EC071 fingerprint leaves it fresh: exit 1, and
+    // the now-unmatched entries would be reported as stale.
+    let pruned: String = text
+        .lines()
+        .filter(|l| !l.contains("EC071"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let partial = fixture("partial-baseline.txt", &pruned);
+    let mut gated = base.to_vec();
+    gated.extend(["--baseline", partial.to_str().unwrap()]);
+    let out = encore_lint(&gated);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{}", stdout(&out));
+    // --baseline and --write-baseline together is a usage error.
+    let out = encore_lint(&[
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--write-baseline",
+        baseline.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+}

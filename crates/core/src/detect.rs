@@ -39,6 +39,38 @@ pub enum WarningKind {
     SuspiciousValue,
 }
 
+impl WarningKind {
+    /// Every warning kind, in `EW0xx` code order.
+    pub const ALL: [WarningKind; 4] = [
+        WarningKind::UnknownEntry,
+        WarningKind::CorrelationViolation,
+        WarningKind::TypeViolation,
+        WarningKind::SuspiciousValue,
+    ];
+
+    /// The stable `EW0xx` code for this kind, the detection counterpart of
+    /// the linter's `EC0xx` codes: CI matches on these, never on message
+    /// text.
+    pub fn code(self) -> &'static str {
+        match self {
+            WarningKind::UnknownEntry => "EW001",
+            WarningKind::CorrelationViolation => "EW002",
+            WarningKind::TypeViolation => "EW003",
+            WarningKind::SuspiciousValue => "EW004",
+        }
+    }
+
+    /// One-line description of the anomaly class (SARIF rule metadata).
+    pub fn summary(self) -> &'static str {
+        match self {
+            WarningKind::UnknownEntry => "entry name never seen in the training set",
+            WarningKind::CorrelationViolation => "a learned correlation rule is violated",
+            WarningKind::TypeViolation => "value fails its trained type's match/verification",
+            WarningKind::SuspiciousValue => "value never seen in training (ICF-ranked)",
+        }
+    }
+}
+
 impl fmt::Display for WarningKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -101,6 +133,38 @@ impl Warning {
     /// The violated rule, for correlation warnings.
     pub fn rule(&self) -> Option<&Rule> {
         self.rule.as_ref()
+    }
+
+    /// A normalized confidence in `[0, 1]` for CI threshold filtering
+    /// (`--min-report-confidence`), derived per kind from the same evidence
+    /// the ranking [`Warning::score`] uses:
+    ///
+    /// * correlation violations — the violated rule's learned confidence,
+    /// * type violations — `1 / |training values|` (one trained value ⇒
+    ///   near-certain, §6's `extension_dir` example),
+    /// * unknown entries — a fixed `0.7` (the class-wide prior the ranking
+    ///   score encodes),
+    /// * suspicious values — `ICF × modal dominance` (the score without its
+    ///   `40×` ranking weight).
+    ///
+    /// Non-finite inputs (a NaN confidence in a hand-edited rule) clamp to
+    /// `1.0` so the value is always a finite probability-like number.
+    pub fn confidence(&self) -> f64 {
+        let raw = match self.kind {
+            WarningKind::UnknownEntry => 0.7,
+            WarningKind::CorrelationViolation => self
+                .rule
+                .as_ref()
+                .map(|r| r.confidence)
+                .unwrap_or((self.score - 100.0) / 10.0),
+            WarningKind::TypeViolation => (self.score - 90.0) / 10.0,
+            WarningKind::SuspiciousValue => self.score / 40.0,
+        };
+        if raw.is_finite() {
+            raw.clamp(0.0, 1.0)
+        } else {
+            1.0
+        }
     }
 
     /// Whether this warning points at `entry` (directly or through one of
@@ -869,6 +933,71 @@ mod tests {
         );
         assert!(forward.warnings()[0].score().is_nan(), "NaN ranks first");
         assert_eq!(order(&forward), ["omega", "beta", "alpha"]);
+    }
+
+    #[test]
+    fn warning_codes_are_stable_and_unique() {
+        let mut seen = BTreeSet::new();
+        for kind in WarningKind::ALL {
+            let code = kind.code();
+            assert!(code.starts_with("EW") && code.len() == 5, "{code}");
+            assert!(seen.insert(code), "duplicate code {code}");
+            assert!(!kind.summary().is_empty());
+        }
+    }
+
+    #[test]
+    fn warning_confidence_is_normalized_per_kind() {
+        use crate::template::Relation;
+        let rule = Rule::new(
+            AttrName::entry("datadir"),
+            Relation::Owns,
+            AttrName::entry("user"),
+            10,
+            0.97,
+        );
+        let correlation = Warning {
+            kind: WarningKind::CorrelationViolation,
+            attr: AttrName::entry("datadir"),
+            detail: String::new(),
+            score: 100.0 + 0.97 * 10.0,
+            rule: Some(rule.clone()),
+        };
+        assert_eq!(correlation.confidence(), 0.97);
+        let nan_rule = Rule::new(
+            AttrName::entry("datadir"),
+            Relation::Owns,
+            AttrName::entry("user"),
+            10,
+            f64::NAN,
+        );
+        let nan = Warning {
+            rule: Some(nan_rule),
+            score: f64::NAN,
+            ..correlation.clone()
+        };
+        assert_eq!(nan.confidence(), 1.0, "non-finite clamps to 1.0");
+        let type_violation = Warning::internal(
+            WarningKind::TypeViolation,
+            AttrName::entry("datadir"),
+            String::new(),
+            90.0 + 10.0 / 4.0, // 4 distinct training values
+        );
+        assert_eq!(type_violation.confidence(), 0.25);
+        let unknown = Warning::internal(
+            WarningKind::UnknownEntry,
+            AttrName::entry("dataadir"),
+            String::new(),
+            70.0,
+        );
+        assert_eq!(unknown.confidence(), 0.7);
+        let suspicious = Warning::internal(
+            WarningKind::SuspiciousValue,
+            AttrName::entry("port"),
+            String::new(),
+            40.0 * 0.5 * 0.9,
+        );
+        assert_eq!(suspicious.confidence(), 0.45);
     }
 
     #[test]

@@ -143,6 +143,36 @@ impl DetectorSnapshot {
         out
     }
 
+    /// Read just the format version from a snapshot header, without parsing
+    /// the body.
+    ///
+    /// Tools that want to *report* an unsupported version (the linter's
+    /// `EC070`) rather than fail opaquely can peek first: a version newer
+    /// than [`FORMAT_VERSION`] is a diagnosable fact about the artifact, not
+    /// a parse error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of a missing or malformed `encore-detector-snapshot vN`
+    /// header.
+    pub fn peek_version(text: &str) -> Result<u32, String> {
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let rest = line
+                .strip_prefix(MAGIC)
+                .ok_or_else(|| format!("line {}: expected `{MAGIC} vN` header", i + 1))?;
+            return rest
+                .trim()
+                .strip_prefix('v')
+                .and_then(|v| v.parse::<u32>().ok())
+                .ok_or_else(|| format!("line {}: malformed version `{rest}`", i + 1));
+        }
+        Err(format!("missing `{MAGIC} vN` header"))
+    }
+
     /// Parse a rendered snapshot.
     ///
     /// # Errors
@@ -333,6 +363,18 @@ mod tests {
         assert!(DetectorSnapshot::parse("encore-detector-snapshot v1\nstray line\n").is_err());
         // systems= is mandatory.
         assert!(DetectorSnapshot::parse("encore-detector-snapshot v1\n[meta]\n").is_err());
+    }
+
+    #[test]
+    fn peek_version_reads_the_header_only() {
+        assert_eq!(DetectorSnapshot::peek_version(&sample().render()), Ok(1));
+        assert_eq!(
+            DetectorSnapshot::peek_version("# comment\n\nencore-detector-snapshot v999\n[meta]\n"),
+            Ok(999)
+        );
+        assert!(DetectorSnapshot::peek_version("").is_err());
+        assert!(DetectorSnapshot::peek_version("not-a-snapshot v1\n").is_err());
+        assert!(DetectorSnapshot::peek_version("encore-detector-snapshot vX\n").is_err());
     }
 
     #[test]
