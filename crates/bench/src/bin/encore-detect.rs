@@ -45,6 +45,16 @@
 //! loop stops after `--max-iterations` cycles, or — when unbounded — as
 //! soon as stdin reaches end-of-file (close the pipe to stop the daemon;
 //! no signal handling needed).
+//!
+//! # Live telemetry
+//!
+//! `--metrics-addr HOST:PORT` (watch mode only) serves the cumulative
+//! sink as Prometheus text exposition on `/metrics`, plus `/healthz` and
+//! `/readyz` (ready after the first completed cycle, not-ready while a
+//! detector hot-reload is failing).  The bound address is printed to
+//! stderr, so `HOST:0` works for tests.  `--trace-out FILE` (any mode)
+//! records every timer span and writes a Chrome trace-viewer /
+//! Perfetto-compatible JSON trace on exit.
 
 use encore::prelude::*;
 use encore_check::{
@@ -58,8 +68,9 @@ use encore_model::AppKind;
 const USAGE: &str = "usage: encore-detect [--app NAME] [--train N] [--seed N] \
 [--targets N] [--target-seed N] [--misconfig-percent P] [--workers N] \
 [--save-detector FILE] [--load-detector FILE] [--no-entropy] [--report FILE] \
-[--bench-json FILE] [--watch DIR] [--interval-ms N] [--max-iterations K] \
-[--severity LEVEL] [--min-report-confidence X] [--quiet] [--sarif FILE] \
+[--bench-json FILE] [--trace-out FILE] [--watch DIR] [--interval-ms N] \
+[--max-iterations K] [--metrics-addr HOST:PORT] [--severity LEVEL] \
+[--min-report-confidence X] [--quiet] [--sarif FILE] \
 [--baseline FILE | --write-baseline FILE]";
 
 /// Print a diagnostic plus the usage line to stderr and exit 2.  All
@@ -84,9 +95,11 @@ struct Args {
     no_entropy: bool,
     report: Option<String>,
     bench_json: Option<String>,
+    trace_out: Option<String>,
     watch: Option<String>,
     interval_ms: u64,
     max_iterations: Option<u64>,
+    metrics_addr: Option<String>,
     filter: FindingFilter,
     quiet: bool,
     sarif: Option<String>,
@@ -108,9 +121,11 @@ fn parse_args() -> Option<Args> {
         no_entropy: false,
         report: None,
         bench_json: None,
+        trace_out: None,
         watch: None,
         interval_ms: 1_000,
         max_iterations: None,
+        metrics_addr: None,
         filter: FindingFilter::default(),
         quiet: false,
         sarif: None,
@@ -179,7 +194,9 @@ fn parse_args() -> Option<Args> {
             "--no-entropy" => parsed.no_entropy = true,
             "--report" => parsed.report = Some(value("--report", args.next())),
             "--bench-json" => parsed.bench_json = Some(value("--bench-json", args.next())),
+            "--trace-out" => parsed.trace_out = Some(value("--trace-out", args.next())),
             "--watch" => parsed.watch = Some(value("--watch", args.next())),
+            "--metrics-addr" => parsed.metrics_addr = Some(value("--metrics-addr", args.next())),
             "--interval-ms" => {
                 let v = value("--interval-ms", args.next());
                 parsed.interval_ms = v
@@ -267,6 +284,32 @@ fn run_watch(args: &Args, detector: AnomalyDetector, dir: &str) {
         .map(std::path::PathBuf::from);
     options.report_path = args.report.as_ref().map(std::path::PathBuf::from);
 
+    // The live telemetry surface: /metrics, /healthz, /readyz.  The
+    // readiness flag is shared with the watcher, which flips it true
+    // after the first completed cycle and false while a hot-reload is
+    // failing.  The server lives until this function returns (dropping
+    // it stops the accept thread).
+    let readiness = std::sync::Arc::new(encore::obs::expose::Readiness::new());
+    options.readiness = Some(std::sync::Arc::clone(&readiness));
+    let _metrics = args.metrics_addr.as_ref().map(|addr| {
+        match encore::obs::expose::MetricsServer::start(
+            addr,
+            std::sync::Arc::clone(&readiness),
+            encore::obs::render_prometheus,
+        ) {
+            Ok(server) => {
+                // Machine-readable so tools (and the CLI tests) can bind
+                // port 0 and discover the actual endpoint.
+                eprintln!("encore-detect: metrics listening on {}", server.addr());
+                server
+            }
+            Err(e) => {
+                eprintln!("encore-detect: cannot bind metrics endpoint `{addr}`: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
+
     // Unbounded runs stop on stdin end-of-file: whoever holds the pipe
     // holds the daemon.  Bounded runs ignore stdin so closed-stdin CI can
     // still count its cycles.
@@ -320,6 +363,22 @@ fn run_watch(args: &Args, detector: AnomalyDetector, dir: &str) {
             std::process::exit(2);
         }
     }
+    write_trace(args);
+}
+
+/// Write the recorded span trace as Chrome trace-viewer JSON when
+/// `--trace-out` is set.  The phase-summary lane comes from the
+/// cumulative roll-up, so it covers the whole run (training included).
+fn write_trace(args: &Args) {
+    let Some(path) = &args.trace_out else {
+        return;
+    };
+    let report = encore::obs::pipeline_report();
+    let json = encore::obs::trace::render_chrome_json(Some(&report));
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("encore-detect: cannot write trace to `{path}`: {e}");
+        std::process::exit(2);
+    }
 }
 
 fn main() {
@@ -350,9 +409,21 @@ fn main() {
         // of those.
         usage("--sarif/--baseline/--write-baseline/--quiet/--severity/--min-report-confidence are one-shot options, not available with --watch");
     }
+    if args.metrics_addr.is_some() && args.watch.is_none() {
+        // A scrape endpoint only makes sense on a long-running process.
+        usage("--metrics-addr requires --watch");
+    }
     let trace = encore::obs::enable_from_env();
-    if args.report.is_some() || args.bench_json.is_some() {
+    if args.report.is_some()
+        || args.bench_json.is_some()
+        || args.metrics_addr.is_some()
+        || args.trace_out.is_some()
+    {
         encore::obs::enable();
+    }
+    if args.trace_out.is_some() {
+        // Start before training so its spans land in the trace too.
+        encore::obs::trace::start_recording(0);
     }
 
     let detector = build_detector(&args);
@@ -440,6 +511,7 @@ fn main() {
             std::process::exit(2);
         }
     }
+    write_trace(&args);
 
     // The CI surface: SARIF log, baseline write/diff, and the findings
     // exit code.  A flag-free invocation keeps the historical behavior —

@@ -11,12 +11,14 @@
 //! Setting `ENCORE_TRACE` (or passing `--report`) enables the observability
 //! sink for the run; the per-phase [`encore::obs::pipeline_report`] is
 //! printed to stderr under `ENCORE_TRACE` and written as JSON to the
-//! `--report` path when given.
+//! `--report` path when given.  `--trace-out FILE` additionally records
+//! every timer span and writes a Chrome trace-viewer / Perfetto-compatible
+//! JSON trace (with a per-phase summary lane) on exit.
 
 use encore_bench::experiments::{self, ExperimentConfig};
 
-const USAGE: &str =
-    "usage: tables [TABLE_NUMBER ...] [--scale F] [--report FILE] [--bench-json FILE]";
+const USAGE: &str = "usage: tables [TABLE_NUMBER ...] [--scale F] [--report FILE] \
+[--bench-json FILE] [--trace-out FILE]";
 
 /// Print a diagnostic plus the usage line to stderr and exit 2.  All
 /// argument-handling failures funnel through here so the binary has exactly
@@ -32,6 +34,7 @@ struct Args {
     scale: f64,
     report: Option<String>,
     bench_json: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -40,6 +43,7 @@ fn parse_args() -> Option<Args> {
         scale: 1.0,
         report: None,
         bench_json: None,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -56,6 +60,10 @@ fn parse_args() -> Option<Args> {
             "--bench-json" => match args.next() {
                 Some(path) => parsed.bench_json = Some(path),
                 None => usage("--bench-json requires a file path"),
+            },
+            "--trace-out" => match args.next() {
+                Some(path) => parsed.trace_out = Some(path),
+                None => usage("--trace-out requires a file path"),
             },
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -79,8 +87,11 @@ fn main() {
         None => return,
     };
     let trace = encore::obs::enable_from_env();
-    if args.report.is_some() || args.bench_json.is_some() {
+    if args.report.is_some() || args.bench_json.is_some() || args.trace_out.is_some() {
         encore::obs::enable();
+    }
+    if args.trace_out.is_some() {
+        encore::obs::trace::start_recording(0);
     }
     let config = if (args.scale - 1.0).abs() < f64::EPSILON {
         ExperimentConfig::default()
@@ -113,6 +124,13 @@ fn main() {
         let record = encore_bench::bench_record(&report, None);
         if let Err(e) = std::fs::write(path, record.render_json()) {
             eprintln!("tables: cannot write perf record to `{path}`: {e}");
+            std::process::exit(2);
+        }
+    }
+    if let Some(path) = &args.trace_out {
+        let json = encore::obs::trace::render_chrome_json(Some(&report));
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("tables: cannot write trace to `{path}`: {e}");
             std::process::exit(2);
         }
     }

@@ -1,7 +1,10 @@
-//! End-to-end tests for `encore-detect` watch mode and the one-shot
-//! `--bench-json` perf record.
+//! End-to-end tests for `encore-detect` watch mode, the one-shot
+//! `--bench-json` perf record, and the live telemetry surface
+//! (`--metrics-addr` scrapes, `--trace-out` Chrome traces).
 
 use encore::obs::PipelineReport;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::path::PathBuf;
 use std::process::{Command, Output, Stdio};
 
@@ -121,6 +124,214 @@ fn bench_json_writes_a_parseable_perf_record() {
         .collect();
     assert!(gauges.contains_key("bench.profile.release"));
     assert!(gauges.contains_key("bench.throughput.pairs_per_sec"));
+}
+
+/// One raw HTTP/1.0 GET against the daemon's metrics server: returns
+/// (status line, body).
+fn http_get(addr: &str, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics server");
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status = response.lines().next().unwrap_or("").to_string();
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// The value of an unlabelled exposition sample in a scrape body.
+fn sample_value(text: &str, name: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        line.strip_prefix(name)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .map(|v| v.parse().expect("sample value parses"))
+    })
+}
+
+#[test]
+fn metrics_endpoint_serves_live_monotone_scrapes_during_watch() {
+    let dir = scratch_dir("watch-metrics");
+    std::fs::write(dir.join("a.cnf"), "[mysqld]\nport = 3306\n").unwrap();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_encore-detect"))
+        .args([
+            "--train",
+            "8",
+            "--watch",
+            dir.to_str().unwrap(),
+            "--interval-ms",
+            "300",
+            "--max-iterations",
+            "20",
+            "--metrics-addr",
+            "127.0.0.1:0",
+        ])
+        .stdin(Stdio::piped()) // held open: EOF stop stays quiet until we drop it
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn encore-detect");
+
+    // Port 0 picks a free port; the daemon announces the resolved address
+    // on stderr before the first cycle.
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let addr = loop {
+        let mut line = String::new();
+        assert_ne!(
+            stderr.read_line(&mut line).expect("read stderr"),
+            0,
+            "stderr closed before the listening line"
+        );
+        if let Some(rest) = line.trim_end().split_once("metrics listening on ") {
+            break rest.1.to_string();
+        }
+    };
+
+    let (status, body) = http_get(&addr, "/healthz");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body, "ok\n");
+
+    // Wait for the first completed cycle, then the daemon must be ready
+    // and the scrape must carry cumulative cycle counters.
+    let first = loop {
+        let (_, body) = http_get(&addr, "/metrics");
+        match sample_value(&body, "encore_watch_cycles_total") {
+            Some(cycles) if cycles >= 1.0 => break body,
+            _ => std::thread::sleep(std::time::Duration::from_millis(50)),
+        }
+    };
+    let (status, _) = http_get(&addr, "/readyz");
+    assert!(status.contains("200"), "ready after a cycle: {status}");
+    assert!(first.starts_with("# HELP"), "exposition starts with HELP");
+    assert!(sample_value(&first, "encore_watch_targets_checked_total").is_some());
+    assert!(
+        first.contains("# TYPE encore_watch_cycle_duration_ms histogram"),
+        "daemon histogram exposed"
+    );
+
+    // A later scrape of the running daemon only ever counts up.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let (_, second) = http_get(&addr, "/metrics");
+    let before = sample_value(&first, "encore_watch_cycles_total").unwrap();
+    let after = sample_value(&second, "encore_watch_cycles_total").unwrap();
+    assert!(after >= before, "cycles went {before} -> {after}");
+    assert!(after > 0.0);
+
+    // Closing stdin is the shutdown signal; the run ends cleanly.
+    drop(child.stdin.take());
+    let status = child.wait().expect("wait for encore-detect");
+    assert_eq!(status.code(), Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Run the bounded three-cycle watch and return the JSONL reports, with
+/// or without a metrics endpoint attached.
+fn bounded_watch_reports(tag: &str, metrics: bool) -> Vec<PipelineReport> {
+    let dir = scratch_dir(tag);
+    std::fs::write(dir.join("a.cnf"), "[mysqld]\nport = 3306\n").unwrap();
+    std::fs::write(dir.join("b.cnf"), "[mysqld]\nport = 3307\n").unwrap();
+    let trace = dir.join(".trace.jsonl");
+    let mut args = vec![
+        "--train",
+        "10",
+        "--watch",
+        dir.to_str().unwrap(),
+        "--interval-ms",
+        "25",
+        "--max-iterations",
+        "3",
+        "--workers",
+        "1",
+        "--report",
+    ];
+    let trace_str = trace.to_str().unwrap().to_string();
+    args.push(&trace_str);
+    if metrics {
+        args.extend(["--metrics-addr", "127.0.0.1:0"]);
+    }
+    let out = encore_detect(&args);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{}", stdout(&out));
+    let jsonl = std::fs::read_to_string(&trace).expect("trace written");
+    let reports = jsonl
+        .lines()
+        .map(|line| PipelineReport::parse_json(line).expect("line parses"))
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+    reports
+}
+
+#[test]
+fn attaching_a_metrics_endpoint_never_changes_the_jsonl_reports() {
+    let plain = bounded_watch_reports("watch-jsonl-plain", false);
+    let with_metrics = bounded_watch_reports("watch-jsonl-metrics", true);
+    assert_eq!(plain.len(), 3);
+    assert_eq!(with_metrics.len(), 3);
+    for (cycle, (p, m)) in plain.iter().zip(&with_metrics).enumerate() {
+        // Counters and histograms are deterministic per cycle; timers and
+        // pool gauges are wall-clock/scheduling noise even between two
+        // plain runs, so section equality is the meaningful invariant.
+        assert_eq!(
+            p.counters(),
+            m.counters(),
+            "cycle {}: --metrics-addr changed the counter section",
+            cycle + 1
+        );
+        assert_eq!(
+            p.histograms(),
+            m.histograms(),
+            "cycle {}: --metrics-addr changed the histogram section",
+            cycle + 1
+        );
+    }
+}
+
+#[test]
+fn trace_out_writes_a_loadable_chrome_trace() {
+    let path = std::env::temp_dir().join("encore-detect-test-trace.json");
+    let _ = std::fs::remove_file(&path);
+    let out = encore_detect(&[
+        "--train",
+        "10",
+        "--targets",
+        "4",
+        "--trace-out",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{}", stdout(&out));
+    let text = std::fs::read_to_string(&path).expect("trace written");
+    let parsed = encore::obs::json::parse(&text).expect("trace JSON parses");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(encore::obs::json::Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(encore::obs::json::Json::as_str))
+        .collect();
+    for phase in ["collect", "assemble", "infer", "stats", "filter", "detect"] {
+        assert!(
+            names.contains(&format!("phase:{phase}").as_str()),
+            "missing phase lane for {phase} in {names:?}"
+        );
+    }
+    for event in events {
+        assert_eq!(
+            event.get("ph").and_then(encore::obs::json::Json::as_str),
+            Some("X")
+        );
+        assert!(event.get("ts").is_some() && event.get("dur").is_some());
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn metrics_addr_without_watch_is_a_usage_error() {
+    let out = encore_detect(&["--train", "8", "--metrics-addr", "127.0.0.1:0"]);
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]

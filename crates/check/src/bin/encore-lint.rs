@@ -62,6 +62,8 @@ usage: encore-lint [options]
   --write-baseline FILE     accept the current findings as the baseline
                             (mutually exclusive with --baseline) and exit 0
   --report FILE             write a pipeline observability report (JSON)
+  --trace-out FILE          write recorded timer spans as a Chrome
+                            trace-viewer / Perfetto JSON trace
   --help                    show this help
 
 environment:
@@ -83,6 +85,7 @@ struct Options {
     baseline_file: Option<String>,
     write_baseline_file: Option<String>,
     report_file: Option<String>,
+    trace_out_file: Option<String>,
 }
 
 fn parse_app(name: &str) -> Result<AppKind, String> {
@@ -112,6 +115,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         baseline_file: None,
         write_baseline_file: None,
         report_file: None,
+        trace_out_file: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -169,6 +173,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 options.write_baseline_file = Some(value("--write-baseline")?.clone());
             }
             "--report" => options.report_file = Some(value("--report")?.clone()),
+            "--trace-out" => options.trace_out_file = Some(value("--trace-out")?.clone()),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
     }
@@ -360,8 +365,11 @@ fn main() -> ExitCode {
         }
     };
     let trace = encore::obs::enable_from_env();
-    if options.report_file.is_some() {
+    if options.report_file.is_some() || options.trace_out_file.is_some() {
         encore::obs::enable();
+    }
+    if options.trace_out_file.is_some() {
+        encore::obs::trace::start_recording(0);
     }
     let outcome = run(&options);
     let pipeline = encore::obs::pipeline_report();
@@ -371,6 +379,13 @@ fn main() -> ExitCode {
     if let Some(path) = &options.report_file {
         if let Err(e) = std::fs::write(path, pipeline.render_json()) {
             eprintln!("encore-lint: cannot write report to `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &options.trace_out_file {
+        let json = encore::obs::trace::render_chrome_json(Some(&pipeline));
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("encore-lint: cannot write trace to `{path}`: {e}");
             return ExitCode::from(2);
         }
     }

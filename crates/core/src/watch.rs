@@ -22,21 +22,31 @@
 //! what a config-file drop box can support.
 //!
 //! Observability: cycles, adds/changes/removes, re-checks, and reloads
-//! count under `detect.watch.*`; at the end of every cycle the watcher
-//! calls [`crate::obs::snapshot_and_reset`] and (when a report path is
-//! set) appends the cycle's [`PipelineReport`] as one JSON line — a JSONL
-//! trace of the run that `encore-report` can diff cycle against cycle.
+//! count under `detect.watch.*`.  The global sink stays *cumulative*
+//! while the watcher runs — a concurrent `/metrics` scrape sees monotone
+//! counters — and each cycle's report is computed as the delta against
+//! the previous cycle's roll-up ([`PipelineReport::delta_since`]; gauges
+//! are reset at cycle start instead, since they are point-in-time).
+//! When a report path is set the delta is appended as one JSON line — a
+//! JSONL trace of the run that `encore-report` can diff cycle against
+//! cycle, byte-identical whether or not a metrics endpoint is attached.
+//! Daemon-lifetime instruments (`watch.*`, see
+//! [`crate::obs::daemon_phase`]) are updated once per cycle, and a shared
+//! [`Readiness`] flag (when one is wired in) flips true after the first
+//! completed cycle and false while a detector hot-reload is failing.
 
 use crate::detect::{AnomalyDetector, FleetOptions, Report};
 use crate::snapshot::DetectorSnapshot;
 use encore_assemble::AssembleError;
 use encore_model::AppKind;
+use encore_obs::expose::Readiness;
 use encore_obs::PipelineReport;
 use encore_sysimage::SystemImage;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::time::{Duration, SystemTime};
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime};
 
 /// A file's last observed state: metadata plus a content fingerprint.
 ///
@@ -106,6 +116,13 @@ pub struct WatchOptions {
     pub detector_path: Option<PathBuf>,
     /// Append one pipeline-report JSON line per cycle here (JSONL).
     pub report_path: Option<PathBuf>,
+    /// A shared readiness flag to keep in sync with the serve loop
+    /// (typically the one behind a [`MetricsServer`]'s `/readyz`): false
+    /// until the first cycle completes, false again while a detector
+    /// hot-reload is failing.
+    ///
+    /// [`MetricsServer`]: encore_obs::expose::MetricsServer
+    pub readiness: Option<Arc<Readiness>>,
 }
 
 impl WatchOptions {
@@ -121,6 +138,7 @@ impl WatchOptions {
             workers: None,
             detector_path: None,
             report_path: None,
+            readiness: None,
         }
     }
 }
@@ -146,6 +164,9 @@ pub struct CycleOutcome {
     pub results: Vec<(String, Result<Report, AssembleError>)>,
     /// Targets tracked after this cycle.
     pub tracked: usize,
+    /// Whether the watcher is ready after this cycle: at least one cycle
+    /// completed and the last attempted detector reload did not fail.
+    pub ready: bool,
     /// The cycle's pipeline report (also appended to the report file,
     /// when one is configured).
     pub report: PipelineReport,
@@ -159,23 +180,35 @@ pub struct Watcher {
     targets: BTreeMap<String, FileSig>,
     detector_sig: Option<FileSig>,
     cycles: u64,
+    /// The cumulative roll-up at the end of the previous cycle; each
+    /// cycle's report is the delta against this, so the global sink is
+    /// never reset while the watcher runs (scrapes stay monotone).
+    baseline: PipelineReport,
+    /// Latched true by a failed detector reload, cleared by the next
+    /// successful one — the not-ready condition behind `/readyz`.
+    reload_failing: bool,
 }
 
 impl Watcher {
     /// A watcher serving `detector` under `options`.
     ///
-    /// Flushes the global instruments ([`crate::obs::snapshot_and_reset`],
-    /// snapshot discarded) so the first cycle's report covers only that
+    /// Snapshots the global instruments as the delta baseline (without
+    /// resetting them) so the first cycle's report covers only that
     /// cycle's work, not the training run that preceded it.
     pub fn new(detector: AnomalyDetector, options: WatchOptions) -> Watcher {
         let detector_sig = options.detector_path.as_deref().and_then(sig_of);
-        crate::obs::snapshot_and_reset();
+        let baseline = crate::obs::pipeline_report();
+        if let Some(readiness) = &options.readiness {
+            readiness.set(false);
+        }
         Watcher {
             options,
             detector,
             targets: BTreeMap::new(),
             detector_sig,
             cycles: 0,
+            baseline,
+            reload_failing: false,
         }
     }
 
@@ -209,9 +242,14 @@ impl Watcher {
             Ok(snapshot) => {
                 self.detector = AnomalyDetector::from_snapshot(snapshot);
                 crate::obs::DETECT_WATCH_DETECTOR_RELOADS.incr();
+                crate::obs::WATCH_SNAPSHOT_RELOADS.incr();
+                self.reload_failing = false;
                 (true, None)
             }
-            Err(e) => (false, Some(e)),
+            Err(e) => {
+                self.reload_failing = true;
+                (false, Some(e))
+            }
         }
     }
 
@@ -224,7 +262,12 @@ impl Watcher {
     /// Propagates directory-scan and report-append I/O failures.  Target
     /// files that vanish between scan and read are skipped this cycle.
     pub fn cycle(&mut self) -> std::io::Result<CycleOutcome> {
+        let cycle_started = Instant::now();
         self.cycles += 1;
+        // Gauges are point-in-time ("the last run"); clearing them at
+        // cycle start keeps a quiet cycle from inheriting a busy cycle's
+        // pool-spread values, exactly as the old end-of-cycle reset did.
+        crate::obs::reset_gauges();
         crate::obs::DETECT_WATCH_CYCLES.incr();
         let (reloaded, reload_error) = self.maybe_reload_detector();
 
@@ -309,13 +352,41 @@ impl Watcher {
             names.into_iter().zip(checked).collect()
         };
 
-        let report = crate::obs::snapshot_and_reset();
+        // Daemon-lifetime instruments (scrape surface only; the `daemon`
+        // phase is not part of the per-cycle pipeline report).
+        crate::obs::WATCH_CYCLES.incr();
+        crate::obs::WATCH_TARGETS_CHECKED.add(results.len() as u64);
+        let warnings: u64 = results
+            .iter()
+            .map(|(_, r)| {
+                r.as_ref()
+                    .map_or(0, |report| report.warnings().len() as u64)
+            })
+            .sum();
+        crate::obs::WATCH_WARNINGS.add(warnings);
+        let unix_seconds = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        crate::obs::WATCH_LAST_CYCLE_UNIX.set(unix_seconds);
+        let elapsed_ms = u64::try_from(cycle_started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        crate::obs::WATCH_CYCLE_DURATION.observe(elapsed_ms);
+
+        // Per-cycle report = cumulative roll-up minus the previous
+        // cycle's; the sink itself is never reset, so a concurrent
+        // `/metrics` scrape always sees monotone counters.
+        let cumulative = crate::obs::pipeline_report();
+        let report = cumulative.delta_since(&self.baseline, &crate::obs::histogram_bounds);
+        self.baseline = cumulative;
         if let Some(path) = &self.options.report_path {
             let mut file = std::fs::OpenOptions::new()
                 .create(true)
                 .append(true)
                 .open(path)?;
             writeln!(file, "{}", report.render_json())?;
+        }
+        let ready = !self.reload_failing;
+        if let Some(readiness) = &self.options.readiness {
+            readiness.set(ready);
         }
         Ok(CycleOutcome {
             cycle: self.cycles,
@@ -326,6 +397,7 @@ impl Watcher {
             reload_error,
             results,
             tracked: self.targets.len(),
+            ready,
             report,
         })
     }

@@ -664,7 +664,7 @@ mod tests {
                 )],
                 histograms: vec![(
                     "infer.candidates.by_template".to_string(),
-                    HistogramSnapshot::from_counts(&[0, 1], vec![bucket0, 2, 0]),
+                    HistogramSnapshot::from_counts(&[0, 1], vec![bucket0, 2, 0], 2),
                 )],
             }],
         }

@@ -32,8 +32,10 @@
 #![warn(missing_docs)]
 
 pub mod delta;
+pub mod expose;
 pub mod json;
 mod report;
+pub mod trace;
 
 pub use report::{HistogramSnapshot, PhaseReport, PipelineReport, TimerSnapshot};
 
@@ -257,9 +259,14 @@ pub struct Span<'a> {
 impl Drop for Span<'_> {
     fn drop(&mut self) {
         if let Some(started) = self.started {
+            let elapsed = started.elapsed();
             // u64 nanoseconds hold ~584 years; saturate rather than wrap.
-            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
             self.timer.record(nanos);
+            // Feed the Chrome-trace ring buffer when span recording is on
+            // (one extra relaxed load; free when tracing is off, and never
+            // reached at all while the sink itself is disabled).
+            trace::record_span(self.timer.name, started, elapsed);
         }
     }
 }
@@ -280,6 +287,11 @@ pub struct Histogram {
     name: &'static str,
     bounds: &'static [u64],
     buckets: [AtomicU64; MAX_BUCKETS + 1],
+    /// Exact running sum of every observed value — kept so Prometheus
+    /// `_sum` exposition is precise rather than bucket-midpoint-estimated.
+    /// Wrapping on overflow (observations are small work counts and
+    /// millisecond durations; u64 holds ~584 years of nanoseconds).
+    sum: AtomicU64,
 }
 
 impl Histogram {
@@ -301,6 +313,7 @@ impl Histogram {
             name,
             bounds,
             buckets: [ZERO; MAX_BUCKETS + 1],
+            sum: AtomicU64::new(0),
         }
     }
 
@@ -330,7 +343,16 @@ impl Histogram {
         if enabled() {
             let index = Self::bucket_index(self.bounds, v);
             self.buckets[index].fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
         }
+    }
+
+    /// Exact sum of every observed value.  Reads `sum` and the buckets
+    /// non-atomically with respect to each other, so a concurrent
+    /// `observe` may be visible in one but not yet the other — snapshot
+    /// after quiescing for exact pairing (reports do).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
     }
 
     /// Bucket counts, one per bound plus the trailing overflow bucket.
@@ -406,11 +428,12 @@ impl Histogram {
         self.counts().iter().sum()
     }
 
-    /// Reset every bucket to zero.
+    /// Reset every bucket (and the running sum) to zero.
     pub fn reset(&self) {
         for bucket in &self.buckets {
             bucket.store(0, Ordering::Relaxed);
         }
+        self.sum.store(0, Ordering::Relaxed);
     }
 }
 
@@ -494,10 +517,15 @@ mod tests {
         disable();
         assert_eq!(H.counts(), vec![2, 2, 2, 2]);
         assert_eq!(H.total(), 8);
+        // Exact sum, wrapping on overflow: 0+1+2+10+11+100+101 = 225, and
+        // the final u64::MAX observation wraps the total down by one.
+        assert_eq!(H.sum(), 224);
         H.observe(5); // disabled: ignored
         assert_eq!(H.total(), 8);
+        assert_eq!(H.sum(), 224);
         H.reset();
         assert_eq!(H.counts(), vec![0, 0, 0, 0]);
+        assert_eq!(H.sum(), 0);
     }
 
     #[test]

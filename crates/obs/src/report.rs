@@ -29,6 +29,9 @@ pub struct TimerSnapshot {
 pub struct HistogramSnapshot {
     /// Bucket counts, one per bound plus the trailing overflow bucket.
     pub counts: Vec<u64>,
+    /// Exact running sum of observed values (wrapping, see
+    /// [`Histogram::sum`]).
+    pub sum: u64,
     /// Estimated median.
     pub p50: u64,
     /// Estimated 95th percentile.
@@ -38,15 +41,16 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    /// Build a snapshot from raw bucket counts over the given bounds,
-    /// computing the percentile estimates.
-    pub fn from_counts(bounds: &[u64], counts: Vec<u64>) -> HistogramSnapshot {
+    /// Build a snapshot from raw bucket counts and the exact value sum
+    /// over the given bounds, computing the percentile estimates.
+    pub fn from_counts(bounds: &[u64], counts: Vec<u64>, sum: u64) -> HistogramSnapshot {
         let p = |q: f64| Histogram::quantile_from(bounds, &counts, q).round() as u64;
         HistogramSnapshot {
             p50: p(0.50),
             p95: p(0.95),
             p99: p(0.99),
             counts,
+            sum,
         }
     }
 }
@@ -106,7 +110,7 @@ impl PhaseReport {
     pub fn histogram(mut self, histogram: &Histogram) -> PhaseReport {
         self.histograms.push((
             histogram.name().to_string(),
-            HistogramSnapshot::from_counts(histogram.bounds(), histogram.counts()),
+            HistogramSnapshot::from_counts(histogram.bounds(), histogram.counts(), histogram.sum()),
         ));
         self
     }
@@ -176,6 +180,7 @@ impl PhaseReport {
                                             snap.counts.iter().map(|&c| Json::Num(c)).collect(),
                                         ),
                                     ),
+                                    ("sum".to_string(), Json::Num(snap.sum)),
                                     ("p50".to_string(), Json::Num(snap.p50)),
                                     ("p95".to_string(), Json::Num(snap.p95)),
                                     ("p99".to_string(), Json::Num(snap.p99)),
@@ -254,6 +259,10 @@ impl PhaseReport {
                     n.clone(),
                     HistogramSnapshot {
                         counts,
+                        // `sum` arrived with the exposition work; reports
+                        // written before it (committed perf baselines)
+                        // parse as sum 0 rather than erroring.
+                        sum: v.get("sum").and_then(Json::as_u64).unwrap_or(0),
                         p50: field("p50")?,
                         p95: field("p95")?,
                         p99: field("p99")?,
@@ -306,6 +315,105 @@ impl PipelineReport {
             .flat_map(|p| p.histograms.iter())
             .map(|(name, snap)| (name.clone(), snap.counts.clone()))
             .collect()
+    }
+
+    /// The change since `baseline`: counters, timers, and histogram
+    /// counts/sums are subtracted by name within each phase (saturating,
+    /// so a restarted baseline degrades to the cumulative view instead of
+    /// wrapping); gauges are point-in-time values and pass through
+    /// unchanged.  Histogram percentiles are recomputed from the delta
+    /// counts via `bounds_of` (bounds are not carried in reports); a miss
+    /// leaves the estimates at the index scale.  Entries absent from the
+    /// baseline are kept whole.
+    ///
+    /// This is what lets the watch daemon keep the global sink cumulative
+    /// (monotone for scrapers) while still emitting per-cycle JSONL: each
+    /// cycle diffs the current roll-up against the previous cycle's.
+    #[must_use]
+    pub fn delta_since(
+        &self,
+        baseline: &PipelineReport,
+        bounds_of: &dyn Fn(&str) -> Option<&'static [u64]>,
+    ) -> PipelineReport {
+        let phases = self
+            .phases
+            .iter()
+            .map(|phase| {
+                let base = baseline.phase(&phase.name);
+                let base_counter =
+                    |name: &str| base.and_then(|b| b.counter_value(name)).unwrap_or(0);
+                PhaseReport {
+                    name: phase.name.clone(),
+                    counters: phase
+                        .counters
+                        .iter()
+                        .map(|(name, v)| (name.clone(), v.saturating_sub(base_counter(name))))
+                        .collect(),
+                    gauges: phase.gauges.clone(),
+                    timers: phase
+                        .timers
+                        .iter()
+                        .map(|(name, snap)| {
+                            let b = base
+                                .and_then(|b| {
+                                    b.timers.iter().find(|(n, _)| n == name).map(|&(_, s)| s)
+                                })
+                                .unwrap_or_default();
+                            (
+                                name.clone(),
+                                TimerSnapshot {
+                                    nanos: snap.nanos.saturating_sub(b.nanos),
+                                    spans: snap.spans.saturating_sub(b.spans),
+                                },
+                            )
+                        })
+                        .collect(),
+                    histograms: phase
+                        .histograms
+                        .iter()
+                        .map(|(name, snap)| {
+                            let counts = match base.and_then(|b| {
+                                b.histograms.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+                            }) {
+                                Some(b) if b.counts.len() == snap.counts.len() => snap
+                                    .counts
+                                    .iter()
+                                    .zip(&b.counts)
+                                    .map(|(c, bc)| c.saturating_sub(*bc))
+                                    .collect(),
+                                _ => snap.counts.clone(),
+                            };
+                            let base_sum = base
+                                .and_then(|b| {
+                                    b.histograms
+                                        .iter()
+                                        .find(|(n, _)| n == name)
+                                        .map(|(_, s)| s.sum)
+                                })
+                                .unwrap_or(0);
+                            let index_bounds: Vec<u64>;
+                            let bounds = match bounds_of(name) {
+                                Some(bounds) => bounds,
+                                None => {
+                                    index_bounds =
+                                        (0..counts.len().saturating_sub(1) as u64).collect();
+                                    &index_bounds
+                                }
+                            };
+                            (
+                                name.clone(),
+                                HistogramSnapshot::from_counts(
+                                    bounds,
+                                    counts,
+                                    snap.sum.wrapping_sub(base_sum),
+                                ),
+                            )
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        PipelineReport { phases }
     }
 
     /// Render as indented human-readable text.
@@ -405,7 +513,7 @@ mod tests {
                     )],
                     histograms: vec![(
                         "collect.sizes".to_string(),
-                        HistogramSnapshot::from_counts(&[1, 2, 4], vec![1, 0, 2]),
+                        HistogramSnapshot::from_counts(&[1, 2, 4], vec![1, 0, 2], 9),
                     )],
                 },
                 PhaseReport::new("detect"),
@@ -466,6 +574,82 @@ mod tests {
         assert!(PipelineReport::parse_json("not json").is_err());
         let missing_timers = "{\"phases\":[{\"name\":\"x\",\"counters\":{},\"gauges\":{}}]}";
         assert!(PipelineReport::parse_json(missing_timers).is_err());
+    }
+
+    #[test]
+    fn parse_accepts_reports_without_histogram_sum() {
+        // Reports committed before `sum` existed (perf baselines) must
+        // still parse; the missing field reads as 0.
+        let legacy = "{\"phases\":[{\"name\":\"x\",\"counters\":{},\"gauges\":{},\"timers\":{},\
+            \"histograms\":{\"x.h\":{\"counts\":[1,2],\"p50\":1,\"p95\":1,\"p99\":1}}}]}";
+        let report = PipelineReport::parse_json(legacy).expect("legacy report parses");
+        assert_eq!(report.phases[0].histograms[0].1.sum, 0);
+        assert_eq!(report.phases[0].histograms[0].1.counts, vec![1, 2]);
+    }
+
+    #[test]
+    fn delta_since_subtracts_cumulatives_and_passes_gauges_through() {
+        let bounds: &[u64] = &[1, 2, 4];
+        let at = |counters: u64, gauge: u64, nanos: u64, spans: u64, counts: Vec<u64>, sum: u64| {
+            PipelineReport {
+                phases: vec![PhaseReport {
+                    name: "collect".to_string(),
+                    counters: vec![("collect.images.built".to_string(), counters)],
+                    gauges: vec![("collect.depth".to_string(), gauge)],
+                    timers: vec![("collect.build".to_string(), TimerSnapshot { nanos, spans })],
+                    histograms: vec![(
+                        "collect.sizes".to_string(),
+                        HistogramSnapshot::from_counts(bounds, counts, sum),
+                    )],
+                }],
+            }
+        };
+        let baseline = at(10, 3, 1_000, 2, vec![1, 0, 2], 9);
+        let current = at(15, 7, 4_000, 5, vec![2, 1, 2], 12);
+        let lookup = |name: &str| -> Option<&'static [u64]> {
+            (name == "collect.sizes").then_some(&[1, 2, 4][..])
+        };
+        let delta = current.delta_since(&baseline, &lookup);
+        let phase = delta.phase("collect").unwrap();
+        assert_eq!(phase.counter_value("collect.images.built"), Some(5));
+        // Gauges are point-in-time: the current value passes through.
+        assert_eq!(phase.gauges[0].1, 7);
+        assert_eq!(
+            phase.timers[0].1,
+            TimerSnapshot {
+                nanos: 3_000,
+                spans: 3
+            }
+        );
+        assert_eq!(phase.histograms[0].1.counts, vec![1, 1, 0]);
+        assert_eq!(phase.histograms[0].1.sum, 3);
+        // Percentiles are recomputed from the delta counts, matching a
+        // snapshot built directly from them.
+        assert_eq!(
+            phase.histograms[0].1,
+            HistogramSnapshot::from_counts(bounds, vec![1, 1, 0], 3)
+        );
+
+        // A phase or entry absent from the baseline is kept whole, and a
+        // shrunk counter saturates at zero instead of wrapping.
+        let fresh = at(15, 7, 4_000, 5, vec![2, 1, 2], 12);
+        let empty = PipelineReport::default();
+        let whole = fresh.delta_since(&empty, &lookup);
+        assert_eq!(
+            whole
+                .phase("collect")
+                .unwrap()
+                .counter_value("collect.images.built"),
+            Some(15)
+        );
+        let shrunk = baseline.delta_since(&current, &lookup);
+        assert_eq!(
+            shrunk
+                .phase("collect")
+                .unwrap()
+                .counter_value("collect.images.built"),
+            Some(0)
+        );
     }
 
     #[test]

@@ -1,10 +1,15 @@
 //! Property tests for histogram bucketing: the bucket index must be
-//! monotone in the observed value for *any* strictly increasing bounds, and
+//! monotone in the observed value for *any* strictly increasing bounds,
 //! every observation must land in exactly one bucket whose bound brackets
-//! it.
+//! it, and the exact running sum must track observations and stay
+//! monotone (it feeds Prometheus `_sum`).
 
 use encore_obs::Histogram;
 use proptest::prelude::*;
+
+/// Dedicated instrument for the sum property below — shared only within
+/// that single (sequential) proptest body.
+static SUM_PROBE: Histogram = Histogram::new("prop.sum_probe", &encore_obs::INDEX_BOUNDS);
 
 /// Build strictly increasing bounds from arbitrary u64 seeds by
 /// sort + dedup — every generated case is a valid bounds slice.
@@ -110,6 +115,31 @@ proptest! {
             est, bounds[i] as f64,
             "rank {} of {} over {:?} {:?}", through, total, bounds, counts
         );
+    }
+
+    #[test]
+    fn histogram_sum_tracks_observations_exactly_and_monotonically(
+        v0 in 0u64..1_000, v1 in 0u64..1_000, v2 in 0u64..1_000,
+        v3 in 0u64..1_000, extra in 0u64..1_000,
+    ) {
+        // The sink must be on for instruments to record; never disabled
+        // again here, so parallel cases in this binary are unaffected.
+        encore_obs::enable();
+        SUM_PROBE.reset();
+        let values = [v0, v1, v2, v3];
+        for v in values {
+            SUM_PROBE.observe(v);
+        }
+        let expected: u64 = values.iter().sum();
+        prop_assert_eq!(SUM_PROBE.sum(), expected, "sum is the exact value total");
+        let count: u64 = SUM_PROBE.counts().iter().sum();
+        prop_assert_eq!(count, values.len() as u64, "every observation counted once");
+        // Monotone: a further observation never decreases the sum (these
+        // values are far from the wrapping edge).
+        let before = SUM_PROBE.sum();
+        SUM_PROBE.observe(extra);
+        prop_assert!(SUM_PROBE.sum() >= before);
+        prop_assert_eq!(SUM_PROBE.sum(), before + extra);
     }
 
     #[test]

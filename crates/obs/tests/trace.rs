@@ -1,0 +1,145 @@
+//! Integration tests for the Chrome-trace span recorder: ring bounding,
+//! event shape, JSON loadability (via the crate's own parser), and the
+//! per-phase summary lane.
+//!
+//! The recorder and the sink are global, so every test here serializes on
+//! one mutex, re-arms recording itself, and never disables the sink.
+
+use encore_obs::json::{self, Json};
+use encore_obs::{trace, PhaseReport, PipelineReport, Timer, TimerSnapshot};
+use std::sync::Mutex;
+
+static GATE: Mutex<()> = Mutex::new(());
+
+static SPAN_TIMER: Timer = Timer::new("infer.trace_probe");
+
+fn record_spans(n: usize) {
+    for _ in 0..n {
+        let _span = SPAN_TIMER.span();
+    }
+}
+
+#[test]
+fn recording_captures_complete_events_with_thread_ids() {
+    let _gate = GATE.lock().unwrap();
+    encore_obs::enable();
+    trace::start_recording(64);
+    record_spans(3);
+    trace::stop_recording();
+    let (events, dropped) = trace::snapshot();
+    assert_eq!(events.len(), 3);
+    assert_eq!(dropped, 0);
+    for event in &events {
+        assert_eq!(event.name, "infer.trace_probe");
+        assert_eq!(event.category(), "infer");
+        assert!(event.tid >= 1, "thread ids are dense from 1");
+    }
+    // Begin timestamps are non-decreasing for same-thread sequential spans.
+    assert!(events.windows(2).all(|w| w[0].ts_micros <= w[1].ts_micros));
+}
+
+#[test]
+fn ring_is_bounded_and_reports_overwritten_events() {
+    let _gate = GATE.lock().unwrap();
+    encore_obs::enable();
+    trace::start_recording(4);
+    record_spans(10);
+    trace::stop_recording();
+    let (events, dropped) = trace::snapshot();
+    assert_eq!(events.len(), 4, "ring keeps at most its capacity");
+    assert_eq!(dropped, 6, "older events count as dropped");
+    assert!(
+        events.windows(2).all(|w| w[0].ts_micros <= w[1].ts_micros),
+        "snapshot is oldest-first even after wraparound"
+    );
+    // The export surfaces the drop count rather than hiding the gap.
+    let parsed = json::parse(&trace::render_chrome_json(None)).expect("trace JSON parses");
+    assert_eq!(
+        parsed.get("encoreDroppedEvents").and_then(Json::as_u64),
+        Some(6)
+    );
+}
+
+#[test]
+fn spans_outside_a_recording_window_are_not_captured() {
+    let _gate = GATE.lock().unwrap();
+    encore_obs::enable();
+    trace::start_recording(16);
+    trace::stop_recording();
+    record_spans(5);
+    let (events, dropped) = trace::snapshot();
+    assert!(events.is_empty());
+    assert_eq!(dropped, 0);
+    assert!(!trace::recording());
+}
+
+#[test]
+fn chrome_json_has_event_shape_and_phase_summary_lane() {
+    let _gate = GATE.lock().unwrap();
+    encore_obs::enable();
+    trace::start_recording(64);
+    record_spans(2);
+    trace::stop_recording();
+
+    // A report whose phases carry timer totals: the summary lane gets one
+    // `phase:<name>` event per phase even for phases with no raw spans.
+    let phase = |name: &str, nanos: u64| PhaseReport {
+        name: name.to_string(),
+        timers: vec![(format!("{name}.time"), TimerSnapshot { nanos, spans: 1 })],
+        ..PhaseReport::default()
+    };
+    let report = PipelineReport {
+        phases: vec![
+            phase("collect", 5_000),
+            phase("assemble", 7_000),
+            phase("infer", 11_000),
+            phase("stats", 0),
+            phase("filter", 3_000),
+            phase("detect", 2_000),
+        ],
+    };
+    let rendered = trace::render_chrome_json(Some(&report));
+    let parsed = json::parse(&rendered).expect("trace JSON parses");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents is an array");
+    // 6 phase-lane events + 2 raw spans.
+    assert_eq!(events.len(), 8);
+    for event in events {
+        assert_eq!(event.get("ph").and_then(Json::as_str), Some("X"));
+        assert!(event.get("ts").and_then(Json::as_u64).is_some());
+        assert!(event.get("dur").and_then(Json::as_u64).is_some());
+        assert!(event.get("tid").and_then(Json::as_u64).is_some());
+        assert_eq!(event.get("pid").and_then(Json::as_u64), Some(1));
+    }
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    for expected in [
+        "phase:collect",
+        "phase:assemble",
+        "phase:infer",
+        "phase:stats",
+        "phase:filter",
+        "phase:detect",
+    ] {
+        assert!(names.contains(&expected), "missing {expected} in {names:?}");
+    }
+    // Phase-lane events ride tid 0, durations in whole microseconds, laid
+    // end to end (consecutive ts).
+    let lane: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("tid").and_then(Json::as_u64) == Some(0))
+        .collect();
+    assert_eq!(lane.len(), 6);
+    assert_eq!(lane[0].get("ts").and_then(Json::as_u64), Some(0));
+    assert_eq!(lane[0].get("dur").and_then(Json::as_u64), Some(5));
+    assert_eq!(lane[1].get("ts").and_then(Json::as_u64), Some(5));
+    assert_eq!(
+        lane[2].get("cat").and_then(Json::as_str),
+        Some("infer"),
+        "phase lane categorizes by phase name"
+    );
+}

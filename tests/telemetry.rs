@@ -1,0 +1,212 @@
+//! Live telemetry end to end: the `/readyz` readiness flag tracking
+//! detector hot-reload health, monotone Prometheus scrapes over a running
+//! watcher, and the guarantee that attaching a scrape surface never
+//! changes the per-cycle JSONL reports.
+
+use encore::obs;
+use encore::obs::expose::{self, Readiness};
+use encore::obs::PipelineReport;
+use encore::prelude::*;
+use encore_corpus::genimage::{Population, PopulationOptions};
+use encore_model::AppKind;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The observability sink and its metric statics are process-global;
+/// every test in this binary toggles or reads them, so they serialize on
+/// this gate (the harness runs tests on parallel threads).
+static GATE: Mutex<()> = Mutex::new(());
+
+fn gate() -> MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("encore-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn small_detector() -> AnomalyDetector {
+    let pop = Population::training(AppKind::Mysql, &PopulationOptions::new(12, 7));
+    let training = TrainingSet::assemble(AppKind::Mysql, pop.images()).expect("training assembles");
+    EnCore::learn(&training, &LearnOptions::default()).into_detector()
+}
+
+/// The value of an exposition sample (no labels), e.g.
+/// `sample_value(&text, "encore_watch_cycles_total")`.
+fn sample_value(text: &str, name: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        line.strip_prefix(name)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .map(|v| v.parse().expect("sample value parses"))
+    })
+}
+
+#[test]
+fn readyz_flips_on_failed_hot_reload_while_the_old_detector_serves() {
+    let _gate = gate();
+    obs::reset();
+    obs::enable();
+    let detector = small_detector();
+    let good_snapshot = detector.snapshot().render();
+    let dir = scratch_dir("telemetry-readyz");
+    // Dotfile: the snapshot lives in the watch dir without being a target.
+    let snapshot_path = dir.join(".detector.snap");
+    std::fs::write(&snapshot_path, &good_snapshot).unwrap();
+    let target = dir.join("a.cnf");
+    std::fs::write(&target, "[mysqld]\nport = 3306\n").unwrap();
+
+    let readiness = Arc::new(Readiness::new());
+    let mut options = WatchOptions::new(AppKind::Mysql, &dir);
+    options.detector_path = Some(snapshot_path.clone());
+    options.readiness = Some(Arc::clone(&readiness));
+    let mut watcher = Watcher::new(detector, options);
+    assert!(!readiness.get(), "not ready before the first cycle");
+
+    let first = watcher.cycle().expect("cycle 1");
+    assert!(first.ready && readiness.get(), "ready after a clean cycle");
+
+    // A bad deploy: the snapshot file is replaced with garbage.  The
+    // watcher must keep serving with the old detector but advertise
+    // not-ready so an orchestrator stops routing new work to it.
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    std::fs::write(&snapshot_path, "not a snapshot at all\n").unwrap();
+    std::fs::write(&target, "[mysqld]\nport = 3307\nold_unknown_key = 1\n").unwrap();
+    let second = watcher.cycle().expect("cycle 2");
+    assert!(!second.reloaded_detector);
+    assert!(
+        second.reload_error.is_some(),
+        "the parse failure is surfaced"
+    );
+    assert!(!second.ready, "failing reload makes the watcher not-ready");
+    assert!(!readiness.get(), "/readyz now answers 503");
+    assert_eq!(second.results.len(), 1, "the old detector still serves");
+    assert!(
+        second.results[0].1.is_ok(),
+        "the changed target is checked with the previous rules"
+    );
+
+    // Nothing changed on disk: no retry storm, still not ready.
+    let third = watcher.cycle().expect("cycle 3");
+    assert!(third.reload_error.is_none(), "bad file is not re-parsed");
+    assert!(!third.ready && !readiness.get(), "not-ready latches");
+
+    // The fixed deploy lands: ready again on the successful reload.
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    std::fs::write(&snapshot_path, format!("{good_snapshot}\n# fixed\n")).unwrap();
+    let fourth = watcher.cycle().expect("cycle 4");
+    assert!(fourth.reloaded_detector, "good snapshot hot-reloads");
+    assert!(fourth.ready && readiness.get(), "recovery flips ready back");
+    assert_eq!(obs::WATCH_SNAPSHOT_RELOADS.get(), 1);
+    obs::disable();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn prometheus_scrapes_of_a_running_watcher_are_monotone() {
+    let _gate = gate();
+    obs::reset();
+    obs::enable();
+    let dir = scratch_dir("telemetry-scrape");
+    std::fs::write(dir.join("a.cnf"), "[mysqld]\nport = 3306\n").unwrap();
+    std::fs::write(dir.join("b.cnf"), "[mysqld]\nport = 3307\n").unwrap();
+    let mut watcher = Watcher::new(small_detector(), WatchOptions::new(AppKind::Mysql, &dir));
+
+    let mut last_cycles = 0.0;
+    let mut last_checked = 0.0;
+    for round in 1..=3u64 {
+        watcher.cycle().expect("cycle");
+        let scrape = obs::render_prometheus();
+        expose::validate(&scrape).unwrap_or_else(|e| panic!("scrape {round}: {e}"));
+        let cycles = sample_value(&scrape, "encore_watch_cycles_total").expect("cycles sample");
+        let checked =
+            sample_value(&scrape, "encore_watch_targets_checked_total").expect("checked sample");
+        assert_eq!(cycles, round as f64, "cumulative across cycles");
+        assert!(cycles >= last_cycles && checked >= last_checked, "monotone");
+        (last_cycles, last_checked) = (cycles, checked);
+        // The daemon histogram observes exactly one duration per cycle.
+        let durations =
+            sample_value(&scrape, "encore_watch_cycle_duration_ms_count").expect("duration count");
+        assert_eq!(durations, round as f64);
+    }
+    assert_eq!(obs::WATCH_CYCLES.get(), 3);
+    assert_eq!(last_checked, 2.0, "both targets checked once, first cycle");
+    obs::disable();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Run a fixed three-cycle watch script (add two targets, change one,
+/// quiet cycle) and return the parsed JSONL reports.  When `scrape` is
+/// set, `/metrics` is rendered between cycles exactly as a live scraper
+/// would — which must not perturb the per-cycle reports.
+fn watch_script(tag: &str, scrape: bool) -> Vec<PipelineReport> {
+    obs::reset();
+    obs::enable();
+    let dir = scratch_dir(tag);
+    let report_path = dir.join(".trace.jsonl");
+    std::fs::write(dir.join("a.cnf"), "[mysqld]\nport = 3306\n").unwrap();
+    std::fs::write(dir.join("b.cnf"), "[mysqld]\nport = 3307\n").unwrap();
+    let mut options = WatchOptions::new(AppKind::Mysql, &dir);
+    options.report_path = Some(report_path.clone());
+    options.workers = Some(1);
+    let mut watcher = Watcher::new(small_detector(), options);
+
+    watcher.cycle().expect("cycle 1");
+    if scrape {
+        expose::validate(&obs::render_prometheus()).expect("scrape 1");
+    }
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    std::fs::write(
+        dir.join("b.cnf"),
+        "[mysqld]\nport = 3307\nmax_connections = 100\n",
+    )
+    .unwrap();
+    watcher.cycle().expect("cycle 2");
+    if scrape {
+        expose::validate(&obs::render_prometheus()).expect("scrape 2");
+    }
+    watcher.cycle().expect("cycle 3");
+    if scrape {
+        expose::validate(&obs::render_prometheus()).expect("scrape 3");
+    }
+    obs::disable();
+
+    let trace = std::fs::read_to_string(&report_path).expect("trace written");
+    let reports = trace
+        .lines()
+        .map(|line| PipelineReport::parse_json(line).expect("line parses"))
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+    reports
+}
+
+#[test]
+fn concurrent_scraping_never_changes_the_jsonl_reports() {
+    let _gate = gate();
+    let plain = watch_script("telemetry-jsonl-plain", false);
+    let scraped = watch_script("telemetry-jsonl-scraped", true);
+    assert_eq!(plain.len(), 3);
+    assert_eq!(scraped.len(), 3);
+    for (cycle, (p, s)) in plain.iter().zip(&scraped).enumerate() {
+        // Counters and histograms are deterministic per cycle (timers and
+        // wall-clock gauges are not; the delta policy treats those as
+        // informational for the same reason).
+        assert_eq!(
+            p.counters(),
+            s.counters(),
+            "cycle {}: scraping changed the counter section",
+            cycle + 1
+        );
+        assert_eq!(
+            p.histograms(),
+            s.histograms(),
+            "cycle {}: scraping changed the histogram section",
+            cycle + 1
+        );
+    }
+    assert_eq!(plain[0].counters()["detect.watch.targets_added"], 2);
+    assert_eq!(plain[1].counters()["detect.watch.targets_changed"], 1);
+    assert_eq!(plain[2].counters()["detect.watch.targets_rechecked"], 0);
+}
