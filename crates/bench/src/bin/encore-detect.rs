@@ -312,50 +312,49 @@ fn run_watch(args: &Args, detector: AnomalyDetector, dir: &str) {
 
     // Unbounded runs stop on stdin end-of-file: whoever holds the pipe
     // holds the daemon.  Bounded runs ignore stdin so closed-stdin CI can
-    // still count its cycles.
-    let stopped = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    // still count its cycles.  `StopFlag::stop` wakes the watcher's
+    // inter-cycle wait, so shutdown latency is bounded by the in-flight
+    // cycle, not by `--interval-ms`.
+    let stop = std::sync::Arc::new(encore::StopFlag::new());
     if args.max_iterations.is_none() {
-        let stopped = std::sync::Arc::clone(&stopped);
+        let stop = std::sync::Arc::clone(&stop);
         std::thread::spawn(move || {
             use std::io::Read;
             let mut sink = [0u8; 256];
             let mut stdin = std::io::stdin().lock();
             while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
-            stopped.store(true, std::sync::atomic::Ordering::Relaxed);
+            stop.stop();
         });
     }
 
     let mut watcher = encore::Watcher::new(detector, options);
-    let outcome = watcher.run(
-        || stopped.load(std::sync::atomic::Ordering::Relaxed),
-        |cycle| {
-            println!(
-                "== watch cycle {}: {} rechecked ({} added, {} changed, {} removed), \
+    let outcome = watcher.run(&stop, |cycle| {
+        println!(
+            "== watch cycle {}: {} rechecked ({} added, {} changed, {} removed), \
 {} tracked{}",
-                cycle.cycle,
-                cycle.results.len(),
-                cycle.added,
-                cycle.changed,
-                cycle.removed,
-                cycle.tracked,
-                if cycle.reloaded_detector {
-                    ", detector reloaded"
-                } else {
-                    ""
-                },
-            );
-            if let Some(e) = &cycle.reload_error {
-                eprintln!("encore-detect: detector reload failed (serving old rules): {e}");
+            cycle.cycle,
+            cycle.results.len(),
+            cycle.added,
+            cycle.changed,
+            cycle.removed,
+            cycle.tracked,
+            if cycle.reloaded_detector {
+                ", detector reloaded"
+            } else {
+                ""
+            },
+        );
+        if let Some(e) = &cycle.reload_error {
+            eprintln!("encore-detect: detector reload failed (serving old rules): {e}");
+        }
+        for (name, result) in &cycle.results {
+            println!("== system {name}");
+            match result {
+                Ok(report) => print!("{}", report.render()),
+                Err(e) => println!("error: {e}"),
             }
-            for (name, result) in &cycle.results {
-                println!("== system {name}");
-                match result {
-                    Ok(report) => print!("{}", report.render()),
-                    Err(e) => println!("error: {e}"),
-                }
-            }
-        },
-    );
+        }
+    });
     match outcome {
         Ok(cycles) => println!("== watch done: {cycles} cycle(s)"),
         Err(e) => {

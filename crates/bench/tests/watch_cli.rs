@@ -98,6 +98,54 @@ fn unbounded_watch_stops_on_stdin_close() {
 }
 
 #[test]
+fn stdin_eof_interrupts_the_interval_sleep_promptly() {
+    let dir = scratch_dir("watch-latency");
+    std::fs::write(dir.join("a.cnf"), "[mysqld]\nport = 3306\n").unwrap();
+    // A deliberately huge interval: the old loop slept it out with a
+    // plain thread::sleep, so shutdown latency equaled the interval.
+    // The condvar-backed stop flag must interrupt the wait immediately.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_encore-detect"))
+        .args([
+            "--train",
+            "8",
+            "--watch",
+            dir.to_str().unwrap(),
+            "--interval-ms",
+            "600000",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn encore-detect");
+
+    // Wait for the first cycle so the watcher is provably inside the
+    // 600 s inter-cycle wait when stdin closes.
+    let mut stdout_reader = BufReader::new(child.stdout.take().expect("stdout piped"));
+    loop {
+        let mut line = String::new();
+        assert_ne!(
+            stdout_reader.read_line(&mut line).expect("read stdout"),
+            0,
+            "stdout closed before the first cycle"
+        );
+        if line.contains("watch cycle 1:") {
+            break;
+        }
+    }
+    let started = std::time::Instant::now();
+    drop(child.stdin.take());
+    let status = child.wait().expect("wait for encore-detect");
+    assert_eq!(status.code(), Some(0));
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(30),
+        "stdin EOF must interrupt the 600s wait, took {:?}",
+        started.elapsed()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bench_json_writes_a_parseable_perf_record() {
     let path = std::env::temp_dir().join("encore-detect-test-bench.json");
     let out = encore_detect(&[

@@ -45,7 +45,7 @@ use encore_sysimage::SystemImage;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant, SystemTime};
 
 /// A file's last observed state: metadata plus a content fingerprint.
@@ -56,11 +56,86 @@ use std::time::{Duration, Instant, SystemTime};
 /// re-checked.  Folding an FNV-1a hash of the contents into the signature
 /// closes that hole; the files are small configs already read every
 /// re-check, so hashing them each poll is cheap and dependency-free.
+///
+/// Public because every hot-reload surface shares it: the watcher's
+/// target/detector polling here and the per-app snapshot registry in
+/// `encore-serve` both key "did this file really change" on the same
+/// signature.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct FileSig {
+pub struct FileSig {
     mtime: SystemTime,
     size: u64,
     fingerprint: u64,
+}
+
+impl FileSig {
+    /// Read a regular file's signature; `None` for directories, dangling
+    /// entries, or races where the file vanished mid-poll.
+    pub fn of(path: &Path) -> Option<FileSig> {
+        sig_of(path)
+    }
+}
+
+/// A shared, wakeable stop signal for long-running loops.
+///
+/// [`Watcher::run`] (and the `encore-serve` daemon) must stop *promptly*
+/// when asked — stdin hit end-of-file, a `shutdown` verb arrived — but an
+/// idle loop spends almost all of its time sleeping out the poll interval.
+/// A plain `AtomicBool` polled between cycles leaves a full interval of
+/// shutdown latency; this flag pairs the boolean with a [`Condvar`] so
+/// [`StopFlag::stop`] wakes any in-progress [`StopFlag::wait_timeout`]
+/// immediately.
+#[derive(Debug, Default)]
+pub struct StopFlag {
+    stopped: Mutex<bool>,
+    wake: Condvar,
+}
+
+impl StopFlag {
+    /// A new, un-stopped flag.
+    pub fn new() -> StopFlag {
+        StopFlag::default()
+    }
+
+    /// Signal stop and wake every waiter.
+    pub fn stop(&self) {
+        let mut stopped = self.stopped.lock().expect("stop flag poisoned");
+        *stopped = true;
+        self.wake.notify_all();
+    }
+
+    /// Whether stop has been signalled.
+    pub fn is_stopped(&self) -> bool {
+        *self.stopped.lock().expect("stop flag poisoned")
+    }
+
+    /// Block until [`StopFlag::stop`] is called.
+    pub fn wait(&self) {
+        let mut stopped = self.stopped.lock().expect("stop flag poisoned");
+        while !*stopped {
+            stopped = self.wake.wait(stopped).expect("stop flag poisoned");
+        }
+    }
+
+    /// Block for at most `timeout`, returning early — with `true` — the
+    /// moment [`StopFlag::stop`] is called.  Returns whether the flag is
+    /// stopped when the wait ends.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let mut stopped = self.stopped.lock().expect("stop flag poisoned");
+        let deadline = Instant::now() + timeout;
+        while !*stopped {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .wake
+                .wait_timeout(stopped, deadline - now)
+                .expect("stop flag poisoned");
+            stopped = guard;
+        }
+        true
+    }
 }
 
 /// 64-bit FNV-1a over the file contents — not cryptographic, just a
@@ -272,6 +347,15 @@ impl Watcher {
         let (reloaded, reload_error) = self.maybe_reload_detector();
 
         // Scan: current name → (path, signature) for regular non-dot files.
+        // The detector snapshot may live inside the watch dir; it is not a
+        // target.  Canonicalize it once per cycle, not once per entry — a
+        // vanished detector fails to canonicalize and excludes nothing,
+        // exactly as the per-entry form did.
+        let detector_canon = self
+            .options
+            .detector_path
+            .as_deref()
+            .and_then(|d| std::fs::canonicalize(d).ok());
         let mut seen: BTreeMap<String, (PathBuf, FileSig)> = BTreeMap::new();
         for entry in std::fs::read_dir(&self.options.dir)? {
             let path = entry?.path();
@@ -281,13 +365,8 @@ impl Watcher {
             if name.starts_with('.') {
                 continue;
             }
-            // The detector snapshot may live inside the watch dir; it is
-            // not a target.
-            if let Some(detector) = self.options.detector_path.as_deref() {
-                let same = std::fs::canonicalize(detector)
-                    .and_then(|d| std::fs::canonicalize(&path).map(|p| p == d))
-                    .unwrap_or(false);
-                if same {
+            if let Some(canon) = &detector_canon {
+                if std::fs::canonicalize(&path).is_ok_and(|p| p == *canon) {
                     continue;
                 }
             }
@@ -402,24 +481,36 @@ impl Watcher {
         })
     }
 
-    /// Run cycles until `should_stop` returns true, `max_iterations` is
-    /// reached, or a cycle fails.  `on_cycle` observes every completed
-    /// cycle (print it, collect it, ...).  Returns the total cycles run —
-    /// exactly `max_iterations` when one is set and the stop callback
-    /// stays false.
+    /// Run cycles until `stop` is signalled, `max_iterations` is reached,
+    /// or a cycle fails.  `on_cycle` observes every completed cycle (print
+    /// it, collect it, ...).  Returns the total cycles run — exactly
+    /// `max_iterations` when one is set and stop is never signalled.
+    ///
+    /// Two timing guarantees:
+    ///
+    /// * **No drift.** Each tick sleeps `interval` minus the time the
+    ///   cycle (and its observer) took, so the effective period stays
+    ///   `interval` instead of `interval + cycle_time`.  A cycle slower
+    ///   than the interval starts the next tick immediately; it is never
+    ///   "made up" with back-to-back extra cycles.
+    /// * **Bounded shutdown.** The inter-cycle wait is a [`StopFlag`]
+    ///   condvar wait, so [`StopFlag::stop`] — from a stdin-EOF watcher, a
+    ///   `shutdown` verb, a signal thread — ends the loop immediately
+    ///   rather than after up to a full interval.
     ///
     /// # Errors
     ///
     /// Propagates the first failing [`Watcher::cycle`].
     pub fn run(
         &mut self,
-        mut should_stop: impl FnMut() -> bool,
+        stop: &StopFlag,
         mut on_cycle: impl FnMut(&CycleOutcome),
     ) -> std::io::Result<u64> {
         loop {
-            if should_stop() {
+            if stop.is_stopped() {
                 return Ok(self.cycles);
             }
+            let tick_started = Instant::now();
             let outcome = self.cycle()?;
             on_cycle(&outcome);
             if let Some(max) = self.options.max_iterations {
@@ -427,10 +518,10 @@ impl Watcher {
                     return Ok(self.cycles);
                 }
             }
-            if should_stop() {
+            let remaining = self.options.interval.saturating_sub(tick_started.elapsed());
+            if stop.wait_timeout(remaining) {
                 return Ok(self.cycles);
             }
-            std::thread::sleep(self.options.interval);
         }
     }
 }
@@ -487,5 +578,83 @@ mod tests {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    /// A rule-free detector: enough for exercising loop timing over an
+    /// empty directory without a training corpus.
+    fn empty_detector() -> AnomalyDetector {
+        AnomalyDetector::from_parts(
+            crate::rules::RuleSet::default(),
+            crate::types::TypeMap::default(),
+            crate::detect::TrainingStats::default(),
+        )
+    }
+
+    #[test]
+    fn run_ticks_align_to_the_interval_instead_of_drifting() {
+        let dir = scratch("tick-align");
+        let interval = Duration::from_millis(150);
+        let work = Duration::from_millis(100);
+        let mut options = WatchOptions::new(AppKind::Mysql, &dir);
+        options.interval = interval;
+        options.max_iterations = Some(3);
+        let mut watcher = Watcher::new(empty_detector(), options);
+        let started = Instant::now();
+        let cycles = watcher
+            .run(&StopFlag::new(), |_| std::thread::sleep(work))
+            .expect("run");
+        let elapsed = started.elapsed();
+        assert_eq!(cycles, 3);
+        // Drift-free schedule: two full interval ticks plus the last
+        // cycle's work — the 100ms observer is absorbed into each 150ms
+        // tick.  The old `sleep(interval)`-after-work loop needs at least
+        // 2*(150+100)+100 = 600ms; leave scheduling slack below that.
+        assert!(
+            elapsed >= Duration::from_millis(2 * 150 + 100),
+            "ran too fast: {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_millis(520),
+            "interval drifted by cycle time: {elapsed:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stop_interrupts_the_inter_cycle_wait_immediately() {
+        let dir = scratch("stop-wakes");
+        let mut options = WatchOptions::new(AppKind::Mysql, &dir);
+        // An interval far beyond the test budget: only a woken wait passes.
+        options.interval = Duration::from_secs(600);
+        let mut watcher = Watcher::new(empty_detector(), options);
+        let stop = Arc::new(StopFlag::new());
+        let stopper = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            stopper.stop();
+        });
+        let started = Instant::now();
+        let cycles = watcher.run(&stop, |_| {}).expect("run");
+        let elapsed = started.elapsed();
+        handle.join().expect("stopper thread");
+        assert_eq!(cycles, 1, "one cycle, then the interrupted wait");
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "stop did not interrupt the wait: {elapsed:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stop_flag_wait_reports_timeout_vs_stop() {
+        let flag = StopFlag::new();
+        assert!(!flag.wait_timeout(Duration::from_millis(1)), "timed out");
+        assert!(!flag.is_stopped());
+        flag.stop();
+        assert!(flag.is_stopped());
+        assert!(
+            flag.wait_timeout(Duration::from_secs(600)),
+            "already stopped"
+        );
     }
 }

@@ -19,8 +19,10 @@
 //! suffix (bumped past any name already in use) — so no two originals
 //! ever share a family and the assignment is independent of report order.
 //!
-//! Timer seconds are rendered as `<nanos>/1e9` at nanosecond precision;
-//! histogram `_sum` is the instrument's exact running sum (see
+//! Timer seconds are rendered digit-exactly from the integer second and
+//! nanosecond parts (never through `f64`, whose 53-bit mantissa would
+//! round totals beyond 2^53 ns); histogram `_sum` is the instrument's
+//! exact running sum (see
 //! [`Histogram::sum`](crate::Histogram::sum)), not a bucket-midpoint
 //! estimate.  Histogram `le` bounds come from a caller-supplied lookup
 //! (bounds are not carried in reports); when the lookup misses, bucket
@@ -213,7 +215,17 @@ pub fn render(report: &PipelineReport, bounds_of: BoundsOf) -> String {
                 out.push_str(&format!("{name} {v}\n"));
             }
             FamilyData::Seconds(nanos) => {
-                out.push_str(&format!("{name} {:.9}\n", *nanos as f64 / 1e9));
+                // Integer seconds + zero-padded fractional nanos, not
+                // `nanos as f64 / 1e9`: above 2^53 nanoseconds (~104 days
+                // of accumulated span time) the f64 mantissa runs out and
+                // the rendered total silently loses nanoseconds.  Decimal
+                // formatting from the two integer parts is exact for every
+                // u64.
+                out.push_str(&format!(
+                    "{name} {}.{:09}\n",
+                    nanos / 1_000_000_000,
+                    nanos % 1_000_000_000
+                ));
             }
             FamilyData::Histogram {
                 bounds,
@@ -513,9 +525,11 @@ impl Readiness {
 ///
 /// Routes: `GET /metrics` (renders via the supplied closure, content type
 /// `text/plain; version=0.0.4`), `GET /healthz` (200 while the process is
-/// up), `GET /readyz` (200/503 off the shared [`Readiness`]); anything
-/// else is 404, non-GET is 405.  Every response closes the connection.
-/// Dropping the server stops the thread.
+/// up), `GET /readyz` (200/503 off the shared [`Readiness`] flag, or off a
+/// caller-supplied status closure carrying a per-component body — see
+/// [`MetricsServer::start_with_status`]); anything else is 404, non-GET is
+/// 405.  Every response closes the connection.  Dropping the server stops
+/// the thread.
 pub struct MetricsServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -524,13 +538,41 @@ pub struct MetricsServer {
 
 impl MetricsServer {
     /// Bind `addr` (e.g. `127.0.0.1:9184`; port 0 picks a free port — see
-    /// [`MetricsServer::addr`]) and start serving.
+    /// [`MetricsServer::addr`]) and start serving, with `/readyz` driven by
+    /// the shared boolean [`Readiness`] flag.
     ///
     /// # Errors
     ///
     /// Returns the bind error if the address is unusable.
     pub fn start<F>(addr: &str, readiness: Arc<Readiness>, render: F) -> io::Result<MetricsServer>
     where
+        F: Fn() -> String + Send + 'static,
+    {
+        MetricsServer::start_with_status(
+            addr,
+            move || {
+                if readiness.get() {
+                    (true, "ready\n".to_string())
+                } else {
+                    (false, "not ready\n".to_string())
+                }
+            },
+            render,
+        )
+    }
+
+    /// Bind `addr` and start serving, with `/readyz` driven by a status
+    /// closure returning `(ready, body)`.  Multi-tenant daemons use this
+    /// to expose *per-component* readiness: one body line per app, status
+    /// 503 while any app is not ready — so a failing hot-reload of one
+    /// snapshot flips the endpoint without hiding which tenant is sick.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unusable.
+    pub fn start_with_status<S, F>(addr: &str, status: S, render: F) -> io::Result<MetricsServer>
+    where
+        S: Fn() -> (bool, String) + Send + 'static,
         F: Fn() -> String + Send + 'static,
     {
         let mut addrs = addr.to_socket_addrs()?;
@@ -549,7 +591,7 @@ impl MetricsServer {
                         break;
                     }
                     if let Ok(stream) = stream {
-                        serve_connection(stream, &readiness, &render);
+                        serve_connection(stream, &status, &render);
                     }
                 }
             })?;
@@ -583,7 +625,11 @@ impl Drop for MetricsServer {
     }
 }
 
-fn serve_connection(mut stream: TcpStream, readiness: &Readiness, render: &dyn Fn() -> String) {
+fn serve_connection(
+    mut stream: TcpStream,
+    status: &dyn Fn() -> (bool, String),
+    render: &dyn Fn() -> String,
+) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let mut buf = Vec::new();
     let mut chunk = [0u8; 1024];
@@ -619,10 +665,11 @@ fn serve_connection(mut stream: TcpStream, readiness: &Readiness, render: &dyn F
             ),
             "/healthz" => ("200 OK", TEXT, "ok\n".to_string()),
             "/readyz" => {
-                if readiness.get() {
-                    ("200 OK", TEXT, "ready\n".to_string())
+                let (ready, body) = status();
+                if ready {
+                    ("200 OK", TEXT, body)
                 } else {
-                    ("503 Service Unavailable", TEXT, "not ready\n".to_string())
+                    ("503 Service Unavailable", TEXT, body)
                 }
             }
             _ => ("404 Not Found", TEXT, "not found\n".to_string()),
@@ -695,6 +742,50 @@ mod tests {
         assert!(text.contains("encore_infer_candidates_by_template_sum 14\n"));
         assert!(text.contains("encore_infer_candidates_by_template_count 4\n"));
         validate(&text).expect("rendered exposition passes the grammar validator");
+    }
+
+    #[test]
+    fn timer_seconds_stay_exact_beyond_f64_mantissa_range() {
+        // 2^53 + 1 nanoseconds: the first value an `as f64 / 1e9` render
+        // rounds (to ...992), and far below u64's ceiling.
+        let report = PipelineReport {
+            phases: vec![PhaseReport {
+                name: "daemon".to_string(),
+                timers: vec![(
+                    "uptime".to_string(),
+                    TimerSnapshot {
+                        nanos: 9_007_199_254_740_993,
+                        spans: 1,
+                    },
+                )],
+                ..PhaseReport::default()
+            }],
+        };
+        let text = render(&report, &no_bounds);
+        assert!(
+            text.contains("encore_uptime_seconds_total 9007199.254740993\n"),
+            "large timer total lost nanosecond exactness:\n{text}"
+        );
+        // The u64 extremes render exactly too.
+        let extremes = PipelineReport {
+            phases: vec![PhaseReport {
+                name: "daemon".to_string(),
+                timers: vec![
+                    ("zero".to_string(), TimerSnapshot { nanos: 0, spans: 0 }),
+                    (
+                        "max".to_string(),
+                        TimerSnapshot {
+                            nanos: u64::MAX,
+                            spans: 1,
+                        },
+                    ),
+                ],
+                ..PhaseReport::default()
+            }],
+        };
+        let text = render(&extremes, &no_bounds);
+        assert!(text.contains("encore_zero_seconds_total 0.000000000\n"));
+        assert!(text.contains("encore_max_seconds_total 18446744073.709551615\n"));
     }
 
     #[test]

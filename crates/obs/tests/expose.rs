@@ -25,13 +25,24 @@ fn fixture_report() -> PipelineReport {
             ("infer.pairs_scored".to_string(), 9),
         ],
         gauges: vec![("infer.pool.workers".to_string(), 4)],
-        timers: vec![(
-            "infer.time".to_string(),
-            encore_obs::TimerSnapshot {
-                nanos: 1_500_000_000,
-                spans: 3,
-            },
-        )],
+        timers: vec![
+            (
+                "infer.time".to_string(),
+                encore_obs::TimerSnapshot {
+                    nanos: 1_500_000_000,
+                    spans: 3,
+                },
+            ),
+            // Beyond f64's 53-bit mantissa: pins the integer-exact seconds
+            // rendering (an `as f64 / 1e9` render would end ...992).
+            (
+                "infer.lifetime".to_string(),
+                encore_obs::TimerSnapshot {
+                    nanos: 9_007_199_254_740_993,
+                    spans: 41,
+                },
+            ),
+        ],
         histograms: Vec::new(),
     };
     let detect = PhaseReport {
@@ -163,17 +174,44 @@ fn metrics_server_routes_and_readiness_flip() {
 }
 
 #[test]
+fn status_closure_drives_readyz_with_a_per_component_body() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let healthy = Arc::new(AtomicBool::new(false));
+    let probe = Arc::clone(&healthy);
+    let server = MetricsServer::start_with_status(
+        "127.0.0.1:0",
+        move || {
+            let ok = probe.load(Ordering::Relaxed);
+            let body = format!(
+                "mysql ready\nweb {}\n",
+                if ok { "ready" } else { "not-ready" }
+            );
+            (ok, body)
+        },
+        String::new,
+    )
+    .expect("bind port 0");
+    let addr = server.addr();
+
+    // Not ready: 503, and the body names the sick component.
+    let (status, body) = get(addr, "/readyz");
+    assert!(status.contains("503"), "{status}");
+    assert_eq!(body, "mysql ready\nweb not-ready\n");
+    healthy.store(true, Ordering::Relaxed);
+    let (status, body) = get(addr, "/readyz");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body, "mysql ready\nweb ready\n");
+}
+
+#[test]
 fn metrics_server_stop_is_idempotent_and_frees_the_port() {
     let readiness = Arc::new(Readiness::new());
-    let mut server =
-        MetricsServer::start("127.0.0.1:0", readiness, || String::new()).expect("bind");
+    let mut server = MetricsServer::start("127.0.0.1:0", readiness, String::new).expect("bind");
     let addr = server.addr();
     server.stop();
     server.stop();
     drop(server);
     // The port is free again: a second server can bind it.
-    let again = MetricsServer::start(&addr.to_string(), Arc::new(Readiness::new()), || {
-        String::new()
-    });
+    let again = MetricsServer::start(&addr.to_string(), Arc::new(Readiness::new()), String::new);
     assert!(again.is_ok(), "rebinding the freed port: {:?}", again.err());
 }

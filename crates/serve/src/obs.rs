@@ -1,0 +1,148 @@
+//! Serve-phase instruments and the service's scrape surface.
+//!
+//! The service appends one `serve` phase section to the core crate's
+//! scrape roll-up, following the determinism discipline of DESIGN.md §9:
+//! counters and histograms count protocol work (requests, targets,
+//! rejections — identical for a given request stream), while anything
+//! scheduling-dependent (queue depth at scrape time, wall-clock request
+//! latency) is a gauge or timer-style histogram over milliseconds.
+//!
+//! These instruments feed `/metrics` and the JSONL heartbeat only.  The
+//! `stats` protocol verb is served from the plain atomic
+//! [`ServeStats`](crate::server::ServeStats) counters instead, because
+//! the obs sink no-ops when disabled and the verb must work regardless.
+
+use encore_obs::{Counter, Gauge, Histogram, PhaseReport, PipelineReport};
+
+/// Requests read off client connections (any verb, well-formed or not).
+pub static REQUESTS: Counter = Counter::new("serve.requests");
+/// `check` requests accepted into the queue.
+pub static CHECKS: Counter = Counter::new("serve.checks");
+/// Target payloads checked (sum of per-request target counts).
+pub static TARGETS_CHECKED: Counter = Counter::new("serve.targets_checked");
+/// Requests rejected with `busy` because the bounded queue was full.
+pub static REJECTED_BUSY: Counter = Counter::new("serve.rejected_busy");
+/// Requests answered with `error` (malformed, unknown app, failed admin).
+pub static ERRORS: Counter = Counter::new("serve.errors");
+/// Successful snapshot reloads across all registered apps.
+pub static SNAPSHOT_RELOADS: Counter = Counter::new("serve.snapshot_reloads");
+/// Failed snapshot reloads (the old detector kept serving).
+pub static RELOAD_FAILURES: Counter = Counter::new("serve.reload_failures");
+/// Queue depth when the last request was enqueued (point-in-time).
+pub static QUEUE_DEPTH: Gauge = Gauge::new("serve.queue.depth");
+/// Configured queue capacity.
+pub static QUEUE_CAPACITY: Gauge = Gauge::new("serve.queue.capacity");
+/// Registered apps.
+pub static APPS: Gauge = Gauge::new("serve.apps");
+/// Registered apps currently ready.
+pub static APPS_READY: Gauge = Gauge::new("serve.apps_ready");
+
+/// Latency bounds, milliseconds: wire-speed admin verbs up to minute-long
+/// fleet checks.
+static LATENCY_BOUNDS_MS: [u64; 15] = [
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 30_000, 60_000,
+];
+/// End-to-end time from dequeue to response, milliseconds.
+pub static REQUEST_DURATION: Histogram =
+    Histogram::new("serve.request_duration_ms", &LATENCY_BOUNDS_MS);
+/// Time a request waited in the queue before dispatch, milliseconds.
+pub static QUEUE_WAIT: Histogram = Histogram::new("serve.queue_wait_ms", &LATENCY_BOUNDS_MS);
+
+/// Snapshot of the `serve` phase.
+pub fn serve_phase() -> PhaseReport {
+    PhaseReport::new("serve")
+        .counter(&REQUESTS)
+        .counter(&CHECKS)
+        .counter(&TARGETS_CHECKED)
+        .counter(&REJECTED_BUSY)
+        .counter(&ERRORS)
+        .counter(&SNAPSHOT_RELOADS)
+        .counter(&RELOAD_FAILURES)
+        .gauge(&QUEUE_DEPTH)
+        .gauge(&QUEUE_CAPACITY)
+        .gauge(&APPS)
+        .gauge(&APPS_READY)
+        .histogram(&REQUEST_DURATION)
+        .histogram(&QUEUE_WAIT)
+}
+
+/// The service's scrape view: the core pipeline + daemon phases with the
+/// `serve` section appended.
+pub fn scrape_report() -> PipelineReport {
+    let mut report = encore::obs::scrape_report();
+    report.phases.push(serve_phase());
+    report
+}
+
+/// Bucket bounds for every histogram in [`scrape_report`].
+pub fn histogram_bounds(name: &str) -> Option<&'static [u64]> {
+    match name {
+        "serve.request_duration_ms" => Some(REQUEST_DURATION.bounds()),
+        "serve.queue_wait_ms" => Some(QUEUE_WAIT.bounds()),
+        _ => encore::obs::histogram_bounds(name),
+    }
+}
+
+/// Render the service scrape view in the Prometheus exposition format.
+pub fn render_prometheus() -> String {
+    encore_obs::expose::render(&scrape_report(), &histogram_bounds)
+}
+
+/// Reset every serve-phase instrument (tests only; a live service never
+/// resets).
+pub fn reset() {
+    for counter in [
+        &REQUESTS,
+        &CHECKS,
+        &TARGETS_CHECKED,
+        &REJECTED_BUSY,
+        &ERRORS,
+        &SNAPSHOT_RELOADS,
+        &RELOAD_FAILURES,
+    ] {
+        counter.reset();
+    }
+    for gauge in [&QUEUE_DEPTH, &QUEUE_CAPACITY, &APPS, &APPS_READY] {
+        gauge.reset();
+    }
+    REQUEST_DURATION.reset();
+    QUEUE_WAIT.reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrape_report_appends_the_serve_phase() {
+        let names: Vec<String> = scrape_report()
+            .phases
+            .iter()
+            .map(|p| p.name.clone())
+            .collect();
+        assert_eq!(names.last().map(String::as_str), Some("serve"));
+        assert!(
+            names.iter().any(|n| n == "detect"),
+            "core phases are retained: {names:?}"
+        );
+    }
+
+    #[test]
+    fn histogram_bounds_covers_serve_and_delegates_to_core() {
+        for phase in &scrape_report().phases {
+            for (name, snap) in &phase.histograms {
+                let bounds = histogram_bounds(name)
+                    .unwrap_or_else(|| panic!("no bounds registered for `{name}`"));
+                assert_eq!(bounds.len() + 1, snap.counts.len(), "mismatch for `{name}`");
+            }
+        }
+    }
+
+    #[test]
+    fn prometheus_rendering_validates_and_includes_serve_samples() {
+        let text = render_prometheus();
+        encore_obs::expose::validate(&text).expect("exposition validates");
+        assert!(text.contains("# TYPE encore_serve_requests_total counter\n"));
+        assert!(text.contains("encore_serve_request_duration_ms_bucket{le=\"60000\"}"));
+    }
+}

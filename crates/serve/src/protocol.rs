@@ -1,0 +1,505 @@
+//! The line-delimited request/response protocol `encore-serve` speaks
+//! over its unix socket.
+//!
+//! Every request starts with one verb line; `check` requests follow it
+//! with length-prefixed target payload frames so config file contents —
+//! which are full of newlines — never have to be escaped:
+//!
+//! ```text
+//! request    := check-req | "apps" LF | "reload" SP app LF | "stats" LF
+//!             | "shutdown" LF | "sleep" SP ms LF
+//! check-req  := "check" SP app SP count LF target*          (count targets)
+//! target     := "target" SP name SP len LF raw(len) LF
+//!
+//! response   := "ok" SP count LF line*        (admin verbs: count lines)
+//!             | "ok" SP count LF report*      (check: count report frames)
+//!             | "busy" LF                     (bounded queue is full)
+//!             | "error" SP message LF
+//! report     := "report" SP name SP len LF raw(len) LF
+//! ```
+//!
+//! `app` and `name` are single tokens (no whitespace, no control bytes);
+//! `len` counts the raw UTF-8 bytes of the frame body, which is followed
+//! by exactly one terminating LF.  A request whose *grammar* is broken
+//! cannot be resynchronized mid-stream (the reader no longer knows where
+//! the next verb line starts), so servers answer `error` and close the
+//! connection; well-formed requests that merely fail (unknown app, failed
+//! reload) get an `error` response on a connection that stays usable.
+//!
+//! The framing carries explicit ceilings — [`MAX_TARGETS`] per check and
+//! [`MAX_PAYLOAD`] bytes per target — so a malformed or malicious length
+//! prefix cannot make the server allocate unboundedly.
+
+use std::io::{self, BufRead, Write};
+
+/// Most targets accepted in one `check` request.
+pub const MAX_TARGETS: usize = 1024;
+
+/// Largest accepted target payload, in bytes (1 MiB — config files are
+/// orders of magnitude smaller).
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Check `targets` (name, config payload) against the detector
+    /// registered under `app`.
+    Check {
+        app: String,
+        targets: Vec<(String, String)>,
+    },
+    /// List the registered apps and their readiness.
+    Apps,
+    /// Force a snapshot reload for one app.
+    Reload { app: String },
+    /// Service counters: requests, queue depth, rejections, ...
+    Stats,
+    /// Stop the service (drains queued work, then exits).
+    Shutdown,
+    /// Occupy a dispatcher slot for `ms` milliseconds — a diagnostics
+    /// verb for probing queue depth and backpressure behaviour.
+    Sleep { ms: u64 },
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `ok <n>` followed by `n` plain info lines (admin verbs).
+    Lines(Vec<String>),
+    /// `ok <n>` followed by `n` report frames (the `check` verb); each
+    /// body is the deterministic [`Report::render`] output, byte-identical
+    /// to a direct `check_fleet` call.
+    ///
+    /// [`Report::render`]: encore::Report::render
+    Reports(Vec<(String, String)>),
+    /// The bounded work queue is full: try again later.
+    Busy,
+    /// The request failed; the message is a single line.
+    Error(String),
+}
+
+/// Whether `token` is usable as an app or target name on a verb line.
+pub fn valid_token(token: &str) -> bool {
+    !token.is_empty() && token.chars().all(|c| !c.is_whitespace() && !c.is_control())
+}
+
+/// Read one line (through LF), erroring on EOF mid-request.
+fn read_line(reader: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Read one length-prefixed frame body plus its terminating LF.
+fn read_body(reader: &mut impl BufRead, len: usize) -> io::Result<Result<String, String>> {
+    let mut raw = vec![0u8; len];
+    reader.read_exact(&mut raw)?;
+    let mut terminator = [0u8; 1];
+    reader.read_exact(&mut terminator)?;
+    if terminator[0] != b'\n' {
+        return Ok(Err("frame body is not followed by LF".to_string()));
+    }
+    match String::from_utf8(raw) {
+        Ok(body) => Ok(Ok(body)),
+        Err(_) => Ok(Err("frame body is not UTF-8".to_string())),
+    }
+}
+
+/// Read one request off the wire.
+///
+/// Returns `None` at a clean end-of-stream (the client hung up between
+/// requests), `Some(Err(reason))` for a malformed request — after which
+/// the stream can no longer be resynchronized and must be closed — and
+/// `Some(Ok(request))` otherwise.
+///
+/// # Errors
+///
+/// Propagates transport I/O failures, including EOF mid-request.
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Result<Request, String>>> {
+    // Tolerate blank lines between requests (trailing newlines from shells).
+    let line = loop {
+        match read_line(reader)? {
+            None => return Ok(None),
+            Some(line) if line.is_empty() => continue,
+            Some(line) => break line,
+        }
+    };
+    let malformed = |reason: String| Ok(Some(Err(reason)));
+    let mut words = line.split_whitespace();
+    let verb = words.next().unwrap_or("");
+    let request = match (verb, words.next(), words.next(), words.next()) {
+        ("apps", None, ..) => Request::Apps,
+        ("stats", None, ..) => Request::Stats,
+        ("shutdown", None, ..) => Request::Shutdown,
+        ("reload", Some(app), None, _) if valid_token(app) => Request::Reload {
+            app: app.to_string(),
+        },
+        ("sleep", Some(ms), None, _) => match ms.parse::<u64>() {
+            Ok(ms) => Request::Sleep { ms },
+            Err(_) => return malformed(format!("bad sleep duration `{ms}`")),
+        },
+        ("check", Some(app), Some(count), None) if valid_token(app) => {
+            let count: usize = match count.parse() {
+                Ok(n) if n <= MAX_TARGETS => n,
+                Ok(n) => return malformed(format!("check count {n} exceeds {MAX_TARGETS}")),
+                Err(_) => return malformed(format!("bad check count `{count}`")),
+            };
+            let mut targets = Vec::with_capacity(count);
+            for _ in 0..count {
+                let Some(frame) = read_line(reader)? else {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "stream ended inside a check request",
+                    ));
+                };
+                let mut words = frame.split_whitespace();
+                let (header, name, len) = (words.next(), words.next(), words.next());
+                if header != Some("target")
+                    || name.is_none()
+                    || len.is_none()
+                    || words.next().is_some()
+                {
+                    return malformed(format!("bad target frame `{frame}`"));
+                }
+                let name = name.expect("checked above");
+                if !valid_token(name) {
+                    return malformed(format!("bad target name `{name}`"));
+                }
+                let len: usize = match len.expect("checked above").parse() {
+                    Ok(n) if n <= MAX_PAYLOAD => n,
+                    Ok(n) => return malformed(format!("target payload {n} exceeds {MAX_PAYLOAD}")),
+                    Err(_) => return malformed(format!("bad target length in `{frame}`")),
+                };
+                match read_body(reader, len)? {
+                    Ok(payload) => targets.push((name.to_string(), payload)),
+                    Err(reason) => return malformed(reason),
+                }
+            }
+            Request::Check {
+                app: app.to_string(),
+                targets,
+            }
+        }
+        _ => return malformed(format!("bad request line `{line}`")),
+    };
+    Ok(Some(Ok(request)))
+}
+
+/// Render one request onto the wire (the client side of
+/// [`read_request`]).
+///
+/// # Errors
+///
+/// Propagates transport I/O failures.
+pub fn write_request(writer: &mut impl Write, request: &Request) -> io::Result<()> {
+    match request {
+        Request::Check { app, targets } => {
+            writeln!(writer, "check {app} {}", targets.len())?;
+            for (name, payload) in targets {
+                writeln!(writer, "target {name} {}", payload.len())?;
+                writer.write_all(payload.as_bytes())?;
+                writer.write_all(b"\n")?;
+            }
+        }
+        Request::Apps => writer.write_all(b"apps\n")?,
+        Request::Reload { app } => writeln!(writer, "reload {app}")?,
+        Request::Stats => writer.write_all(b"stats\n")?,
+        Request::Shutdown => writer.write_all(b"shutdown\n")?,
+        Request::Sleep { ms } => writeln!(writer, "sleep {ms}")?,
+    }
+    writer.flush()
+}
+
+/// Collapse a multi-line failure message into the single line the
+/// `error` response grammar allows.
+fn one_line(message: &str) -> String {
+    message.replace(['\n', '\r'], "; ")
+}
+
+/// Render one response onto the wire.
+///
+/// # Errors
+///
+/// Propagates transport I/O failures.
+pub fn write_response(writer: &mut impl Write, response: &Response) -> io::Result<()> {
+    match response {
+        Response::Lines(lines) => {
+            writeln!(writer, "ok {}", lines.len())?;
+            for line in lines {
+                debug_assert!(!line.contains('\n'), "info lines are single lines");
+                writeln!(writer, "{}", one_line(line))?;
+            }
+        }
+        Response::Reports(reports) => {
+            writeln!(writer, "ok {}", reports.len())?;
+            for (name, body) in reports {
+                writeln!(writer, "report {name} {}", body.len())?;
+                writer.write_all(body.as_bytes())?;
+                writer.write_all(b"\n")?;
+            }
+        }
+        Response::Busy => writer.write_all(b"busy\n")?,
+        Response::Error(message) => writeln!(writer, "error {}", one_line(message))?,
+    }
+    writer.flush()
+}
+
+/// The `ok/busy/error` discriminant of a response, before the caller
+/// reads the verb-specific payload.
+enum Head {
+    Ok(usize),
+    Busy,
+    Error(String),
+}
+
+fn read_head(reader: &mut impl BufRead) -> io::Result<Result<Head, String>> {
+    let Some(line) = read_line(reader)? else {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "stream ended before a response",
+        ));
+    };
+    if line == "busy" {
+        return Ok(Ok(Head::Busy));
+    }
+    if let Some(message) = line.strip_prefix("error ").or(match line.as_str() {
+        "error" => Some(""),
+        _ => None,
+    }) {
+        return Ok(Ok(Head::Error(message.to_string())));
+    }
+    if let Some(count) = line.strip_prefix("ok ") {
+        return match count.parse::<usize>() {
+            Ok(n) => Ok(Ok(Head::Ok(n))),
+            Err(_) => Ok(Err(format!("bad response count `{count}`"))),
+        };
+    }
+    Ok(Err(format!("bad response line `{line}`")))
+}
+
+/// Read an admin-verb response: `n` plain lines.
+///
+/// # Errors
+///
+/// Propagates transport I/O failures; protocol-level failures come back
+/// as the inner `Err` (`busy` is reported as the literal message `busy`).
+pub fn read_lines_response(reader: &mut impl BufRead) -> io::Result<Result<Vec<String>, String>> {
+    match read_head(reader)? {
+        Err(reason) => Ok(Err(reason)),
+        Ok(Head::Busy) => Ok(Err("busy".to_string())),
+        Ok(Head::Error(message)) => Ok(Err(format!("error: {message}"))),
+        Ok(Head::Ok(count)) => {
+            let mut lines = Vec::with_capacity(count);
+            for _ in 0..count {
+                match read_line(reader)? {
+                    Some(line) => lines.push(line),
+                    None => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "stream ended inside a response",
+                        ))
+                    }
+                }
+            }
+            Ok(Ok(lines))
+        }
+    }
+}
+
+/// What a `check` round-trip produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckReply {
+    /// Per-target report bodies, in request order.
+    Reports(Vec<(String, String)>),
+    /// The queue was full; nothing was checked.
+    Busy,
+}
+
+/// Read a `check` response: `n` report frames, or `busy`.
+///
+/// # Errors
+///
+/// Propagates transport I/O failures; malformed responses and `error`
+/// replies come back as the inner `Err`.
+pub fn read_check_response(reader: &mut impl BufRead) -> io::Result<Result<CheckReply, String>> {
+    match read_head(reader)? {
+        Err(reason) => Ok(Err(reason)),
+        Ok(Head::Busy) => Ok(Ok(CheckReply::Busy)),
+        Ok(Head::Error(message)) => Ok(Err(format!("error: {message}"))),
+        Ok(Head::Ok(count)) => {
+            let mut reports = Vec::with_capacity(count);
+            for _ in 0..count {
+                let Some(frame) = read_line(reader)? else {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "stream ended inside a response",
+                    ));
+                };
+                let mut words = frame.split_whitespace();
+                let (header, name, len) = (words.next(), words.next(), words.next());
+                if header != Some("report") || name.is_none() || len.is_none() {
+                    return Ok(Err(format!("bad report frame `{frame}`")));
+                }
+                let len: usize = match len.expect("checked above").parse() {
+                    Ok(n) => n,
+                    Err(_) => return Ok(Err(format!("bad report length in `{frame}`"))),
+                };
+                match read_body(reader, len)? {
+                    Ok(body) => reports.push((name.expect("checked above").to_string(), body)),
+                    Err(reason) => return Ok(Err(reason)),
+                }
+            }
+            Ok(Ok(CheckReply::Reports(reports)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn round_trip(request: &Request) -> Request {
+        let mut wire = Vec::new();
+        write_request(&mut wire, request).expect("write");
+        let mut reader = BufReader::new(wire.as_slice());
+        read_request(&mut reader)
+            .expect("read")
+            .expect("not EOF")
+            .expect("well-formed")
+    }
+
+    #[test]
+    fn requests_round_trip_through_the_wire_format() {
+        for request in [
+            Request::Check {
+                app: "mysql".to_string(),
+                targets: vec![
+                    ("a.cnf".to_string(), "[mysqld]\nport = 3306\n".to_string()),
+                    ("b.cnf".to_string(), String::new()),
+                ],
+            },
+            Request::Apps,
+            Request::Reload {
+                app: "web".to_string(),
+            },
+            Request::Stats,
+            Request::Shutdown,
+            Request::Sleep { ms: 250 },
+        ] {
+            assert_eq!(round_trip(&request), request);
+        }
+    }
+
+    #[test]
+    fn payloads_with_embedded_frame_like_lines_survive_framing() {
+        // Length-prefixed framing must not care what the payload contains.
+        let request = Request::Check {
+            app: "mysql".to_string(),
+            targets: vec![(
+                "tricky".to_string(),
+                "target fake 999\ncheck mysql 5\nok 3\n".to_string(),
+            )],
+        };
+        assert_eq!(round_trip(&request), request);
+    }
+
+    #[test]
+    fn eof_between_requests_is_clean_but_mid_request_is_an_error() {
+        let mut reader = BufReader::new(&b""[..]);
+        assert!(read_request(&mut reader).expect("clean EOF").is_none());
+
+        let mut reader = BufReader::new(&b"check mysql 2\ntarget a 3\nxyz\n"[..]);
+        let err = read_request(&mut reader).expect_err("EOF mid-request");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn malformed_requests_are_reported_without_io_errors() {
+        for (wire, needle) in [
+            (&b"verbless-nonsense\n"[..], "bad request line"),
+            (&b"check mysql not-a-number\n"[..], "bad check count"),
+            (
+                &b"check mysql 1\nbogus frame here\n"[..],
+                "bad target frame",
+            ),
+            (&b"check mysql 9999999\n"[..], "exceeds"),
+            (&b"check mysql 1\ntarget a 99999999\n"[..], "exceeds"),
+            (&b"sleep forever\n"[..], "bad sleep duration"),
+            (&b"reload\n"[..], "bad request line"),
+        ] {
+            let mut reader = BufReader::new(wire);
+            let result = read_request(&mut reader)
+                .expect("no I/O error")
+                .expect("not EOF");
+            let reason = result.expect_err("malformed");
+            assert!(reason.contains(needle), "`{reason}` lacks `{needle}`");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_for_both_shapes() {
+        let reports = Response::Reports(vec![
+            ("a.cnf".to_string(), "clean\n".to_string()),
+            (
+                "b.cnf".to_string(),
+                "1. [type] x (score=1.0): y\n".to_string(),
+            ),
+        ]);
+        let mut wire = Vec::new();
+        write_response(&mut wire, &reports).expect("write");
+        let mut reader = BufReader::new(wire.as_slice());
+        match read_check_response(&mut reader).expect("read").expect("ok") {
+            CheckReply::Reports(got) => assert_eq!(
+                got,
+                vec![
+                    ("a.cnf".to_string(), "clean\n".to_string()),
+                    (
+                        "b.cnf".to_string(),
+                        "1. [type] x (score=1.0): y\n".to_string()
+                    ),
+                ]
+            ),
+            CheckReply::Busy => panic!("not busy"),
+        }
+
+        let lines = Response::Lines(vec!["requests 3".to_string(), "busy 0".to_string()]);
+        let mut wire = Vec::new();
+        write_response(&mut wire, &lines).expect("write");
+        let mut reader = BufReader::new(wire.as_slice());
+        assert_eq!(
+            read_lines_response(&mut reader).expect("read").expect("ok"),
+            vec!["requests 3".to_string(), "busy 0".to_string()]
+        );
+
+        let mut wire = Vec::new();
+        write_response(&mut wire, &Response::Busy).expect("write");
+        let mut reader = BufReader::new(wire.as_slice());
+        assert_eq!(
+            read_check_response(&mut reader).expect("read").expect("ok"),
+            CheckReply::Busy
+        );
+
+        let mut wire = Vec::new();
+        write_response(&mut wire, &Response::Error("multi\nline".to_string())).expect("write");
+        let mut reader = BufReader::new(wire.as_slice());
+        let reason = read_lines_response(&mut reader)
+            .expect("read")
+            .expect_err("error response");
+        assert_eq!(reason, "error: multi; line");
+    }
+
+    #[test]
+    fn token_validation_rejects_whitespace_and_empty() {
+        assert!(valid_token("my.cnf"));
+        assert!(valid_token("mysql-8"));
+        assert!(!valid_token(""));
+        assert!(!valid_token("two words"));
+        assert!(!valid_token("tab\tbed"));
+    }
+}

@@ -1,0 +1,154 @@
+//! The bounded work queue between connection threads and the dispatcher.
+//!
+//! Producers never block: [`BoundedQueue::try_push`] either enqueues and
+//! reports the new depth, or hands the item back so the caller can answer
+//! `busy` immediately — the protocol's backpressure contract.  The single
+//! consumer blocks in [`BoundedQueue::pop`].  [`BoundedQueue::close`]
+//! starts a graceful drain: producers are rejected from then on, the
+//! consumer keeps receiving already-queued items, and `pop` returns
+//! `None` only once the queue is both closed and empty.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Multi-producer single-consumer bounded FIFO with explicit rejection.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items (`capacity` ≥ 1 is
+    /// clamped in, so the queue can always make progress).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth (racy between calls; exact under the lock).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Enqueue without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back when the queue is at capacity or closed —
+    /// the caller answers `busy` (full) or `error` (shutting down).
+    pub fn try_push(&self, item: T) -> Result<usize, T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeue the next item, blocking until one arrives.  Returns `None`
+    /// once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Stop admitting work and wake the consumer; queued items still
+    /// drain through [`BoundedQueue::pop`].
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        inner.closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn push_beyond_capacity_hands_the_item_back() {
+        let queue = BoundedQueue::new(2);
+        assert_eq!(queue.try_push(1), Ok(1));
+        assert_eq!(queue.try_push(2), Ok(2));
+        assert_eq!(queue.try_push(3), Err(3));
+        assert_eq!(queue.depth(), 2);
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.try_push(3), Ok(2));
+    }
+
+    #[test]
+    fn close_drains_queued_items_then_returns_none() {
+        let queue = BoundedQueue::new(4);
+        queue.try_push("a").expect("fits");
+        queue.try_push("b").expect("fits");
+        queue.close();
+        assert_eq!(queue.try_push("c"), Err("c"), "closed queue rejects");
+        assert_eq!(queue.pop(), Some("a"));
+        assert_eq!(queue.pop(), Some("b"));
+        assert_eq!(queue.pop(), None);
+        assert_eq!(queue.pop(), None, "stays terminated");
+    }
+
+    #[test]
+    fn pop_blocks_until_a_producer_arrives() {
+        let queue = Arc::new(BoundedQueue::new(1));
+        let producer = Arc::clone(&queue);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            producer.try_push(7).expect("fits");
+        });
+        assert_eq!(queue.pop(), Some(7));
+        handle.join().expect("producer");
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_consumer() {
+        let queue: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        let closer = Arc::clone(&queue);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            closer.close();
+        });
+        assert_eq!(queue.pop(), None);
+        handle.join().expect("closer");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let queue = BoundedQueue::new(0);
+        assert_eq!(queue.capacity(), 1);
+        assert_eq!(queue.try_push(1), Ok(1));
+        assert_eq!(queue.try_push(2), Err(2));
+    }
+}

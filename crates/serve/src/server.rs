@@ -1,0 +1,560 @@
+//! The `encore-serve` service: accept loop, bounded dispatch, hot-reload
+//! poller, and the telemetry surface.
+//!
+//! Shape (one box per thread):
+//!
+//! ```text
+//!  clients ──► accept loop ──► connection threads ──► BoundedQueue ──► dispatcher
+//!                                   │    ▲                               │
+//!                                   │    └── reply channel (capacity 1) ─┘
+//!                                   └─ admin verbs answered inline
+//!  poll thread: registry.poll() + JSONL heartbeat every interval
+//!  metrics server: /metrics /healthz /readyz   (optional TCP port)
+//! ```
+//!
+//! Admin verbs (`apps`, `reload`, `stats`, `shutdown`) are answered on
+//! the connection thread — they must keep working while the queue is
+//! saturated, or an operator could never diagnose a stuck service.
+//! `check` and `sleep` go through the bounded queue; a full queue answers
+//! `busy` immediately (the backpressure contract — see DESIGN.md §15).
+//! The single dispatcher keeps fleet checks serialized so concurrent
+//! clients contend for the work-stealing pool in a deterministic order
+//! and each response stays byte-identical to a direct
+//! [`AnomalyDetector::check_fleet`] call.
+//!
+//! [`AnomalyDetector::check_fleet`]: encore::AnomalyDetector::check_fleet
+
+use crate::protocol::{self, Request, Response};
+use crate::queue::BoundedQueue;
+use crate::registry::SnapshotRegistry;
+use encore::{FleetOptions, StopFlag};
+use encore_obs::expose::MetricsServer;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Unix socket path to listen on.
+    pub socket: PathBuf,
+    /// Bounded work-queue capacity; a full queue answers `busy`.
+    pub queue_capacity: usize,
+    /// Worker threads per fleet check; `None` uses all parallelism.
+    pub workers: Option<usize>,
+    /// Snapshot-change poll interval for hot reloads.
+    pub poll_interval: Duration,
+    /// `host:port` for the Prometheus `/metrics`, `/healthz`, `/readyz`
+    /// endpoints; `None` disables the HTTP surface.
+    pub metrics_addr: Option<String>,
+    /// Append one JSONL heartbeat line (the per-interval metric delta)
+    /// here every poll tick; `None` disables the heartbeat.
+    pub heartbeat_path: Option<PathBuf>,
+}
+
+impl ServeOptions {
+    /// Defaults: queue of 16, all-core checks, 1 s poll, no HTTP surface,
+    /// no heartbeat.
+    pub fn new(socket: impl Into<PathBuf>) -> ServeOptions {
+        ServeOptions {
+            socket: socket.into(),
+            queue_capacity: 16,
+            workers: None,
+            poll_interval: Duration::from_secs(1),
+            metrics_addr: None,
+            heartbeat_path: None,
+        }
+    }
+}
+
+/// Plain atomic service counters behind the `stats` verb.
+///
+/// Deliberately *not* the obs instruments: those no-op when the global
+/// sink is disabled, and `stats` must answer truthfully regardless.  The
+/// obs instruments are updated alongside these for the scrape surface.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Requests read off client connections (any verb).
+    pub requests: AtomicU64,
+    /// `check` requests accepted into the queue.
+    pub checks: AtomicU64,
+    /// Target payloads checked.
+    pub targets_checked: AtomicU64,
+    /// Requests rejected with `busy`.
+    pub rejected_busy: AtomicU64,
+    /// Requests answered with `error`.
+    pub errors: AtomicU64,
+}
+
+impl ServeStats {
+    fn lines(&self, queue: &BoundedQueue<Job>, registry: &SnapshotRegistry) -> Vec<String> {
+        let statuses = registry.statuses();
+        let ready = statuses.iter().filter(|s| s.ready).count();
+        vec![
+            format!("requests {}", self.requests.load(Ordering::Relaxed)),
+            format!("checks {}", self.checks.load(Ordering::Relaxed)),
+            format!(
+                "targets_checked {}",
+                self.targets_checked.load(Ordering::Relaxed)
+            ),
+            format!(
+                "rejected_busy {}",
+                self.rejected_busy.load(Ordering::Relaxed)
+            ),
+            format!("errors {}", self.errors.load(Ordering::Relaxed)),
+            format!("queue_depth {}", queue.depth()),
+            format!("queue_capacity {}", queue.capacity()),
+            format!("apps {}", statuses.len()),
+            format!("apps_ready {ready}"),
+        ]
+    }
+}
+
+/// What a connection thread hands the dispatcher.
+struct Job {
+    kind: JobKind,
+    /// Capacity-1 rendezvous back to the connection thread.
+    reply: SyncSender<Response>,
+    enqueued: Instant,
+}
+
+enum JobKind {
+    Check {
+        app: String,
+        targets: Vec<(String, String)>,
+    },
+    Sleep {
+        ms: u64,
+    },
+}
+
+/// A running detection service; stops (and unlinks its socket) on drop.
+pub struct Server {
+    socket: PathBuf,
+    stop: Arc<StopFlag>,
+    queue: Arc<BoundedQueue<Job>>,
+    stats: Arc<ServeStats>,
+    registry: Arc<SnapshotRegistry>,
+    accept: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+    poller: Option<JoinHandle<()>>,
+    metrics: Option<MetricsServer>,
+}
+
+/// Bind the unix socket, recovering a stale file left by a crashed
+/// server: if nobody answers a probe connect, the file is an orphan and
+/// is removed; if somebody answers, a live server owns the path.
+fn bind_socket(path: &Path) -> io::Result<UnixListener> {
+    match UnixListener::bind(path) {
+        Ok(listener) => Ok(listener),
+        Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+            if UnixStream::connect(path).is_ok() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("{}: another server is live on this socket", path.display()),
+                ));
+            }
+            std::fs::remove_file(path)?;
+            UnixListener::bind(path)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+impl Server {
+    /// Start serving `registry` according to `options`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-bind and metrics-bind failures.
+    pub fn start(registry: SnapshotRegistry, options: ServeOptions) -> io::Result<Server> {
+        let listener = bind_socket(&options.socket)?;
+        let registry = Arc::new(registry);
+        let stop = Arc::new(StopFlag::new());
+        let queue = Arc::new(BoundedQueue::new(options.queue_capacity));
+        let stats = Arc::new(ServeStats::default());
+        crate::obs::QUEUE_CAPACITY.set(queue.capacity() as u64);
+        sync_app_gauges(&registry);
+
+        let metrics = match &options.metrics_addr {
+            Some(addr) => {
+                let status_registry = Arc::clone(&registry);
+                Some(MetricsServer::start_with_status(
+                    addr,
+                    move || status_registry.ready(),
+                    crate::obs::render_prometheus,
+                )?)
+            }
+            None => None,
+        };
+
+        let dispatcher = {
+            let queue = Arc::clone(&queue);
+            let registry = Arc::clone(&registry);
+            let workers = options.workers;
+            std::thread::spawn(move || dispatch_loop(&queue, &registry, workers))
+        };
+
+        let poller = {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            let interval = options.poll_interval;
+            let heartbeat = options.heartbeat_path.clone();
+            std::thread::spawn(move || poll_loop(&registry, &stop, interval, heartbeat.as_deref()))
+        };
+
+        let accept = {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            let queue = Arc::clone(&queue);
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || accept_loop(&listener, &registry, &stop, &queue, &stats))
+        };
+
+        Ok(Server {
+            socket: options.socket,
+            stop,
+            queue,
+            stats,
+            registry,
+            accept: Some(accept),
+            dispatcher: Some(dispatcher),
+            poller: Some(poller),
+            metrics,
+        })
+    }
+
+    /// The socket path clients connect to.
+    pub fn socket(&self) -> &Path {
+        &self.socket
+    }
+
+    /// The service counters (shared with the `stats` verb).
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// The bound metrics address, when the HTTP surface is enabled
+    /// (`host:0` in the options resolves to a real port here).
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.metrics.as_ref().map(MetricsServer::addr)
+    }
+
+    /// A shared handle that stops the service when signalled — e.g. from
+    /// a stdin-EOF watcher thread; [`Server::join`] returns once it
+    /// fires.
+    pub fn stop_signal(&self) -> Arc<StopFlag> {
+        Arc::clone(&self.stop)
+    }
+
+    /// The registry being served.
+    pub fn registry(&self) -> &SnapshotRegistry {
+        &self.registry
+    }
+
+    /// Block until a `shutdown` request (or [`Server::stop`] from another
+    /// thread) stops the service, then tear down.
+    pub fn join(mut self) {
+        self.stop.wait();
+        self.shutdown();
+    }
+
+    /// Stop the service: reject new work, drain the queue, join every
+    /// thread, unlink the socket.  Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.stop();
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.stop();
+        self.queue.close();
+        // The accept loop blocks in `accept`; a throwaway connection
+        // wakes it so it can observe the stop flag.
+        let _ = UnixStream::connect(&self.socket);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.poller.take() {
+            let _ = handle.join();
+        }
+        if let Some(mut metrics) = self.metrics.take() {
+            metrics.stop();
+        }
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn sync_app_gauges(registry: &SnapshotRegistry) {
+    let statuses = registry.statuses();
+    crate::obs::APPS.set(statuses.len() as u64);
+    crate::obs::APPS_READY.set(statuses.iter().filter(|s| s.ready).count() as u64);
+}
+
+/// The single dispatcher: drains the queue until it is closed and empty.
+fn dispatch_loop(queue: &BoundedQueue<Job>, registry: &SnapshotRegistry, workers: Option<usize>) {
+    while let Some(job) = queue.pop() {
+        crate::obs::QUEUE_WAIT.observe(job.enqueued.elapsed().as_millis() as u64);
+        let started = Instant::now();
+        let response = match job.kind {
+            JobKind::Check { app, targets } => run_check(registry, workers, &app, &targets),
+            JobKind::Sleep { ms } => {
+                std::thread::sleep(Duration::from_millis(ms));
+                Response::Lines(vec![format!("slept {ms}")])
+            }
+        };
+        crate::obs::REQUEST_DURATION.observe(started.elapsed().as_millis() as u64);
+        // A send fails only when the client hung up while queued; the
+        // work is already done either way.
+        let _ = job.reply.send(response);
+    }
+}
+
+/// Run one fleet check.  The report bodies are exactly
+/// [`Report::render`](encore::Report::render) — byte-identical to what a
+/// direct `check_fleet` caller sees.
+fn run_check(
+    registry: &SnapshotRegistry,
+    workers: Option<usize>,
+    app: &str,
+    targets: &[(String, String)],
+) -> Response {
+    let Some((kind, detector)) = registry.detector(app) else {
+        return Response::Error(format!("unknown app `{app}`"));
+    };
+    let images: Vec<_> = targets
+        .iter()
+        .map(|(name, payload)| encore::watch::target_image(kind, name, payload))
+        .collect();
+    let options = FleetOptions { workers };
+    let results = detector.check_fleet(kind, &images, &options);
+    crate::obs::TARGETS_CHECKED.add(targets.len() as u64);
+    let reports = targets
+        .iter()
+        .zip(results)
+        .map(|((name, _), result)| {
+            let body = match result {
+                Ok(report) => report.render(),
+                Err(e) => format!("assemble error: {e}\n"),
+            };
+            (name.clone(), body)
+        })
+        .collect();
+    Response::Reports(reports)
+}
+
+/// Hot-reload poller + JSONL heartbeat.
+fn poll_loop(
+    registry: &SnapshotRegistry,
+    stop: &StopFlag,
+    interval: Duration,
+    heartbeat: Option<&Path>,
+) {
+    let mut baseline = crate::obs::scrape_report();
+    loop {
+        if stop.wait_timeout(interval) {
+            return;
+        }
+        registry.poll();
+        sync_app_gauges(registry);
+        if let Some(path) = heartbeat {
+            let current = crate::obs::scrape_report();
+            let delta = current.delta_since(&baseline, &|name| crate::obs::histogram_bounds(name));
+            baseline = current;
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(file, "{}", delta.render_json());
+            }
+        }
+    }
+}
+
+/// Accept connections until the stop flag is raised; each connection gets
+/// its own thread (clients are few — operators and fleet crawlers — and a
+/// blocked read must not stall other clients).
+fn accept_loop(
+    listener: &UnixListener,
+    registry: &Arc<SnapshotRegistry>,
+    stop: &Arc<StopFlag>,
+    queue: &Arc<BoundedQueue<Job>>,
+    stats: &Arc<ServeStats>,
+) {
+    let mut connections: Vec<(UnixStream, JoinHandle<()>)> = Vec::new();
+    for stream in listener.incoming() {
+        if stop.is_stopped() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let Ok(hangup) = stream.try_clone() else {
+            continue;
+        };
+        let registry = Arc::clone(registry);
+        let stop = Arc::clone(stop);
+        let queue = Arc::clone(queue);
+        let stats = Arc::clone(stats);
+        let handle = std::thread::spawn(move || {
+            let _ = serve_connection(stream, &registry, &stop, &queue, &stats);
+        });
+        connections.push((hangup, handle));
+        connections.retain(|(_, handle)| !handle.is_finished());
+    }
+    // Idle clients sit blocked in a read between requests; hang up on
+    // them so every connection thread observes EOF and can be joined.
+    for (stream, _) in &connections {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+    for (_, handle) in connections {
+        let _ = handle.join();
+    }
+}
+
+/// Serve one client until EOF, a malformed request, or shutdown.
+///
+/// The accept loop keeps a hangup clone of the socket, so merely
+/// dropping our file descriptors would NOT deliver EOF to the client;
+/// an explicit `shutdown` acts on the socket itself and closes the
+/// connection past every outstanding clone.
+fn serve_connection(
+    stream: UnixStream,
+    registry: &SnapshotRegistry,
+    stop: &StopFlag,
+    queue: &BoundedQueue<Job>,
+    stats: &ServeStats,
+) -> io::Result<()> {
+    let hangup = stream.try_clone()?;
+    let result = serve_requests(stream, registry, stop, queue, stats);
+    let _ = hangup.shutdown(std::net::Shutdown::Both);
+    result
+}
+
+/// The request loop behind [`serve_connection`].
+fn serve_requests(
+    stream: UnixStream,
+    registry: &SnapshotRegistry,
+    stop: &StopFlag,
+    queue: &BoundedQueue<Job>,
+    stats: &ServeStats,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let request = match protocol::read_request(&mut reader)? {
+            None => return Ok(()),
+            Some(Err(reason)) => {
+                // The stream cannot be resynchronized after a framing
+                // error: answer and close.
+                stats.requests.fetch_add(1, Ordering::Relaxed);
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                crate::obs::REQUESTS.incr();
+                crate::obs::ERRORS.incr();
+                protocol::write_response(&mut writer, &Response::Error(reason))?;
+                return Ok(());
+            }
+            Some(Ok(request)) => request,
+        };
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        crate::obs::REQUESTS.incr();
+        let response = match request {
+            Request::Apps => {
+                let lines = registry
+                    .statuses()
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "{} {} {} reloads={}",
+                            s.name,
+                            s.kind.name(),
+                            if s.ready { "ready" } else { "not-ready" },
+                            s.reloads
+                        )
+                    })
+                    .collect();
+                Response::Lines(lines)
+            }
+            Request::Reload { app } => match registry.reload(&app) {
+                Ok(()) => {
+                    sync_app_gauges(registry);
+                    Response::Lines(vec![format!("reloaded {app}")])
+                }
+                Err(e) => {
+                    sync_app_gauges(registry);
+                    Response::Error(e)
+                }
+            },
+            Request::Stats => Response::Lines(stats.lines(queue, registry)),
+            Request::Shutdown => {
+                protocol::write_response(&mut writer, &Response::Lines(vec!["stopping".into()]))?;
+                stop.stop();
+                queue.close();
+                return Ok(());
+            }
+            Request::Check { app, targets } => {
+                let count = targets.len() as u64;
+                enqueue(queue, JobKind::Check { app, targets }, stats, Some(count))
+            }
+            Request::Sleep { ms } => enqueue(queue, JobKind::Sleep { ms }, stats, None),
+        };
+        match &response {
+            Response::Busy => {
+                stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                crate::obs::REJECTED_BUSY.incr();
+            }
+            Response::Error(_) => {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                crate::obs::ERRORS.incr();
+            }
+            _ => {}
+        }
+        protocol::write_response(&mut writer, &response)?;
+    }
+}
+
+/// Push a job through the bounded queue and wait for the dispatcher's
+/// reply.  A full (or closing) queue yields `busy` without blocking.
+fn enqueue(
+    queue: &BoundedQueue<Job>,
+    kind: JobKind,
+    stats: &ServeStats,
+    check_targets: Option<u64>,
+) -> Response {
+    let (reply, receive) = std::sync::mpsc::sync_channel(1);
+    let job = Job {
+        kind,
+        reply,
+        enqueued: Instant::now(),
+    };
+    match queue.try_push(job) {
+        Err(_) => Response::Busy,
+        Ok(depth) => {
+            crate::obs::QUEUE_DEPTH.set(depth as u64);
+            if let Some(count) = check_targets {
+                stats.checks.fetch_add(1, Ordering::Relaxed);
+                stats.targets_checked.fetch_add(count, Ordering::Relaxed);
+                crate::obs::CHECKS.incr();
+            }
+            match receive.recv() {
+                Ok(response) => response,
+                // The dispatcher dropped the reply sender without
+                // answering: the service is shutting down mid-request.
+                Err(_) => Response::Error("service shutting down".to_string()),
+            }
+        }
+    }
+}
