@@ -68,7 +68,8 @@ use encore_model::AppKind;
 const USAGE: &str = "usage: encore-detect [--app NAME] [--train N] [--seed N] \
 [--targets N] [--target-seed N] [--misconfig-percent P] [--workers N] \
 [--save-detector FILE] [--load-detector FILE] [--no-entropy] [--report FILE] \
-[--bench-json FILE] [--trace-out FILE] [--watch DIR] [--interval-ms N] \
+[--bench-json FILE] [--trace-out FILE] [--event-log FILE] [--profile FILE] \
+[--watch DIR] [--interval-ms N] \
 [--max-iterations K] [--metrics-addr HOST:PORT] [--severity LEVEL] \
 [--min-report-confidence X] [--quiet] [--sarif FILE] \
 [--baseline FILE | --write-baseline FILE]";
@@ -96,6 +97,8 @@ struct Args {
     report: Option<String>,
     bench_json: Option<String>,
     trace_out: Option<String>,
+    event_log: Option<String>,
+    profile: Option<String>,
     watch: Option<String>,
     interval_ms: u64,
     max_iterations: Option<u64>,
@@ -122,6 +125,8 @@ fn parse_args() -> Option<Args> {
         report: None,
         bench_json: None,
         trace_out: None,
+        event_log: None,
+        profile: None,
         watch: None,
         interval_ms: 1_000,
         max_iterations: None,
@@ -195,6 +200,8 @@ fn parse_args() -> Option<Args> {
             "--report" => parsed.report = Some(value("--report", args.next())),
             "--bench-json" => parsed.bench_json = Some(value("--bench-json", args.next())),
             "--trace-out" => parsed.trace_out = Some(value("--trace-out", args.next())),
+            "--event-log" => parsed.event_log = Some(value("--event-log", args.next())),
+            "--profile" => parsed.profile = Some(value("--profile", args.next())),
             "--watch" => parsed.watch = Some(value("--watch", args.next())),
             "--metrics-addr" => parsed.metrics_addr = Some(value("--metrics-addr", args.next())),
             "--interval-ms" => {
@@ -380,6 +387,20 @@ fn write_trace(args: &Args) {
     }
 }
 
+/// Write the `--profile` cost report (JSON file + text table on stderr)
+/// and drain the event-log writer thread, so queued lines reach the file
+/// even when the process exits right after.
+fn finish_observability(args: &Args) {
+    if let Some(path) = &args.profile {
+        if let Err(e) = std::fs::write(path, encore::obs::render_profile_json()) {
+            eprintln!("encore-detect: cannot write profile to `{path}`: {e}");
+            std::process::exit(2);
+        }
+        eprint!("{}", encore::obs::render_profile_text(10));
+    }
+    encore::obs::event::shutdown();
+}
+
 fn main() {
     let args = match parse_args() {
         Some(args) => args,
@@ -417,12 +438,30 @@ fn main() {
         || args.bench_json.is_some()
         || args.metrics_addr.is_some()
         || args.trace_out.is_some()
+        // The profiler's coverage reference is the `infer.time` timer,
+        // which records only while the sink is on.
+        || args.profile.is_some()
     {
         encore::obs::enable();
     }
     if args.trace_out.is_some() {
         // Start before training so its spans land in the trace too.
         encore::obs::trace::start_recording(0);
+    }
+    match &args.event_log {
+        Some(path) => {
+            if let Err(e) = encore::obs::event::install(std::path::Path::new(path)) {
+                eprintln!("encore-detect: cannot open event log `{path}`: {e}");
+                std::process::exit(2);
+            }
+        }
+        None => {
+            let _ = encore::obs::event::install_from_env();
+        }
+    }
+    if args.profile.is_some() {
+        // Before training, so learn-phase template costs are attributed.
+        encore::obs::profile::enable();
     }
 
     let detector = build_detector(&args);
@@ -446,6 +485,7 @@ fn main() {
         // goes to the `--report` JSONL file, so the one-shot report tail
         // below does not apply.
         run_watch(&args, detector, dir);
+        finish_observability(&args);
         return;
     }
 
@@ -511,6 +551,7 @@ fn main() {
         }
     }
     write_trace(&args);
+    finish_observability(&args);
 
     // The CI surface: SARIF log, baseline write/diff, and the findings
     // exit code.  A flag-free invocation keeps the historical behavior —

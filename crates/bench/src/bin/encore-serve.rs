@@ -37,7 +37,8 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: encore-serve --socket PATH \
 --app NAME=KIND=SNAPSHOT [--app ...] [--queue-capacity N] [--workers N] \
-[--poll-interval-ms N] [--metrics-addr HOST:PORT] [--heartbeat FILE]
+[--poll-interval-ms N] [--metrics-addr HOST:PORT] [--heartbeat FILE] \
+[--event-log FILE] [--slow-micros N] [--profile FILE]
        encore-serve --socket PATH --check APP FILE [FILE...]
        encore-serve --socket PATH --apps | --stats | --reload APP | --shutdown";
 
@@ -76,6 +77,9 @@ struct Args {
     poll_interval_ms: u64,
     metrics_addr: Option<String>,
     heartbeat: Option<PathBuf>,
+    event_log: Option<PathBuf>,
+    slow_micros: Option<u64>,
+    profile: Option<PathBuf>,
 }
 
 fn parse_app(spec: &str) -> AppArg {
@@ -107,6 +111,9 @@ fn parse_args() -> Args {
         poll_interval_ms: 1_000,
         metrics_addr: None,
         heartbeat: None,
+        event_log: None,
+        slow_micros: None,
+        profile: None,
     };
     let mut argv = std::env::args().skip(1);
     let value = |argv: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -138,6 +145,19 @@ fn parse_args() -> Args {
             "--metrics-addr" => args.metrics_addr = Some(value(&mut argv, "--metrics-addr")),
             "--heartbeat" => {
                 args.heartbeat = Some(PathBuf::from(value(&mut argv, "--heartbeat")));
+            }
+            "--event-log" => {
+                args.event_log = Some(PathBuf::from(value(&mut argv, "--event-log")));
+            }
+            "--slow-micros" => {
+                args.slow_micros = Some(
+                    value(&mut argv, "--slow-micros")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--slow-micros wants a number")),
+                );
+            }
+            "--profile" => {
+                args.profile = Some(PathBuf::from(value(&mut argv, "--profile")));
             }
             "--check" => {
                 let app = value(&mut argv, "--check");
@@ -186,6 +206,21 @@ fn parse_args() -> Args {
 
 fn run_server(args: &Args) -> ! {
     encore::obs::enable();
+    match &args.event_log {
+        Some(path) => encore::obs::event::install(path)
+            .unwrap_or_else(|e| fail(&format!("opening event log {}: {e}", path.display()))),
+        None => {
+            let _ = encore::obs::event::install_from_env();
+        }
+    }
+    if args.profile.is_some() {
+        encore::obs::profile::enable();
+    }
+    if args.slow_micros.is_some() {
+        // Slow-request fragments land in the trace ring; make sure it
+        // is capturing.
+        encore::obs::trace::start_recording(0);
+    }
     let registry = SnapshotRegistry::new();
     for app in &args.apps {
         registry
@@ -198,6 +233,7 @@ fn run_server(args: &Args) -> ! {
     options.poll_interval = Duration::from_millis(args.poll_interval_ms.max(1));
     options.metrics_addr = args.metrics_addr.clone();
     options.heartbeat_path = args.heartbeat.clone();
+    options.slow_micros = args.slow_micros;
     let server =
         Server::start(registry, options).unwrap_or_else(|e| fail(&format!("starting server: {e}")));
     // Announcements are best-effort: a supervisor that stopped reading
@@ -223,6 +259,17 @@ fn run_server(args: &Args) -> ! {
     });
 
     server.join();
+    if let Some(path) = &args.profile {
+        std::fs::write(path, encore::obs::render_profile_json())
+            .unwrap_or_else(|e| fail(&format!("writing profile {}: {e}", path.display())));
+        let _ = write!(
+            std::io::stderr(),
+            "{}",
+            encore::obs::render_profile_text(10)
+        );
+    }
+    // Drain the writer thread before exiting: process::exit skips Drop.
+    encore::obs::event::shutdown();
     let _ = writeln!(std::io::stderr(), "stopped");
     std::process::exit(0);
 }

@@ -18,7 +18,7 @@
 use encore_bench::experiments::{self, ExperimentConfig};
 
 const USAGE: &str = "usage: tables [TABLE_NUMBER ...] [--scale F] [--report FILE] \
-[--bench-json FILE] [--trace-out FILE]";
+[--bench-json FILE] [--trace-out FILE] [--event-log FILE] [--profile FILE]";
 
 /// Print a diagnostic plus the usage line to stderr and exit 2.  All
 /// argument-handling failures funnel through here so the binary has exactly
@@ -35,6 +35,8 @@ struct Args {
     report: Option<String>,
     bench_json: Option<String>,
     trace_out: Option<String>,
+    event_log: Option<String>,
+    profile: Option<String>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -44,6 +46,8 @@ fn parse_args() -> Option<Args> {
         report: None,
         bench_json: None,
         trace_out: None,
+        event_log: None,
+        profile: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -64,6 +68,14 @@ fn parse_args() -> Option<Args> {
             "--trace-out" => match args.next() {
                 Some(path) => parsed.trace_out = Some(path),
                 None => usage("--trace-out requires a file path"),
+            },
+            "--event-log" => match args.next() {
+                Some(path) => parsed.event_log = Some(path),
+                None => usage("--event-log requires a file path"),
+            },
+            "--profile" => match args.next() {
+                Some(path) => parsed.profile = Some(path),
+                None => usage("--profile requires a file path"),
             },
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -87,11 +99,31 @@ fn main() {
         None => return,
     };
     let trace = encore::obs::enable_from_env();
-    if args.report.is_some() || args.bench_json.is_some() || args.trace_out.is_some() {
+    if args.report.is_some()
+        || args.bench_json.is_some()
+        || args.trace_out.is_some()
+        // The profiler's coverage reference is the `infer.time` timer,
+        // which records only while the sink is on.
+        || args.profile.is_some()
+    {
         encore::obs::enable();
     }
     if args.trace_out.is_some() {
         encore::obs::trace::start_recording(0);
+    }
+    match &args.event_log {
+        Some(path) => {
+            if let Err(e) = encore::obs::event::install(std::path::Path::new(path)) {
+                eprintln!("tables: cannot open event log `{path}`: {e}");
+                std::process::exit(2);
+            }
+        }
+        None => {
+            let _ = encore::obs::event::install_from_env();
+        }
+    }
+    if args.profile.is_some() {
+        encore::obs::profile::enable();
     }
     let config = if (args.scale - 1.0).abs() < f64::EPSILON {
         ExperimentConfig::default()
@@ -134,4 +166,13 @@ fn main() {
             std::process::exit(2);
         }
     }
+    if let Some(path) = &args.profile {
+        if let Err(e) = std::fs::write(path, encore::obs::render_profile_json()) {
+            eprintln!("tables: cannot write profile to `{path}`: {e}");
+            std::process::exit(2);
+        }
+        eprint!("{}", encore::obs::render_profile_text(10));
+    }
+    // Drain queued event lines before the process exits.
+    encore::obs::event::shutdown();
 }

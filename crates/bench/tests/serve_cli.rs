@@ -184,6 +184,134 @@ fn server_answers_all_client_verbs_and_scrapes() {
 }
 
 #[test]
+fn event_log_grammar_holds_over_a_live_run() {
+    use encore::obs::json::{self, Json};
+
+    let dir = scratch_dir("events");
+    let snap = train_snapshot(&dir, "mysql.snap", AppKind::Mysql, 44);
+    let config = dir.join("target.cnf");
+    // Carry attributes the learned rules key on (`user`, `datadir`,
+    // `general_log` all appear in A-slots of the seed-44 rule set) so the
+    // checks evaluate real correlation candidates and the rule-bucket
+    // profiler has cost to attribute.
+    std::fs::write(
+        &config,
+        "[mysqld]\nport = 3306\nuser = mysql\ndatadir = /var/lib/mysql\ngeneral_log = 1\n",
+    )
+    .unwrap();
+    let socket = dir.join("serve.sock");
+    let socket_str = socket.to_str().unwrap().to_string();
+    let events = dir.join("events.jsonl");
+    let profile = dir.join("profile.json");
+    let app = format!("mysql=mysql={}", snap.display());
+
+    // --slow-micros 0: every request total is >= 0µs, so the slow path
+    // must fire for each one.
+    let (mut child, _, _stderr) = spawn_server(
+        &[
+            "--socket",
+            &socket_str,
+            "--app",
+            &app,
+            "--event-log",
+            events.to_str().unwrap(),
+            "--slow-micros",
+            "0",
+            "--profile",
+            profile.to_str().unwrap(),
+        ],
+        false,
+    );
+
+    // Five well-formed requests over separate connections...
+    let out = encore_serve(&["--socket", &socket_str, "--apps"]);
+    assert_eq!(out.status.code(), Some(0));
+    for _ in 0..2 {
+        let out = encore_serve(&[
+            "--socket",
+            &socket_str,
+            "--check",
+            "mysql",
+            config.to_str().unwrap(),
+        ]);
+        assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    }
+    let out = encore_serve(&["--socket", &socket_str, "--stats"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stats = stdout(&out);
+    assert!(stats.contains("events_written "), "{stats}");
+    assert!(stats.contains("events_dropped 0\n"), "{stats}");
+    assert!(stats.contains("events_queue_depth "), "{stats}");
+
+    // ...plus one malformed request on a raw socket (ids count it too).
+    {
+        use std::os::unix::net::UnixStream;
+        let mut stream = UnixStream::connect(&socket).expect("connect raw");
+        stream.write_all(b"verbless nonsense\n").expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("error "), "{response}");
+    }
+
+    let out = encore_serve(&["--socket", &socket_str, "--shutdown"]);
+    assert_eq!(out.status.code(), Some(0));
+    let status = child.wait().expect("server exit");
+    assert_eq!(status.code(), Some(0));
+
+    // Every line parses; request.done records are one-per-request with
+    // strictly dense ids 1..=max; the slow path fired for every request.
+    let text = std::fs::read_to_string(&events).expect("event log written");
+    let mut done_ids = Vec::new();
+    let mut done_checks = 0usize;
+    let mut slow = 0usize;
+    for line in text.lines() {
+        let value = json::parse(line).unwrap_or_else(|e| panic!("bad line `{line}`: {e}"));
+        let event = value.get("event").and_then(Json::as_str).expect("event");
+        match event {
+            "request.done" => {
+                let req = value.get("req").and_then(Json::as_u64);
+                done_ids.push(req.expect("request.done carries req"));
+                if value
+                    .get("fields")
+                    .and_then(|f| f.get("verb"))
+                    .and_then(Json::as_str)
+                    == Some("check")
+                {
+                    done_checks += 1;
+                }
+            }
+            "request.slow" => slow += 1,
+            _ => {}
+        }
+    }
+    // 6 requests total: apps, check, check, stats, malformed, shutdown.
+    done_ids.sort_unstable();
+    let expected: Vec<u64> = (1..=6).collect();
+    assert_eq!(done_ids, expected, "ids dense, one done per request");
+    assert_eq!(done_checks, 2, "one request.done per accepted check");
+    assert_eq!(slow, 6, "--slow-micros 0 captures every request");
+
+    // The profile file is valid JSON with the expected table layout.
+    let profile_text = std::fs::read_to_string(&profile).expect("profile written");
+    let value = json::parse(&profile_text).expect("profile json parses");
+    let tables = value.get("tables").and_then(Json::as_arr).expect("tables");
+    let names: Vec<&str> = tables
+        .iter()
+        .filter_map(|t| t.get("name").and_then(Json::as_str))
+        .collect();
+    assert_eq!(names, vec!["infer.templates", "detect.buckets"]);
+    let buckets = &tables[1];
+    assert!(
+        buckets
+            .get("rows")
+            .and_then(Json::as_arr)
+            .is_some_and(|rows| !rows.is_empty()),
+        "checks attributed rule-bucket cost: {profile_text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn stdin_eof_stops_the_server_within_a_bounded_latency() {
     let dir = scratch_dir("eof");
     let snap = train_snapshot(&dir, "mysql.snap", AppKind::Mysql, 43);

@@ -25,6 +25,7 @@ use encore_model::{AppKind, AttrName, Row, SemType};
 use encore_sysimage::SystemImage;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::time::Instant;
 
 /// Kind of a detected anomaly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -521,6 +522,17 @@ impl AnomalyDetector {
     ) -> Result<Vec<Result<Report, AssembleError>>, PoolError> {
         crate::obs::DETECT_FLEET_BATCHES.incr();
         crate::obs::DETECT_FLEET_SYSTEMS.add(images.len() as u64);
+        if crate::obs::event::enabled() {
+            use crate::obs::json::Json;
+            crate::obs::event::emit(
+                crate::obs::event::Level::Debug,
+                "detect.fleet",
+                vec![
+                    ("app".to_string(), Json::Str(app.name().to_string())),
+                    ("systems".to_string(), Json::Num(images.len() as u64)),
+                ],
+            );
+        }
         let workers = options.resolved_workers();
         pool::run_units_observed(images, workers, &crate::obs::DETECT_POOL_METRICS, |image| {
             self.check_image(app, image)
@@ -593,9 +605,25 @@ impl AnomalyDetector {
             crate::obs::DETECT_INDEX_RULES_SKIPPED
                 .add((self.index.rules - candidates.len()) as u64);
         }
+        // Per-A-slot-bucket attribution, accumulated locally and flushed
+        // once per call so the profiled path adds one table lock per
+        // check, not one per rule.
+        let profiling = crate::obs::profile::enabled();
+        let mut buckets: BTreeMap<&AttrName, (u64, u64, u64)> = BTreeMap::new();
         for i in candidates {
             let rule = &self.rules.rules()[i];
-            if let Applicability::Violated = rule.evaluate(view) {
+            let profiled = profiling.then(Instant::now);
+            let verdict = rule.evaluate(view);
+            if let Some(started) = profiled {
+                let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let (bucket_nanos, checked, violated) = buckets.entry(&rule.a).or_default();
+                *bucket_nanos += nanos;
+                *checked += 1;
+                if matches!(verdict, Applicability::Violated) {
+                    *violated += 1;
+                }
+            }
+            if let Applicability::Violated = verdict {
                 report.warnings.push(Warning {
                     kind: WarningKind::CorrelationViolation,
                     attr: rule.a.clone(),
@@ -604,6 +632,13 @@ impl AnomalyDetector {
                     rule: Some(rule.clone()),
                 });
             }
+        }
+        for (attr, (nanos, checked, violated)) in buckets {
+            crate::obs::DETECT_BUCKET_PROFILE.record(
+                &attr.to_string(),
+                nanos,
+                &[("checked", checked), ("violated", violated)],
+            );
         }
     }
 

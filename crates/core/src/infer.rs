@@ -40,6 +40,7 @@ use crate::train::TrainingSet;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::ops::Range;
+use std::time::Instant;
 
 /// Statistics from an inference run — the raw numbers behind Tables 12/13.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -307,6 +308,12 @@ impl RuleInference {
         F: Fn(&WorkUnit<'_, '_>, &TrainingSet, &StatsCache) -> Vec<Candidate> + Sync,
     {
         let _span = obs::INFER_TIME.span();
+        // Pipeline phases outside the per-unit loop get pseudo-rows in the
+        // template table — `(plan)`, `(attribute)`, `(dedup)` — so the
+        // table accounts for (almost) everything under `infer.time`, not
+        // just instantiation (the ≥95% coverage invariant, DESIGN.md §16).
+        let profiling = obs::profile::enabled();
+        let plan_started = profiling.then(Instant::now);
         obs::INFER_TEMPLATES.add(self.templates.len() as u64);
         let works: Vec<TemplateWork<'_>> = self
             .templates
@@ -331,8 +338,13 @@ impl RuleInference {
             .filter(|unit| !options.prune_dead_units || unit.is_live(cache))
             .collect();
         obs::INFER_UNITS_PRUNED.add((total_units - units.len()) as u64);
+        if let Some(started) = plan_started {
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            obs::INFER_TEMPLATE_PROFILE.record("(plan)", nanos, &[("units", units.len() as u64)]);
+        }
         let workers = options.resolved_workers();
         let chunks = pool::run_units(&units, workers, |unit| run_unit(unit, training, cache))?;
+        let attribute_started = profiling.then(Instant::now);
         if obs::enabled() {
             // Attribute candidates to templates on the main thread, after
             // the pool returns, so the tallies are scheduling-independent.
@@ -343,7 +355,21 @@ impl RuleInference {
                 }
             }
         }
-        Ok(dedup_candidates(chunks.into_iter().flatten()))
+        if let Some(started) = attribute_started {
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            obs::INFER_TEMPLATE_PROFILE.record("(attribute)", nanos, &[]);
+        }
+        let dedup_started = profiling.then(Instant::now);
+        let deduped = dedup_candidates(chunks.into_iter().flatten());
+        if let Some(started) = dedup_started {
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            obs::INFER_TEMPLATE_PROFILE.record(
+                "(dedup)",
+                nanos,
+                &[("candidates", deduped.len() as u64)],
+            );
+        }
+        Ok(deduped)
     }
 }
 
@@ -511,6 +537,31 @@ fn judge_candidates(
     (rules, stats)
 }
 
+/// Flush one finished unit's self-time and work counts into the
+/// per-template profile table.  `profiled` is the unit's start instant,
+/// present only when the profiler was on at unit start; worker self-time
+/// sums across the pool, so per-template totals cover the whole
+/// instantiation loop (the ≥95%-of-`infer.time` invariant, DESIGN.md
+/// §16).
+fn finish_unit_profile(
+    work: &TemplateWork<'_>,
+    profiled: Option<Instant>,
+    pairs_evaluated: u64,
+    candidates: usize,
+) {
+    if let Some(started) = profiled {
+        let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        obs::INFER_TEMPLATE_PROFILE.record(
+            &work.template.to_string(),
+            nanos,
+            &[
+                ("pairs", pairs_evaluated),
+                ("candidates", candidates as u64),
+            ],
+        );
+    }
+}
+
 /// Row-major reference evaluator: tally each considered pair by walking
 /// every training system through [`evaluate`].  Kept as the byte-identity
 /// reference for [`instantiate_unit_columnar`].
@@ -522,6 +573,10 @@ fn instantiate_unit_rows(
     let work = unit.work;
     let template = work.template;
     let attrs = cache.attributes();
+    // Self-time per unit, attributed to the unit's template when the
+    // profiler is on (the decision is made here, once per unit, so the
+    // per-pair loop below stays branch-free).
+    let profiled = obs::profile::enabled().then(Instant::now);
     let mut out = Vec::new();
     // Tallied locally and flushed once per unit: one atomic add per unit
     // instead of one per pair across the worker pool.
@@ -566,6 +621,7 @@ fn instantiate_unit_rows(
         }
     }
     obs::INFER_PAIRS_EVALUATED.add(pairs_evaluated);
+    finish_unit_profile(work, profiled, pairs_evaluated, out.len());
     out
 }
 
@@ -582,6 +638,7 @@ fn instantiate_unit_columnar(
     let template = work.template;
     let attrs = cache.attributes();
     let systems = training.systems();
+    let profiled = obs::profile::enabled().then(Instant::now);
     let mut out = Vec::new();
     let mut pairs_evaluated = 0u64;
     for &ai in &work.eligible_a[unit.a_range.clone()] {
@@ -611,6 +668,7 @@ fn instantiate_unit_columnar(
         }
     }
     obs::INFER_PAIRS_EVALUATED.add(pairs_evaluated);
+    finish_unit_profile(work, profiled, pairs_evaluated, out.len());
     out
 }
 

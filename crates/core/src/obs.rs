@@ -16,9 +16,10 @@
 //! the split.
 
 pub use encore_obs::delta::{DeltaPolicy, Gate, ReportDelta, Violation};
+pub use encore_obs::profile::ProfileTable;
 pub use encore_obs::{
-    delta, disable, enable, enable_from_env, enabled, expose, json, trace, Counter, Gauge,
-    Histogram, HistogramSnapshot, PhaseReport, PipelineReport, Timer, TimerSnapshot,
+    delta, disable, enable, enable_from_env, enabled, event, expose, json, profile, trace, Counter,
+    Gauge, Histogram, HistogramSnapshot, PhaseReport, PipelineReport, Timer, TimerSnapshot,
 };
 
 use encore_obs::INDEX_BOUNDS;
@@ -55,6 +56,11 @@ pub static POOL_STOLEN_UNITS: Gauge = Gauge::new("infer.pool.stolen_units");
 pub static POOL_WORKER_BUSY: Timer = Timer::new("infer.pool.worker_busy");
 /// Wall time of whole inference passes (candidate generation).
 pub static INFER_TIME: Timer = Timer::new("infer.time");
+/// Per-template cost attribution: self-time, pairs evaluated, and
+/// candidates emitted per template (keys are the template display form).
+/// Populated only while [`profile::enabled`]; the rows must account for
+/// ≥95% of `infer.time` (DESIGN.md §16).
+pub static INFER_TEMPLATE_PROFILE: ProfileTable = ProfileTable::new("infer.templates");
 
 /// The pool instrument bundle for the `infer` phase (the pool's historical
 /// default caller).
@@ -132,6 +138,13 @@ pub static DETECT_POOL_IDLEST_WORKER_UNITS: Gauge = Gauge::new("detect.pool.idle
 pub static DETECT_POOL_STOLEN_UNITS: Gauge = Gauge::new("detect.pool.stolen_units");
 /// Per-worker busy time inside fleet batches.
 pub static DETECT_POOL_WORKER_BUSY: Timer = Timer::new("detect.pool.worker_busy");
+/// Per-A-slot-bucket cost attribution in the [`DetectorIndex`]: rule
+/// evaluation self-time, rules checked, and violations per bucket (keys
+/// are the A-slot attribute display form).  Populated only while
+/// [`profile::enabled`].
+///
+/// [`DetectorIndex`]: crate::detect::AnomalyDetector
+pub static DETECT_BUCKET_PROFILE: ProfileTable = ProfileTable::new("detect.buckets");
 
 // ---- detect.watch: the long-running serve loop (`encore::watch`) ----
 
@@ -312,6 +325,32 @@ pub fn render_prometheus() -> String {
     expose::render(&scrape_report(), &histogram_bounds)
 }
 
+/// The profiler's report sections: the per-template table referenced
+/// against the `infer.time` wall timer (the ≥95% coverage invariant),
+/// plus the detector-index bucket table.
+fn profile_sections() -> [profile::Section<'static>; 2] {
+    [
+        profile::Section {
+            table: &INFER_TEMPLATE_PROFILE,
+            reference: Some(("infer.time", INFER_TIME.total_nanos())),
+        },
+        profile::Section {
+            table: &DETECT_BUCKET_PROFILE,
+            reference: None,
+        },
+    ]
+}
+
+/// Render the top-`k` cost table as human-readable text.
+pub fn render_profile_text(k: usize) -> String {
+    profile::render_text(&profile_sections(), k)
+}
+
+/// Render the full cost tables (every row, coverage included) as JSON.
+pub fn render_profile_json() -> String {
+    profile::render_json(&profile_sections())
+}
+
 /// Reset every pipeline instrument across all crates (the sink flag is
 /// left as-is).
 pub fn reset() {
@@ -377,6 +416,8 @@ pub fn reset() {
     STATS_ENTROPY_HITS.reset();
     STATS_ENTROPY_MISSES.reset();
     DETECT_WARNINGS_PER_SYSTEM.reset();
+    INFER_TEMPLATE_PROFILE.reset();
+    DETECT_BUCKET_PROFILE.reset();
     reset_daemon();
 }
 

@@ -449,6 +449,26 @@ impl Watcher {
         crate::obs::WATCH_LAST_CYCLE_UNIX.set(unix_seconds);
         let elapsed_ms = u64::try_from(cycle_started.elapsed().as_millis()).unwrap_or(u64::MAX);
         crate::obs::WATCH_CYCLE_DURATION.observe(elapsed_ms);
+        if crate::obs::event::enabled() {
+            use crate::obs::json::Json;
+            let duration_us =
+                u64::try_from(cycle_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            crate::obs::event::emit(
+                crate::obs::event::Level::Info,
+                "watch.cycle",
+                vec![
+                    ("cycle".to_string(), Json::Num(self.cycles)),
+                    ("added".to_string(), Json::Num(added as u64)),
+                    ("changed".to_string(), Json::Num(changed as u64)),
+                    ("removed".to_string(), Json::Num(removed as u64)),
+                    ("rechecked".to_string(), Json::Num(results.len() as u64)),
+                    ("warnings".to_string(), Json::Num(warnings)),
+                    ("tracked".to_string(), Json::Num(self.targets.len() as u64)),
+                    ("reloaded".to_string(), Json::Bool(reloaded)),
+                    ("duration_us".to_string(), Json::Num(duration_us)),
+                ],
+            );
+        }
 
         // Per-cycle report = cumulative roll-up minus the previous
         // cycle's; the sink itself is never reset, so a concurrent

@@ -32,8 +32,10 @@
 #![warn(missing_docs)]
 
 pub mod delta;
+pub mod event;
 pub mod expose;
 pub mod json;
+pub mod profile;
 mod report;
 pub mod trace;
 

@@ -5,7 +5,7 @@
 //! counters and histograms count protocol work (requests, targets,
 //! rejections — identical for a given request stream), while anything
 //! scheduling-dependent (queue depth at scrape time, wall-clock request
-//! latency) is a gauge or timer-style histogram over milliseconds.
+//! latency) is a gauge or timer-style histogram over microseconds.
 //!
 //! These instruments feed `/metrics` and the JSONL heartbeat only.  The
 //! `stats` protocol verb is served from the plain atomic
@@ -36,17 +36,36 @@ pub static QUEUE_CAPACITY: Gauge = Gauge::new("serve.queue.capacity");
 pub static APPS: Gauge = Gauge::new("serve.apps");
 /// Registered apps currently ready.
 pub static APPS_READY: Gauge = Gauge::new("serve.apps_ready");
+/// Event-log lines written since install (point-in-time view of the
+/// writer thread, synced from [`encore_obs::event::health`] at scrape).
+pub static EVENTS_WRITTEN: Gauge = Gauge::new("serve.events.written");
+/// Event-log lines dropped (full queue or failed write) since install.
+pub static EVENTS_DROPPED: Gauge = Gauge::new("serve.events.dropped");
+/// Rendered event lines currently awaiting the writer thread.
+pub static EVENTS_QUEUE_DEPTH: Gauge = Gauge::new("serve.events.queue_depth");
 
-/// Latency bounds, milliseconds: wire-speed admin verbs up to minute-long
-/// fleet checks.
-static LATENCY_BOUNDS_MS: [u64; 15] = [
-    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 30_000, 60_000,
+/// Latency bounds, microseconds: wire-speed admin verbs (tens of µs) up
+/// to sub-minute fleet checks.  Millisecond buckets quantized every
+/// admin verb into the first bucket; µs end to end restores resolution.
+static LATENCY_BOUNDS_US: [u64; 15] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
+    5_000_000, 30_000_000,
 ];
-/// End-to-end time from dequeue to response, milliseconds.
+/// End-to-end time from dequeue to response, microseconds.
 pub static REQUEST_DURATION: Histogram =
-    Histogram::new("serve.request_duration_ms", &LATENCY_BOUNDS_MS);
-/// Time a request waited in the queue before dispatch, milliseconds.
-pub static QUEUE_WAIT: Histogram = Histogram::new("serve.queue_wait_ms", &LATENCY_BOUNDS_MS);
+    Histogram::new("serve.request_duration_us", &LATENCY_BOUNDS_US);
+/// Time a request waited in the queue before dispatch, microseconds.
+pub static QUEUE_WAIT: Histogram = Histogram::new("serve.queue_wait_us", &LATENCY_BOUNDS_US);
+
+/// Sync the event-log health gauges from the writer thread's counters;
+/// called before every scrape/heartbeat snapshot so the exposition and
+/// the JSONL delta both carry current log health.
+pub fn sync_event_gauges() {
+    let health = encore_obs::event::health();
+    EVENTS_WRITTEN.set(health.written);
+    EVENTS_DROPPED.set(health.dropped);
+    EVENTS_QUEUE_DEPTH.set(health.queue_depth);
+}
 
 /// Snapshot of the `serve` phase.
 pub fn serve_phase() -> PhaseReport {
@@ -62,6 +81,9 @@ pub fn serve_phase() -> PhaseReport {
         .gauge(&QUEUE_CAPACITY)
         .gauge(&APPS)
         .gauge(&APPS_READY)
+        .gauge(&EVENTS_WRITTEN)
+        .gauge(&EVENTS_DROPPED)
+        .gauge(&EVENTS_QUEUE_DEPTH)
         .histogram(&REQUEST_DURATION)
         .histogram(&QUEUE_WAIT)
 }
@@ -69,6 +91,7 @@ pub fn serve_phase() -> PhaseReport {
 /// The service's scrape view: the core pipeline + daemon phases with the
 /// `serve` section appended.
 pub fn scrape_report() -> PipelineReport {
+    sync_event_gauges();
     let mut report = encore::obs::scrape_report();
     report.phases.push(serve_phase());
     report
@@ -77,8 +100,8 @@ pub fn scrape_report() -> PipelineReport {
 /// Bucket bounds for every histogram in [`scrape_report`].
 pub fn histogram_bounds(name: &str) -> Option<&'static [u64]> {
     match name {
-        "serve.request_duration_ms" => Some(REQUEST_DURATION.bounds()),
-        "serve.queue_wait_ms" => Some(QUEUE_WAIT.bounds()),
+        "serve.request_duration_us" => Some(REQUEST_DURATION.bounds()),
+        "serve.queue_wait_us" => Some(QUEUE_WAIT.bounds()),
         _ => encore::obs::histogram_bounds(name),
     }
 }
@@ -102,7 +125,15 @@ pub fn reset() {
     ] {
         counter.reset();
     }
-    for gauge in [&QUEUE_DEPTH, &QUEUE_CAPACITY, &APPS, &APPS_READY] {
+    for gauge in [
+        &QUEUE_DEPTH,
+        &QUEUE_CAPACITY,
+        &APPS,
+        &APPS_READY,
+        &EVENTS_WRITTEN,
+        &EVENTS_DROPPED,
+        &EVENTS_QUEUE_DEPTH,
+    ] {
         gauge.reset();
     }
     REQUEST_DURATION.reset();
@@ -143,6 +174,7 @@ mod tests {
         let text = render_prometheus();
         encore_obs::expose::validate(&text).expect("exposition validates");
         assert!(text.contains("# TYPE encore_serve_requests_total counter\n"));
-        assert!(text.contains("encore_serve_request_duration_ms_bucket{le=\"60000\"}"));
+        assert!(text.contains("encore_serve_request_duration_us_bucket{le=\"30000000\"}"));
+        assert!(text.contains("encore_serve_events_written"));
     }
 }

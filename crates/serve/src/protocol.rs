@@ -121,6 +121,22 @@ fn read_body(reader: &mut impl BufRead, len: usize) -> io::Result<Result<String,
 ///
 /// Propagates transport I/O failures, including EOF mid-request.
 pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Result<Request, String>>> {
+    Ok(read_request_timed(reader)?.map(|(request, _)| request))
+}
+
+/// [`read_request`] plus how long reading and parsing the request took.
+///
+/// The clock starts after the verb line arrives, so idle wire-wait
+/// between requests is excluded; what remains is frame parsing plus the
+/// time target payload frames take to cross the wire — the `parse` stage
+/// of the per-request decomposition.
+///
+/// # Errors
+///
+/// Propagates transport I/O failures, including EOF mid-request.
+pub fn read_request_timed(
+    reader: &mut impl BufRead,
+) -> io::Result<Option<(Result<Request, String>, std::time::Duration)>> {
     // Tolerate blank lines between requests (trailing newlines from shells).
     let line = loop {
         match read_line(reader)? {
@@ -129,7 +145,15 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Result<Reque
             Some(line) => break line,
         }
     };
-    let malformed = |reason: String| Ok(Some(Err(reason)));
+    let started = std::time::Instant::now();
+    let parsed = finish_request(reader, &line)?;
+    Ok(Some((parsed, started.elapsed())))
+}
+
+/// Parse the request whose verb `line` was already read, consuming any
+/// follow-on frames from `reader`.
+fn finish_request(reader: &mut impl BufRead, line: &str) -> io::Result<Result<Request, String>> {
+    let malformed = |reason: String| Ok(Err(reason));
     let mut words = line.split_whitespace();
     let verb = words.next().unwrap_or("");
     let request = match (verb, words.next(), words.next(), words.next()) {
@@ -187,7 +211,7 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Result<Reque
         }
         _ => return malformed(format!("bad request line `{line}`")),
     };
-    Ok(Some(Ok(request)))
+    Ok(Ok(request))
 }
 
 /// Render one request onto the wire (the client side of

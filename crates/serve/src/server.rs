@@ -55,11 +55,16 @@ pub struct ServeOptions {
     /// Append one JSONL heartbeat line (the per-interval metric delta)
     /// here every poll tick; `None` disables the heartbeat.
     pub heartbeat_path: Option<PathBuf>,
+    /// Capture any request whose parse + queue-wait + check + respond
+    /// total reaches this many microseconds: a `request.slow` event with
+    /// the full decomposition, plus per-stage fragments in the trace
+    /// ring.  `None` disables the capture.
+    pub slow_micros: Option<u64>,
 }
 
 impl ServeOptions {
     /// Defaults: queue of 16, all-core checks, 1 s poll, no HTTP surface,
-    /// no heartbeat.
+    /// no heartbeat, no slow-request capture.
     pub fn new(socket: impl Into<PathBuf>) -> ServeOptions {
         ServeOptions {
             socket: socket.into(),
@@ -68,6 +73,7 @@ impl ServeOptions {
             poll_interval: Duration::from_secs(1),
             metrics_addr: None,
             heartbeat_path: None,
+            slow_micros: None,
         }
     }
 }
@@ -95,6 +101,7 @@ impl ServeStats {
     fn lines(&self, queue: &BoundedQueue<Job>, registry: &SnapshotRegistry) -> Vec<String> {
         let statuses = registry.statuses();
         let ready = statuses.iter().filter(|s| s.ready).count();
+        let events = encore_obs::event::health();
         vec![
             format!("requests {}", self.requests.load(Ordering::Relaxed)),
             format!("checks {}", self.checks.load(Ordering::Relaxed)),
@@ -111,15 +118,35 @@ impl ServeStats {
             format!("queue_capacity {}", queue.capacity()),
             format!("apps {}", statuses.len()),
             format!("apps_ready {ready}"),
+            format!("events_written {}", events.written),
+            format!("events_dropped {}", events.dropped),
+            format!("events_queue_depth {}", events.queue_depth),
         ]
     }
 }
 
+/// Dense request ids, minted per request read (any verb, well-formed or
+/// not) and carried through the queue so dispatcher-side events land in
+/// the same request scope as connection-side ones.
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Dispatcher-side timing of one queued job, returned to the connection
+/// thread with the response so the per-request record carries the full
+/// decomposition.  Zero for inline (admin) verbs' queue wait.
+#[derive(Debug, Clone, Copy, Default)]
+struct JobTimings {
+    /// Enqueue to dequeue.
+    queue_wait: Duration,
+    /// Dequeue to response ready (fleet check or sleep).
+    check: Duration,
+}
+
 /// What a connection thread hands the dispatcher.
 struct Job {
+    id: u64,
     kind: JobKind,
     /// Capacity-1 rendezvous back to the connection thread.
-    reply: SyncSender<Response>,
+    reply: SyncSender<(Response, JobTimings)>,
     enqueued: Instant,
 }
 
@@ -213,7 +240,10 @@ impl Server {
             let stop = Arc::clone(&stop);
             let queue = Arc::clone(&queue);
             let stats = Arc::clone(&stats);
-            std::thread::spawn(move || accept_loop(&listener, &registry, &stop, &queue, &stats))
+            let slow_micros = options.slow_micros;
+            std::thread::spawn(move || {
+                accept_loop(&listener, &registry, &stop, &queue, &stats, slow_micros);
+            })
         };
 
         Ok(Server {
@@ -305,22 +335,32 @@ fn sync_app_gauges(registry: &SnapshotRegistry) {
     crate::obs::APPS_READY.set(statuses.iter().filter(|s| s.ready).count() as u64);
 }
 
+/// Saturating microseconds of a duration (µs end to end; ms quantized
+/// every wire-speed stage into one bucket).
+fn micros(duration: Duration) -> u64 {
+    u64::try_from(duration.as_micros()).unwrap_or(u64::MAX)
+}
+
 /// The single dispatcher: drains the queue until it is closed and empty.
 fn dispatch_loop(queue: &BoundedQueue<Job>, registry: &SnapshotRegistry, workers: Option<usize>) {
     while let Some(job) = queue.pop() {
-        crate::obs::QUEUE_WAIT.observe(job.enqueued.elapsed().as_millis() as u64);
+        let queue_wait = job.enqueued.elapsed();
+        crate::obs::QUEUE_WAIT.observe(micros(queue_wait));
         let started = Instant::now();
-        let response = match job.kind {
+        // Dispatcher-side events (detect.fleet, ...) join the request's
+        // scope: the id rode along through the queue.
+        let response = encore_obs::event::with_request(job.id, || match job.kind {
             JobKind::Check { app, targets } => run_check(registry, workers, &app, &targets),
             JobKind::Sleep { ms } => {
                 std::thread::sleep(Duration::from_millis(ms));
                 Response::Lines(vec![format!("slept {ms}")])
             }
-        };
-        crate::obs::REQUEST_DURATION.observe(started.elapsed().as_millis() as u64);
+        });
+        let check = started.elapsed();
+        crate::obs::REQUEST_DURATION.observe(micros(check));
         // A send fails only when the client hung up while queued; the
         // work is already done either way.
-        let _ = job.reply.send(response);
+        let _ = job.reply.send((response, JobTimings { queue_wait, check }));
     }
 }
 
@@ -395,6 +435,7 @@ fn accept_loop(
     stop: &Arc<StopFlag>,
     queue: &Arc<BoundedQueue<Job>>,
     stats: &Arc<ServeStats>,
+    slow_micros: Option<u64>,
 ) {
     let mut connections: Vec<(UnixStream, JoinHandle<()>)> = Vec::new();
     for stream in listener.incoming() {
@@ -410,7 +451,7 @@ fn accept_loop(
         let queue = Arc::clone(queue);
         let stats = Arc::clone(stats);
         let handle = std::thread::spawn(move || {
-            let _ = serve_connection(stream, &registry, &stop, &queue, &stats);
+            let _ = serve_connection(stream, &registry, &stop, &queue, &stats, slow_micros);
         });
         connections.push((hangup, handle));
         connections.retain(|(_, handle)| !handle.is_finished());
@@ -437,11 +478,112 @@ fn serve_connection(
     stop: &StopFlag,
     queue: &BoundedQueue<Job>,
     stats: &ServeStats,
+    slow_micros: Option<u64>,
 ) -> io::Result<()> {
     let hangup = stream.try_clone()?;
-    let result = serve_requests(stream, registry, stop, queue, stats);
+    let result = serve_requests(stream, registry, stop, queue, stats, slow_micros);
     let _ = hangup.shutdown(std::net::Shutdown::Both);
     result
+}
+
+/// The event-record verb label of a request.
+fn verb_of(request: &Request) -> &'static str {
+    match request {
+        Request::Check { .. } => "check",
+        Request::Apps => "apps",
+        Request::Reload { .. } => "reload",
+        Request::Stats => "stats",
+        Request::Shutdown => "shutdown",
+        Request::Sleep { .. } => "sleep",
+    }
+}
+
+/// The event-record status label of a response.
+fn status_of(response: &Response) -> &'static str {
+    match response {
+        Response::Busy => "busy",
+        Response::Error(_) => "error",
+        _ => "ok",
+    }
+}
+
+/// Write `response`, returning how long rendering it onto the wire took.
+fn respond_timed(writer: &mut impl Write, response: &Response) -> io::Result<Duration> {
+    let started = Instant::now();
+    protocol::write_response(writer, response)?;
+    Ok(started.elapsed())
+}
+
+/// Close out one request: emit its `request.done` record and, when the
+/// parse + queue-wait + check + respond total reaches the `slow_micros`
+/// threshold, a `request.slow` event plus per-stage trace fragments.
+///
+/// The fragments are laid end to end backwards from "now" (the anchor
+/// right after the response hit the wire), so in the trace viewer the
+/// four stages of a captured request read as one contiguous lane.
+fn record_done(
+    verb: &'static str,
+    response: &Response,
+    parse: Duration,
+    timings: JobTimings,
+    respond: Duration,
+    slow_micros: Option<u64>,
+) {
+    let (parse_us, queue_us) = (micros(parse), micros(timings.queue_wait));
+    let (check_us, respond_us) = (micros(timings.check), micros(respond));
+    let total_us = parse_us
+        .saturating_add(queue_us)
+        .saturating_add(check_us)
+        .saturating_add(respond_us);
+    let decomposition = |extra: Vec<(String, encore_obs::json::Json)>| {
+        use encore_obs::json::Json;
+        let mut fields = vec![
+            ("verb".to_string(), Json::Str(verb.to_string())),
+            (
+                "status".to_string(),
+                Json::Str(status_of(response).to_string()),
+            ),
+            ("parse_us".to_string(), Json::Num(parse_us)),
+            ("queue_us".to_string(), Json::Num(queue_us)),
+            ("check_us".to_string(), Json::Num(check_us)),
+            ("respond_us".to_string(), Json::Num(respond_us)),
+            ("total_us".to_string(), Json::Num(total_us)),
+        ];
+        fields.extend(extra);
+        fields
+    };
+    if encore_obs::event::enabled() {
+        encore_obs::event::emit(
+            encore_obs::event::Level::Info,
+            "request.done",
+            decomposition(Vec::new()),
+        );
+    }
+    let Some(threshold) = slow_micros else { return };
+    if total_us < threshold {
+        return;
+    }
+    if encore_obs::event::enabled() {
+        use encore_obs::json::Json;
+        encore_obs::event::emit(
+            encore_obs::event::Level::Warn,
+            "request.slow",
+            decomposition(vec![("threshold_us".to_string(), Json::Num(threshold))]),
+        );
+    }
+    let anchor = Instant::now();
+    let respond_start = anchor.checked_sub(respond).unwrap_or(anchor);
+    let check_start = respond_start
+        .checked_sub(timings.check)
+        .unwrap_or(respond_start);
+    let queue_start = check_start
+        .checked_sub(timings.queue_wait)
+        .unwrap_or(check_start);
+    let parse_start = queue_start.checked_sub(parse).unwrap_or(queue_start);
+    encore_obs::trace::record_external("serve.slow.parse", parse_start, parse);
+    encore_obs::trace::record_external("serve.slow.queue_wait", queue_start, timings.queue_wait);
+    encore_obs::trace::record_external("serve.slow.check", check_start, timings.check);
+    encore_obs::trace::record_external("serve.slow.respond", respond_start, respond);
 }
 
 /// The request loop behind [`serve_connection`].
@@ -451,27 +593,59 @@ fn serve_requests(
     stop: &StopFlag,
     queue: &BoundedQueue<Job>,
     stats: &ServeStats,
+    slow_micros: Option<u64>,
 ) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     loop {
-        let request = match protocol::read_request(&mut reader)? {
-            None => return Ok(()),
-            Some(Err(reason)) => {
-                // The stream cannot be resynchronized after a framing
-                // error: answer and close.
-                stats.requests.fetch_add(1, Ordering::Relaxed);
-                stats.errors.fetch_add(1, Ordering::Relaxed);
-                crate::obs::REQUESTS.incr();
-                crate::obs::ERRORS.incr();
-                protocol::write_response(&mut writer, &Response::Error(reason))?;
-                return Ok(());
-            }
-            Some(Ok(request)) => request,
+        let Some((parsed, parse)) = protocol::read_request_timed(&mut reader)? else {
+            return Ok(());
         };
+        let id = NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed);
         stats.requests.fetch_add(1, Ordering::Relaxed);
         crate::obs::REQUESTS.incr();
-        let response = match request {
+        let request = match parsed {
+            Err(reason) => {
+                // The stream cannot be resynchronized after a framing
+                // error: answer and close.
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                crate::obs::ERRORS.incr();
+                let response = Response::Error(reason);
+                let respond = respond_timed(&mut writer, &response)?;
+                encore_obs::event::with_request(id, || {
+                    record_done(
+                        "malformed",
+                        &response,
+                        parse,
+                        JobTimings::default(),
+                        respond,
+                        slow_micros,
+                    );
+                });
+                return Ok(());
+            }
+            Ok(request) => request,
+        };
+        let verb = verb_of(&request);
+        if matches!(request, Request::Shutdown) {
+            let response = Response::Lines(vec!["stopping".into()]);
+            let respond = respond_timed(&mut writer, &response)?;
+            encore_obs::event::with_request(id, || {
+                record_done(
+                    verb,
+                    &response,
+                    parse,
+                    JobTimings::default(),
+                    respond,
+                    slow_micros,
+                );
+            });
+            stop.stop();
+            queue.close();
+            return Ok(());
+        }
+        let inline_started = Instant::now();
+        let (response, timings) = match request {
             Request::Apps => {
                 let lines = registry
                     .statuses()
@@ -486,31 +660,39 @@ fn serve_requests(
                         )
                     })
                     .collect();
-                Response::Lines(lines)
+                (Response::Lines(lines), None)
             }
-            Request::Reload { app } => match registry.reload(&app) {
-                Ok(()) => {
-                    sync_app_gauges(registry);
-                    Response::Lines(vec![format!("reloaded {app}")])
-                }
-                Err(e) => {
-                    sync_app_gauges(registry);
-                    Response::Error(e)
-                }
-            },
-            Request::Stats => Response::Lines(stats.lines(queue, registry)),
-            Request::Shutdown => {
-                protocol::write_response(&mut writer, &Response::Lines(vec!["stopping".into()]))?;
-                stop.stop();
-                queue.close();
-                return Ok(());
+            Request::Reload { app } => {
+                let response = match registry.reload(&app) {
+                    Ok(()) => Response::Lines(vec![format!("reloaded {app}")]),
+                    Err(e) => Response::Error(e),
+                };
+                sync_app_gauges(registry);
+                (response, None)
             }
+            Request::Stats => (Response::Lines(stats.lines(queue, registry)), None),
+            Request::Shutdown => unreachable!("handled above"),
             Request::Check { app, targets } => {
                 let count = targets.len() as u64;
-                enqueue(queue, JobKind::Check { app, targets }, stats, Some(count))
+                let (response, timings) = enqueue(
+                    queue,
+                    JobKind::Check { app, targets },
+                    stats,
+                    Some(count),
+                    id,
+                );
+                (response, Some(timings))
             }
-            Request::Sleep { ms } => enqueue(queue, JobKind::Sleep { ms }, stats, None),
+            Request::Sleep { ms } => {
+                let (response, timings) = enqueue(queue, JobKind::Sleep { ms }, stats, None, id);
+                (response, Some(timings))
+            }
         };
+        // Inline verbs have no queue wait; their work is the check stage.
+        let timings = timings.unwrap_or(JobTimings {
+            queue_wait: Duration::ZERO,
+            check: inline_started.elapsed(),
+        });
         match &response {
             Response::Busy => {
                 stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
@@ -522,7 +704,10 @@ fn serve_requests(
             }
             _ => {}
         }
-        protocol::write_response(&mut writer, &response)?;
+        let respond = respond_timed(&mut writer, &response)?;
+        encore_obs::event::with_request(id, || {
+            record_done(verb, &response, parse, timings, respond, slow_micros);
+        });
     }
 }
 
@@ -533,15 +718,17 @@ fn enqueue(
     kind: JobKind,
     stats: &ServeStats,
     check_targets: Option<u64>,
-) -> Response {
+    id: u64,
+) -> (Response, JobTimings) {
     let (reply, receive) = std::sync::mpsc::sync_channel(1);
     let job = Job {
+        id,
         kind,
         reply,
         enqueued: Instant::now(),
     };
     match queue.try_push(job) {
-        Err(_) => Response::Busy,
+        Err(_) => (Response::Busy, JobTimings::default()),
         Ok(depth) => {
             crate::obs::QUEUE_DEPTH.set(depth as u64);
             if let Some(count) = check_targets {
@@ -550,10 +737,13 @@ fn enqueue(
                 crate::obs::CHECKS.incr();
             }
             match receive.recv() {
-                Ok(response) => response,
+                Ok((response, timings)) => (response, timings),
                 // The dispatcher dropped the reply sender without
                 // answering: the service is shutting down mid-request.
-                Err(_) => Response::Error("service shutting down".to_string()),
+                Err(_) => (
+                    Response::Error("service shutting down".to_string()),
+                    JobTimings::default(),
+                ),
             }
         }
     }

@@ -189,6 +189,113 @@ fn columnar_path_is_byte_identical_on_the_bench_workload() {
     }
 }
 
+/// The event log and the cost profiler must be invisible in the output:
+/// on the BENCH workload the learned `RuleSet` and the fleet transcript
+/// are byte-identical with both fully on and with everything off, and
+/// the pinned BENCH invariants (6202 pairs, 29 rules, 121 warnings)
+/// still hold under instrumentation.
+#[test]
+fn event_log_and_profiler_do_not_perturb_the_bench_workload() {
+    let _gate = gate();
+    let pop = Population::training(AppKind::Mysql, &PopulationOptions::new(30, 1));
+    let training = TrainingSet::assemble(AppKind::Mysql, pop.images()).expect("training assembles");
+    let targets = Population::training(
+        AppKind::Mysql,
+        &PopulationOptions::new(20, 77).with_misconfig_percent(21),
+    );
+    let engine = RuleInference::predefined();
+    let thresholds = FilterThresholds::default();
+    let events = std::env::temp_dir().join(format!(
+        "encore-determinism-events-{}.jsonl",
+        std::process::id()
+    ));
+
+    let run = |observed: bool| {
+        encore::obs::reset();
+        if observed {
+            encore::obs::enable();
+            encore::obs::profile::enable();
+            encore::obs::event::install(&events).expect("install event log");
+        }
+        let (rules, _) = engine
+            .try_infer_with(&training, &thresholds, &InferOptions::with_workers(2))
+            .expect("inference");
+        let detector = AnomalyDetector::new(&training, rules.clone());
+        let results = detector.check_fleet(
+            AppKind::Mysql,
+            targets.images(),
+            &FleetOptions { workers: Some(2) },
+        );
+        let warnings: usize = results
+            .iter()
+            .map(|r| r.as_ref().map_or(0, Report::len))
+            .sum();
+        let transcript: String = results
+            .into_iter()
+            .map(|result| match result {
+                Ok(report) => report.render(),
+                Err(e) => format!("error: {e}\n"),
+            })
+            .collect();
+        let pairs = observed.then(|| {
+            let pairs = encore::obs::pipeline_report().counters()["infer.pairs.evaluated"];
+            encore::obs::profile::disable();
+            encore::obs::event::shutdown();
+            encore::obs::disable();
+            pairs
+        });
+        (rules.len(), rules.render(), transcript, warnings, pairs)
+    };
+
+    let (_, off_rules, off_fleet, off_warnings, _) = run(false);
+    let (rule_count, on_rules, on_fleet, on_warnings, pairs) = run(true);
+    let _ = std::fs::remove_file(&events);
+    assert_eq!(
+        on_rules, off_rules,
+        "RuleSet render drifted under instrumentation"
+    );
+    assert_eq!(
+        on_fleet, off_fleet,
+        "fleet transcript drifted under instrumentation"
+    );
+    assert_eq!(on_warnings, off_warnings);
+    // The BENCH pins (see ROADMAP.md): any drift here means the
+    // instrumentation changed what the pipeline computes, not just when.
+    assert_eq!(pairs, Some(6_202), "infer.pairs.evaluated");
+    assert_eq!(rule_count, 29, "learned rule count");
+    assert_eq!(on_warnings, 121, "total fleet warnings");
+}
+
+/// The per-template profiler must account for at least 95% of the
+/// `infer.time` wall clock it decomposes.  With one worker the
+/// per-template self-times are disjoint slices of the one measured
+/// span, so coverage is a true fraction (no multi-worker overlap).
+#[test]
+fn template_profiler_covers_the_inference_wall_clock() {
+    let _gate = gate();
+    let pop = Population::training(AppKind::Mysql, &PopulationOptions::new(30, 1));
+    let training = TrainingSet::assemble(AppKind::Mysql, pop.images()).expect("training assembles");
+    let engine = RuleInference::predefined();
+    let thresholds = FilterThresholds::default();
+    encore::obs::reset();
+    encore::obs::enable();
+    encore::obs::profile::enable();
+    engine
+        .try_infer_with(&training, &thresholds, &InferOptions::with_workers(1))
+        .expect("inference");
+    let attributed = encore::obs::INFER_TEMPLATE_PROFILE.total_nanos();
+    let wall = encore::obs::INFER_TIME.total_nanos();
+    encore::obs::profile::disable();
+    encore::obs::disable();
+    assert!(wall > 0, "the inference timer recorded nothing");
+    let permille = attributed.saturating_mul(1_000) / wall;
+    assert!(
+        permille >= 950,
+        "template profiler covers only {permille}\u{2030} of infer.time \
+         ({attributed} of {wall} ns)"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
